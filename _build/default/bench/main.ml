@@ -1,0 +1,486 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 7) over the synthetic Bitcoin economy, then runs a
+   Bechamel micro-benchmark with one Test.make per table/figure.
+
+   Usage: main.exe [section ...] where a section is one of
+   table1 fig6a fig6b fig6c fig6d fig6e fig6f fig6g fig6h bechamel.
+   With no arguments, everything runs. *)
+
+module Core = Bccore
+module W = Workload
+module E = W.Experiment
+module Q = W.Queries
+
+(* ------------------------------------------------------------------ *)
+(* Cached simulations and sessions. *)
+
+type simkey = Preset of W.Datasets.preset | Sweep
+
+let sims : (simkey, W.Generator.sim) Hashtbl.t = Hashtbl.create 4
+
+let sim key =
+  match Hashtbl.find_opt sims key with
+  | Some s -> s
+  | None ->
+      let params =
+        match key with
+        | Preset p -> W.Datasets.params p
+        | Sweep -> W.Datasets.sweep_params
+      in
+      let label =
+        match key with
+        | Preset p -> W.Datasets.name p
+        | Sweep -> "D-sweep"
+      in
+      Printf.printf "[gen] building %s economy...\n%!" label;
+      let s = W.Generator.generate params in
+      Hashtbl.replace sims key s;
+      s
+
+let sessions : (simkey * int option * int, Core.Session.t) Hashtbl.t =
+  Hashtbl.create 8
+
+let session key ?pending_take ~contradictions () =
+  let k = (key, pending_take, contradictions) in
+  match Hashtbl.find_opt sessions k with
+  | Some s -> s
+  | None ->
+      let db = W.Generator.dataset (sim key) ?pending_take ~contradictions () in
+      let s = E.session_of db in
+      Hashtbl.replace sessions k s;
+      s
+
+let default_c = W.Datasets.default_contradictions
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: dataset statistics. *)
+
+let table1 () =
+  let row preset =
+    let s = sim (Preset preset) in
+    let st = W.Datasets.state_stats s in
+    let take = List.length s.W.Generator.pending_by_block in
+    let pd = W.Datasets.pending_stats s ~pending_take:take ~contradictions:default_c in
+    [
+      [
+        W.Datasets.name preset ^ " (state)";
+        string_of_int st.W.Datasets.blocks;
+        string_of_int st.W.Datasets.transactions;
+        string_of_int st.W.Datasets.input_rows;
+        string_of_int st.W.Datasets.output_rows;
+      ];
+      [
+        W.Datasets.name preset ^ " (pending)";
+        string_of_int pd.W.Datasets.blocks;
+        string_of_int pd.W.Datasets.transactions;
+        string_of_int pd.W.Datasets.input_rows;
+        string_of_int pd.W.Datasets.output_rows;
+      ];
+    ]
+  in
+  E.print_table ~title:"Table 1: datasets (scaled; paper: D100/D200/D300)"
+    ~columns:[ "Dataset"; "Blocks"; "Transactions"; "Input"; "Output" ]
+    ~rows:(List.concat_map row [ W.Datasets.Small; W.Datasets.Mid; W.Datasets.Large ])
+
+(* ------------------------------------------------------------------ *)
+(* Fig 6a/6b: query types. *)
+
+let run_measure ~session ~label ~algo ~variant q =
+  E.run ~repeats:3 ~session ~label ~algo ~variant q
+
+let query_types variant =
+  let s = sim (Preset W.Datasets.Mid) in
+  let sess = session (Preset W.Datasets.Mid) ~contradictions:default_c () in
+  let families = [ Q.Qs; Q.Qp 3; Q.Qr 3 ] in
+  let rows =
+    List.map
+      (fun family ->
+        let q = Q.instantiate s family variant in
+        let naive =
+          run_measure ~session:sess ~label:(Q.family_name family)
+            ~algo:E.Naive ~variant q
+        in
+        let opt =
+          run_measure ~session:sess ~label:(Q.family_name family) ~algo:E.Opt
+            ~variant q
+        in
+        [
+          Q.family_name family;
+          E.ms naive.E.seconds;
+          E.ms opt.E.seconds;
+          string_of_bool naive.E.satisfied;
+        ])
+      families
+  in
+  (* qa is not connected in the OptDCSat sense (aggregate): Naive only,
+     as in the paper. *)
+  let qa = Q.instantiate s Q.Qa variant in
+  let naive_qa = run_measure ~session:sess ~label:"qa" ~algo:E.Naive ~variant qa in
+  rows
+  @ [
+      [ "qa"; E.ms naive_qa.E.seconds; "n/a (aggregate)";
+        string_of_bool naive_qa.E.satisfied ];
+    ]
+
+let fig6a () =
+  E.print_table ~title:"Fig 6a: query types (satisfied constraints)"
+    ~columns:[ "query"; "NaiveDCSat"; "OptDCSat"; "satisfied" ]
+    ~rows:(query_types Q.Satisfied)
+
+let fig6b () =
+  E.print_table ~title:"Fig 6b: query types (unsatisfied constraints)"
+    ~columns:[ "query"; "NaiveDCSat"; "OptDCSat"; "satisfied" ]
+    ~rows:(query_types Q.Unsatisfied)
+
+(* ------------------------------------------------------------------ *)
+(* Fig 6c/6d: number of pending transactions. *)
+
+let pending_sweep variant =
+  let s = sim Sweep in
+  List.map
+    (fun take ->
+      let sess = session Sweep ~pending_take:take ~contradictions:default_c () in
+      let q = Q.instantiate s (Q.Qp 3) variant in
+      let naive = run_measure ~session:sess ~label:"qp3" ~algo:E.Naive ~variant q in
+      let opt = run_measure ~session:sess ~label:"qp3" ~algo:E.Opt ~variant q in
+      let count =
+        W.Generator.pending_count s ~pending_take:take ~contradictions:default_c
+      in
+      [
+        string_of_int take;
+        string_of_int count;
+        E.ms naive.E.seconds;
+        E.ms opt.E.seconds;
+      ])
+    [ 10; 20; 30; 40; 50 ]
+
+let fig6c () =
+  E.print_table ~title:"Fig 6c: pending transactions (satisfied)"
+    ~columns:[ "blocks"; "pending txs"; "NaiveDCSat"; "OptDCSat" ]
+    ~rows:(pending_sweep Q.Satisfied)
+
+let fig6d () =
+  E.print_table ~title:"Fig 6d: pending transactions (unsatisfied)"
+    ~columns:[ "blocks"; "pending txs"; "NaiveDCSat"; "OptDCSat" ]
+    ~rows:(pending_sweep Q.Unsatisfied)
+
+(* ------------------------------------------------------------------ *)
+(* Fig 6e/6f: number of fd contradictions. *)
+
+let contradiction_sweep variant =
+  let s = sim (Preset W.Datasets.Mid) in
+  List.map
+    (fun c ->
+      let sess = session (Preset W.Datasets.Mid) ~contradictions:c () in
+      let q = Q.instantiate s (Q.Qp 3) variant in
+      let naive = run_measure ~session:sess ~label:"qp3" ~algo:E.Naive ~variant q in
+      let opt = run_measure ~session:sess ~label:"qp3" ~algo:E.Opt ~variant q in
+      [ string_of_int c; E.ms naive.E.seconds; E.ms opt.E.seconds ])
+    [ 10; 20; 30; 40; 50 ]
+
+let fig6e () =
+  E.print_table ~title:"Fig 6e: fd contradictions (satisfied)"
+    ~columns:[ "contradictions"; "NaiveDCSat"; "OptDCSat" ]
+    ~rows:(contradiction_sweep Q.Satisfied)
+
+let fig6f () =
+  E.print_table ~title:"Fig 6f: fd contradictions (unsatisfied)"
+    ~columns:[ "contradictions"; "NaiveDCSat"; "OptDCSat" ]
+    ~rows:(contradiction_sweep Q.Unsatisfied)
+
+(* ------------------------------------------------------------------ *)
+(* Fig 6g: query size (path lengths 2..5, unsatisfied). *)
+
+let fig6g () =
+  let s = sim (Preset W.Datasets.Mid) in
+  let sess = session (Preset W.Datasets.Mid) ~contradictions:default_c () in
+  let rows =
+    List.map
+      (fun i ->
+        let q = Q.instantiate s (Q.Qp i) Q.Unsatisfied in
+        let naive =
+          run_measure ~session:sess
+            ~label:(Printf.sprintf "qp%d" i)
+            ~algo:E.Naive ~variant:Q.Unsatisfied q
+        in
+        let opt =
+          run_measure ~session:sess
+            ~label:(Printf.sprintf "qp%d" i)
+            ~algo:E.Opt ~variant:Q.Unsatisfied q
+        in
+        [ Printf.sprintf "qp%d" i; E.ms naive.E.seconds; E.ms opt.E.seconds ])
+      [ 2; 3; 4; 5 ]
+  in
+  E.print_table ~title:"Fig 6g: query sizes (unsatisfied)"
+    ~columns:[ "query"; "NaiveDCSat"; "OptDCSat" ]
+    ~rows
+
+(* ------------------------------------------------------------------ *)
+(* Fig 6h: data sizes (comparable pending sets, unsatisfied). *)
+
+let fig6h_take preset =
+  (* Aim for roughly equal pending sets across presets. *)
+  let p = W.Datasets.params preset in
+  max 1 (300 / p.W.Generator.txs_per_block)
+
+let fig6h () =
+  let rows =
+    List.map
+      (fun preset ->
+        let s = sim (Preset preset) in
+        let take = fig6h_take preset in
+        let sess =
+          session (Preset preset) ~pending_take:take ~contradictions:default_c ()
+        in
+        let q = Q.instantiate s (Q.Qp 3) Q.Unsatisfied in
+        let naive = run_measure ~session:sess ~label:"qp3" ~algo:E.Naive
+            ~variant:Q.Unsatisfied q
+        in
+        let opt = run_measure ~session:sess ~label:"qp3" ~algo:E.Opt
+            ~variant:Q.Unsatisfied q
+        in
+        let st = W.Datasets.state_stats s in
+        let pending =
+          W.Generator.pending_count s ~pending_take:take
+            ~contradictions:default_c
+        in
+        [
+          W.Datasets.name preset;
+          string_of_int (st.W.Datasets.input_rows + st.W.Datasets.output_rows);
+          string_of_int pending;
+          E.ms naive.E.seconds;
+          E.ms opt.E.seconds;
+        ])
+      [ W.Datasets.Small; W.Datasets.Mid; W.Datasets.Large ]
+  in
+  E.print_table ~title:"Fig 6h: data sizes (unsatisfied)"
+    ~columns:[ "dataset"; "state rows"; "pending txs"; "NaiveDCSat"; "OptDCSat" ]
+    ~rows
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: the design choices DESIGN.md calls out, each toggled
+   individually. *)
+
+let time_runs n f =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to n do
+    f ()
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int n
+
+let ablation () =
+  let s = sim Sweep in
+  let sess = session Sweep ~pending_take:40 ~contradictions:default_c () in
+  let q_sat = Q.instantiate s (Q.Qp 3) Q.Satisfied in
+  let q_unsat = Q.instantiate s (Q.Qp 3) Q.Unsatisfied in
+  let ok = function
+    | Ok (o : Core.Dcsat.outcome) -> ignore o.Core.Dcsat.satisfied
+    | Error _ -> failwith "refused"
+  in
+  (* 1. Dry-run session extension vs full rebuild per what-if. *)
+  let hypothetical =
+    [
+      ( "TxOut",
+        Relational.Tuple.make
+          [
+            Relational.Value.Str "hypothetical-tx";
+            Relational.Value.Int 0;
+            Relational.Value.Str "PKhypothetical";
+            Relational.Value.Int 1234;
+          ] );
+    ]
+  in
+  let dry_run_time =
+    time_runs 5 (fun () ->
+        Core.Dry_run.with_transaction sess hypothetical (fun extended _ ->
+            ignore (Core.Session.fd_graph extended);
+            ok (Core.Dcsat.opt extended q_unsat)))
+  in
+  let rebuild_time =
+    time_runs 3 (fun () ->
+        let db' =
+          Core.Bcdb.with_pending (Core.Session.db sess) hypothetical
+        in
+        let fresh = E.session_of db' in
+        ok (Core.Dcsat.opt fresh q_unsat))
+  in
+  (* 2. The R ∪ T pre-check, on a satisfied constraint. *)
+  let precheck_on = time_runs 5 (fun () -> ok (Core.Dcsat.opt sess q_sat)) in
+  let precheck_off =
+    time_runs 3 (fun () -> ok (Core.Dcsat.opt ~use_precheck:false sess q_sat))
+  in
+  (* 3. The Covers component filter (pre-check disabled so that the
+     filter actually runs on the satisfied side too). *)
+  let covers_on =
+    time_runs 3 (fun () -> ok (Core.Dcsat.opt ~use_precheck:false sess q_sat))
+  in
+  let covers_off =
+    time_runs 3 (fun () ->
+        ok (Core.Dcsat.opt ~use_precheck:false ~use_covers:false sess q_sat))
+  in
+  (* 4. Tractable PTIME procedure vs generic clique enumeration, on a
+     key-only variant of the same data. *)
+  let db = Core.Session.db sess in
+  let key_only =
+    List.filter
+      (fun c ->
+        match c with
+        | Relational.Constr.Fd _ -> true
+        | Relational.Constr.Ind _ -> false)
+      db.Core.Bcdb.constraints
+  in
+  let fd_only_db =
+    Core.Bcdb.create_exn ~state:db.Core.Bcdb.state ~constraints:key_only
+      ~pending:
+        (Array.to_list db.Core.Bcdb.pending
+        |> List.map (fun (tx : Core.Pending.t) -> tx.Core.Pending.rows))
+      ()
+  in
+  let fd_sess = E.session_of fd_only_db in
+  let q_simple = Q.instantiate s Q.Qs Q.Unsatisfied in
+  let tractable_time =
+    time_runs 5 (fun () ->
+        match Core.Tractable.solve fd_sess q_simple with
+        | Some _ -> ()
+        | None -> failwith "expected tractable case")
+  in
+  let generic_time =
+    time_runs 5 (fun () -> ok (Core.Dcsat.naive fd_sess q_simple))
+  in
+  E.print_table ~title:"Ablations (design choices, D-sweep/40 blocks)"
+    ~columns:[ "design choice"; "enabled"; "disabled"; "speedup" ]
+    ~rows:
+      [
+        [
+          "dry-run session extension (what-if qp3)";
+          E.ms dry_run_time;
+          E.ms rebuild_time;
+          Printf.sprintf "%.0fx" (rebuild_time /. dry_run_time);
+        ];
+        [
+          "R+T pre-check (satisfied qp3)";
+          E.ms precheck_on;
+          E.ms precheck_off;
+          Printf.sprintf "%.0fx" (precheck_off /. precheck_on);
+        ];
+        [
+          "Covers component filter (no pre-check)";
+          E.ms covers_on;
+          E.ms covers_off;
+          Printf.sprintf "%.1fx" (covers_off /. covers_on);
+        ];
+        [
+          "tractable fd-only solver vs NaiveDCSat (qs)";
+          E.ms tractable_time;
+          E.ms generic_time;
+          Printf.sprintf "%.1fx" (generic_time /. tractable_time);
+        ];
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table/figure. *)
+
+let bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let mid_sess = session (Preset W.Datasets.Mid) ~contradictions:default_c () in
+  let sweep_sess = session Sweep ~pending_take:30 ~contradictions:default_c () in
+  let s_mid = sim (Preset W.Datasets.Mid) in
+  let s_sweep = sim Sweep in
+  let solve sess algo q () =
+    let result =
+      match algo with
+      | E.Naive -> Core.Dcsat.naive sess q
+      | E.Opt -> Core.Dcsat.opt sess q
+    in
+    match result with Ok o -> ignore o.Core.Dcsat.satisfied | Error _ -> ()
+  in
+  let mk name f = Test.make ~name (Staged.stage f) in
+  let tests =
+    Test.make_grouped ~name:"bcdb"
+      [
+        mk "table1/encode-small" (fun () ->
+            ignore
+              (W.Generator.dataset (sim (Preset W.Datasets.Small))
+                 ~contradictions:default_c ()));
+        mk "fig6a/qp3-sat-opt"
+          (solve mid_sess E.Opt (Q.instantiate s_mid (Q.Qp 3) Q.Satisfied));
+        mk "fig6b/qp3-unsat-opt"
+          (solve mid_sess E.Opt (Q.instantiate s_mid (Q.Qp 3) Q.Unsatisfied));
+        mk "fig6c/qp3-sat-naive-30blk"
+          (solve sweep_sess E.Naive (Q.instantiate s_sweep (Q.Qp 3) Q.Satisfied));
+        mk "fig6d/qp3-unsat-naive-30blk"
+          (solve sweep_sess E.Naive
+             (Q.instantiate s_sweep (Q.Qp 3) Q.Unsatisfied));
+        mk "fig6e/qr3-sat-naive"
+          (solve mid_sess E.Naive (Q.instantiate s_mid (Q.Qr 3) Q.Satisfied));
+        mk "fig6f/qr3-unsat-naive"
+          (solve mid_sess E.Naive (Q.instantiate s_mid (Q.Qr 3) Q.Unsatisfied));
+        mk "fig6g/qp5-unsat-opt"
+          (solve mid_sess E.Opt (Q.instantiate s_mid (Q.Qp 5) Q.Unsatisfied));
+        mk "fig6h/qa-unsat-naive"
+          (solve mid_sess E.Naive (Q.instantiate s_mid Q.Qa Q.Unsatisfied));
+      ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        let est =
+          match Analyze.OLS.estimates result with
+          | Some (t :: _) -> E.ms (t /. 1e9)
+          | Some [] | None -> "n/a"
+        in
+        let r2 =
+          match Analyze.OLS.r_square result with
+          | Some r -> Printf.sprintf "%.4f" r
+          | None -> "n/a"
+        in
+        [ name; est; r2 ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  E.print_table ~title:"Bechamel micro-benchmarks (one per table/figure)"
+    ~columns:[ "benchmark"; "time/run"; "r²" ]
+    ~rows
+
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("table1", table1);
+    ("fig6a", fig6a);
+    ("fig6b", fig6b);
+    ("fig6c", fig6c);
+    ("fig6d", fig6d);
+    ("fig6e", fig6e);
+    ("fig6f", fig6f);
+    ("fig6g", fig6g);
+    ("fig6h", fig6h);
+    ("ablation", ablation);
+    ("bechamel", bechamel);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst sections
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown section %s (available: %s)\n" name
+            (String.concat " " (List.map fst sections));
+          exit 1)
+    requested;
+  print_newline ()

@@ -1,0 +1,484 @@
+(* bcdb: command-line front end.
+
+   Subcommands:
+     stats      - generate a dataset preset and print Table-1 statistics
+     worlds     - enumerate the possible worlds of the paper's example
+     check      - decide a denial constraint over a dataset or the paper
+                  example, with a chosen algorithm
+     likelihood - probability that a constraint is violated, under a
+                  uniform per-transaction inclusion probability
+
+   Datasets are synthesized deterministically from a seed, so commands
+   are reproducible without any on-disk state. *)
+
+module R = Relational
+module Q = Bcquery
+module Core = Bccore
+module W = Workload
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments. *)
+
+let preset_conv =
+  let parse = function
+    | "small" -> Ok W.Datasets.Small
+    | "mid" -> Ok W.Datasets.Mid
+    | "large" -> Ok W.Datasets.Large
+    | s -> Error (`Msg (Printf.sprintf "unknown preset %S (small|mid|large)" s))
+  in
+  let print ppf p = Format.pp_print_string ppf (W.Datasets.name p) in
+  Arg.conv (parse, print)
+
+let preset =
+  Arg.(
+    value
+    & opt (some preset_conv) None
+    & info [ "preset" ] ~docv:"PRESET"
+        ~doc:"Generated dataset preset: small, mid or large.")
+
+let contradictions =
+  Arg.(
+    value
+    & opt int W.Datasets.default_contradictions
+    & info [ "contradictions" ] ~docv:"N"
+        ~doc:"Number of injected fd contradictions (double spends).")
+
+let paper =
+  Arg.(
+    value & flag
+    & info [ "paper" ]
+        ~doc:"Use the paper's running example (Figure 2) instead of a \
+              generated dataset.")
+
+let seed =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Override the generator seed.")
+
+let file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "file" ] ~docv:"FILE"
+        ~doc:"Load the blockchain database from a .bcdb text file (see \
+              'bcdb dump' for the format).")
+
+(* The paper's Figure 2 example, shared with the test fixtures in
+   spirit. *)
+let paper_db () =
+  let out_row txid ser pk amount =
+    ("TxOut", R.Tuple.make [ R.Value.Str txid; R.Value.Int ser; R.Value.Str pk; R.Value.Float amount ])
+  in
+  let in_row ptx pser pk amount ntx sg =
+    ( "TxIn",
+      R.Tuple.make
+        [ R.Value.Str ptx; R.Value.Int pser; R.Value.Str pk; R.Value.Float amount;
+          R.Value.Str ntx; R.Value.Str sg ] )
+  in
+  let state = R.Database.create Chain.Encode.catalog in
+  R.Database.insert_all state
+    [
+      out_row "1" 1 "U1Pk" 1.0; out_row "2" 1 "U1Pk" 1.0;
+      out_row "2" 2 "U2Pk" 4.0; out_row "3" 1 "U3Pk" 1.0;
+      out_row "3" 2 "U4Pk" 0.5; out_row "3" 3 "U1Pk" 0.5;
+      in_row "1" 1 "U1Pk" 1.0 "3" "U1Sig";
+      in_row "2" 1 "U1Pk" 1.0 "3" "U1Sig";
+    ];
+  Core.Bcdb.create_exn ~state ~constraints:Chain.Encode.constraints
+    ~pending:
+      [
+        [ in_row "2" 2 "U2Pk" 4.0 "4" "U2Sig"; out_row "4" 1 "U5Pk" 1.0;
+          out_row "4" 2 "U2Pk" 3.0 ];
+        [ in_row "4" 2 "U2Pk" 3.0 "5" "U2Sig"; out_row "5" 1 "U4Pk" 3.0 ];
+        [ in_row "3" 3 "U1Pk" 0.5 "6" "U1Sig"; out_row "6" 1 "U4Pk" 0.5 ];
+        [ in_row "6" 1 "U4Pk" 0.5 "7" "U4Sig"; in_row "5" 1 "U4Pk" 3.0 "7" "U4Sig";
+          out_row "7" 1 "U7Pk" 2.5; out_row "7" 2 "U8Pk" 1.0 ];
+        [ in_row "2" 2 "U2Pk" 4.0 "8" "U2Sig"; out_row "8" 1 "U7Pk" 4.0 ];
+      ]
+    ~labels:[ "T1"; "T2"; "T3"; "T4"; "T5" ]
+    ()
+
+let load_db ?file ~paper ~preset ~contradictions ~seed () =
+  match file with
+  | Some path -> Core.Bcdb_file.load path
+  | None ->
+  if paper then Ok (paper_db ())
+  else
+    let preset = Option.value preset ~default:W.Datasets.Mid in
+    let params = W.Datasets.params preset in
+    let params =
+      match seed with
+      | Some s -> { params with W.Generator.seed = s }
+      | None -> params
+    in
+    let sim = W.Generator.generate params in
+    match W.Generator.dataset sim ~contradictions () with
+    | db -> Ok db
+    | exception Invalid_argument msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* stats *)
+
+let stats_cmd =
+  let run preset seed =
+    let preset = Option.value preset ~default:W.Datasets.Mid in
+    let params = W.Datasets.params preset in
+    let params =
+      match seed with Some s -> { params with W.Generator.seed = s } | None -> params
+    in
+    let sim = W.Generator.generate params in
+    let st = W.Datasets.state_stats sim in
+    let take = List.length sim.W.Generator.pending_by_block in
+    let pd =
+      W.Datasets.pending_stats sim ~pending_take:take
+        ~contradictions:W.Datasets.default_contradictions
+    in
+    Printf.printf "%s\n" (W.Datasets.name preset);
+    Printf.printf "  state:   blocks=%d txs=%d inputs=%d outputs=%d\n"
+      st.W.Datasets.blocks st.W.Datasets.transactions st.W.Datasets.input_rows
+      st.W.Datasets.output_rows;
+    Printf.printf "  pending: blocks=%d txs=%d inputs=%d outputs=%d\n"
+      pd.W.Datasets.blocks pd.W.Datasets.transactions pd.W.Datasets.input_rows
+      pd.W.Datasets.output_rows;
+    0
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Generate a dataset preset and print its statistics.")
+    Term.(const run $ preset $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* worlds *)
+
+let worlds_cmd =
+  let run () =
+    let db = paper_db () in
+    let store = Core.Tagged_store.create db in
+    Format.printf "%a@." Core.Bcdb.pp_summary db;
+    Core.Poss.enumerate store (fun world ->
+        let names =
+          Bcgraph.Bitset.fold
+            (fun i acc -> db.Core.Bcdb.pending.(i).Core.Pending.label :: acc)
+            world []
+          |> List.rev
+        in
+        Format.printf "R%s@."
+          (match names with [] -> "" | _ -> " + " ^ String.concat " + " names);
+        `Continue);
+    0
+  in
+  Cmd.v
+    (Cmd.info "worlds"
+       ~doc:"Enumerate the possible worlds of the paper's running example.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* check *)
+
+let algo_conv =
+  Arg.conv
+    ( (function
+      | "naive" -> Ok `Naive
+      | "opt" -> Ok `Opt
+      | "brute" -> Ok `Brute
+      | "auto" -> Ok `Auto
+      | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))),
+      fun ppf a ->
+        Format.pp_print_string ppf
+          (match a with
+          | `Naive -> "naive"
+          | `Opt -> "opt"
+          | `Brute -> "brute"
+          | `Auto -> "auto") )
+
+let algo =
+  Arg.(
+    value & opt algo_conv `Auto
+    & info [ "algo" ] ~docv:"ALGO"
+        ~doc:"Algorithm: naive, opt, brute or auto (dispatcher).")
+
+let query_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"QUERY"
+        ~doc:
+          "Denial constraint, e.g. 'q() :- TxOut(t, s, \"U8Pk\", a).' \
+           (see the README for the syntax).")
+
+let report db (o : Core.Dcsat.outcome) strategy =
+  Format.printf "%s@."
+    (if o.Core.Dcsat.satisfied then
+       "SATISFIED: the constraint holds in every possible world"
+     else "UNSATISFIED: some possible world violates the constraint");
+  Format.printf "strategy: %s@." strategy;
+  Format.printf
+    "stats: worlds=%d cliques=%d components=%d/%d precheck=%b time=%.4fs@."
+    o.Core.Dcsat.stats.Core.Dcsat.worlds_checked
+    o.Core.Dcsat.stats.Core.Dcsat.cliques_enumerated
+    o.Core.Dcsat.stats.Core.Dcsat.components_covered
+    o.Core.Dcsat.stats.Core.Dcsat.components_total
+    o.Core.Dcsat.stats.Core.Dcsat.precheck_decided
+    o.Core.Dcsat.stats.Core.Dcsat.runtime;
+  (match o.Core.Dcsat.witness_world with
+  | Some ids ->
+      Format.printf "witness world: R + {%s}@."
+        (String.concat ", "
+           (List.map (fun i -> db.Core.Bcdb.pending.(i).Core.Pending.label) ids))
+  | None -> ());
+  match o.Core.Dcsat.witness with
+  | Some bindings ->
+      Format.printf "witness assignment: %s@."
+        (String.concat ", "
+           (List.map
+              (fun (v, value) ->
+                Printf.sprintf "%s = %s" v (R.Value.to_string value))
+              bindings))
+  | None -> ()
+
+let check_cmd =
+  let run file paper preset contradictions seed algo query =
+    match load_db ?file ~paper ~preset ~contradictions ~seed () with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok db -> (
+        match Q.Parser.parse ~catalog:(Core.Bcdb.catalog db) query with
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1
+        | Ok q -> (
+            let session = Core.Session.create db in
+            let result =
+              match algo with
+              | `Naive ->
+                  Result.map
+                    (fun o -> (o, "NaiveDCSat"))
+                    (Result.map_error
+                       (Format.asprintf "%a" Core.Dcsat.pp_refusal)
+                       (Core.Dcsat.naive session q))
+              | `Opt ->
+                  Result.map
+                    (fun o -> (o, "OptDCSat"))
+                    (Result.map_error
+                       (Format.asprintf "%a" Core.Dcsat.pp_refusal)
+                       (Core.Dcsat.opt session q))
+              | `Brute -> (
+                  match Core.Dcsat.brute_force session q with
+                  | o -> Ok (o, "brute force")
+                  | exception Invalid_argument msg -> Error msg)
+              | `Auto ->
+                  Result.map
+                    (fun (o, s) -> (o, Core.Solver.strategy_name s))
+                    (Core.Solver.solve session q)
+            in
+            match result with
+            | Ok (o, strategy) ->
+                report db o strategy;
+                if o.Core.Dcsat.satisfied then 0 else 2
+            | Error msg ->
+                Printf.eprintf "error: %s\n" msg;
+                1))
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Decide whether a denial constraint is satisfied (holds in every \
+          possible world). Exit code 0: satisfied, 2: unsatisfied.")
+    Term.(
+      const run $ file $ paper $ preset $ contradictions $ seed $ algo
+      $ query_arg)
+
+(* ------------------------------------------------------------------ *)
+(* likelihood *)
+
+let likelihood_cmd =
+  let prob =
+    Arg.(
+      value & opt float 0.8
+      & info [ "p" ] ~docv:"P"
+          ~doc:"Uniform per-transaction inclusion probability.")
+  in
+  let samples =
+    Arg.(
+      value & opt int 2000
+      & info [ "samples" ] ~docv:"N" ~doc:"Monte-Carlo sample count.")
+  in
+  let run file paper preset contradictions seed p samples query =
+    match load_db ?file ~paper ~preset ~contradictions ~seed () with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok db -> (
+        match Q.Parser.parse ~catalog:(Core.Bcdb.catalog db) query with
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1
+        | Ok q ->
+            let session = Core.Session.create db in
+            let model = Core.Likelihood.uniform p in
+            let est =
+              Core.Likelihood.estimate_violation_probability ~samples session
+                model q
+            in
+            Printf.printf
+              "P(violated) = %.4f (± %.4f, %d samples, p = %.2f per tx)\n"
+              est.Core.Likelihood.probability est.Core.Likelihood.std_error
+              est.Core.Likelihood.samples p;
+            if Core.Bcdb.pending_count db <= 20 then
+              Printf.printf "exact: %.4f\n"
+                (Core.Likelihood.exact_violation_probability session model q);
+            0)
+  in
+  Cmd.v
+    (Cmd.info "likelihood"
+       ~doc:
+         "Estimate the probability that a denial constraint is violated, \
+          weighting worlds by per-transaction inclusion probability.")
+    Term.(
+      const run $ file $ paper $ preset $ contradictions $ seed $ prob
+      $ samples $ query_arg)
+
+(* ------------------------------------------------------------------ *)
+(* explain *)
+
+let explain_cmd =
+  let run file paper preset contradictions seed query =
+    match load_db ?file ~paper ~preset ~contradictions ~seed () with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok db -> (
+        match Q.Parser.parse ~catalog:(Core.Bcdb.catalog db) query with
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1
+        | Ok q -> (
+            let session = Core.Session.create db in
+            match Core.Explain.run session q with
+            | Ok report ->
+                print_endline (Core.Explain.to_string db report);
+                if report.Core.Explain.outcome.Core.Dcsat.satisfied then 0 else 2
+            | Error msg ->
+                Printf.eprintf "error: %s\n" msg;
+                1))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Decide a denial constraint and print the reasoning: query \
+          properties, complexity class (Theorems 1-2), chosen strategy, \
+          and a trace of components, cliques and worlds.")
+    Term.(const run $ file $ paper $ preset $ contradictions $ seed $ query_arg)
+
+(* ------------------------------------------------------------------ *)
+(* answers *)
+
+let answers_cmd =
+  let vars =
+    Arg.(
+      non_empty
+      & opt (list string) []
+      & info [ "vars" ] ~docv:"X,Y"
+          ~doc:"Output variables of the query body.")
+  in
+  let run file paper preset contradictions seed vars query =
+    match load_db ?file ~paper ~preset ~contradictions ~seed () with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok db -> (
+        match Q.Parser.parse ~catalog:(Core.Bcdb.catalog db) query with
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1
+        | Ok (Q.Query.Aggregate _) ->
+            Printf.eprintf "error: answers need a boolean query body\n";
+            1
+        | Ok (Q.Query.Boolean body) -> (
+            let session = Core.Session.create db in
+            let show title tuples =
+              Printf.printf "%s (%d):\n" title (List.length tuples);
+              List.iter
+                (fun t -> Printf.printf "  %s\n" (R.Tuple.to_string t))
+                tuples
+            in
+            match Core.Answers.certain session body ~vars with
+            | Error msg ->
+                Printf.eprintf "error: %s\n" msg;
+                1
+            | Ok certain -> (
+                show "certain answers (hold in every future)" certain;
+                match Core.Answers.uncertain session body ~vars with
+                | Error msg ->
+                    Printf.eprintf "error: %s\n" msg;
+                    1
+                | Ok uncertain ->
+                    show "uncertain answers (depend on pending transactions)"
+                      uncertain;
+                    0)))
+  in
+  Cmd.v
+    (Cmd.info "answers"
+       ~doc:
+         "Certain and possible answers of a conjunctive query over all \
+          possible worlds (Section 5).")
+    Term.(
+      const run $ file $ paper $ preset $ contradictions $ seed $ vars
+      $ query_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dump *)
+
+let dump_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to a file instead of stdout.")
+  in
+  let run paper preset contradictions seed out =
+    match load_db ~paper ~preset ~contradictions ~seed () with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok db -> (
+        let text = Core.Bcdb_file.to_string db in
+        match out with
+        | None ->
+            print_string text;
+            0
+        | Some path -> (
+            match Core.Bcdb_file.save path db with
+            | Ok () -> 0
+            | Error msg ->
+                Printf.eprintf "error: %s\n" msg;
+                1))
+  in
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:
+         "Write a blockchain database (the paper example or a generated \
+          dataset) in the .bcdb text format, for later use with --file.")
+    Term.(const run $ paper $ preset $ contradictions $ seed $ out)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "bcdb" ~version:"1.0.0"
+      ~doc:"Reasoning about the future in blockchain databases (ICDE 2020)."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            stats_cmd;
+            worlds_cmd;
+            check_cmd;
+            explain_cmd;
+            answers_cmd;
+            likelihood_cmd;
+            dump_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/exchange.ml: Bccore Bcquery Chain Format List Printf Result String

@@ -1,0 +1,1 @@
+examples/fee_market.ml: Array Bccore Bcquery Chain Format List Printf Result String

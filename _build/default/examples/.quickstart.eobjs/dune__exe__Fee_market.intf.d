@@ -1,0 +1,1 @@
+examples/fee_market.mli:

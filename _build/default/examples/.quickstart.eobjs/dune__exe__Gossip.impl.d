@@ -1,0 +1,1 @@
+examples/gossip.ml: Bccore Bcquery Chain Format List Printf Result String

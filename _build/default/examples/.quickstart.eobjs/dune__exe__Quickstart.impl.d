@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bccore Bcgraph Bcquery Chain Format List Relational String

@@ -1,0 +1,1 @@
+examples/supply_chain.ml: Bccore Bcquery Format Relational

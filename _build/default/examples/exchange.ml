@@ -1,0 +1,135 @@
+(* The exchange scenario: the paper's motivating example and Example 4.
+
+   An exchange pays a customer; the payment lingers unconfirmed. The
+   customer complains. May the exchange safely reissue the payment?
+
+   Reissuing naively risks paying twice: both transactions may end up in
+   the chain. The denial-constraint machinery answers the question as a
+   *dry run* - hypothetically add the reissued transaction to the pending
+   set and ask whether "the customer is paid twice" is possible in any
+   future. Then do it properly: make the replacement *conflict* with the
+   original (same input, higher fee) and watch the dry run come back
+   safe. Run with:
+
+     dune exec examples/exchange.exe
+*)
+
+module C = Chain
+module Q = Bcquery
+module Core = Bccore
+
+(* Example 4's q1: two distinct transactions in which the exchange pays
+   the customer. *)
+let double_payment_constraint ~exchange_pk ~customer_pk =
+  Q.Parser.parse_exn ~catalog:C.Encode.catalog
+    (Printf.sprintf
+       {| q() :- TxIn(p1, s1, "%s", a1, n1, g1), TxOut(n1, o1, "%s", b1),
+                TxIn(p2, s2, "%s", a2, n2, g2), TxOut(n2, o2, "%s", b2),
+                n1 != n2. |}
+       exchange_pk customer_pk exchange_pk customer_pk)
+
+(* The paper's workflow: hypothetically add the transaction to the
+   pending set (a dry run sharing the session's precomputed structures)
+   and check the denial constraints before broadcasting. *)
+let dry_run_reissue session ~label tx ~resolver ~q =
+  let rows = Result.get_ok (C.Encode.rows_of_tx ~resolver tx) in
+  match Core.Dry_run.safe_to_issue session ~label rows [ q ] with
+  | Ok (safe, outcomes) -> (safe, outcomes)
+  | Error msg -> failwith msg
+
+let () =
+  let exchange = C.Wallet.create ~seed:"exchange" in
+  let customer = C.Wallet.create ~seed:"customer" in
+  let node =
+    C.Node.create
+      ~initial:(List.init 3 (fun _ -> (C.Wallet.address exchange, 400_000)))
+  in
+  let exchange_pk = C.Wallet.public_key exchange in
+  let customer_pk = C.Wallet.public_key customer in
+
+  (* The withdrawal: 100k satoshi to the customer, with a fee that turns
+     out to be too low for miners to care. *)
+  let original =
+    match
+      C.Wallet.pay exchange ~utxo:(C.Node.utxo node)
+        ~to_:(C.Wallet.address customer) ~amount:100_000 ~fee:10
+    with
+    | Ok tx -> tx
+    | Error msg -> failwith msg
+  in
+  (match C.Node.submit node original with
+  | Ok () -> Format.printf "withdrawal %s broadcast (fee 10)@." original.C.Tx.txid
+  | Error r -> Format.printf "reject: %a@." C.Mempool.pp_reject r);
+
+  (* Miners skip it: the mined block takes only transactions paying at
+     least 0.5 sat/vbyte. *)
+  (match
+     C.Node.mine node ~coinbase_script:(C.Wallet.address exchange)
+       ~min_feerate:0.5 ()
+   with
+  | Ok block ->
+      Format.printf "block mined with %d transaction(s) - the withdrawal is \
+                     still pending@."
+        (C.Block.tx_count block)
+  | Error msg -> failwith msg);
+
+  (* One warm session serves every what-if: dry runs extend it in place
+     and roll back. *)
+  let db = Result.get_ok (C.Encode.bcdb_of_node node) in
+  let session = Core.Session.create db in
+  Core.Session.warm session;
+  let resolver = C.Chain_state.find_output (C.Node.chain node) in
+  let q = double_payment_constraint ~exchange_pk ~customer_pk in
+
+  (* Option A: naively reissue the same payment from *other* coins. The
+     wallet knows about its own pending spend, so coin selection picks a
+     different coin - the two payments do not conflict, and both could
+     confirm. *)
+  let naive_reissue =
+    let view = C.Utxo.copy (C.Node.utxo node) in
+    (match C.Utxo.apply_tx view original with
+    | Ok () -> ()
+    | Error msg -> failwith msg);
+    match
+      C.Wallet.pay exchange ~utxo:view ~to_:(C.Wallet.address customer)
+        ~amount:100_000 ~fee:500
+    with
+    | Ok tx -> tx
+    | Error msg -> failwith msg
+  in
+  let safe, outcomes =
+    dry_run_reissue session ~label:"naive-reissue" naive_reissue ~resolver ~q
+  in
+  Format.printf "@.dry run, naive reissue: double payment %s@."
+    (if safe then "IMPOSSIBLE - safe to send" else "POSSIBLE - do not send!");
+  List.iter
+    (fun (_, (o : Core.Dcsat.outcome)) ->
+      match o.Core.Dcsat.witness_world with
+      | Some world ->
+          Format.printf "  witness world: pending transaction ids %s@."
+            (String.concat ", " (List.map string_of_int world))
+      | None -> ())
+    outcomes;
+
+  (* Option B: a replace-by-fee bump - same input, higher fee. The two
+     transactions share an input, so no chain can contain both. *)
+  let bump =
+    match C.Wallet.bump_fee exchange ~original ~add_fee:490 with
+    | Ok tx -> tx
+    | Error msg -> failwith msg
+  in
+  let safe_bump, _ = dry_run_reissue session ~label:"fee-bump" bump ~resolver ~q in
+  Format.printf "@.dry run, conflicting fee bump: double payment %s@."
+    (if safe_bump then "IMPOSSIBLE - safe to send"
+     else "POSSIBLE - do not send!");
+
+  (* Send the bump for real; the mempool evicts the original (RBF), the
+     next block confirms it. *)
+  (match C.Node.submit node bump with
+  | Ok () -> Format.printf "@.fee bump accepted by the mempool (RBF)@."
+  | Error r -> Format.printf "reject: %a@." C.Mempool.pp_reject r);
+  (match C.Node.mine node ~coinbase_script:(C.Wallet.address exchange) () with
+  | Ok _ -> ()
+  | Error msg -> failwith msg);
+  Format.printf "customer balance after confirmation: %d satoshi@."
+    (C.Wallet.balance customer (C.Node.utxo node))

@@ -1,0 +1,119 @@
+(* Fee-market dynamics and probabilistic reasoning about the future.
+
+   Miners pick transactions by fee rate under a block-size budget - the
+   constrained knapsack the paper describes. Whether a pending payment
+   makes it into the next blocks is therefore uncertain, and the paper's
+   Section 8 sketches weighting possible worlds by likelihood: here each
+   pending transaction gets a logistic inclusion probability driven by
+   its fee rate, and we estimate the probability that a denial
+   constraint is violated, alongside the exact all-or-nothing answer.
+   Run with:
+
+     dune exec examples/fee_market.exe
+*)
+
+module C = Chain
+module Q = Bcquery
+module Core = Bccore
+
+let () =
+  let alice = C.Wallet.create ~seed:"alice" in
+  let merchants =
+    Array.init 3 (fun i -> C.Wallet.create ~seed:(Printf.sprintf "shop%d" i))
+  in
+  let node =
+    C.Node.create
+      ~initial:
+        (List.init 6 (fun _ -> (C.Wallet.address alice, 200_000)))
+  in
+
+  (* Alice fires off three payments with very different fees. *)
+  let effective = C.Utxo.copy (C.Node.utxo node) in
+  let fees = [| 20; 200; 2_000 |] in
+  let txs =
+    Array.mapi
+      (fun i merchant ->
+        match
+          C.Wallet.pay alice ~utxo:effective
+            ~to_:(C.Wallet.address merchant) ~amount:50_000 ~fee:fees.(i)
+        with
+        | Ok tx ->
+            (match C.Node.submit node tx with
+            | Ok () -> ()
+            | Error r -> failwith (Format.asprintf "%a" C.Mempool.pp_reject r));
+            ignore (C.Utxo.apply_tx effective tx);
+            tx
+        | Error msg -> failwith msg)
+      merchants
+  in
+  Array.iteri
+    (fun i (tx : C.Tx.t) ->
+      Format.printf "payment %d: %s  fee %d (%.2f sat/vb)@." i tx.C.Tx.txid
+        fees.(i)
+        (float_of_int fees.(i) /. float_of_int (C.Tx.vsize tx)))
+    txs;
+
+  (* A miner with a tiny block only takes the best-paying transaction. *)
+  let selected =
+    C.Miner.select ~utxo:(C.Node.utxo node) ~max_vsize:200
+      (C.Mempool.entries (C.Node.mempool node))
+  in
+  Format.printf "@.greedy miner with a 200-vbyte budget picks: %s@."
+    (String.concat ", " (List.map (fun (t : C.Tx.t) -> t.C.Tx.txid) selected));
+
+  (* The blockchain-database view of this node. *)
+  let db = Result.get_ok (C.Encode.bcdb_of_node node) in
+  let session = Core.Session.create db in
+
+  (* "Merchant 0 is never paid" - the low-fee payment. All-or-nothing
+     answer: unsatisfied (some world contains the payment). *)
+  let q =
+    Q.Parser.parse_exn ~catalog:C.Encode.catalog
+      (Printf.sprintf {| q() :- TxOut(t, s, "%s", a). |}
+         (C.Wallet.public_key merchants.(0)))
+  in
+  (match Core.Dcsat.opt session q with
+  | Ok o ->
+      Format.printf "@.denial constraint (merchant 0 unpaid): %s@."
+        (if o.Core.Dcsat.satisfied then "holds in every future"
+         else "violated in some future")
+  | Error r -> Format.printf "refused: %a@." Core.Dcsat.pp_refusal r);
+
+  (* The risk-weighted answer: inclusion probability is logistic in the
+     fee rate, so the 20-satoshi payment is unlikely to confirm while
+     the 2000-satoshi one is near-certain. *)
+  let fee_rates =
+    Array.map
+      (fun (tx : C.Tx.t) ->
+        match
+          C.Tx.fee
+            ~resolver:(C.Chain_state.find_output (C.Node.chain node))
+            tx
+        with
+        | Ok fee -> float_of_int fee /. float_of_int (C.Tx.vsize tx)
+        | Error _ -> 0.0)
+      txs
+  in
+  let model = Core.Likelihood.logistic_feerate ~fee_rates ~midpoint:1.0 () in
+  Array.iteri
+    (fun i tx ->
+      ignore tx;
+      Format.printf "P(include payment %d) = %.3f@." i
+        (Core.Likelihood.probability model i))
+    txs;
+  Array.iteri
+    (fun i merchant ->
+      let q =
+        Q.Parser.parse_exn ~catalog:C.Encode.catalog
+          (Printf.sprintf {| q() :- TxOut(t, s, "%s", a). |}
+             (C.Wallet.public_key merchant))
+      in
+      let exact = Core.Likelihood.exact_violation_probability session model q in
+      let est =
+        Core.Likelihood.estimate_violation_probability ~samples:2000 session
+          model q
+      in
+      Format.printf
+        "P(merchant %d gets paid) = %.3f exact, %.3f ± %.3f by Monte-Carlo@." i
+        exact est.Core.Likelihood.probability est.Core.Likelihood.std_error)
+    merchants

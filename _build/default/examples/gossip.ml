@@ -1,0 +1,90 @@
+(* Divergent views of the future: the paper's footnote 6.
+
+   A blockchain database's pending set T is *a node's view* of the
+   mempool. Transactions gossip peer-to-peer, so while the network is
+   converging (or partitioned), two honest nodes can give different
+   answers to the same denial constraint. This example partitions a
+   four-peer network, issues a payment on one side, and asks both sides
+   whether the payee can possibly be paid - then heals the partition and
+   watches the answers converge. Run with:
+
+     dune exec examples/gossip.exe
+*)
+
+module C = Chain
+module Q = Bcquery
+module Core = Bccore
+
+let () =
+  let alice = C.Wallet.create ~seed:"alice" in
+  let bob = C.Wallet.create ~seed:"bob" in
+  let net =
+    C.Network.create ~peers:4
+      ~initial:(List.init 4 (fun _ -> (C.Wallet.address alice, 100_000)))
+  in
+  let ask peer_index =
+    let db =
+      Result.get_ok (C.Encode.bcdb_of_node (C.Network.peer net peer_index))
+    in
+    let q =
+      Q.Parser.parse_exn ~catalog:C.Encode.catalog
+        (Printf.sprintf {| q() :- TxOut(t, s, "%s", a). |}
+           (C.Wallet.public_key bob))
+    in
+    match Core.Solver.solve (Core.Session.create db) q with
+    | Ok (o, _) -> o.Core.Dcsat.satisfied
+    | Error msg -> failwith msg
+  in
+  let show label =
+    Format.printf "%-28s" label;
+    for i = 0 to 3 do
+      Format.printf "  peer%d: %s" i
+        (if ask i then "safe" else "AT RISK")
+    done;
+    Format.printf "@."
+  in
+  Format.printf
+    "denial constraint at each peer: \"Bob is never paid\"@.@.";
+  show "before any payment";
+
+  (* Peers 2 and 3 drop off the network. *)
+  C.Network.partition net [ 2; 3 ];
+  Format.printf "@.-- partition: {0,1} | {2,3}; Alice pays Bob at peer 0 --@.";
+  let tx =
+    match
+      C.Wallet.pay alice
+        ~utxo:(C.Node.utxo (C.Network.peer net 0))
+        ~to_:(C.Wallet.address bob) ~amount:40_000 ~fee:300
+    with
+    | Ok tx -> tx
+    | Error msg -> failwith msg
+  in
+  (match C.Network.submit net ~at:0 tx with
+  | Ok () -> ()
+  | Error r -> failwith (Format.asprintf "%a" C.Mempool.pp_reject r));
+  ignore (C.Network.deliver net ());
+  show "while partitioned";
+  Format.printf
+    "  (peers 2 and 3 cannot see the pending payment: to them the \
+     constraint still holds)@.";
+
+  Format.printf "@.-- partition heals, gossip resumes --@.";
+  C.Network.heal net;
+  ignore (C.Network.deliver net ());
+  show "after gossip converges";
+  Format.printf "network in sync: %b@." (C.Network.in_sync net);
+
+  (* A block confirms the payment; the constraint is now violated in the
+     *current state*, not just in a possible future. *)
+  (match
+     C.Network.mine_at net ~at:2 ~coinbase_script:(C.Wallet.address alice) ()
+   with
+  | Ok _ -> ()
+  | Error msg -> failwith msg);
+  ignore (C.Network.deliver net ());
+  show "after confirmation";
+  Format.printf "heights: %s@."
+    (String.concat ", "
+       (List.init 4 (fun i ->
+            string_of_int
+              (C.Chain_state.height (C.Node.chain (C.Network.peer net i))))))

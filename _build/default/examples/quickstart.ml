@@ -1,0 +1,149 @@
+(* Quickstart: the paper's running example (Figures 1-3), end to end.
+
+   Build a blockchain database D = (R, I, T) over the simplified Bitcoin
+   schema, look at its possible worlds, and check denial constraints with
+   every solver. Run with:
+
+     dune exec examples/quickstart.exe
+*)
+
+module R = Relational
+module V = R.Value
+module Q = Bcquery
+module Core = Bccore
+
+let out_row txid ser pk amount =
+  ("TxOut", R.Tuple.make [ V.Str txid; V.Int ser; V.Str pk; V.Float amount ])
+
+let in_row ptx pser pk amount ntx sg =
+  ( "TxIn",
+    R.Tuple.make
+      [ V.Str ptx; V.Int pser; V.Str pk; V.Float amount; V.Str ntx; V.Str sg ] )
+
+let () =
+  (* The current state R: transactions already accepted into the chain
+     (Figure 2, rows marked R). *)
+  let state = R.Database.create Chain.Encode.catalog in
+  R.Database.insert_all state
+    [
+      out_row "1" 1 "U1Pk" 1.0;
+      out_row "2" 1 "U1Pk" 1.0;
+      out_row "2" 2 "U2Pk" 4.0;
+      out_row "3" 1 "U3Pk" 1.0;
+      out_row "3" 2 "U4Pk" 0.5;
+      out_row "3" 3 "U1Pk" 0.5;
+      in_row "1" 1 "U1Pk" 1.0 "3" "U1Sig";
+      in_row "2" 1 "U1Pk" 1.0 "3" "U1Sig";
+    ];
+
+  (* Pending transactions T1..T5: issued, not yet accepted. T1 and T5
+     spend the same output - they can never coexist. *)
+  let pending =
+    [
+      [
+        in_row "2" 2 "U2Pk" 4.0 "4" "U2Sig";
+        out_row "4" 1 "U5Pk" 1.0;
+        out_row "4" 2 "U2Pk" 3.0;
+      ];
+      [ in_row "4" 2 "U2Pk" 3.0 "5" "U2Sig"; out_row "5" 1 "U4Pk" 3.0 ];
+      [ in_row "3" 3 "U1Pk" 0.5 "6" "U1Sig"; out_row "6" 1 "U4Pk" 0.5 ];
+      [
+        in_row "6" 1 "U4Pk" 0.5 "7" "U4Sig";
+        in_row "5" 1 "U4Pk" 3.0 "7" "U4Sig";
+        out_row "7" 1 "U7Pk" 2.5;
+        out_row "7" 2 "U8Pk" 1.0;
+      ];
+      [ in_row "2" 2 "U2Pk" 4.0 "8" "U2Sig"; out_row "8" 1 "U7Pk" 4.0 ];
+    ]
+  in
+  let db =
+    Core.Bcdb.create_exn ~state ~constraints:Chain.Encode.constraints ~pending
+      ~labels:[ "T1"; "T2"; "T3"; "T4"; "T5" ]
+      ()
+  in
+  Format.printf "%a@." Core.Bcdb.pp_summary db;
+
+  (* Possible worlds (Example 3: there are exactly nine). *)
+  let store = Core.Tagged_store.create db in
+  Format.printf "@.Poss(D) has %d worlds:@." (Core.Poss.count store);
+  Core.Poss.enumerate store (fun world ->
+      let names =
+        Bcgraph.Bitset.fold
+          (fun i acc -> db.Core.Bcdb.pending.(i).Core.Pending.label :: acc)
+          world []
+        |> List.rev
+      in
+      Format.printf "  R%s@."
+        (match names with
+        | [] -> ""
+        | _ -> " + " ^ String.concat " + " names);
+      `Continue);
+
+  (* A denial constraint (Example 6): "U8Pk never receives money".
+     Parsed from the concrete syntax; checked by every solver. *)
+  let q =
+    Q.Parser.parse_exn ~catalog:Chain.Encode.catalog
+      {| q() :- TxOut(t, s, "U8Pk", a). |}
+  in
+  Format.printf "@.Denial constraint: %a@." Q.Query.pp q;
+  let session = Core.Session.create db in
+  let show name = function
+    | Ok (o : Core.Dcsat.outcome) ->
+        Format.printf "  %-10s -> %a@." name Core.Dcsat.pp_outcome o
+    | Error r -> Format.printf "  %-10s -> refused (%a)@." name Core.Dcsat.pp_refusal r
+  in
+  show "naive" (Core.Dcsat.naive session q);
+  show "opt" (Core.Dcsat.opt session q);
+  show "brute" (Ok (Core.Dcsat.brute_force session q));
+
+  (* The full reasoning, narrated. *)
+  (match Core.Explain.run session q with
+  | Ok report -> Format.printf "@.%s@." (Core.Explain.to_string db report)
+  | Error msg -> Format.printf "explain failed: %s@." msg);
+
+  (* Certain vs possible query answers (Section 5): who certainly holds
+     money vs who might, depending on which transactions are accepted. *)
+  (match q with
+  | Q.Query.Boolean _ ->
+      let body =
+        match
+          Q.Parser.parse_exn ~catalog:Chain.Encode.catalog
+            {| q() :- TxOut(t, s, pk, a). |}
+        with
+        | Q.Query.Boolean b -> b
+        | Q.Query.Aggregate _ -> assert false
+      in
+      let render tuples =
+        String.concat ", "
+          (List.map
+             (fun t -> R.Value.to_string (R.Tuple.get t 0))
+             tuples)
+      in
+      (match Core.Answers.certain session body ~vars:[ "pk" ] with
+      | Ok certain -> Format.printf "@.certain receivers: %s@." (render certain)
+      | Error msg -> Format.printf "%s@." msg);
+      (match Core.Answers.uncertain session body ~vars:[ "pk" ] with
+      | Ok uncertain ->
+          Format.printf "future-dependent receivers: %s@." (render uncertain)
+      | Error msg -> Format.printf "%s@." msg)
+  | Q.Query.Aggregate _ -> ());
+
+  (* The constraint is unsatisfied: the world R+T1+T2+T3+T4 pays U8Pk.
+     How *likely* is that world? Weight transactions by inclusion
+     probability (Section 8 future work). *)
+  let model = Core.Likelihood.uniform 0.8 in
+  let p = Core.Likelihood.exact_violation_probability session model q in
+  Format.printf
+    "@.With every transaction 80%% likely to be mined, the bad outcome has \
+     probability %.3f@."
+    p;
+
+  (* Committing T1 turns the database into a new one with four pending
+     transactions; T5 (the double spend) is now forever excluded. *)
+  match Core.Bcdb.append_to_state db 0 with
+  | Error msg -> Format.printf "unexpected: %s@." msg
+  | Ok db' ->
+      let store' = Core.Tagged_store.create db' in
+      Format.printf "@.After committing T1: %d pending, %d possible worlds@."
+        (Core.Bcdb.pending_count db')
+        (Core.Poss.count store')

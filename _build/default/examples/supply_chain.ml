@@ -1,0 +1,97 @@
+(* A non-currency blockchain database: supply-chain custody tracking.
+
+   The paper's model is schema-agnostic: any append-only ledger with
+   integrity constraints and pending writes is a blockchain database.
+   Here a consortium ledger tracks certified goods:
+
+     Item(itemId, kind)                      key: itemId
+     Transfer(itemId, fromParty, toParty, epoch)
+                                             key: (itemId, epoch)
+                                             ind: Transfer[itemId] ⊆ Item[itemId]
+
+   Two pending transfers of the same item in the same epoch are the
+   ledger's "double spend". Denial constraints answer questions like
+   "can this diamond ever end up with an uncertified dealer?" before the
+   consortium's writes are sequenced. Run with:
+
+     dune exec examples/supply_chain.exe
+*)
+
+module R = Relational
+module V = R.Value
+module Q = Bcquery
+module Core = Bccore
+
+let item = R.Schema.relation "Item" [ "itemId"; "kind" ]
+let transfer = R.Schema.relation "Transfer" [ "itemId"; "fromParty"; "toParty"; "epoch" ]
+let certified = R.Schema.relation "Certified" [ "party" ]
+let catalog = R.Schema.of_list [ item; transfer; certified ]
+
+let constraints =
+  [
+    R.Constr.key item [ "itemId" ];
+    R.Constr.key transfer [ "itemId"; "epoch" ];
+    R.Constr.ind ~sub:transfer [ "itemId" ] ~sup:item [ "itemId" ];
+  ]
+
+let item_row id kind = ("Item", R.Tuple.make [ V.Str id; V.Str kind ])
+
+let transfer_row id from_ to_ epoch =
+  ("Transfer", R.Tuple.make [ V.Str id; V.Str from_; V.Str to_; V.Int epoch ])
+
+let certified_row p = ("Certified", R.Tuple.make [ V.Str p ])
+
+let () =
+  (* Current state: the mine registered two stones and sold one to the
+     cutter; the consortium's certification list is on-chain too. *)
+  let state = R.Database.create catalog in
+  R.Database.insert_all state
+    [
+      item_row "stone-1" "diamond";
+      item_row "stone-2" "diamond";
+      transfer_row "stone-1" "mine" "cutter" 1;
+      certified_row "mine";
+      certified_row "cutter";
+      certified_row "polisher";
+    ];
+
+  (* Pending writes from several consortium members. W2 and W3 both move
+     stone-1 in epoch 2 - a key conflict: at most one can be accepted. *)
+  let db =
+    Core.Bcdb.create_exn ~state ~constraints
+      ~pending:
+        [
+          [ transfer_row "stone-1" "cutter" "polisher" 2 ];
+          [ transfer_row "stone-1" "cutter" "shady-dealer" 2 ];
+          [ item_row "stone-3" "diamond"; transfer_row "stone-3" "mine" "cutter" 1 ];
+          [ transfer_row "stone-9" "nowhere" "cutter" 1 ]
+          (* unregistered item: can never be appended *);
+        ]
+      ~labels:[ "W1"; "W2"; "W3"; "W4" ]
+      ()
+  in
+  let store = Core.Tagged_store.create db in
+  Format.printf "%a@." Core.Bcdb.pp_summary db;
+  Format.printf "possible worlds: %d@." (Core.Poss.count store);
+
+  let session = Core.Session.create db in
+  let check label text =
+    let q = Q.Parser.parse_exn ~catalog text in
+    match Core.Solver.solve session q with
+    | Ok (o, strategy) ->
+        Format.printf "@.%s@.  %a@.  -> %s (decided by %s)@." label Q.Query.pp q
+          (if o.Core.Dcsat.satisfied then "can NEVER happen"
+           else "POSSIBLE in some future")
+          (Core.Solver.strategy_name strategy)
+    | Error msg -> Format.printf "@.%s -> %s@." label msg
+  in
+  check "Can stone-1 reach an uncertified party?"
+    {| q() :- Transfer("stone-1", f, t, e), !Certified(t). |};
+  check "Can stone-1 be transferred twice in epoch 2?"
+    {| q() :- Transfer("stone-1", f1, t1, 2), Transfer("stone-1", f2, t2, 2),
+              t1 != t2. |};
+  check "Can the ledger ever hold a transfer of an unregistered item?"
+    {| q() :- Transfer("stone-9", f, t, e). |};
+  check "Can stone-3 enter circulation?" {| q() :- Transfer("stone-3", f, t, e). |};
+  check "Can the cutter ever hold more than 2 stones (count of inbound transfers)?"
+    ({| q(cntd(i)) :- Transfer(i, f, "cutter", e) |} ^ " | > 2.")

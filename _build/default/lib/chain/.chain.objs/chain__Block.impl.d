@@ -1,0 +1,1 @@
+lib/chain/block.ml: Crypto Format List Tx

@@ -1,0 +1,1 @@
+lib/chain/chain_state.ml: Block Crypto Hashtbl List Mempool Miner Printf String Tx Utxo

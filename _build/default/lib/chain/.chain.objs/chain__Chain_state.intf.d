@@ -1,0 +1,1 @@
+lib/chain/chain_state.mli: Block Crypto Mempool Script Tx Utxo

@@ -1,0 +1,1 @@
+lib/chain/crypto.ml: Char Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/chain/encode.ml: Bccore Chain_state Crypto Format Hashtbl List Node Relational Result Script Tx

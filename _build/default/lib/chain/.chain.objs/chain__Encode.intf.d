@@ -1,0 +1,1 @@
+lib/chain/encode.mli: Bccore Node Relational Tx

@@ -1,0 +1,1 @@
+lib/chain/mempool.ml: Block Crypto Format Hashtbl Int List Option String Tx Utxo

@@ -1,0 +1,1 @@
+lib/chain/miner.ml: Block Float Hashtbl Int List Mempool Option Printf Tx Utxo

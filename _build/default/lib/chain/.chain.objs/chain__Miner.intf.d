@@ -1,0 +1,1 @@
+lib/chain/miner.mli: Block Crypto Mempool Script Tx Utxo

@@ -1,0 +1,1 @@
+lib/chain/network.ml: Array Block Chain_state Crypto Hashtbl List Mempool Node Option Queue String Tx

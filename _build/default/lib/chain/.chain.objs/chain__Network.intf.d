@@ -1,0 +1,1 @@
+lib/chain/network.mli: Block Crypto Mempool Node Script Tx

@@ -1,0 +1,1 @@
+lib/chain/node.ml: Chain_state Mempool

@@ -1,0 +1,1 @@
+lib/chain/node.mli: Block Chain_state Mempool Script Tx Utxo

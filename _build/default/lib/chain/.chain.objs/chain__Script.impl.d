@@ -1,0 +1,1 @@
+lib/chain/script.ml: Crypto Format List Printf String

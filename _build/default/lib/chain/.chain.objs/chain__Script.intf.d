@@ -1,0 +1,1 @@
+lib/chain/script.mli: Crypto Format

@@ -1,0 +1,1 @@
+lib/chain/tx.ml: Crypto Format List Printf Result Script String

@@ -1,0 +1,1 @@
+lib/chain/tx.mli: Crypto Format Script

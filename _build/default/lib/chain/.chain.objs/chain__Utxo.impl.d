@@ -1,0 +1,1 @@
+lib/chain/utxo.ml: Hashtbl List Tx

@@ -1,0 +1,1 @@
+lib/chain/wallet.ml: Crypto Int List Option Printf Result Script String Tx Utxo

@@ -1,0 +1,1 @@
+lib/chain/wallet.mli: Script Tx Utxo

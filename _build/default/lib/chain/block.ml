@@ -1,0 +1,60 @@
+type header = {
+  height : int;
+  prev_hash : Crypto.digest;
+  merkle_root : Crypto.digest;
+  timestamp : int;
+  nonce : int;
+}
+
+type t = { header : header; txs : Tx.t list }
+
+let max_vsize = 100_000
+
+let vsize_of_txs txs = List.fold_left (fun acc tx -> acc + Tx.vsize tx) 0 txs
+
+let merkle txs = Crypto.combine (List.map (fun (tx : Tx.t) -> tx.Tx.txid) txs)
+
+let rec has_conflict = function
+  | [] -> false
+  | tx :: rest -> List.exists (Tx.conflicts tx) rest || has_conflict rest
+
+let create ~height ~prev_hash ~timestamp ~txs =
+  match txs with
+  | [] -> Error "empty block"
+  | coinbase :: rest ->
+      if not (Tx.is_coinbase coinbase) then
+        Error "first transaction must be a coinbase"
+      else if List.exists Tx.is_coinbase rest then
+        Error "multiple coinbase transactions"
+      else if vsize_of_txs txs > max_vsize then Error "block too large"
+      else if has_conflict txs then Error "conflicting transactions in block"
+      else
+        Ok
+          {
+            header =
+              {
+                height;
+                prev_hash;
+                merkle_root = merkle txs;
+                timestamp;
+                nonce = height * 7919;
+              };
+            txs;
+          }
+
+let hash t =
+  Crypto.combine
+    [
+      string_of_int t.header.height;
+      t.header.prev_hash;
+      t.header.merkle_root;
+      string_of_int t.header.timestamp;
+      string_of_int t.header.nonce;
+    ]
+
+let vsize t = vsize_of_txs t.txs
+let tx_count t = List.length t.txs
+
+let pp ppf t =
+  Format.fprintf ppf "block %d [%s] (%d txs, %d vbytes)" t.header.height
+    (hash t) (tx_count t) (vsize t)

@@ -1,0 +1,32 @@
+(** Blocks: ordered batches of transactions committed together, chained by
+    the digest of the predecessor block. Proof-of-work is replaced by a
+    deterministic nonce — consensus dynamics are orthogonal to the data
+    model (paper, Remark 1). *)
+
+type header = {
+  height : int;
+  prev_hash : Crypto.digest;
+  merkle_root : Crypto.digest;  (** Digest over the txids, in order. *)
+  timestamp : int;
+  nonce : int;
+}
+
+type t = private { header : header; txs : Tx.t list }
+
+val max_vsize : int
+(** Block capacity (in {!Tx.vsize} units) enforced by {!create} and the
+    miner: 100_000, a scaled-down Bitcoin limit. *)
+
+val create :
+  height:int ->
+  prev_hash:Crypto.digest ->
+  timestamp:int ->
+  txs:Tx.t list ->
+  (t, string) result
+(** Requires a leading coinbase transaction, no other coinbases, no
+    internal conflicts and total vsize within {!max_vsize}. *)
+
+val hash : t -> Crypto.digest
+val vsize : t -> int
+val tx_count : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,193 @@
+type event =
+  | Extended
+  | Side_branch
+  | Reorg of { disconnected : Block.t list; connected : Block.t list }
+
+type t = {
+  by_hash : (Crypto.digest, Block.t) Hashtbl.t;
+  mutable tip : Crypto.digest;
+  mutable active_utxo : Utxo.t;
+  history : (Tx.outpoint, Tx.output) Hashtbl.t;
+      (** Every output ever created, on any branch. *)
+  genesis_hash : Crypto.digest;
+  mutable clock : int;
+}
+
+let record_history t (tx : Tx.t) =
+  List.iteri
+    (fun vout output ->
+      Hashtbl.replace t.history { Tx.txid = tx.Tx.txid; vout } output)
+    tx.Tx.outputs
+
+let block t hash = Hashtbl.find_opt t.by_hash hash
+
+let block_exn t hash =
+  match block t hash with
+  | Some b -> b
+  | None -> invalid_arg "Chain_state: unknown block"
+
+(* The branch from genesis to [hash], oldest first. *)
+let branch_of t hash =
+  let rec up acc hash =
+    let b = block_exn t hash in
+    if b.Block.header.Block.height = 0 then b :: acc
+    else up (b :: acc) b.Block.header.Block.prev_hash
+  in
+  up [] hash
+
+(* Validate and apply one block's transactions on [utxo] (at the block's
+   height), returning the fee total. *)
+let apply_block_txs utxo (blk : Block.t) =
+  let height = blk.Block.header.Block.height in
+  let fees = ref 0 in
+  let apply (tx : Tx.t) =
+    if Tx.is_coinbase tx then begin
+      Utxo.add_tx_outputs utxo tx;
+      Ok ()
+    end
+    else
+      match Tx.fee ~resolver:(Utxo.resolver utxo) tx with
+      | Error _ as e -> e
+      | Ok fee ->
+          fees := !fees + fee;
+          Utxo.apply_tx utxo ~height tx
+  in
+  let rec go = function
+    | [] ->
+        let coinbase_value =
+          match blk.Block.txs with
+          | cb :: _ ->
+              List.fold_left
+                (fun acc (o : Tx.output) -> acc + o.Tx.amount)
+                0 cb.Tx.outputs
+          | [] -> 0
+        in
+        (* The genesis coinbase mints the initial distribution and is
+           exempt from the reward rule. *)
+        if height > 0 && coinbase_value > Miner.block_reward + !fees then
+          Error "coinbase overpays reward plus fees"
+        else Ok ()
+    | tx :: rest -> ( match apply tx with Ok () -> go rest | Error _ as e -> e)
+  in
+  go blk.Block.txs
+
+let replay_branch t tip_hash =
+  let utxo = Utxo.create () in
+  let rec go = function
+    | [] -> Ok utxo
+    | blk :: rest -> (
+        match apply_block_txs utxo blk with
+        | Ok () -> go rest
+        | Error msg ->
+            Error
+              (Printf.sprintf "block at height %d: %s"
+                 blk.Block.header.Block.height msg))
+  in
+  go (branch_of t tip_hash)
+
+let genesis ~initial =
+  if initial = [] then invalid_arg "Chain_state.genesis: no initial outputs";
+  let outputs =
+    List.map (fun (script, amount) -> { Tx.amount; script }) initial
+  in
+  let coinbase = Tx.create ~inputs:[] ~outputs in
+  let blk =
+    match
+      Block.create ~height:0 ~prev_hash:(Crypto.digest "genesis") ~timestamp:0
+        ~txs:[ coinbase ]
+    with
+    | Ok b -> b
+    | Error msg -> invalid_arg ("Chain_state.genesis: " ^ msg)
+  in
+  let t =
+    {
+      by_hash = Hashtbl.create 64;
+      tip = Block.hash blk;
+      active_utxo = Utxo.create ();
+      history = Hashtbl.create 1024;
+      genesis_hash = Block.hash blk;
+      clock = 1;
+    }
+  in
+  Hashtbl.replace t.by_hash (Block.hash blk) blk;
+  Utxo.add_tx_outputs t.active_utxo coinbase;
+  record_history t coinbase;
+  t
+
+let height t = (block_exn t t.tip).Block.header.Block.height
+let tip_hash t = t.tip
+let blocks t = branch_of t t.tip
+let block_count t = Hashtbl.length t.by_hash
+let utxo t = t.active_utxo
+
+let connect_block t (blk : Block.t) =
+  let hash = Block.hash blk in
+  if Hashtbl.mem t.by_hash hash then Ok Side_branch
+  else
+    match block t blk.Block.header.Block.prev_hash with
+    | None -> Error "unknown parent"
+    | Some parent ->
+        if
+          blk.Block.header.Block.height
+          <> parent.Block.header.Block.height + 1
+        then Error "height does not follow the parent"
+        else if String.equal blk.Block.header.Block.prev_hash t.tip then begin
+          (* Fast path: extends the active tip; validate incrementally. *)
+          let scratch = Utxo.copy t.active_utxo in
+          match apply_block_txs scratch blk with
+          | Error msg -> Error ("invalid block: " ^ msg)
+          | Ok () ->
+              Hashtbl.replace t.by_hash hash blk;
+              t.active_utxo <- scratch;
+              List.iter (record_history t) blk.Block.txs;
+              t.tip <- hash;
+              t.clock <- t.clock + 1;
+              Ok Extended
+        end
+        else begin
+          (* Side branch. Store it; switch only if strictly longer. *)
+          Hashtbl.replace t.by_hash hash blk;
+          if blk.Block.header.Block.height <= height t then begin
+            List.iter (record_history t) blk.Block.txs;
+            Ok Side_branch
+          end
+          else begin
+            match replay_branch t hash with
+            | Error msg ->
+                Hashtbl.remove t.by_hash hash;
+                Error ("invalid branch: " ^ msg)
+            | Ok fresh ->
+                List.iter (record_history t) blk.Block.txs;
+                let old_branch = branch_of t t.tip in
+                let new_branch = branch_of t hash in
+                let rec split (a : Block.t list) (b : Block.t list) =
+                  match (a, b) with
+                  | x :: xs, y :: ys when String.equal (Block.hash x) (Block.hash y)
+                    ->
+                      split xs ys
+                  | _ -> (a, b)
+                in
+                let disconnected, connected = split old_branch new_branch in
+                t.tip <- hash;
+                t.active_utxo <- fresh;
+                t.clock <- t.clock + 1;
+                Ok (Reorg { disconnected; connected })
+          end
+        end
+
+let mine_and_connect t ~mempool ~coinbase_script ?min_feerate () =
+  match
+    Miner.mine ~chain_tip:t.tip ~height:(height t + 1) ~timestamp:t.clock
+      ~utxo:t.active_utxo ~mempool ~coinbase_script ?min_feerate ()
+  with
+  | Error _ as e -> e
+  | Ok blk -> (
+      match connect_block t blk with
+      | Error _ as e -> e
+      | Ok _ ->
+          Mempool.confirm_block mempool blk;
+          Ok blk)
+
+let all_txs t = List.concat_map (fun (b : Block.t) -> b.Block.txs) (blocks t)
+
+let find_output t outpoint = Hashtbl.find_opt t.history outpoint

@@ -1,0 +1,65 @@
+(** A node's view of the chain: a {e block tree} with a longest-chain
+    rule. Competing branches can coexist; the active chain is the one
+    with the greatest height (first-seen wins ties, as in Bitcoin), and
+    when a side branch overtakes the tip the node {e reorganizes}:
+    the abandoned suffix is disconnected and its transactions become
+    pending again.
+
+    The paper's data model deliberately ignores forks (Remark 1: they
+    are system-dependent and resolve quickly); the substrate supports
+    them because any credible chain implementation must, and because a
+    reorg is exactly the event that turns "accepted" transactions back
+    into pending ones — the uncertainty the paper reasons about. *)
+
+type t
+
+type event =
+  | Extended  (** The block extended the active tip. *)
+  | Side_branch  (** Stored, but the active chain did not change. *)
+  | Reorg of { disconnected : Block.t list; connected : Block.t list }
+      (** The active chain switched: [disconnected] lost blocks (oldest
+          first), [connected] newly active ones (oldest first). *)
+
+val genesis : initial:(Script.t * int) list -> t
+(** A chain whose genesis block mints the given (script, amount) outputs
+    — the simulation's initial coin distribution. *)
+
+val height : t -> int
+(** Height of the active tip. *)
+
+val tip_hash : t -> Crypto.digest
+val blocks : t -> Block.t list
+(** The active chain, oldest first, genesis included. *)
+
+val block_count : t -> int
+(** All stored blocks, side branches included. *)
+
+val utxo : t -> Utxo.t
+(** UTXO set of the active chain. Live reference — treat as read-only;
+    use {!connect_block} to change state. *)
+
+val connect_block : t -> Block.t -> (event, string) result
+(** Store and, if appropriate, activate a block. The parent must already
+    be stored ([Error] otherwise — callers keep an orphan stash). A block
+    extending the tip is validated against the current UTXO set; a branch
+    overtaking the tip is validated by full replay and rejected wholesale
+    if invalid. Duplicate blocks return [Ok Side_branch]. *)
+
+val mine_and_connect :
+  t ->
+  mempool:Mempool.t ->
+  coinbase_script:Script.t ->
+  ?min_feerate:float ->
+  unit ->
+  (Block.t, string) result
+(** Convenience: {!Miner.mine} at the active tip, connect, and drop the
+    included transactions from the mempool. *)
+
+val all_txs : t -> Tx.t list
+(** Every transaction of the {e active} chain in block order (coinbases
+    included). *)
+
+val find_output : t -> Tx.outpoint -> Tx.output option
+(** Resolve an outpoint against every output ever seen (spent or not, on
+    any branch) — the resolver used when encoding chain data relationally,
+    since [TxIn] rows reference historical outputs. *)

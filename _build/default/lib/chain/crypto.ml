@@ -1,0 +1,34 @@
+type digest = string
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv64 s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  !h
+
+let digest s = Printf.sprintf "%016Lx" (fnv64 s)
+
+let combine parts =
+  digest
+    (String.concat ""
+       (List.map (fun p -> Printf.sprintf "%d:%s" (String.length p) p) parts))
+
+type keypair = { secret : string; public : string }
+
+let keypair ~seed =
+  { secret = seed; public = "PK" ^ combine [ "pk"; seed ] }
+
+(* The signature depends only on (public, msg) so that verification can
+   recompute it; real unforgeability is out of scope (see .mli). *)
+let expected ~public ~msg = "SG" ^ combine [ "sig"; public; msg ]
+
+let sign kp ~msg = expected ~public:kp.public ~msg
+
+let verify ~public ~msg ~signature =
+  String.equal signature (expected ~public ~msg)

@@ -1,0 +1,27 @@
+(** Simulated cryptography for the chain substrate.
+
+    {b Not secure.} The reasoning algorithms of the paper never verify
+    real signatures — they only need public keys and signatures to be
+    distinct, deterministic values with the right functional
+    relationships (a signature is a function of the signer and the signed
+    message). A 64-bit FNV-1a hash provides exactly that without any
+    external dependency; see DESIGN.md for the substitution rationale. *)
+
+type digest = string
+(** 16 lowercase hex characters. *)
+
+val digest : string -> digest
+val combine : string list -> digest
+(** Digest of a length-prefixed concatenation (injective on the list). *)
+
+type keypair = private { secret : string; public : string }
+
+val keypair : seed:string -> keypair
+(** Deterministic keypair; the public key is ["PK" ^ digest]. *)
+
+val sign : keypair -> msg:string -> string
+(** Deterministic signature tagged ["SG"]. *)
+
+val verify : public:string -> msg:string -> signature:string -> bool
+(** Structural verification: recomputes the expected signature for this
+    public key and message. *)

@@ -1,0 +1,106 @@
+module R = Relational
+module V = R.Value
+
+let txout =
+  R.Schema.relation "TxOut" [ "txId"; "ser"; "pk"; "amount" ]
+
+let txin =
+  R.Schema.relation "TxIn"
+    [ "prevTxId"; "prevSer"; "pk"; "amount"; "newTxId"; "sig" ]
+
+let catalog = R.Schema.of_list [ txout; txin ]
+
+let constraints =
+  [
+    R.Constr.key txout [ "txId"; "ser" ];
+    R.Constr.key txin [ "prevTxId"; "prevSer" ];
+    R.Constr.ind ~sub:txin
+      [ "prevTxId"; "prevSer"; "pk"; "amount" ]
+      ~sup:txout
+      [ "txId"; "ser"; "pk"; "amount" ];
+    R.Constr.ind ~sub:txin [ "newTxId" ] ~sup:txout [ "txId" ];
+  ]
+
+let out_row txid ser (o : Tx.output) =
+  ( "TxOut",
+    R.Tuple.make
+      [
+        V.Str txid;
+        V.Int ser;
+        V.Str (Script.owner_hint o.Tx.script);
+        V.Int o.Tx.amount;
+      ] )
+
+let rows_of_tx ~resolver (tx : Tx.t) =
+  let outs = List.mapi (fun ser o -> out_row tx.Tx.txid ser o) tx.Tx.outputs in
+  let rec ins acc = function
+    | [] -> Ok (List.rev acc)
+    | (i : Tx.input) :: rest -> (
+        match resolver i.Tx.prev with
+        | None ->
+            Error
+              (Format.asprintf "cannot resolve input %a of %s" Tx.pp_outpoint
+                 i.Tx.prev tx.Tx.txid)
+        | Some (o : Tx.output) ->
+            let row =
+              ( "TxIn",
+                R.Tuple.make
+                  [
+                    V.Str i.Tx.prev.Tx.txid;
+                    V.Int i.Tx.prev.Tx.vout;
+                    V.Str (Script.owner_hint o.Tx.script);
+                    V.Int o.Tx.amount;
+                    V.Str tx.Tx.txid;
+                    V.Str (Crypto.digest (Script.witness_serialize i.Tx.witness));
+                  ] )
+            in
+            ins (row :: acc) rest)
+  in
+  Result.map (fun input_rows -> outs @ input_rows) (ins [] tx.Tx.inputs)
+
+let bcdb_of_txs ~confirmed ~pending ~resolver =
+  (* Extend the resolver with the outputs of every transaction in sight,
+     so pending transactions can consume other transactions' outputs. *)
+  let local = Hashtbl.create 256 in
+  List.iter
+    (fun (tx : Tx.t) ->
+      List.iteri
+        (fun vout o -> Hashtbl.replace local { Tx.txid = tx.Tx.txid; vout } o)
+        tx.Tx.outputs)
+    (confirmed @ pending);
+  let resolve outpoint =
+    match resolver outpoint with
+    | Some _ as found -> found
+    | None -> Hashtbl.find_opt local outpoint
+  in
+  let state = R.Database.create catalog in
+  let rec encode_confirmed = function
+    | [] -> Ok ()
+    | tx :: rest -> (
+        match rows_of_tx ~resolver:resolve tx with
+        | Error _ as e -> e
+        | Ok rows ->
+            R.Database.insert_all state rows;
+            encode_confirmed rest)
+  in
+  match encode_confirmed confirmed with
+  | Error msg -> Error msg
+  | Ok () -> (
+      let rec encode_pending acc labels = function
+        | [] -> Ok (List.rev acc, List.rev labels)
+        | (tx : Tx.t) :: rest -> (
+            match rows_of_tx ~resolver:resolve tx with
+            | Error _ as e -> e
+            | Ok rows -> encode_pending (rows :: acc) (tx.Tx.txid :: labels) rest)
+      in
+      match encode_pending [] [] pending with
+      | Error msg -> Error msg
+      | Ok (pending_rows, labels) ->
+          Bccore.Bcdb.create ~state ~constraints ~pending:pending_rows ~labels ())
+
+let bcdb_of_node node =
+  let chain = Node.chain node in
+  bcdb_of_txs
+    ~confirmed:(Chain_state.all_txs chain)
+    ~pending:(Node.pending_txs node)
+    ~resolver:(Chain_state.find_output chain)

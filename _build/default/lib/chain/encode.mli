@@ -1,0 +1,43 @@
+(** Relational encoding of chain data: the two-relation schema of the
+    paper's Example 1,
+
+    {v
+    TxOut(txId, ser, pk, amount)
+    TxIn(prevTxId, prevSer, pk, amount, newTxId, sig)
+    v}
+
+    with key constraints on [TxOut(txId, ser)] and [TxIn(prevTxId,
+    prevSer)] — the latter is precisely the no-double-spend rule — and the
+    two inclusion dependencies: every consumed input was created as the
+    output of some transaction, and every transaction with inputs has
+    outputs. *)
+
+val txout : Relational.Schema.relation
+val txin : Relational.Schema.relation
+val catalog : Relational.Schema.t
+val constraints : Relational.Constr.t list
+
+val rows_of_tx :
+  resolver:(Tx.outpoint -> Tx.output option) ->
+  Tx.t ->
+  ((string * Relational.Tuple.t) list, string) result
+(** The [TxOut] and [TxIn] tuples of one transaction. The resolver
+    supplies the consumed outputs' pk and amount columns; it must cover
+    historical (already spent) outputs for inputs of confirmed
+    transactions. *)
+
+val bcdb_of_node : Node.t -> (Bccore.Bcdb.t, string) result
+(** The blockchain database [D = (R, I, T)] of a node: [R] encodes every
+    confirmed transaction, [T] has one pending transaction per mempool
+    entry (resolving inputs against the chain history and the mempool
+    itself). *)
+
+val bcdb_of_txs :
+  confirmed:Tx.t list ->
+  pending:Tx.t list ->
+  resolver:(Tx.outpoint -> Tx.output option) ->
+  (Bccore.Bcdb.t, string) result
+(** Lower-level variant used by workload generators: encode the given
+    confirmed transactions as the state and the given transactions as
+    pending, resolving against [resolver] plus the outputs of all listed
+    transactions. *)

@@ -1,0 +1,153 @@
+type entry = { tx : Tx.t; fee : int; feerate : float; sequence : int }
+
+type t = {
+  by_txid : (Crypto.digest, entry) Hashtbl.t;
+  spenders : (Tx.outpoint, Crypto.digest) Hashtbl.t;
+      (** outpoint -> txid of the pool tx spending it. *)
+  mutable next_seq : int;
+}
+
+let create () =
+  { by_txid = Hashtbl.create 64; spenders = Hashtbl.create 64; next_seq = 0 }
+
+let size t = Hashtbl.length t.by_txid
+
+let entries t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.by_txid []
+  |> List.sort (fun a b -> Int.compare a.sequence b.sequence)
+
+let txs t = List.map (fun e -> e.tx) (entries t)
+let mem t txid = Hashtbl.mem t.by_txid txid
+let find t txid = Hashtbl.find_opt t.by_txid txid
+
+type reject =
+  | Unknown_inputs of Tx.outpoint list
+  | Invalid of string
+  | Duplicate
+  | Fee_too_low of { required : int; offered : int }
+
+let pp_reject ppf = function
+  | Unknown_inputs ops ->
+      Format.fprintf ppf "unknown inputs: %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Tx.pp_outpoint)
+        ops
+  | Invalid msg -> Format.fprintf ppf "invalid: %s" msg
+  | Duplicate -> Format.pp_print_string ppf "already in the pool"
+  | Fee_too_low { required; offered } ->
+      Format.fprintf ppf "replacement fee too low: offered %d, required %d"
+        offered required
+
+let min_rbf_bump = 10
+
+(* Resolve against the chain UTXO or outputs of pool transactions. *)
+let resolver t ~utxo outpoint =
+  match Utxo.find utxo outpoint with
+  | Some o -> Some o
+  | None -> (
+      match Hashtbl.find_opt t.by_txid outpoint.Tx.txid with
+      | Some e -> List.nth_opt e.tx.Tx.outputs outpoint.Tx.vout
+      | None -> None)
+
+let conflicts_of t (tx : Tx.t) =
+  List.filter_map
+    (fun (i : Tx.input) ->
+      Option.bind (Hashtbl.find_opt t.spenders i.Tx.prev) (find t))
+    tx.Tx.inputs
+  |> List.sort_uniq (fun a b -> Tx.compare a.tx b.tx)
+
+let descendants t txid =
+  (* Children of a pool tx: pool txs spending one of its outputs. *)
+  let children id =
+    match Hashtbl.find_opt t.by_txid id with
+    | None -> []
+    | Some e ->
+        List.mapi (fun vout _ -> { Tx.txid = id; vout }) e.tx.Tx.outputs
+        |> List.filter_map (Hashtbl.find_opt t.spenders)
+  in
+  let seen = Hashtbl.create 8 in
+  let rec collect acc id =
+    if Hashtbl.mem seen id then acc
+    else begin
+      Hashtbl.replace seen id ();
+      let deeper = List.fold_left collect acc (children id) in
+      id :: deeper
+    end
+  in
+  collect [] txid
+
+let remove_one t txid =
+  match Hashtbl.find_opt t.by_txid txid with
+  | None -> ()
+  | Some e ->
+      Hashtbl.remove t.by_txid txid;
+      List.iter
+        (fun (i : Tx.input) ->
+          match Hashtbl.find_opt t.spenders i.Tx.prev with
+          | Some spender when String.equal spender txid ->
+              Hashtbl.remove t.spenders i.Tx.prev
+          | Some _ | None -> ())
+        e.tx.Tx.inputs
+
+let remove t txid = List.iter (remove_one t) (descendants t txid)
+
+let add t ~utxo ?(height = max_int) (tx : Tx.t) =
+  if mem t tx.Tx.txid then Error Duplicate
+  else begin
+    let resolver = resolver t ~utxo in
+    let unknown =
+      List.filter_map
+        (fun (i : Tx.input) ->
+          if Option.is_none (resolver i.Tx.prev) then Some i.Tx.prev else None)
+        tx.Tx.inputs
+    in
+    if unknown <> [] then Error (Unknown_inputs unknown)
+    else
+      match Tx.validate ~resolver ~height tx with
+      | Error msg -> Error (Invalid msg)
+      | Ok () -> (
+          match Tx.fee ~resolver tx with
+          | Error msg -> Error (Invalid msg)
+          | Ok fee ->
+              let conflicting = conflicts_of t tx in
+              let evicted_fee =
+                List.fold_left (fun acc e -> acc + e.fee) 0 conflicting
+              in
+              let required =
+                evicted_fee + (min_rbf_bump * List.length conflicting)
+              in
+              if conflicting <> [] && fee < required then
+                Error (Fee_too_low { required; offered = fee })
+              else begin
+                List.iter (fun e -> remove t e.tx.Tx.txid) conflicting;
+                let entry =
+                  {
+                    tx;
+                    fee;
+                    feerate = float_of_int fee /. float_of_int (Tx.vsize tx);
+                    sequence = t.next_seq;
+                  }
+                in
+                t.next_seq <- t.next_seq + 1;
+                Hashtbl.replace t.by_txid tx.Tx.txid entry;
+                List.iter
+                  (fun (i : Tx.input) ->
+                    Hashtbl.replace t.spenders i.Tx.prev tx.Tx.txid)
+                  tx.Tx.inputs;
+                Ok ()
+              end)
+  end
+
+let confirm_block t (block : Block.t) =
+  List.iter
+    (fun (tx : Tx.t) ->
+      remove_one t tx.Tx.txid;
+      (* Pool txs now conflicting with a confirmed tx are invalid. *)
+      List.iter
+        (fun (i : Tx.input) ->
+          match Hashtbl.find_opt t.spenders i.Tx.prev with
+          | Some spender -> remove t spender
+          | None -> ())
+        tx.Tx.inputs)
+    block.Block.txs

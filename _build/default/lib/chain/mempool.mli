@@ -1,0 +1,58 @@
+(** The mempool: transactions issued to the network but not yet accepted
+    into the chain — exactly the pending set [T] of the blockchain
+    database abstraction. Tracks spent outpoints for conflict detection
+    and implements replace-by-fee: a conflicting transaction is admitted
+    only if it pays strictly more total fee than everything it evicts
+    (plus a minimum bump), mirroring the fee-bumping practice the paper's
+    motivating example describes. *)
+
+type entry = private {
+  tx : Tx.t;
+  fee : int;
+  feerate : float;  (** fee / vsize. *)
+  sequence : int;  (** Admission order. *)
+}
+
+type t
+
+val create : unit -> t
+val size : t -> int
+val entries : t -> entry list
+(** In admission order. *)
+
+val txs : t -> Tx.t list
+val mem : t -> Crypto.digest -> bool
+val find : t -> Crypto.digest -> entry option
+
+type reject =
+  | Unknown_inputs of Tx.outpoint list
+      (** Inputs neither in the UTXO set nor created by mempool txs. *)
+  | Invalid of string  (** Failed script/amount validation. *)
+  | Duplicate
+  | Fee_too_low of { required : int; offered : int }
+      (** Replace-by-fee refused. *)
+
+val pp_reject : Format.formatter -> reject -> unit
+
+val min_rbf_bump : int
+(** Minimum extra fee a replacement must add (per evicted tx). *)
+
+val add : t -> utxo:Utxo.t -> ?height:int -> Tx.t -> (unit, reject) result
+(** Admit a transaction. Inputs may come from the UTXO set or from
+    outputs of transactions already in the pool (chained pending
+    transactions). On a successful replace-by-fee, the conflicting
+    transactions and their pool descendants are evicted. *)
+
+val conflicts_of : t -> Tx.t -> entry list
+(** Pool entries spending an outpoint this transaction also spends. *)
+
+val descendants : t -> Crypto.digest -> Crypto.digest list
+(** Pool transactions depending (transitively) on the given txid,
+    including it, in eviction-safe order. *)
+
+val remove : t -> Crypto.digest -> unit
+(** Remove a transaction and its pool descendants. *)
+
+val confirm_block : t -> Block.t -> unit
+(** Drop transactions included in the block and any pool transaction that
+    now conflicts with a confirmed one. *)

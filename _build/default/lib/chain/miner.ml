@@ -1,0 +1,69 @@
+let block_reward = 50_000
+
+let coinbase_headroom = 200
+
+let select ~utxo ?max_vsize ?(min_feerate = 0.0) entries =
+  let budget =
+    Option.value max_vsize ~default:(Block.max_vsize - coinbase_headroom)
+  in
+  let candidates =
+    entries
+    |> List.filter (fun (e : Mempool.entry) -> e.Mempool.feerate >= min_feerate)
+    |> List.sort (fun (a : Mempool.entry) (b : Mempool.entry) ->
+           match Float.compare b.Mempool.feerate a.Mempool.feerate with
+           | 0 -> Int.compare a.Mempool.sequence b.Mempool.sequence
+           | c -> c)
+  in
+  let selected_ids = Hashtbl.create 16 in
+  let spent = Hashtbl.create 16 in
+  let selected = ref [] in
+  let used = ref 0 in
+  let available (i : Tx.input) =
+    (Utxo.mem utxo i.Tx.prev || Hashtbl.mem selected_ids i.Tx.prev.Tx.txid)
+    && not (Hashtbl.mem spent i.Tx.prev)
+  in
+  let progress = ref true in
+  let remaining = ref candidates in
+  while !progress do
+    progress := false;
+    remaining :=
+      List.filter
+        (fun (e : Mempool.entry) ->
+          let tx = e.Mempool.tx in
+          let sz = Tx.vsize tx in
+          if
+            !used + sz <= budget
+            && List.for_all available tx.Tx.inputs
+          then begin
+            Hashtbl.replace selected_ids tx.Tx.txid ();
+            List.iter
+              (fun (i : Tx.input) -> Hashtbl.replace spent i.Tx.prev ())
+              tx.Tx.inputs;
+            selected := tx :: !selected;
+            used := !used + sz;
+            progress := true;
+            false
+          end
+          else true)
+        !remaining
+  done;
+  List.rev !selected
+
+let mine ~chain_tip ~height ~timestamp ~utxo ~mempool ~coinbase_script
+    ?min_feerate () =
+  let chosen = select ~utxo ?min_feerate (Mempool.entries mempool) in
+  let fees =
+    List.fold_left
+      (fun acc (tx : Tx.t) ->
+        match Mempool.find mempool tx.Tx.txid with
+        | Some e -> acc + e.Mempool.fee
+        | None -> acc)
+      0 chosen
+  in
+  let coinbase =
+    Tx.coinbase
+      ~reward:(block_reward + fees)
+      ~script:coinbase_script
+      ~tag:(Printf.sprintf "h%d" height)
+  in
+  Block.create ~height ~prev_hash:chain_tip ~timestamp ~txs:(coinbase :: chosen)

@@ -1,0 +1,34 @@
+(** Transaction selection for a new block. As the paper notes, choosing
+    an optimal set is a constrained knapsack (limited block size, varying
+    transaction sizes and fees, dependencies and conflicts); like real
+    miners, this implementation is greedy: candidates are taken in
+    decreasing fee-rate order, skipping any whose parents are not yet
+    available or that conflict with an already selected transaction,
+    looping until nothing more fits. The unpredictability of inclusion
+    that motivates the whole paper emerges from exactly this policy. *)
+
+val select :
+  utxo:Utxo.t ->
+  ?max_vsize:int ->
+  ?min_feerate:float ->
+  Mempool.entry list ->
+  Tx.t list
+(** Chosen transactions in a dependency-respecting order (parents before
+    children). [max_vsize] defaults to {!Block.max_vsize} minus coinbase
+    headroom; [min_feerate] (default 0) drops underpaying transactions —
+    the knob behind "transactions may simply never be included". *)
+
+val block_reward : int
+
+val mine :
+  chain_tip:Crypto.digest ->
+  height:int ->
+  timestamp:int ->
+  utxo:Utxo.t ->
+  mempool:Mempool.t ->
+  coinbase_script:Script.t ->
+  ?min_feerate:float ->
+  unit ->
+  (Block.t, string) result
+(** Assemble a block: select transactions, collect their fees into the
+    coinbase, and build the block. *)

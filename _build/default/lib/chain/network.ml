@@ -1,0 +1,175 @@
+type message = Mtx of Tx.t | Mblock of Block.t
+
+type peer_state = {
+  node : Node.t;
+  queue : message Queue.t;
+  orphans : (Crypto.digest, Block.t) Hashtbl.t;
+      (** Blocks ahead of the tip, keyed by their parent hash. *)
+  seen_blocks : (Crypto.digest, unit) Hashtbl.t;
+}
+
+type t = {
+  peers : peer_state array;
+  linked : bool array array;
+}
+
+let create ~peers ~initial =
+  if peers < 1 then invalid_arg "Network.create: need at least one peer";
+  let mk () =
+    {
+      node = Node.create ~initial;
+      queue = Queue.create ();
+      orphans = Hashtbl.create 8;
+      seen_blocks = Hashtbl.create 8;
+    }
+  in
+  {
+    peers = Array.init peers (fun _ -> mk ());
+    linked = Array.init peers (fun i -> Array.init peers (fun j -> i <> j));
+  }
+
+let peer_count t = Array.length t.peers
+let peer t i = t.peers.(i).node
+
+let gossip t ~from msg =
+  Array.iteri
+    (fun j p -> if t.linked.(from).(j) then Queue.add msg p.queue)
+    t.peers
+
+let submit t ~at tx =
+  match Node.submit t.peers.(at).node tx with
+  | Ok () ->
+      gossip t ~from:at (Mtx tx);
+      Ok ()
+  | Error _ as e -> e
+
+let try_connect t ~at block =
+  let p = t.peers.(at) in
+  let chain = Node.chain p.node in
+  let pool = Node.mempool p.node in
+  let rec connect block =
+    match Chain_state.connect_block chain block with
+    | Ok event ->
+        (match event with
+        | Chain_state.Extended -> Mempool.confirm_block pool block
+        | Chain_state.Side_branch -> ()
+        | Chain_state.Reorg { disconnected; connected } ->
+            (* Newly active blocks clear the pool; abandoned transactions
+               become pending again (where still valid). *)
+            List.iter (Mempool.confirm_block pool) connected;
+            let next_height = Chain_state.height chain + 1 in
+            List.iter
+              (fun (b : Block.t) ->
+                List.iter
+                  (fun tx ->
+                    if not (Tx.is_coinbase tx) then
+                      ignore
+                        (Mempool.add pool ~utxo:(Chain_state.utxo chain)
+                           ~height:next_height tx))
+                  b.Block.txs)
+              disconnected);
+        (* A stashed child may now fit. *)
+        (match Hashtbl.find_opt p.orphans (Block.hash block) with
+        | Some child ->
+            Hashtbl.remove p.orphans (Block.hash block);
+            connect child
+        | None -> ())
+    | Error "unknown parent" ->
+        (* Ahead of us: stash until the parent arrives. *)
+        Hashtbl.replace p.orphans block.Block.header.Block.prev_hash block
+    | Error _ -> ()
+  in
+  connect block
+
+let mine_at t ~at ~coinbase_script ?min_feerate () =
+  match Node.mine t.peers.(at).node ~coinbase_script ?min_feerate () with
+  | Ok block ->
+      Hashtbl.replace t.peers.(at).seen_blocks (Block.hash block) ();
+      gossip t ~from:at (Mblock block);
+      Ok block
+  | Error _ as e -> e
+
+let handle t ~at msg =
+  let p = t.peers.(at) in
+  match msg with
+  | Mtx tx ->
+      if not (Mempool.mem (Node.mempool p.node) tx.Tx.txid) then begin
+        match Node.submit p.node tx with
+        | Ok () -> gossip t ~from:at (Mtx tx)
+        | Error _ -> ()
+        (* Already confirmed, conflicting, or unresolvable here: drop. *)
+      end
+  | Mblock block ->
+      let h = Block.hash block in
+      if not (Hashtbl.mem p.seen_blocks h) then begin
+        Hashtbl.replace p.seen_blocks h ();
+        try_connect t ~at block;
+        gossip t ~from:at (Mblock block)
+      end
+
+let deliver t ?max_messages () =
+  let processed = ref 0 in
+  let budget = Option.value max_messages ~default:max_int in
+  let progress = ref true in
+  while !progress && !processed < budget do
+    progress := false;
+    Array.iteri
+      (fun at p ->
+        if !processed < budget && not (Queue.is_empty p.queue) then begin
+          let msg = Queue.pop p.queue in
+          incr processed;
+          progress := true;
+          handle t ~at msg
+        end)
+      t.peers
+  done;
+  !processed
+
+let partition t group =
+  let in_group = Array.make (peer_count t) false in
+  List.iter (fun i -> in_group.(i) <- true) group;
+  for i = 0 to peer_count t - 1 do
+    for j = 0 to peer_count t - 1 do
+      if i <> j && in_group.(i) <> in_group.(j) then begin
+        t.linked.(i).(j) <- false;
+        (* Drop in-flight traffic on severed links: queues are per-peer,
+           so this is approximated by clearing both queues' messages that
+           came from across the cut - we conservatively keep them; new
+           traffic stops flowing. *)
+        ()
+      end
+    done
+  done
+
+let heal t =
+  for i = 0 to peer_count t - 1 do
+    for j = 0 to peer_count t - 1 do
+      t.linked.(i).(j) <- i <> j
+    done
+  done;
+  (* Re-announce local state so the other side can catch up. *)
+  Array.iteri
+    (fun i p ->
+      List.iter (fun tx -> gossip t ~from:i (Mtx tx)) (Node.pending_txs p.node);
+      List.iter
+        (fun b -> gossip t ~from:i (Mblock b))
+        (Chain_state.blocks (Node.chain p.node)))
+    t.peers
+
+let mempool_view t i =
+  Node.pending_txs t.peers.(i).node
+  |> List.map (fun (tx : Tx.t) -> tx.Tx.txid)
+  |> List.sort String.compare
+
+let in_sync t =
+  let tip i = Chain_state.tip_hash (Node.chain t.peers.(i).node) in
+  let view0 = mempool_view t 0 and tip0 = tip 0 in
+  Array.for_all (fun p -> Queue.is_empty p.queue) t.peers
+  &&
+  let rec go i =
+    i >= peer_count t
+    || (String.equal (tip i) tip0
+       && List.equal String.equal (mempool_view t i) view0
+       && go (i + 1))
+  in
+  go 1

@@ -1,0 +1,56 @@
+(** A small peer-to-peer gossip simulation: several full nodes exchanging
+    transactions and blocks over FIFO links.
+
+    This grounds the paper's footnote 6: the pending set [T] of a
+    blockchain database is {e a node's view} — transactions issued
+    concurrently at different peers live in different mempools until
+    gossip converges, so two honest nodes can return different answers to
+    the same denial constraint at the same instant. The tests and the
+    gossip example exercise exactly that divergence.
+
+    Simplifications (documented in DESIGN.md): links are reliable FIFO
+    queues drained on demand ([deliver]); topology is a full mesh with
+    optional partitions. Fork races resolve by the longest-chain rule of
+    {!Chain_state}: a competing branch that overtakes a peer's tip
+    triggers a reorg, returning the abandoned blocks' transactions to
+    that peer's mempool; blocks arriving ahead of a missing parent are
+    stashed and connected once the gap fills. *)
+
+type t
+
+val create : peers:int -> initial:(Script.t * int) list -> t
+(** [peers >= 1] nodes, all starting from the same genesis. *)
+
+val peer_count : t -> int
+val peer : t -> int -> Node.t
+(** The node at a peer index. *)
+
+val submit : t -> at:int -> Tx.t -> (unit, Mempool.reject) result
+(** Submit to one peer's mempool; on acceptance the transaction is queued
+    to the peer's current neighbours. *)
+
+val mine_at :
+  t -> at:int -> coinbase_script:Script.t -> ?min_feerate:float -> unit ->
+  (Block.t, string) result
+(** Mine from the peer's mempool, connect locally, gossip the block. *)
+
+val deliver : t -> ?max_messages:int -> unit -> int
+(** Drain queued messages (transactions and blocks), re-gossiping
+    anything new; returns the number of messages processed. Without
+    [max_messages], runs until every queue is empty. *)
+
+val partition : t -> int list -> unit
+(** Cut every link between the listed peers and the rest. Messages
+    already sitting in a peer's queue are still processed; no new traffic
+    crosses the cut. *)
+
+val heal : t -> unit
+(** Restore the full mesh and let peers re-announce their mempools and
+    chain tips to everyone. [deliver] then converges the views. *)
+
+val mempool_view : t -> int -> Crypto.digest list
+(** Sorted txids in a peer's mempool. *)
+
+val in_sync : t -> bool
+(** All peers have equal chain tips and equal mempool views and no
+    messages are in flight. *)

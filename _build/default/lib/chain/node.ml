@@ -1,0 +1,18 @@
+type t = { chain : Chain_state.t; mempool : Mempool.t }
+
+let create ~initial =
+  { chain = Chain_state.genesis ~initial; mempool = Mempool.create () }
+
+let chain t = t.chain
+let mempool t = t.mempool
+let utxo t = Chain_state.utxo t.chain
+let submit t tx =
+  Mempool.add t.mempool ~utxo:(utxo t)
+    ~height:(Chain_state.height t.chain + 1)
+    tx
+
+let mine t ~coinbase_script ?min_feerate () =
+  Chain_state.mine_and_connect t.chain ~mempool:t.mempool ~coinbase_script
+    ?min_feerate ()
+
+let pending_txs t = Mempool.txs t.mempool

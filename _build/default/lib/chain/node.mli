@@ -1,0 +1,21 @@
+(** A full node: chain state plus mempool, with the operations users and
+    miners perform against it. The blockchain-database abstraction is a
+    view over exactly this pair — the chain is the current state [R], the
+    mempool the pending set [T]. *)
+
+type t
+
+val create : initial:(Script.t * int) list -> t
+val chain : t -> Chain_state.t
+val mempool : t -> Mempool.t
+
+val submit : t -> Tx.t -> (unit, Mempool.reject) result
+(** Broadcast a transaction into the mempool. *)
+
+val mine :
+  t -> coinbase_script:Script.t -> ?min_feerate:float -> unit ->
+  (Block.t, string) result
+(** Mine one block from the mempool and connect it. *)
+
+val utxo : t -> Utxo.t
+val pending_txs : t -> Tx.t list

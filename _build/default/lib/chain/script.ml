@@ -1,0 +1,52 @@
+type t =
+  | Pay_to_key of string
+  | Hash_lock of Crypto.digest
+  | Multi_sig of int * string list
+  | Timelock of int * t
+
+type witness =
+  | Key_sig of { public : string; signature : string }
+  | Preimage of string
+  | Sig_list of (string * string) list
+
+let rec unlock script witness ~msg ~height =
+  match (script, witness) with
+  | Timelock (h, inner), w -> height >= h && unlock inner w ~msg ~height
+  | Pay_to_key pk, Key_sig { public; signature } ->
+      String.equal pk public && Crypto.verify ~public ~msg ~signature
+  | Hash_lock h, Preimage p -> String.equal (Crypto.digest p) h
+  | Multi_sig (m, pks), Sig_list sigs ->
+      let valid_distinct =
+        List.sort_uniq compare sigs
+        |> List.filter (fun (public, signature) ->
+               List.mem public pks && Crypto.verify ~public ~msg ~signature)
+      in
+      List.length valid_distinct >= m
+  | Pay_to_key _, (Preimage _ | Sig_list _)
+  | Hash_lock _, (Key_sig _ | Sig_list _)
+  | Multi_sig _, (Key_sig _ | Preimage _) ->
+      false
+
+let rec serialize = function
+  | Pay_to_key pk -> "p2pk:" ^ pk
+  | Hash_lock h -> "hlock:" ^ h
+  | Multi_sig (m, pks) ->
+      Printf.sprintf "msig:%d:%s" m (String.concat "," (List.sort compare pks))
+  | Timelock (h, inner) -> Printf.sprintf "tl:%d:%s" h (serialize inner)
+
+(* A timelocked output belongs to whoever can eventually claim it, so the
+   relational pk column keeps the inner owner. *)
+let rec owner_hint = function
+  | Pay_to_key pk -> pk
+  | Timelock (_, inner) -> owner_hint inner
+  | (Hash_lock _ | Multi_sig _) as s -> "SC" ^ Crypto.digest (serialize s)
+
+let witness_serialize = function
+  | Key_sig { public; signature } -> Printf.sprintf "ks:%s:%s" public signature
+  | Preimage p -> "pre:" ^ Crypto.digest p
+  | Sig_list sigs ->
+      "sl:"
+      ^ String.concat ","
+          (List.map (fun (p, s) -> p ^ "/" ^ s) (List.sort compare sigs))
+
+let pp ppf s = Format.pp_print_string ppf (serialize s)

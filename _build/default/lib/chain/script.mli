@@ -1,0 +1,33 @@
+(** Output scripts: the challenge attached to an amount, specifying how it
+    may be claimed (Section 2 of the paper sketches the Bitcoin variants
+    modelled here: a required signature, a hash preimage, or multiple
+    signatures against different public keys). *)
+
+type t =
+  | Pay_to_key of string  (** Spendable by the holder of this public key. *)
+  | Hash_lock of Crypto.digest
+      (** Spendable by revealing a preimage of this digest. *)
+  | Multi_sig of int * string list
+      (** [Multi_sig (m, pks)]: any [m] distinct signatures among [pks]. *)
+  | Timelock of int * t
+      (** [Timelock (h, inner)]: [inner], but unspendable before chain
+          height [h] — an output that {e will} become claimable in the
+          future, one of the real-world sources of "a transaction may be
+          appended at any point in the future". *)
+
+type witness =
+  | Key_sig of { public : string; signature : string }
+  | Preimage of string
+  | Sig_list of (string * string) list  (** (public, signature) pairs. *)
+
+val unlock : t -> witness -> msg:string -> height:int -> bool
+(** Does the witness satisfy the script for the given signed message, at
+    the given chain height (relevant to {!Timelock})? *)
+
+val owner_hint : t -> string
+(** The value stored in the relational [pk] column: the public key for
+    pay-to-key, a tagged digest for the other script kinds. *)
+
+val serialize : t -> string
+val witness_serialize : witness -> string
+val pp : Format.formatter -> t -> unit

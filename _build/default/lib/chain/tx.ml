@@ -1,0 +1,111 @@
+type outpoint = { txid : Crypto.digest; vout : int }
+
+type output = { amount : int; script : Script.t }
+
+type input = { prev : outpoint; witness : Script.witness }
+
+type t = { inputs : input list; outputs : output list; txid : Crypto.digest }
+
+let serialize_outpoint (o : outpoint) = Printf.sprintf "%s#%d" o.txid o.vout
+
+let serialize_output o =
+  Printf.sprintf "%d->%s" o.amount (Script.serialize o.script)
+
+let content_digest inputs outputs =
+  Crypto.combine
+    (List.map
+       (fun i ->
+         serialize_outpoint i.prev ^ "@" ^ Script.witness_serialize i.witness)
+       inputs
+    @ List.map serialize_output outputs)
+
+let create ~inputs ~outputs =
+  if outputs = [] then invalid_arg "Tx.create: no outputs";
+  if List.exists (fun o -> o.amount <= 0) outputs then
+    invalid_arg "Tx.create: non-positive output amount";
+  let outpoints = List.map (fun i -> i.prev) inputs in
+  if List.length (List.sort_uniq compare outpoints) <> List.length outpoints
+  then invalid_arg "Tx.create: duplicate input outpoint";
+  { inputs; outputs; txid = content_digest inputs outputs }
+
+let coinbase ~reward ~script ~tag =
+  if reward <= 0 then invalid_arg "Tx.coinbase: non-positive reward";
+  let outputs = [ { amount = reward; script } ] in
+  {
+    inputs = [];
+    outputs;
+    txid = Crypto.combine ("coinbase" :: tag :: List.map serialize_output outputs);
+  }
+
+let is_coinbase t = t.inputs = []
+
+let signing_msg ~inputs ~outputs =
+  Crypto.combine
+    (List.map serialize_outpoint inputs @ List.map serialize_output outputs)
+
+let vsize t = 10 + (68 * List.length t.inputs) + (31 * List.length t.outputs)
+
+let sum_outputs outputs = List.fold_left (fun acc o -> acc + o.amount) 0 outputs
+
+let fee ~resolver t =
+  if is_coinbase t then Ok 0
+  else
+    let rec total_in acc = function
+      | [] -> Ok acc
+      | i :: rest -> (
+          match resolver i.prev with
+          | Some o -> total_in (acc + o.amount) rest
+          | None ->
+              Error
+                (Printf.sprintf "unknown input %s" (serialize_outpoint i.prev)))
+    in
+    match total_in 0 t.inputs with
+    | Error _ as e -> e
+    | Ok total ->
+        let spent = sum_outputs t.outputs in
+        if spent > total then
+          Error (Printf.sprintf "overspend: %d out of %d in" spent total)
+        else Ok (total - spent)
+
+let conflicts a b =
+  List.exists
+    (fun (i : input) -> List.exists (fun (j : input) -> i.prev = j.prev) b.inputs)
+    a.inputs
+
+let validate ~resolver ?(height = max_int) t =
+  if is_coinbase t then Ok ()
+  else
+    let msg =
+      signing_msg ~inputs:(List.map (fun i -> i.prev) t.inputs) ~outputs:t.outputs
+    in
+    let rec check_inputs = function
+      | [] -> Result.map (fun (_ : int) -> ()) (fee ~resolver t)
+      | i :: rest -> (
+          match resolver i.prev with
+          | None ->
+              Error
+                (Printf.sprintf "unknown input %s" (serialize_outpoint i.prev))
+          | Some o ->
+              if not (Script.unlock o.script i.witness ~msg ~height) then
+                Error
+                  (Printf.sprintf "witness does not unlock %s"
+                     (serialize_outpoint i.prev))
+              else check_inputs rest)
+    in
+    check_inputs t.inputs
+
+let pp_outpoint ppf (o : outpoint) = Format.fprintf ppf "%s#%d" o.txid o.vout
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>tx %s:@ in: %a@ out: %a@]" t.txid
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf i -> pp_outpoint ppf i.prev))
+    t.inputs
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf o -> Format.fprintf ppf "%d->%a" o.amount Script.pp o.script))
+    t.outputs
+
+let compare a b = String.compare a.txid b.txid
+let equal a b = String.equal a.txid b.txid

@@ -1,0 +1,60 @@
+(** Transactions: many-to-many transfers from inputs (pointers to
+    previously created outputs, with unlocking witnesses) to fresh
+    outputs. A transaction fully spends every input it references; two
+    transactions sharing an input {e conflict} and can never coexist in
+    the chain — the relational shadow of this rule is the key constraint
+    on [TxIn(prevTxId, prevSer)]. *)
+
+type outpoint = { txid : Crypto.digest; vout : int }
+
+type output = { amount : int; script : Script.t }
+(** Amounts in integral satoshis. *)
+
+type input = { prev : outpoint; witness : Script.witness }
+
+type t = private {
+  inputs : input list;
+  outputs : output list;
+  txid : Crypto.digest;  (** Digest of the transaction content. *)
+}
+
+val create : inputs:input list -> outputs:output list -> t
+(** Raises [Invalid_argument] on empty outputs, a non-positive output
+    amount, or duplicate input outpoints. *)
+
+val coinbase : reward:int -> script:Script.t -> tag:string -> t
+(** An input-less minting transaction; [tag] (e.g. the block height)
+    makes the txid unique. *)
+
+val is_coinbase : t -> bool
+
+val signing_msg : inputs:outpoint list -> outputs:output list -> string
+(** The message a spender signs: commits to all inputs and outputs, so a
+    signature cannot be transplanted onto a different transfer. *)
+
+val vsize : t -> int
+(** Virtual size used for fee-rate and block-capacity accounting. *)
+
+val fee : resolver:(outpoint -> output option) -> t -> (int, string) result
+(** Total input amount minus total output amount; [Error] on an unknown
+    input or on overspend. Coinbase transactions have fee 0. *)
+
+val conflicts : t -> t -> bool
+(** Share at least one input outpoint. *)
+
+val validate :
+  resolver:(outpoint -> output option) -> ?height:int -> t ->
+  (unit, string) result
+(** Structural validity against resolvable outputs: inputs exist, every
+    witness unlocks its script for this transaction's signing message at
+    [height] (relevant to timelocks; defaults to "far future" so that
+    height-independent checks can ignore it), and inputs cover
+    outputs. *)
+
+val pp_outpoint : Format.formatter -> outpoint -> unit
+val pp : Format.formatter -> t -> unit
+
+val compare : t -> t -> int
+(** By txid. *)
+
+val equal : t -> t -> bool

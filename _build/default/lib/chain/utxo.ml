@@ -1,0 +1,31 @@
+type t = (Tx.outpoint, Tx.output) Hashtbl.t
+
+let create () : t = Hashtbl.create 256
+let copy = Hashtbl.copy
+let cardinal = Hashtbl.length
+let find t o = Hashtbl.find_opt t o
+let mem t o = Hashtbl.mem t o
+let resolver t o = find t o
+
+let add_tx_outputs t (tx : Tx.t) =
+  List.iteri
+    (fun vout output ->
+      Hashtbl.replace t { Tx.txid = tx.Tx.txid; vout } output)
+    tx.Tx.outputs
+
+let apply_tx t ?height (tx : Tx.t) =
+  match Tx.validate ~resolver:(resolver t) ?height tx with
+  | Error _ as e -> e
+  | Ok () ->
+      List.iter (fun (i : Tx.input) -> Hashtbl.remove t i.Tx.prev) tx.Tx.inputs;
+      add_tx_outputs t tx;
+      Ok ()
+
+let total_amount t =
+  Hashtbl.fold (fun _ (o : Tx.output) acc -> acc + o.Tx.amount) t 0
+
+let fold f t acc = Hashtbl.fold f t acc
+
+let filter t pred =
+  Hashtbl.fold (fun op o acc -> if pred op o then (op, o) :: acc else acc) t []
+  |> List.sort compare

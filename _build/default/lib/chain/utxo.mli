@@ -1,0 +1,25 @@
+(** The unspent-transaction-output set: the spendable state of the chain.
+    Applying a transaction atomically removes its inputs and adds its
+    outputs. *)
+
+type t
+
+val create : unit -> t
+val copy : t -> t
+val cardinal : t -> int
+val find : t -> Tx.outpoint -> Tx.output option
+val mem : t -> Tx.outpoint -> bool
+
+val resolver : t -> Tx.outpoint -> Tx.output option
+(** For {!Tx.fee} / {!Tx.validate}. *)
+
+val add_tx_outputs : t -> Tx.t -> unit
+
+val apply_tx : t -> ?height:int -> Tx.t -> (unit, string) result
+(** Validates the transaction against this set (at [height], for
+    timelocks; defaults to "far future"), spends its inputs and adds its
+    outputs. The set is unchanged on error. *)
+
+val total_amount : t -> int
+val fold : (Tx.outpoint -> Tx.output -> 'a -> 'a) -> t -> 'a -> 'a
+val filter : t -> (Tx.outpoint -> Tx.output -> bool) -> (Tx.outpoint * Tx.output) list

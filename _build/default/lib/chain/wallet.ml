@@ -1,0 +1,164 @@
+type t = {
+  seed : string;
+  mutable keys : Crypto.keypair list;  (** Newest first; never empty. *)
+  mutable counter : int;
+}
+
+let derive seed i = Crypto.keypair ~seed:(Printf.sprintf "%s/%d" seed i)
+
+let create ~seed = { seed; keys = [ derive seed 0 ]; counter = 1 }
+
+let primary t =
+  match List.rev t.keys with
+  | kp :: _ -> kp
+  | [] -> assert false
+
+let address t = Script.Pay_to_key (primary t).Crypto.public
+let public_key t = (primary t).Crypto.public
+
+let fresh_address t =
+  let kp = derive t.seed t.counter in
+  t.counter <- t.counter + 1;
+  t.keys <- kp :: t.keys;
+  Script.Pay_to_key kp.Crypto.public
+
+let key_for t public =
+  List.find_opt (fun kp -> String.equal kp.Crypto.public public) t.keys
+
+let rec owns t = function
+  | Script.Pay_to_key pk -> Option.is_some (key_for t pk)
+  | Script.Timelock (_, inner) -> owns t inner
+  | Script.Hash_lock _ | Script.Multi_sig _ -> false
+
+let utxos t utxo =
+  Utxo.filter utxo (fun _ (o : Tx.output) -> owns t o.Tx.script)
+
+let balance t utxo =
+  List.fold_left (fun acc (_, (o : Tx.output)) -> acc + o.Tx.amount) 0 (utxos t utxo)
+
+let sign_inputs t ~prevs ~outputs =
+  let msg = Tx.signing_msg ~inputs:(List.map fst prevs) ~outputs in
+  (* A timelocked pay-to-key output is signed like the inner script; the
+     chain enforces the height. *)
+  let rec inner_key = function
+    | Script.Pay_to_key pk -> Ok pk
+    | Script.Timelock (_, inner) -> inner_key inner
+    | Script.Hash_lock _ | Script.Multi_sig _ ->
+        Error "can only sign pay-to-key outputs"
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (outpoint, (o : Tx.output)) :: rest -> (
+        match inner_key o.Tx.script with
+        | Error _ as e -> e
+        | Ok pk -> (
+            match key_for t pk with
+            | None -> Error ("wallet does not own key " ^ pk)
+            | Some kp ->
+                let witness =
+                  Script.Key_sig
+                    {
+                      public = kp.Crypto.public;
+                      signature = Crypto.sign kp ~msg;
+                    }
+                in
+                go ({ Tx.prev = outpoint; witness } :: acc) rest))
+  in
+  go [] prevs
+
+(* Largest-first coin selection. *)
+let select_coins t utxo target =
+  let coins =
+    utxos t utxo
+    |> List.sort (fun (_, (a : Tx.output)) (_, (b : Tx.output)) ->
+           Int.compare b.Tx.amount a.Tx.amount)
+  in
+  let rec go acc total = function
+    | _ when total >= target -> Some (List.rev acc, total)
+    | [] -> None
+    | coin :: rest -> go (coin :: acc) (total + (snd coin).Tx.amount) rest
+  in
+  go [] 0 coins
+
+let pay t ~utxo ~to_ ~amount ~fee =
+  if amount <= 0 then Error "non-positive amount"
+  else if fee < 0 then Error "negative fee"
+  else
+    match select_coins t utxo (amount + fee) with
+    | None ->
+        Error
+          (Printf.sprintf "insufficient funds: need %d, have %d" (amount + fee)
+             (balance t utxo))
+    | Some (coins, total) ->
+        let change = total - amount - fee in
+        let outputs =
+          { Tx.amount; script = to_ }
+          ::
+          (if change > 0 then
+             [ { Tx.amount = change; script = fresh_address t } ]
+           else [])
+        in
+        Result.map
+          (fun inputs -> Tx.create ~inputs ~outputs)
+          (sign_inputs t ~prevs:coins ~outputs)
+
+(* Rebuild the original transfer with the change output reduced. Requires
+   re-resolving the original's inputs from our own key list: the witnesses
+   commit to the outputs, so they must be re-signed. *)
+let bump_fee t ~original ~add_fee =
+  if add_fee <= 0 then Error "non-positive fee bump"
+  else
+    let is_change (o : Tx.output) = owns t o.Tx.script in
+    let change, keep =
+      List.partition is_change original.Tx.outputs
+    in
+    match change with
+    | [] -> Error "original has no change output owned by this wallet"
+    | c :: _ ->
+        if c.Tx.amount <= add_fee then Error "change too small for the bump"
+        else begin
+          let outputs =
+            keep @ [ { c with Tx.amount = c.Tx.amount - add_fee } ]
+          in
+          (* Recover the previous outputs: we need their scripts to
+             re-sign; they must be pay-to-key outputs we own, which we can
+             reconstruct from the original witnesses. *)
+          let prevs =
+            List.map
+              (fun (i : Tx.input) ->
+                match i.Tx.witness with
+                | Script.Key_sig { public; _ } ->
+                    ( i.Tx.prev,
+                      { Tx.amount = 0; script = Script.Pay_to_key public } )
+                | Script.Preimage _ | Script.Sig_list _ ->
+                    (i.Tx.prev, { Tx.amount = 0; script = Script.Hash_lock "" }))
+              original.Tx.inputs
+          in
+          Result.map
+            (fun inputs -> Tx.create ~inputs ~outputs)
+            (sign_inputs t ~prevs ~outputs)
+        end
+
+let cancel t ~utxo ~original ~fee =
+  let owned_input =
+    List.find_opt
+      (fun (i : Tx.input) ->
+        match Utxo.find utxo i.Tx.prev with
+        | Some o -> owns t o.Tx.script
+        | None -> false)
+      original.Tx.inputs
+  in
+  match owned_input with
+  | None -> Error "no spendable owned input to contradict"
+  | Some i -> (
+      match Utxo.find utxo i.Tx.prev with
+      | None -> Error "input vanished"
+      | Some o ->
+          if o.Tx.amount <= fee then Error "input too small to pay the fee"
+          else
+            let outputs =
+              [ { Tx.amount = o.Tx.amount - fee; script = fresh_address t } ]
+            in
+            Result.map
+              (fun inputs -> Tx.create ~inputs ~outputs)
+              (sign_inputs t ~prevs:[ (i.Tx.prev, o) ] ~outputs))

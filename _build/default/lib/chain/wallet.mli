@@ -1,0 +1,49 @@
+(** A user's wallet: deterministic keys, coin selection, payment
+    construction with change, and — the paper's Section 8 future-work
+    item, "automatically derive a new transaction that contradicts
+    previous transactions" — explicit conflict construction: fee bumps
+    (same transfer, higher fee) and cancels (spend the same inputs back to
+    yourself), both of which share an input with the original and are
+    therefore mutually exclusive with it on-chain. *)
+
+type t
+
+val create : seed:string -> t
+val address : t -> Script.t
+(** This wallet's primary pay-to-key script. *)
+
+val public_key : t -> string
+val fresh_address : t -> Script.t
+(** A new deterministic key each call. *)
+
+val owns : t -> Script.t -> bool
+val utxos : t -> Utxo.t -> (Tx.outpoint * Tx.output) list
+val balance : t -> Utxo.t -> int
+
+val pay :
+  t ->
+  utxo:Utxo.t ->
+  to_:Script.t ->
+  amount:int ->
+  fee:int ->
+  (Tx.t, string) result
+(** Build a payment: select owned coins (largest first), send [amount] to
+    the recipient, return change above [fee] to a fresh own address, and
+    sign every input. *)
+
+val bump_fee : t -> original:Tx.t -> add_fee:int -> (Tx.t, string) result
+(** The same transfer with [add_fee] more fee taken out of this wallet's
+    change output. Conflicts with [original] by construction. [Error] if
+    the original has no change output back to this wallet, or change is
+    too small. *)
+
+val cancel : t -> utxo:Utxo.t -> original:Tx.t -> fee:int -> (Tx.t, string) result
+(** A contradicting transaction returning the original's first owned
+    input to this wallet minus [fee] — the "retraction by conflict" the
+    paper describes users attempting. *)
+
+val sign_inputs :
+  t -> prevs:(Tx.outpoint * Tx.output) list -> outputs:Tx.output list ->
+  (Tx.input list, string) result
+(** Low-level: witnesses for the given previous outputs (all of which
+    must be pay-to-key scripts this wallet owns). *)

@@ -1,0 +1,1 @@
+lib/core/answers.ml: Array Bcquery Dcsat Hashtbl List Poss Printf Relational Session Solver String Tagged_store

@@ -1,0 +1,1 @@
+lib/core/bcdb.ml: Array Format List Pending Relational

@@ -1,0 +1,1 @@
+lib/core/bcdb.mli: Format Pending Relational

@@ -1,0 +1,1 @@
+lib/core/bcdb_file.ml: Array Bcdb Buffer In_channel List Option Out_channel Pending Printf Relational String

@@ -1,0 +1,1 @@
+lib/core/bcdb_file.mli: Bcdb Relational

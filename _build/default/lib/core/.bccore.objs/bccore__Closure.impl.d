@@ -1,0 +1,1 @@
+lib/core/closure.ml: Bcgraph List Relational Tagged_store

@@ -1,0 +1,1 @@
+lib/core/closure.mli: Bcgraph Relational Tagged_store

@@ -1,0 +1,1 @@
+lib/core/contradict.ml: Array Bcdb List Option Pending Relational Session String Tagged_store

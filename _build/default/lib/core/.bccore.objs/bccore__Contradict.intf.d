@@ -1,0 +1,1 @@
+lib/core/contradict.mli: Relational Session

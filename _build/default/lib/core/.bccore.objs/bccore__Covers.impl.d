@@ -1,0 +1,1 @@
+lib/core/covers.ml: Bcquery List Relational Seq Tagged_store

@@ -1,0 +1,1 @@
+lib/core/dcsat.ml: Array Bcgraph Bcquery Covers Fd_graph Format Fun Get_maximal Ind_graph List Poss Relational Session Tagged_store Unix

@@ -1,0 +1,1 @@
+lib/core/dcsat.mli: Bcquery Format Relational Session

@@ -1,0 +1,1 @@
+lib/core/dry_run.ml: Bcdb Dcsat Fun List Session Solver Tagged_store

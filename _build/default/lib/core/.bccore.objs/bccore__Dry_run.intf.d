@@ -1,0 +1,1 @@
+lib/core/dry_run.mli: Bcquery Dcsat Relational Session

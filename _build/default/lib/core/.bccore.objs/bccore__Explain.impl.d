@@ -1,0 +1,1 @@
+lib/core/explain.ml: Array Bcdb Bcquery Complexity Dcsat Format List Pending Result Session String Tagged_store Tractable

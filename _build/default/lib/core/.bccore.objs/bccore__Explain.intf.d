@@ -1,0 +1,1 @@
+lib/core/explain.mli: Bcdb Bcquery Complexity Dcsat Format Session

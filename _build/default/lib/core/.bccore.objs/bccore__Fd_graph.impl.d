@@ -1,0 +1,1 @@
+lib/core/fd_graph.ml: Array Bcdb Bcgraph Hashtbl Int List Option Pending Relational Seq Tagged_store

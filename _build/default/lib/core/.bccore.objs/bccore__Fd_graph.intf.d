@@ -1,0 +1,1 @@
+lib/core/fd_graph.mli: Bcgraph Tagged_store

@@ -1,0 +1,1 @@
+lib/core/get_maximal.ml: Bcdb Bcgraph Closure Tagged_store

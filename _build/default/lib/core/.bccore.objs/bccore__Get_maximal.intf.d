@@ -1,0 +1,1 @@
+lib/core/get_maximal.mli: Bcgraph Tagged_store

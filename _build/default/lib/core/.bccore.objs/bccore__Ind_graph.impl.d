@@ -1,0 +1,1 @@
+lib/core/ind_graph.ml: Array Bcdb Bcgraph Bcquery Hashtbl List Pending Relational Seq Tagged_store

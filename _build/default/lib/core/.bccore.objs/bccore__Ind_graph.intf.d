@@ -1,0 +1,1 @@
+lib/core/ind_graph.mli: Bcgraph Bcquery Tagged_store

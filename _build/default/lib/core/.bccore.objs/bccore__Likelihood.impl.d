@@ -1,0 +1,1 @@
+lib/core/likelihood.ml: Array Bcdb Bcgraph Bcquery Float Int List Random Relational Session Tagged_store

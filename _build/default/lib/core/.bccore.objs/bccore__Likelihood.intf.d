@@ -1,0 +1,1 @@
+lib/core/likelihood.mli: Bcgraph Bcquery Session

@@ -1,0 +1,1 @@
+lib/core/maximal_worlds.ml: Array Bcgraph Fd_graph Fun Get_maximal Hashtbl List Option Session Tagged_store

@@ -1,0 +1,1 @@
+lib/core/maximal_worlds.mli: Bcgraph Relational Session

@@ -1,0 +1,1 @@
+lib/core/pending.ml: Format Hashtbl List Option Printf Relational String

@@ -1,0 +1,1 @@
+lib/core/poss.ml: Bcdb Bcgraph Closure Hashtbl List Option Queue Relational Tagged_store

@@ -1,0 +1,1 @@
+lib/core/poss.mli: Bcgraph Tagged_store

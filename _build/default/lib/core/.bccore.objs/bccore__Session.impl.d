@@ -1,0 +1,1 @@
+lib/core/session.ml: Array Bcdb Bcquery Fd_graph Ind_graph Lazy Relational Tagged_store

@@ -1,0 +1,1 @@
+lib/core/session.mli: Bcdb Fd_graph Tagged_store

@@ -1,0 +1,1 @@
+lib/core/solver.ml: Bcquery Dcsat Format Printf Result Session Tagged_store Tractable

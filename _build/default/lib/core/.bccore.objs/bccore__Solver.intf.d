@@ -1,0 +1,1 @@
+lib/core/solver.mli: Bcdb Bcquery Dcsat Session Tractable

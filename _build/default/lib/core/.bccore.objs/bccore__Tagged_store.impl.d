@@ -1,0 +1,1 @@
+lib/core/tagged_store.ml: Array Bcdb Bcgraph Hashtbl Int List Map Option Pending Relational Seq String

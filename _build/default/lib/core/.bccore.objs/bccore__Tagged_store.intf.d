@@ -1,0 +1,1 @@
+lib/core/tagged_store.mli: Bcdb Bcgraph Relational

@@ -1,0 +1,1 @@
+lib/core/tractable.ml: Array Bcdb Bcgraph Bcquery Dcsat Fd_graph Get_maximal Hashtbl Int List Relational Session Tagged_store Unix

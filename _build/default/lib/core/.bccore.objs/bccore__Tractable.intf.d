@@ -1,0 +1,1 @@
+lib/core/tractable.mli: Bcdb Bcquery Dcsat Session

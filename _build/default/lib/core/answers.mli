@@ -1,0 +1,42 @@
+(** Certain and possible answers over a blockchain database (Section 5).
+
+    For a non-Boolean conjunctive query with output variables [x̄]:
+
+    - a {e certain} answer appears in the result over {e every} possible
+      world. As the paper observes, for positive conjunctive queries the
+      certain answers are exactly the result over the current state [R]
+      (the smallest world, and positive queries are monotone). With
+      negation, certainty requires checking all worlds — supported by
+      exhaustive enumeration for small pending sets.
+    - a {e possible} answer appears in the result over {e some} possible
+      world. Each candidate (a match over [R ∪ T]) is decided by
+      specializing the query with the candidate's constants and asking
+      the denial-constraint solver whether the specialization is
+      violable — possible answers are exactly the unsatisfied
+      specializations, so all of Section 6's machinery applies. *)
+
+type answer = {
+  values : Relational.Tuple.t;  (** Output-variable values, in order. *)
+  world : int list option;
+      (** For possible answers: a witness world containing the answer. *)
+}
+
+val certain :
+  Session.t -> Bcquery.Cq.t -> vars:string list ->
+  (Relational.Tuple.t list, string) result
+(** Distinct certain answers, sorted. [vars] must be body variables.
+    [Error] when the body has negation and the pending set exceeds the
+    enumeration limit. *)
+
+val possible :
+  Session.t -> Bcquery.Cq.t -> vars:string list -> (answer list, string) result
+(** Distinct possible answers, sorted by value. [Error] if some
+    specialization cannot be decided (non-monotone over a large pending
+    set). *)
+
+val uncertain :
+  Session.t -> Bcquery.Cq.t -> vars:string list ->
+  (Relational.Tuple.t list, string) result
+(** Possible but not certain: the answers whose membership in the query
+    result depends on which pending transactions get accepted — the
+    interesting ones for a user reasoning about the future. *)

@@ -1,0 +1,73 @@
+module R = Relational
+
+type t = {
+  state : R.Database.t;
+  constraints : R.Constr.t list;
+  pending : Pending.t array;
+}
+
+let create ~state ~constraints ~pending ?labels () =
+  let label_of =
+    match labels with
+    | None -> fun _ -> None
+    | Some ls ->
+        if List.length ls <> List.length pending then
+          invalid_arg "Bcdb.create: labels length mismatch";
+        let arr = Array.of_list ls in
+        fun i -> Some arr.(i)
+  in
+  if not (R.Check.satisfies (R.Database.source state) constraints) then
+    Error "current state violates the integrity constraints"
+  else
+    let pending =
+      Array.of_list
+        (List.mapi (fun i rows -> Pending.make ~id:i ?label:(label_of i) rows) pending)
+    in
+    Ok { state; constraints; pending }
+
+let create_exn ~state ~constraints ~pending ?labels () =
+  match create ~state ~constraints ~pending ?labels () with
+  | Ok db -> db
+  | Error msg -> invalid_arg ("Bcdb.create: " ^ msg)
+
+let catalog t = R.Database.catalog t.state
+let pending_count t = Array.length t.pending
+let fds t = R.Constr.fds t.constraints
+let inds t = R.Constr.inds t.constraints
+let constraint_profile t = R.Constr.classify (catalog t) t.constraints
+
+let with_pending t ?label rows =
+  let id = Array.length t.pending in
+  let tx = Pending.make ~id ?label rows in
+  { t with pending = Array.append t.pending [| tx |] }
+
+let append_to_state t id =
+  if id < 0 || id >= Array.length t.pending then Error "no such transaction"
+  else
+    let tx = t.pending.(id) in
+    let grouped =
+      List.map (fun rel -> (rel, Pending.rows_for tx rel)) (Pending.relations tx)
+    in
+    if
+      not
+        (R.Check.batch_consistent (R.Database.source t.state) t.constraints
+           grouped)
+    then Error "appending this transaction would violate the constraints"
+    else begin
+      let state = R.Database.copy t.state in
+      R.Database.insert_all state tx.Pending.rows;
+      let remaining =
+        Array.to_list t.pending
+        |> List.filter (fun (p : Pending.t) -> p.Pending.id <> id)
+        |> List.mapi (fun i (p : Pending.t) ->
+               Pending.make ~id:i ~label:p.Pending.label p.Pending.rows)
+      in
+      Ok { t with state; pending = Array.of_list remaining }
+    end
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "blockchain database: %d state tuples, %d constraints, %d pending txs"
+    (R.Database.total_cardinality t.state)
+    (List.length t.constraints)
+    (Array.length t.pending)

@@ -1,0 +1,56 @@
+(** The blockchain database triple [D = (R, I, T)] of Section 4:
+
+    - [R], the {e current state} — the relations already accepted into the
+      blockchain;
+    - [I], integrity constraints with [R |= I];
+    - [T], a finite set of pending insert transactions.
+
+    The type is a snapshot: appending a transaction to the state or
+    issuing a new pending transaction produces a new value (the underlying
+    relations are shared, so this is cheap). *)
+
+type t = private {
+  state : Relational.Database.t;
+  constraints : Relational.Constr.t list;
+  pending : Pending.t array;  (** [pending.(i).id = i]. *)
+}
+
+val create :
+  state:Relational.Database.t ->
+  constraints:Relational.Constr.t list ->
+  pending:(string * Relational.Tuple.t) list list ->
+  ?labels:string list ->
+  unit ->
+  (t, string) result
+(** Validates [R |= I] and re-ids the pending transactions densely.
+    [labels], when given, must match [pending] in length. *)
+
+val create_exn :
+  state:Relational.Database.t ->
+  constraints:Relational.Constr.t list ->
+  pending:(string * Relational.Tuple.t) list list ->
+  ?labels:string list ->
+  unit ->
+  t
+
+val catalog : t -> Relational.Schema.t
+val pending_count : t -> int
+val fds : t -> Relational.Constr.fd list
+val inds : t -> Relational.Constr.ind list
+
+val constraint_profile : t -> [ `Key | `Fd | `Ind ] list
+(** The Δ of the complexity results: which constraint types appear. *)
+
+val with_pending :
+  t -> ?label:string -> (string * Relational.Tuple.t) list -> t
+(** Issue one more pending transaction (e.g. a hypothetical "dry run"
+    transaction, Example 4). The state and existing transactions are
+    shared. *)
+
+val append_to_state : t -> int -> (t, string) result
+(** Commit pending transaction [id] into the current state, provided the
+    result satisfies the constraints; the transaction leaves [T]. This is
+    one [→T,I] step of the can-append relation. The remaining pending
+    transactions are re-identified densely. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,381 @@
+module R = Relational
+module V = R.Value
+
+(* ------------------------------------------------------------------ *)
+(* Line-oriented tokenizer: each declaration fits on one line (a tx row
+   is "NAME(v, ...)" on its own line under a "tx" header). *)
+
+type line =
+  | Relation_decl of string * string list
+  | Key_decl of string * string list
+  | Fd_decl of string * string list * string list
+  | Ind_decl of string * string list * string * string list
+  | State_row of string * V.t list
+  | Tx_header of string option
+  | Tx_row of string * V.t list
+
+exception Err of int * string
+
+let fail lineno msg = raise (Err (lineno, msg))
+
+let strip_comment s =
+  let cut c s = match String.index_opt s c with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  cut '#' s |> cut '%'
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '~'
+
+(* Parse "NAME(item, item, ...)" returning the name and raw item
+   strings; items may contain quoted strings with commas. *)
+let parse_call lineno s =
+  match String.index_opt s '(' with
+  | None -> fail lineno "expected NAME(...)"
+  | Some lp ->
+      let name = String.trim (String.sub s 0 lp) in
+      if name = "" then fail lineno "missing name before '('";
+      let n = String.length s in
+      if s.[n - 1] <> ')' then fail lineno "missing closing ')'";
+      let body = String.sub s (lp + 1) (n - lp - 2) in
+      (* Split on commas outside quotes; a backslash escapes the next
+         character inside a quoted string. *)
+      let items = ref [] in
+      let buf = Buffer.create 16 in
+      let in_quote = ref false in
+      let escaped = ref false in
+      String.iter
+        (fun c ->
+          if !escaped then begin
+            Buffer.add_char buf c;
+            escaped := false
+          end
+          else if !in_quote && c = '\\' then begin
+            Buffer.add_char buf c;
+            escaped := true
+          end
+          else if c = '"' then begin
+            in_quote := not !in_quote;
+            Buffer.add_char buf c
+          end
+          else if c = ',' && not !in_quote then begin
+            items := Buffer.contents buf :: !items;
+            Buffer.clear buf
+          end
+          else Buffer.add_char buf c)
+        body;
+      if Buffer.length buf > 0 || !items <> [] then
+        items := Buffer.contents buf :: !items;
+      let items = List.rev_map String.trim !items in
+      if List.exists (fun i -> i = "") items && List.length items > 1 then
+        fail lineno "empty item in argument list";
+      (name, List.filter (fun i -> i <> "") items)
+
+let parse_value lineno raw =
+  let n = String.length raw in
+  if n = 0 then fail lineno "empty value"
+  else if raw.[0] = '"' then begin
+    if n < 2 || raw.[n - 1] <> '"' then fail lineno "unterminated string";
+    (* Undo OCaml-style escapes produced by the printer (%S). *)
+    let buf = Buffer.create (n - 2) in
+    let i = ref 1 in
+    while !i < n - 1 do
+      let c = raw.[!i] in
+      if c = '\\' && !i + 1 < n - 1 then begin
+        (match raw.[!i + 1] with
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'r' -> Buffer.add_char buf '\r'
+        | other -> Buffer.add_char buf other);
+        i := !i + 2
+      end
+      else begin
+        Buffer.add_char buf c;
+        incr i
+      end
+    done;
+    V.Str (Buffer.contents buf)
+  end
+  else
+    match raw with
+    | "true" -> V.Bool true
+    | "false" -> V.Bool false
+    | "null" -> V.Null
+    | _ -> (
+        match int_of_string_opt raw with
+        | Some i -> V.Int i
+        | None -> (
+            match float_of_string_opt raw with
+            | Some f -> V.Float f
+            | None ->
+                fail lineno
+                  (Printf.sprintf "cannot parse value %S (strings are quoted)" raw)))
+
+let check_attr lineno a =
+  if a = "" || not (String.for_all is_ident_char a) then
+    fail lineno (Printf.sprintf "bad attribute name %S" a);
+  a
+
+let parse_line lineno s =
+  let s = String.trim (strip_comment s) in
+  if s = "" then None
+  else if String.length s >= 9 && String.sub s 0 9 = "relation " then begin
+    let name, attrs = parse_call lineno (String.sub s 9 (String.length s - 9)) in
+    Some (Relation_decl (name, List.map (check_attr lineno) attrs))
+  end
+  else if String.length s >= 4 && String.sub s 0 4 = "key " then begin
+    let name, attrs = parse_call lineno (String.sub s 4 (String.length s - 4)) in
+    Some (Key_decl (name, List.map (check_attr lineno) attrs))
+  end
+  else if String.length s >= 3 && String.sub s 0 3 = "fd " then begin
+    let name, items = parse_call lineno (String.sub s 3 (String.length s - 3)) in
+    (* items were split on commas; the arrow lives inside one item,
+       e.g. "a, b -> c, d" splits as ["a"; "b -> c"; "d"]. *)
+    let lhs = ref [] and rhs = ref [] and seen_arrow = ref false in
+    List.iter
+      (fun item ->
+        match
+          let rec find i =
+            if i + 1 >= String.length item then None
+            else if item.[i] = '-' && item.[i + 1] = '>' then Some i
+            else find (i + 1)
+          in
+          find 0
+        with
+        | Some i ->
+            if !seen_arrow then fail lineno "two arrows in fd";
+            seen_arrow := true;
+            let l = String.trim (String.sub item 0 i) in
+            let r =
+              String.trim (String.sub item (i + 2) (String.length item - i - 2))
+            in
+            if l <> "" then lhs := l :: !lhs;
+            if r <> "" then rhs := r :: !rhs
+        | None ->
+            if !seen_arrow then rhs := item :: !rhs else lhs := item :: !lhs)
+      items;
+    if not !seen_arrow then fail lineno "fd needs '->'";
+    Some
+      (Fd_decl
+         ( name,
+           List.rev_map (check_attr lineno) !lhs,
+           List.rev_map (check_attr lineno) !rhs ))
+  end
+  else if String.length s >= 4 && String.sub s 0 4 = "ind " then begin
+    let rest = String.sub s 4 (String.length s - 4) in
+    let sep = "<=" in
+    let idx =
+      let rec find i =
+        if i + 1 >= String.length rest then fail lineno "ind needs '<='"
+        else if rest.[i] = '<' && rest.[i + 1] = '=' then i
+        else find (i + 1)
+      in
+      find 0
+    in
+    let left = String.trim (String.sub rest 0 idx) in
+    let right =
+      String.trim (String.sub rest (idx + String.length sep)
+                     (String.length rest - idx - String.length sep))
+    in
+    let sub_name, sub_attrs = parse_call lineno left in
+    let sup_name, sup_attrs = parse_call lineno right in
+    Some
+      (Ind_decl
+         ( sub_name,
+           List.map (check_attr lineno) sub_attrs,
+           sup_name,
+           List.map (check_attr lineno) sup_attrs ))
+  end
+  else if String.length s >= 6 && String.sub s 0 6 = "state " then begin
+    let name, items = parse_call lineno (String.sub s 6 (String.length s - 6)) in
+    Some (State_row (name, List.map (parse_value lineno) items))
+  end
+  else if s = "tx" then Some (Tx_header None)
+  else if String.length s >= 3 && String.sub s 0 3 = "tx " then
+    Some (Tx_header (Some (String.trim (String.sub s 3 (String.length s - 3)))))
+  else begin
+    let name, items = parse_call lineno s in
+    Some (Tx_row (name, List.map (parse_value lineno) items))
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let of_string input =
+  match
+    let lines = String.split_on_char '\n' input in
+    let parsed =
+      List.concat
+        (List.mapi
+           (fun i raw ->
+             match parse_line (i + 1) raw with
+             | Some l -> [ (i + 1, l) ]
+             | None -> [])
+           lines)
+    in
+    let schemas = ref [] in
+    let constraints = ref [] in
+    let state_rows = ref [] in
+    let txs = ref [] (* (label option, rows ref) in reverse *) in
+    let find_schema lineno name =
+      match List.assoc_opt name !schemas with
+      | Some s -> s
+      | None -> fail lineno (Printf.sprintf "relation %s not declared" name)
+    in
+    let check_row lineno name values =
+      let schema = find_schema lineno name in
+      if List.length values <> R.Schema.arity schema then
+        fail lineno
+          (Printf.sprintf "%s expects %d values, got %d" name
+             (R.Schema.arity schema) (List.length values));
+      (name, R.Tuple.make values)
+    in
+    List.iter
+      (fun (lineno, l) ->
+        match l with
+        | Relation_decl (name, attrs) ->
+            if List.mem_assoc name !schemas then
+              fail lineno (Printf.sprintf "relation %s declared twice" name);
+            let schema =
+              try R.Schema.relation name attrs
+              with Invalid_argument msg -> fail lineno msg
+            in
+            schemas := (name, schema) :: !schemas
+        | Key_decl (name, attrs) ->
+            let schema = find_schema lineno name in
+            let c =
+              try R.Constr.key schema attrs
+              with Invalid_argument msg | Failure msg -> fail lineno msg
+                 | Not_found -> fail lineno ("unknown attribute in key on " ^ name)
+            in
+            constraints := c :: !constraints
+        | Fd_decl (name, lhs, rhs) ->
+            let schema = find_schema lineno name in
+            let c =
+              try R.Constr.fd schema lhs rhs
+              with Invalid_argument msg -> fail lineno msg
+                 | Not_found -> fail lineno ("unknown attribute in fd on " ^ name)
+            in
+            constraints := c :: !constraints
+        | Ind_decl (sub_name, sub_attrs, sup_name, sup_attrs) ->
+            let sub = find_schema lineno sub_name in
+            let sup = find_schema lineno sup_name in
+            let c =
+              try R.Constr.ind ~sub sub_attrs ~sup sup_attrs
+              with Invalid_argument msg -> fail lineno msg
+                 | Not_found -> fail lineno "unknown attribute in ind"
+            in
+            constraints := c :: !constraints
+        | State_row (name, values) ->
+            state_rows := check_row lineno name values :: !state_rows
+        | Tx_header label -> txs := (label, ref []) :: !txs
+        | Tx_row (name, values) -> (
+            match !txs with
+            | [] -> fail lineno "transaction row before any 'tx' header"
+            | (_, rows) :: _ -> rows := check_row lineno name values :: !rows))
+      parsed;
+    let catalog = R.Schema.of_list (List.rev_map snd !schemas) in
+    let state = R.Database.create catalog in
+    R.Database.insert_all state (List.rev !state_rows);
+    let txs = List.rev !txs in
+    List.iteri
+      (fun i (_, rows) ->
+        if !rows = [] then
+          fail 0 (Printf.sprintf "transaction #%d has no rows" (i + 1)))
+      txs;
+    let labels =
+      List.mapi
+        (fun i (label, _) ->
+          Option.value label ~default:(Printf.sprintf "T%d" (i + 1)))
+        txs
+    in
+    Bcdb.create ~state
+      ~constraints:(List.rev !constraints)
+      ~pending:(List.map (fun (_, rows) -> List.rev !rows) txs)
+      ~labels ()
+  with
+  | result -> result
+  | exception Err (lineno, msg) ->
+      Error (Printf.sprintf "line %d: %s" lineno msg)
+
+let to_string (db : Bcdb.t) =
+  let buf = Buffer.create 4096 in
+  let catalog = Bcdb.catalog db in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun schema ->
+      pr "relation %s(%s)\n" schema.R.Schema.name
+        (String.concat ", " (Array.to_list schema.R.Schema.attrs)))
+    (R.Schema.relations catalog);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun c ->
+      let attr_names schema positions =
+        String.concat ", "
+          (List.map (fun i -> schema.R.Schema.attrs.(i)) positions)
+      in
+      match c with
+      | R.Constr.Fd f ->
+          let schema = R.Schema.find catalog f.R.Constr.frel in
+          if R.Constr.is_key schema f then
+            pr "key %s(%s)\n" f.R.Constr.frel (attr_names schema f.R.Constr.lhs)
+          else
+            pr "fd %s(%s -> %s)\n" f.R.Constr.frel
+              (attr_names schema f.R.Constr.lhs)
+              (attr_names schema f.R.Constr.rhs)
+      | R.Constr.Ind i ->
+          let sub = R.Schema.find catalog i.R.Constr.sub_rel in
+          let sup = R.Schema.find catalog i.R.Constr.sup_rel in
+          pr "ind %s(%s) <= %s(%s)\n" i.R.Constr.sub_rel
+            (attr_names sub i.R.Constr.sub_attrs)
+            i.R.Constr.sup_rel
+            (attr_names sup i.R.Constr.sup_attrs))
+    db.Bcdb.constraints;
+  Buffer.add_char buf '\n';
+  let pr_tuple name tuple =
+    Printf.sprintf "%s(%s)" name
+      (String.concat ", "
+         (List.map V.to_string (Array.to_list tuple)))
+  in
+  List.iter
+    (fun schema ->
+      let rel = R.Database.relation db.Bcdb.state schema.R.Schema.name in
+      R.Relation.iter
+        (fun tuple -> pr "state %s\n" (pr_tuple schema.R.Schema.name tuple))
+        rel)
+    (R.Schema.relations catalog);
+  Array.iter
+    (fun (tx : Pending.t) ->
+      pr "\ntx %s\n" tx.Pending.label;
+      List.iter
+        (fun (name, tuple) -> pr "  %s\n" (pr_tuple name tuple))
+        tx.Pending.rows)
+    db.Bcdb.pending;
+  Buffer.contents buf
+
+let parse_row catalog input =
+  match
+    let name, items = parse_call 1 (String.trim (strip_comment input)) in
+    match R.Schema.find_opt catalog name with
+    | None -> Error (Printf.sprintf "unknown relation %s" name)
+    | Some schema ->
+        let values = List.map (parse_value 1) items in
+        if List.length values <> R.Schema.arity schema then
+          Error
+            (Printf.sprintf "%s expects %d values, got %d" name
+               (R.Schema.arity schema) (List.length values))
+        else Ok (name, R.Tuple.make values)
+  with
+  | result -> result
+  | exception Err (_, msg) -> Error msg
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> of_string contents
+  | exception Sys_error msg -> Error msg
+
+let save path db =
+  match Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_string db)) with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg

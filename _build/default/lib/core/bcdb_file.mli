@@ -1,0 +1,45 @@
+(** A plain-text format for blockchain databases, so that instances can be
+    saved, versioned and fed to the CLI. Example:
+
+    {v
+    # comments run to the end of the line
+    relation TxOut(txId, ser, pk, amount)
+    relation TxIn(prevTxId, prevSer, pk, amount, newTxId, sig)
+    key TxOut(txId, ser)
+    key TxIn(prevTxId, prevSer)
+    fd TxOut(txId -> pk)                      # plain fd
+    ind TxIn(prevTxId) <= TxOut(txId)
+
+    state TxOut("1", 1, "U1Pk", 1.0)
+    state TxIn("1", 1, "U1Pk", 1.0, "3", "U1Sig")
+
+    tx T1
+      TxIn("2", 2, "U2Pk", 4.0, "4", "U2Sig")
+      TxOut("4", 1, "U5Pk", 1.0)
+
+    tx
+      TxOut("8", 1, "U7Pk", 4.0)
+    v}
+
+    Declarations may appear in any order except that relations must be
+    declared before use and transaction rows follow their [tx] header.
+    Values are integers, floats (with a decimal point), double-quoted
+    strings, [true], [false] or [null]. *)
+
+val of_string : string -> (Bcdb.t, string) result
+(** Parse and validate (including [R |= I]); errors carry a line
+    number. *)
+
+val to_string : Bcdb.t -> string
+(** Render in the same format; [of_string (to_string db)] reconstructs an
+    equivalent database. *)
+
+val load : string -> (Bcdb.t, string) result
+(** Read from a file path. *)
+
+val save : string -> Bcdb.t -> (unit, string) result
+
+val parse_row :
+  Relational.Schema.t -> string -> (string * Relational.Tuple.t, string) result
+(** Parse a single ["Name(v1, v2, ...)"] row against a catalog — the
+    building block interactive tools use to accept tuples. *)

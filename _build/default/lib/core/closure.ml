@@ -1,0 +1,28 @@
+module R = Relational
+module Bitset = Bcgraph.Bitset
+
+let run store ~constraints ~candidates =
+  let saved = Tagged_store.world store in
+  let k = Tagged_store.tx_count store in
+  let included = Bitset.create k in
+  Tagged_store.set_world store included;
+  let src = Tagged_store.source store in
+  let remaining = ref (Bitset.to_list candidates) in
+  let progress = ref true in
+  while !progress && !remaining <> [] do
+    progress := false;
+    remaining :=
+      List.filter
+        (fun id ->
+          let rows = Tagged_store.tx_rows store id in
+          if R.Check.batch_consistent src constraints rows then begin
+            Bitset.add included id;
+            Tagged_store.set_world store included;
+            progress := true;
+            false
+          end
+          else true)
+        !remaining
+  done;
+  Tagged_store.set_world store saved;
+  included

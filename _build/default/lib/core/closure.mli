@@ -1,0 +1,17 @@
+(** The greedy append loop shared by [getMaximal] (Fig. 4) and
+    possible-world recognition: repeatedly make visible any candidate
+    transaction whose addition keeps the given constraints satisfied,
+    until a fixpoint. Each successful step is one application of the
+    can-append relation [→T,I] restricted to the candidate set.
+
+    The consistency check per step is incremental: only the candidate's
+    own rows are examined (fd violations must involve a new tuple; ind
+    support can only grow). *)
+
+val run :
+  Tagged_store.t ->
+  constraints:Relational.Constr.t list ->
+  candidates:Bcgraph.Bitset.t ->
+  Bcgraph.Bitset.t
+(** Returns the set of transactions appended. The store's active world is
+    restored before returning. *)

@@ -1,0 +1,72 @@
+module Q = Bcquery
+
+type verdict = Ptime of string | Conp_complete of string | Conp of string
+
+let verdict_string = function
+  | Ptime why -> "PTIME (" ^ why ^ ")"
+  | Conp_complete why -> "CoNP-complete (" ^ why ^ ")"
+  | Conp why -> "in CoNP (" ^ why ^ ")"
+
+let pp ppf v = Format.pp_print_string ppf (verdict_string v)
+
+let classify db q =
+  let profile = Bcdb.constraint_profile db in
+  let has_ind = List.mem `Ind profile in
+  let has_fd = List.mem `Fd profile || List.mem `Key profile in
+  let fd_only = not has_ind in
+  let ind_only = not has_fd in
+  match q with
+  | Q.Query.Boolean body ->
+      if fd_only then Ptime "Theorem 1(1): DCSat(Qc, {key, fd})"
+      else if ind_only then Ptime "Theorem 1(1): DCSat(Qc, {ind})"
+      else if Q.Cq.is_positive body then
+        Conp_complete "Theorem 1(2): DCSat(Q+c, {key, ind})"
+      else Conp_complete "Theorem 1(2) with Corollary 1: DCSat(Qc, {key, ind})"
+  | Q.Query.Aggregate a ->
+      let positive = Q.Cq.is_positive a.Q.Query.body in
+      let agg = a.Q.Query.agg and theta = a.Q.Query.theta in
+      if fd_only then begin
+        match (agg, theta) with
+        | (Q.Query.Max | Q.Query.Min), _ ->
+            if positive then Ptime "Theorem 2(1): DCSat(Qmax, {key, fd})"
+            else Ptime "Theorem 2(1): DCSat(Qmax, {key, fd}) (min by symmetry)"
+        | (Q.Query.Count | Q.Query.Cntd | Q.Query.Sum), Q.Query.Lt ->
+            Ptime "Theorem 2(2): DCSat(Qα,<, {key, fd})"
+        | (Q.Query.Count | Q.Query.Cntd | Q.Query.Sum), (Q.Query.Gt | Q.Query.Eq)
+          ->
+            if positive then
+              Conp_complete "Theorem 2(3): DCSat(Q+α,θ, {key}), θ ∈ {>, =}"
+            else Conp "Corollary 1; hardness from Theorem 2(3)"
+      end
+      else if ind_only then begin
+        match (agg, theta) with
+        | (Q.Query.Count | Q.Query.Cntd | Q.Query.Sum), Q.Query.Gt ->
+            if positive then Ptime "Theorem 2(4): DCSat(Q+α,>, {ind})"
+            else Conp_complete "Theorem 2(6): DCSat(Qα,>, {ind})"
+        | Q.Query.Max, Q.Query.Gt ->
+            Ptime "Theorem 2(7): DCSat(Qmax,>, {ind})"
+        | Q.Query.Min, Q.Query.Lt ->
+            Ptime "Theorem 2(7): DCSat(Qmax,>, {ind}) (min by symmetry)"
+        | ( (Q.Query.Count | Q.Query.Cntd | Q.Query.Sum | Q.Query.Max),
+            (Q.Query.Lt | Q.Query.Eq) ) ->
+            if positive then
+              Conp_complete "Theorem 2(5): DCSat(Q+α,θ, {ind}), θ ∈ {<, =}"
+            else Conp "Corollary 1; hardness from Theorem 2(5)"
+        | Q.Query.Min, (Q.Query.Gt | Q.Query.Eq) ->
+            if positive then
+              Conp_complete
+                "Theorem 2(5): DCSat(Q+α,θ, {ind}) (min by symmetry)"
+            else Conp "Corollary 1; hardness from Theorem 2(5)"
+      end
+      else begin
+        match agg with
+        | Q.Query.Max | Q.Query.Min ->
+            if positive then
+              Conp_complete "Theorem 2(8): DCSat(Q+max, {key, ind})"
+            else Conp "Corollary 1; hardness from Theorem 2(8)"
+        | Q.Query.Count | Q.Query.Cntd | Q.Query.Sum ->
+            if positive then
+              Conp_complete
+                "Theorems 2(3)/2(5): hardness holds within {key, ind}"
+            else Conp "Corollary 1"
+      end

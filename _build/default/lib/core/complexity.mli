@@ -1,0 +1,24 @@
+(** The complexity classification of Theorems 1–2 and Corollary 1, as an
+    executable decision table: given a database's constraint profile Δ
+    and a denial constraint's query class, what is the data complexity of
+    [DCSat(Q, Δ)]?
+
+    Useful for tooling (warn before an expensive check), documentation,
+    and tests that pin the implementation to the paper's statements. The
+    classification is about the {e class} an instance belongs to —
+    individual instances may of course be easy. *)
+
+type verdict =
+  | Ptime of string  (** Tractable; the string cites the theorem. *)
+  | Conp_complete of string
+  | Conp of string
+      (** In CoNP (Corollary 1); completeness not claimed by the paper
+          for this exact class. *)
+
+val classify : Bcdb.t -> Bcquery.Query.t -> verdict
+(** Classify with respect to the database's constraint types and the
+    query's syntactic class (positivity, aggregate, comparison
+    operator). *)
+
+val verdict_string : verdict -> string
+val pp : Format.formatter -> verdict -> unit

@@ -1,0 +1,28 @@
+(** Deriving contradicting transactions — the first future-work item of
+    Section 8 ("automatically derive a new transaction that contradicts
+    previous transactions"), in schema-generic form.
+
+    A transaction [T'] contradicts a pending transaction [T] when no
+    possible world contains both — achieved by making [T'] collide with
+    [T] on a functional dependency: they agree on some fd's lhs but
+    differ on its rhs (for Bitcoin's [TxIn] key this is precisely a
+    double spend of the same outpoint, the paper's footnote-3 "more
+    attractive contradicting transaction").
+
+    The derivation copies the target's rows and renames one rhs value
+    consistently throughout (so internal inclusion dependencies keep
+    holding), then checks that the candidate is individually includable
+    and really conflicts. *)
+
+val derive :
+  Session.t -> int -> ((string * Relational.Tuple.t) list, string) result
+(** [derive session id] builds a transaction contradicting pending
+    transaction [id], or explains why none was found. The result is
+    verified: it is includable over the current state alone and collides
+    with the target on a functional dependency. *)
+
+val conflicts_on_fd :
+  Session.t -> int -> (string * Relational.Tuple.t) list -> bool
+(** Whether the candidate rows collide with pending transaction [id] on
+    some fd of the database (same lhs projection, different rhs) — the
+    sufficient condition for mutual exclusion in every world. *)

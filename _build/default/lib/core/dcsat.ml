@@ -1,0 +1,211 @@
+module R = Relational
+module Q = Bcquery
+module Bitset = Bcgraph.Bitset
+module Undirected = Bcgraph.Undirected
+
+type stats = {
+  worlds_checked : int;
+  cliques_enumerated : int;
+  components_total : int;
+  components_covered : int;
+  precheck_decided : bool;
+  runtime : float;
+}
+
+type outcome = {
+  satisfied : bool;
+  witness_world : int list option;
+  witness : (string * R.Value.t) list option;
+  stats : stats;
+}
+
+type refusal = [ `Not_monotone of string | `Not_connected ]
+
+type event =
+  | Precheck_decided
+  | Components_found of int
+  | Component_skipped of int list
+  | Component_entered of int list
+  | Clique_found of int list
+  | World_evaluated of int list * bool
+
+let pp_refusal ppf = function
+  | `Not_monotone reason -> Format.fprintf ppf "not monotone: %s" reason
+  | `Not_connected -> Format.pp_print_string ppf "not a connected conjunctive query"
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "%s (worlds=%d cliques=%d comps=%d/%d precheck=%b %.4fs)"
+    (if o.satisfied then "SATISFIED" else "UNSATISFIED")
+    o.stats.worlds_checked o.stats.cliques_enumerated
+    o.stats.components_covered o.stats.components_total
+    o.stats.precheck_decided o.stats.runtime
+
+(* Mutable counters threaded through a run. *)
+type counters = {
+  mutable worlds : int;
+  mutable cliques : int;
+  mutable comps : int;
+  mutable covered : int;
+}
+
+let fresh_counters () = { worlds = 0; cliques = 0; comps = 0; covered = 0 }
+
+let finish ~t0 ~precheck counters satisfied witness_world witness =
+  {
+    satisfied;
+    witness_world;
+    witness;
+    stats =
+      {
+        worlds_checked = counters.worlds;
+        cliques_enumerated = counters.cliques;
+        components_total = counters.comps;
+        components_covered = counters.covered;
+        precheck_decided = precheck;
+        runtime = Unix.gettimeofday () -. t0;
+      };
+  }
+
+let eval_world session counters world =
+  let store = Session.store session in
+  counters.worlds <- counters.worlds + 1;
+  Tagged_store.set_world store world;
+  Tagged_store.source store
+
+(* Evaluate q over the world; on violation return the witness. *)
+let violated session counters q world =
+  let src = eval_world session counters world in
+  match q with
+  | Q.Query.Boolean body -> (
+      match Q.Eval.find_witness src body with
+      | Some assignment -> Some (Bitset.to_list world, Some assignment)
+      | None -> None)
+  | Q.Query.Aggregate _ ->
+      if Q.Eval.eval src q then Some (Bitset.to_list world, None) else None
+
+let brute_force session q =
+  let t0 = Unix.gettimeofday () in
+  let store = Session.store session in
+  let counters = fresh_counters () in
+  let violation = ref None in
+  Poss.enumerate store (fun world ->
+      match violated session counters q world with
+      | Some (txs, witness) ->
+          violation := Some (txs, witness);
+          `Stop
+      | None -> `Continue);
+  match !violation with
+  | Some (txs, witness) ->
+      finish ~t0 ~precheck:false counters false (Some txs) witness
+  | None -> finish ~t0 ~precheck:false counters true None None
+
+(* The monotone pre-check: q false over R ∪ T implies satisfied. *)
+let precheck session q =
+  let store = Session.store session in
+  Tagged_store.all_visible store;
+  not (Q.Eval.eval (Tagged_store.source store) q)
+
+(* Iterate maximal worlds arising from the maximal cliques of the fd
+   graph restricted to [nodes]; evaluate q on each. Returns a violation
+   or None. Counts via [counters]. *)
+let check_cliques ?(on_event = ignore) session counters q nodes =
+  let store = Session.store session in
+  let fd = Session.fd_graph session in
+  let sub, back = Undirected.induced fd.Fd_graph.graph nodes in
+  let violation = ref None in
+  Bcgraph.Bron_kerbosch.iter_maximal_cliques sub (fun clique ->
+      counters.cliques <- counters.cliques + 1;
+      let members = List.map (fun i -> back.(i)) clique in
+      on_event (Clique_found members);
+      let world = Get_maximal.run_list store members in
+      match violated session counters q world with
+      | Some v ->
+          on_event (World_evaluated (fst v, true));
+          violation := Some v;
+          `Stop
+      | None ->
+          on_event (World_evaluated (Bitset.to_list world, false));
+          `Continue);
+  !violation
+
+let require_monotone q k =
+  match Q.Monotone.analyze q with
+  | Q.Monotone.Monotone -> k ()
+  | Q.Monotone.Not_monotone reason -> Error (`Not_monotone reason)
+
+let base_world_check session counters q =
+  let store = Session.store session in
+  let empty = Bitset.create (Tagged_store.tx_count store) in
+  violated session counters q empty
+
+let naive ?(use_precheck = true) ?(on_event = ignore) session q =
+  require_monotone q @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let counters = fresh_counters () in
+  if use_precheck && precheck session q then begin
+    on_event Precheck_decided;
+    Ok (finish ~t0 ~precheck:true counters true None None)
+  end
+  else begin
+    let store = Session.store session in
+    let k = Tagged_store.tx_count store in
+    let all = List.init k Fun.id in
+    let violation =
+      if k = 0 then base_world_check session counters q
+      else check_cliques ~on_event session counters q all
+    in
+    match violation with
+    | Some (txs, witness) ->
+        Ok (finish ~t0 ~precheck:false counters false (Some txs) witness)
+    | None -> Ok (finish ~t0 ~precheck:false counters true None None)
+  end
+
+let opt ?(use_precheck = true) ?(use_covers = true) ?(on_event = ignore)
+    session q =
+  require_monotone q @@ fun () ->
+  match q with
+  | Q.Query.Aggregate _ -> Error `Not_connected
+  | Q.Query.Boolean body ->
+      if not (Q.Gaifman.is_connected body) then Error `Not_connected
+      else begin
+        let t0 = Unix.gettimeofday () in
+        let counters = fresh_counters () in
+        if use_precheck && precheck session q then begin
+          on_event Precheck_decided;
+          Ok (finish ~t0 ~precheck:true counters true None None)
+        end
+        else begin
+          let store = Session.store session in
+          let k = Tagged_store.tx_count store in
+          let violation =
+            if k = 0 then base_world_check session counters q
+            else begin
+              let graph = Ind_graph.build store q (Session.ind_base_edges session) in
+              let components = Bcgraph.Components.of_graph graph in
+              counters.comps <- List.length components;
+              on_event (Components_found (List.length components));
+              let rec go = function
+                | [] -> None
+                | component :: rest ->
+                    if (not use_covers) || Covers.covers store component q
+                    then begin
+                      counters.covered <- counters.covered + 1;
+                      on_event (Component_entered component);
+                      match check_cliques ~on_event session counters q component with
+                      | Some v -> Some v
+                      | None -> go rest
+                    end
+                    else begin
+                      on_event (Component_skipped component);
+                      go rest
+                    end
+              in
+              go components
+            end
+          in
+          match violation with
+          | Some (txs, witness) ->
+              Ok (finish ~t0 ~precheck:false counters false (Some txs) witness)
+          | None -> Ok (finish ~t0 ~precheck:false counters true None None)
+        end
+      end

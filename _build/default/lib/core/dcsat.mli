@@ -1,0 +1,83 @@
+(** Denial constraint satisfaction (Sections 5–6): decide whether
+    [D |= ¬q], i.e. whether the denial constraint's underlying query is
+    false over {e every} possible world.
+
+    Three solvers:
+
+    - {!brute_force} — exact for {e any} query class, by exhaustive
+      possible-world enumeration (exponential; small pending sets only).
+      The reference implementation the practical algorithms are tested
+      against.
+    - {!naive} — [NaiveDCSat] (Fig. 4): sound and complete for
+      {e monotone} denial constraints; iterates over the maximal cliques
+      of the fd-transaction graph and evaluates [q] over the maximal
+      world of each.
+    - {!opt} — [OptDCSat] (Fig. 5): additionally requires the query to be
+      {e connected}; splits the pending set into connected components of
+      the ind-q-transaction graph, skips components that cannot cover the
+      query's constants, and runs the clique enumeration per component.
+
+    Both practical solvers apply the paper's pre-check first: if [q] is
+    already false over [R ∪ T] (all transactions visible), monotonicity
+    makes it false over every possible world, and the constraint is
+    satisfied without any enumeration. *)
+
+type stats = {
+  worlds_checked : int;  (** Maximal worlds materialized and evaluated. *)
+  cliques_enumerated : int;
+  components_total : int;  (** OptDCSat only. *)
+  components_covered : int;  (** Components passing the Covers test. *)
+  precheck_decided : bool;  (** Answer came from the [R ∪ T] pre-check. *)
+  runtime : float;  (** Wall-clock seconds. *)
+}
+
+type outcome = {
+  satisfied : bool;  (** [D |= ¬q]. *)
+  witness_world : int list option;
+      (** Transactions of a violating possible world, when unsatisfied. *)
+  witness : (string * Relational.Value.t) list option;
+      (** A satisfying assignment over that world (Boolean queries). *)
+  stats : stats;
+}
+
+type refusal =
+  [ `Not_monotone of string
+    (** The solver requires a monotone denial constraint. *)
+  | `Not_connected
+    (** OptDCSat requires a connected conjunctive query. *) ]
+
+type event =
+  | Precheck_decided  (** q false over [R ∪ T]: satisfied immediately. *)
+  | Components_found of int  (** OptDCSat: component count. *)
+  | Component_skipped of int list  (** Failed the Covers test. *)
+  | Component_entered of int list
+  | Clique_found of int list
+  | World_evaluated of int list * bool  (** Included txs, q's value. *)
+(** Trace events, in execution order; pass [on_event] to {!naive}/{!opt}
+    to observe the solver's decisions (see {!Explain}). *)
+
+val pp_refusal : Format.formatter -> refusal -> unit
+
+val brute_force : Session.t -> Bcquery.Query.t -> outcome
+(** Raises [Invalid_argument] beyond 24 pending transactions. *)
+
+val naive :
+  ?use_precheck:bool ->
+  ?on_event:(event -> unit) ->
+  Session.t ->
+  Bcquery.Query.t ->
+  (outcome, refusal) result
+(** [use_precheck] (default true) disables the [R ∪ T] pre-check for
+    ablation measurements. *)
+
+val opt :
+  ?use_precheck:bool ->
+  ?use_covers:bool ->
+  ?on_event:(event -> unit) ->
+  Session.t ->
+  Bcquery.Query.t ->
+  (outcome, refusal) result
+(** [use_covers] (default true) disables the constant-coverage component
+    filter for ablation measurements. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

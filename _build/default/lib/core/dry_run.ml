@@ -1,0 +1,22 @@
+let with_transaction session ?label rows f =
+  let store = Session.store session in
+  let db' = Bcdb.with_pending (Session.db session) ?label rows in
+  let journal = Tagged_store.append_tx store db' in
+  Fun.protect
+    ~finally:(fun () -> Tagged_store.undo store journal)
+    (fun () ->
+      let extended = Session.extended session in
+      f extended (Tagged_store.tx_count store - 1))
+
+let safe_to_issue session ?label rows constraints =
+  with_transaction session ?label rows (fun extended _id ->
+      let rec go acc = function
+        | [] -> Ok (true, List.rev acc)
+        | q :: rest -> (
+            match Solver.solve extended q with
+            | Error msg -> Error msg
+            | Ok (outcome, _) ->
+                if outcome.Dcsat.satisfied then go ((q, outcome) :: acc) rest
+                else Ok (false, List.rev ((q, outcome) :: acc)))
+      in
+      go [] constraints)

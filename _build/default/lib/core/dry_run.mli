@@ -1,0 +1,35 @@
+(** Hypothetical transactions — the paper's primary workflow (Example 4,
+    Section 7): before actually issuing a transaction, the user adds it
+    {e hypothetically} to the pending set and checks her denial
+    constraints; only if they are satisfied is the transaction safe to
+    broadcast.
+
+    [with_transaction] extends a warm session in place — the loaded
+    tuples, indexes, fd-transaction graph, ΘI edges and includability
+    flags are all shared, and only the hypothetical transaction's node
+    and edges are computed (Section 6.3's steady-state maintenance) —
+    runs the callback, and rolls everything back. On a large pending set
+    this is orders of magnitude cheaper than rebuilding a session per
+    what-if (see the benchmark's ablation section). *)
+
+val with_transaction :
+  Session.t ->
+  ?label:string ->
+  (string * Relational.Tuple.t) list ->
+  (Session.t -> int -> 'a) ->
+  'a
+(** [with_transaction session rows f] calls [f extended_session tx_id]
+    where [tx_id] is the hypothetical transaction's id, then rolls the
+    shared store back (also on exception). The extended session must not
+    be used after [f] returns. Nesting is allowed (LIFO). *)
+
+val safe_to_issue :
+  Session.t ->
+  ?label:string ->
+  (string * Relational.Tuple.t) list ->
+  Bcquery.Query.t list ->
+  (bool * (Bcquery.Query.t * Dcsat.outcome) list, string) result
+(** Dry-run a transaction against a list of denial constraints using the
+    dispatching solver: [Ok (true, outcomes)] when every constraint
+    remains satisfied with the transaction pending, so it is safe to
+    broadcast. [Error] if some constraint cannot be decided. *)

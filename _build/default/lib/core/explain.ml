@@ -1,0 +1,106 @@
+module Q = Bcquery
+
+type report = {
+  query : string;
+  monotone : bool;
+  monotone_reason : string option;
+  connected : bool;
+  complexity : Complexity.verdict;
+  strategy : string;
+  outcome : Dcsat.outcome;
+  trace : Dcsat.event list;
+  trace_truncated : bool;
+}
+
+let run ?(max_events = 50) session q =
+  let monotone, monotone_reason =
+    match Q.Monotone.analyze q with
+    | Q.Monotone.Monotone -> (true, None)
+    | Q.Monotone.Not_monotone reason -> (false, Some reason)
+  in
+  let connected =
+    match q with
+    | Q.Query.Boolean body -> Q.Gaifman.is_connected body
+    | Q.Query.Aggregate _ -> false
+  in
+  let complexity = Complexity.classify (Session.db session) q in
+  let events = ref [] in
+  let count = ref 0 in
+  let truncated = ref false in
+  let on_event e =
+    incr count;
+    if !count <= max_events then events := e :: !events else truncated := true
+  in
+  let traced =
+    (* Prefer the same order as the dispatcher, but instrument the paths
+       that support tracing. *)
+    match Tractable.solve session q with
+    | Some (outcome, case) ->
+        Ok (outcome, "tractable: " ^ Tractable.case_name case)
+    | None -> (
+        match Dcsat.opt ~on_event session q with
+        | Ok outcome -> Ok (outcome, "OptDCSat")
+        | Error `Not_connected -> (
+            match Dcsat.naive ~on_event session q with
+            | Ok outcome -> Ok (outcome, "NaiveDCSat")
+            | Error refusal ->
+                Error (Format.asprintf "%a" Dcsat.pp_refusal refusal))
+        | Error (`Not_monotone _) ->
+            if Tagged_store.tx_count (Session.store session) > 24 then
+              Error
+                "not monotone and too many pending transactions to enumerate"
+            else Ok (Dcsat.brute_force session q, "brute force"))
+  in
+  Result.map
+    (fun (outcome, strategy) ->
+      {
+        query = Q.Query.to_string q;
+        monotone;
+        monotone_reason;
+        connected;
+        complexity;
+        strategy;
+        outcome;
+        trace = List.rev !events;
+        trace_truncated = !truncated;
+      })
+    traced
+
+let pp_ids ~labels ppf ids =
+  Format.fprintf ppf "{%s}" (String.concat ", " (List.map labels ids))
+
+let pp_event ~labels ppf = function
+  | Dcsat.Precheck_decided ->
+      Format.pp_print_string ppf
+        "pre-check: q is false over R ∪ T, hence over every world"
+  | Dcsat.Components_found n -> Format.fprintf ppf "%d components in G^{q,ind}" n
+  | Dcsat.Component_skipped ids ->
+      Format.fprintf ppf "component %a skipped (constants not covered)"
+        (pp_ids ~labels) ids
+  | Dcsat.Component_entered ids ->
+      Format.fprintf ppf "exploring component %a" (pp_ids ~labels) ids
+  | Dcsat.Clique_found ids ->
+      Format.fprintf ppf "maximal clique %a" (pp_ids ~labels) ids
+  | Dcsat.World_evaluated (ids, value) ->
+      Format.fprintf ppf "world R ∪ %a: q is %b" (pp_ids ~labels) ids value
+
+let pp ~labels ppf r =
+  Format.fprintf ppf "@[<v>query: %s@ " r.query;
+  Format.fprintf ppf "monotone: %b%s@ " r.monotone
+    (match r.monotone_reason with Some why -> " (" ^ why ^ ")" | None -> "");
+  Format.fprintf ppf "connected: %b@ " r.connected;
+  Format.fprintf ppf "complexity class: %a@ " Complexity.pp r.complexity;
+  Format.fprintf ppf "strategy: %s@ " r.strategy;
+  Format.fprintf ppf "result: %s@ "
+    (if r.outcome.Dcsat.satisfied then "SATISFIED (holds in every world)"
+     else "UNSATISFIED (violated in some world)");
+  if r.trace <> [] then begin
+    Format.fprintf ppf "trace:@ ";
+    List.iter (fun e -> Format.fprintf ppf "  %a@ " (pp_event ~labels) e) r.trace;
+    if r.trace_truncated then Format.fprintf ppf "  ... (truncated)@ "
+  end;
+  Format.fprintf ppf "@]"
+
+let to_string db r =
+  let labels i = db.Bcdb.pending.(i).Pending.label in
+  Format.asprintf "%a" (pp ~labels) r

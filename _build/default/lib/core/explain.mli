@@ -1,0 +1,32 @@
+(** Human-readable reports about a denial-constraint check: the query's
+    syntactic properties, the complexity class of the instance, which
+    solver ran, and a bounded trace of its decisions (components skipped
+    by Covers, cliques enumerated, worlds evaluated). *)
+
+type report = {
+  query : string;
+  monotone : bool;
+  monotone_reason : string option;  (** Why not, when not monotone. *)
+  connected : bool;
+  complexity : Complexity.verdict;
+  strategy : string;
+  outcome : Dcsat.outcome;
+  trace : Dcsat.event list;  (** At most [max_events], execution order. *)
+  trace_truncated : bool;
+}
+
+val run :
+  ?max_events:int ->
+  Session.t ->
+  Bcquery.Query.t ->
+  (report, string) result
+(** Solve with the dispatcher's preference order (tracing only applies to
+    the Naive/Opt paths; tractable and brute-force runs yield an empty
+    trace). [max_events] defaults to 50. *)
+
+val pp_event : labels:(int -> string) -> Format.formatter -> Dcsat.event -> unit
+val pp : labels:(int -> string) -> Format.formatter -> report -> unit
+(** [labels] maps transaction ids to display names
+    (e.g. [fun i -> db.pending.(i).label]). *)
+
+val to_string : Bcdb.t -> report -> string

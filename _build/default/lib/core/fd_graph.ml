@@ -1,0 +1,141 @@
+module R = Relational
+module Undirected = Bcgraph.Undirected
+
+type t = {
+  graph : Undirected.t;
+  node_ok : bool array;
+  conflicts : (int * int) list;
+}
+
+let conflict_count t = List.length t.conflicts
+
+let node_valid store id =
+  let db = Tagged_store.db store in
+  let fd_constraints = List.map (fun f -> R.Constr.Fd f) (Bcdb.fds db) in
+  let saved = Tagged_store.world store in
+  Tagged_store.base_only store;
+  let ok =
+    R.Check.batch_consistent (Tagged_store.source store) fd_constraints
+      (Tagged_store.tx_rows store id)
+  in
+  Tagged_store.set_world store saved;
+  ok
+
+(* Pending transactions whose rows collide with transaction [id] on some
+   fd (same lhs projection, different rhs), found through the store's
+   indexes over R ∪ T. *)
+let conflicts_of store id =
+  let db = Tagged_store.db store in
+  let saved = Tagged_store.world store in
+  Tagged_store.all_visible store;
+  let src = Tagged_store.source store in
+  let tx = db.Bcdb.pending.(id) in
+  let acc = Hashtbl.create 8 in
+  List.iter
+    (fun (f : R.Constr.fd) ->
+      List.iter
+        (fun tuple ->
+          let binds = List.map (fun col -> (col, tuple.(col))) f.R.Constr.lhs in
+          let rhs = R.Tuple.project tuple f.R.Constr.rhs in
+          src.R.Source.lookup f.R.Constr.frel binds
+          |> Seq.iter (fun other ->
+                 if not (R.Tuple.equal (R.Tuple.project other f.R.Constr.rhs) rhs)
+                 then
+                   List.iter
+                     (fun origin ->
+                       if origin >= 0 && origin <> id then
+                         Hashtbl.replace acc origin ())
+                     (Tagged_store.origins store f.R.Constr.frel other)))
+        (Pending.rows_for tx f.R.Constr.frel))
+    (Bcdb.fds db);
+  Tagged_store.set_world store saved;
+  Hashtbl.fold (fun j () l -> j :: l) acc [] |> List.sort Int.compare
+
+let extend g store =
+  let k = Tagged_store.tx_count store in
+  let id = k - 1 in
+  if Array.length g.node_ok <> id then
+    invalid_arg "Fd_graph.extend: store is not one transaction ahead";
+  let ok = node_valid store id in
+  let conflicting = conflicts_of store id in
+  let graph = Undirected.extend g.graph 1 in
+  let node_ok = Array.append g.node_ok [| ok |] in
+  if ok then
+    for j = 0 to id - 1 do
+      if node_ok.(j) && not (List.mem j conflicting) then
+        Undirected.add_edge graph id j
+    done;
+  let conflicts =
+    g.conflicts
+    @ List.filter_map
+        (fun j -> if node_ok.(j) && ok then Some (j, id) else None)
+        conflicting
+  in
+  { graph; node_ok; conflicts }
+
+let build store =
+  let db = Tagged_store.db store in
+  let fds = Bcdb.fds db in
+  let fd_constraints = List.map (fun f -> R.Constr.Fd f) fds in
+  let k = Tagged_store.tx_count store in
+  (* Node validity: R ∪ T_i satisfies the fds. *)
+  let saved = Tagged_store.world store in
+  Tagged_store.base_only store;
+  let base_src = Tagged_store.source store in
+  let node_ok =
+    Array.init k (fun id ->
+        R.Check.batch_consistent base_src fd_constraints
+          (Tagged_store.tx_rows store id))
+  in
+  Tagged_store.set_world store saved;
+  (* Pairwise conflicts: bucket pending rows by fd-lhs projection. *)
+  let conflict = Hashtbl.create 64 in
+  let record i j =
+    let key = if i < j then (i, j) else (j, i) in
+    Hashtbl.replace conflict key ()
+  in
+  List.iter
+    (fun (f : R.Constr.fd) ->
+      let buckets = R.Tuple.Tbl.create 256 in
+      Array.iter
+        (fun (tx : Pending.t) ->
+          List.iter
+            (fun tuple ->
+              let lhs = R.Tuple.project tuple f.R.Constr.lhs in
+              let rhs = R.Tuple.project tuple f.R.Constr.rhs in
+              let prev =
+                Option.value (R.Tuple.Tbl.find_opt buckets lhs) ~default:[]
+              in
+              R.Tuple.Tbl.replace buckets lhs ((tx.Pending.id, rhs) :: prev))
+            (Pending.rows_for tx f.R.Constr.frel))
+        db.Bcdb.pending;
+      R.Tuple.Tbl.iter
+        (fun _ entries ->
+          let rec pairs = function
+            | [] -> ()
+            | (i, rhs_i) :: rest ->
+                List.iter
+                  (fun (j, rhs_j) ->
+                    if i <> j && not (R.Tuple.equal rhs_i rhs_j) then record i j)
+                  rest;
+                pairs rest
+          in
+          pairs entries)
+        buckets)
+    fds;
+  let graph = Undirected.create k in
+  for i = 0 to k - 1 do
+    if node_ok.(i) then
+      for j = i + 1 to k - 1 do
+        if node_ok.(j) && not (Hashtbl.mem conflict (i, j)) then
+          Undirected.add_edge graph i j
+      done
+  done;
+  let conflicts =
+    Hashtbl.fold
+      (fun (i, j) () acc ->
+        if node_ok.(i) && node_ok.(j) then (i, j) :: acc else acc)
+      conflict []
+    |> List.sort compare
+  in
+  { graph; node_ok; conflicts }

@@ -1,0 +1,33 @@
+(** The fd-transaction graph [G^fd_T] (Section 6.1): one node per pending
+    transaction, an edge between every pair of transactions that are
+    mutually consistent with respect to the functional dependencies.
+    Every possible world is a clique of this graph, so monotone denial
+    constraints only need the maximal cliques.
+
+    Beyond the paper's definition, a node is {e valid} only if its
+    transaction is fd-consistent with the current state on its own
+    ([R ∪ T |= I_fd]); invalid nodes can never join any world and are
+    left isolated. Edges are checked against [R ∪ T ∪ T'] for the same
+    reason. For schemas with fresh key values (like Bitcoin's) this
+    coincides with the paper's [T ∪ T' |= I_fd].
+
+    Construction is near-linear: for each fd, pending rows are bucketed
+    by their lhs projection and only same-bucket pairs with differing rhs
+    conflict; the graph is the complement of the conflict relation over
+    valid nodes. *)
+
+type t = private {
+  graph : Bcgraph.Undirected.t;
+  node_ok : bool array;  (** [R ∪ T_i |= I_fd]. *)
+  conflicts : (int * int) list;  (** Conflicting valid pairs found. *)
+}
+
+val build : Tagged_store.t -> t
+val conflict_count : t -> int
+
+val extend : t -> Tagged_store.t -> t
+(** [extend g store] incrementally adds the store's newest transaction
+    (id = [tx_count - 1]) as one more node: its validity and its
+    conflicts against the other pending transactions are found through
+    the store's indexes, without re-examining existing pairs. The
+    steady-state maintenance of Section 6.3. *)

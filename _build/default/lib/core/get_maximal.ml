@@ -1,0 +1,6 @@
+let run store candidates =
+  let db = Tagged_store.db store in
+  Closure.run store ~constraints:db.Bcdb.constraints ~candidates
+
+let run_list store ids =
+  run store (Bcgraph.Bitset.of_list (Tagged_store.tx_count store) ids)

@@ -1,0 +1,11 @@
+(** [getMaximal] (Figure 4): the unique maximal possible world over
+    [(R, I, T')] for a candidate transaction set [T'] that is pairwise
+    fd-consistent (a clique of the fd-transaction graph). Transactions
+    are appended greedily while the full constraint set stays satisfied;
+    transactions whose inclusion dependencies can never be met within the
+    candidate set are left out. *)
+
+val run : Tagged_store.t -> Bcgraph.Bitset.t -> Bcgraph.Bitset.t
+(** The included-transaction set of the maximal world. *)
+
+val run_list : Tagged_store.t -> int list -> Bcgraph.Bitset.t

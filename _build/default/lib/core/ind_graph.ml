@@ -1,0 +1,98 @@
+module R = Relational
+module Q = Bcquery
+
+let edges store thetas =
+  let db = Tagged_store.db store in
+  let seen = Hashtbl.create 256 in
+  let acc = ref [] in
+  let record i j =
+    if i <> j then begin
+      let key = if i < j then (i, j) else (j, i) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        acc := key :: !acc
+      end
+    end
+  in
+  List.iter
+    (fun (theta : Q.Theta.t) ->
+      (* projection value -> (txs with a matching lrel tuple,
+                              txs with a matching rrel tuple) *)
+      let buckets = R.Tuple.Tbl.create 256 in
+      let bucket proj =
+        match R.Tuple.Tbl.find_opt buckets proj with
+        | Some cell -> cell
+        | None ->
+            let cell = (ref [], ref []) in
+            R.Tuple.Tbl.replace buckets proj cell;
+            cell
+      in
+      Array.iter
+        (fun (tx : Pending.t) ->
+          List.iter
+            (fun tuple ->
+              let left, _ =
+                bucket (R.Tuple.project tuple theta.Q.Theta.lattrs)
+              in
+              left := tx.Pending.id :: !left)
+            (Pending.rows_for tx theta.Q.Theta.lrel);
+          List.iter
+            (fun tuple ->
+              let _, right =
+                bucket (R.Tuple.project tuple theta.Q.Theta.rattrs)
+              in
+              right := tx.Pending.id :: !right)
+            (Pending.rows_for tx theta.Q.Theta.rrel))
+        db.Bcdb.pending;
+      R.Tuple.Tbl.iter
+        (fun _ (left, right) ->
+          List.iter (fun i -> List.iter (fun j -> record i j) !right) !left)
+        buckets)
+    thetas;
+  List.rev !acc
+
+let edges_for_tx store thetas id =
+  let db = Tagged_store.db store in
+  let tx = db.Bcdb.pending.(id) in
+  let saved = Tagged_store.world store in
+  Tagged_store.all_visible store;
+  let src = Tagged_store.source store in
+  let acc = Hashtbl.create 8 in
+  let record j =
+    if j >= 0 && j <> id then
+      Hashtbl.replace acc (if j < id then (j, id) else (id, j)) ()
+  in
+  (* For each theta, match this transaction's lrel rows against everyone's
+     rrel rows (via index lookup on the projection columns) and vice
+     versa. *)
+  let probe ~my_attrs ~my_rel ~other_rel ~other_attrs =
+    List.iter
+      (fun tuple ->
+        let proj = R.Tuple.project tuple my_attrs in
+        let binds = List.map2 (fun col v -> (col, v)) other_attrs (Array.to_list proj) in
+        src.R.Source.lookup other_rel binds
+        |> Seq.iter (fun other ->
+               List.iter record (Tagged_store.origins store other_rel other)))
+      (Pending.rows_for tx my_rel)
+  in
+  List.iter
+    (fun (theta : Q.Theta.t) ->
+      probe ~my_attrs:theta.Q.Theta.lattrs ~my_rel:theta.Q.Theta.lrel
+        ~other_rel:theta.Q.Theta.rrel ~other_attrs:theta.Q.Theta.rattrs;
+      probe ~my_attrs:theta.Q.Theta.rattrs ~my_rel:theta.Q.Theta.rrel
+        ~other_rel:theta.Q.Theta.lrel ~other_attrs:theta.Q.Theta.lattrs)
+    thetas;
+  Tagged_store.set_world store saved;
+  Hashtbl.fold (fun e () l -> e :: l) acc [] |> List.sort compare
+
+let base_edges store =
+  let db = Tagged_store.db store in
+  edges store (Q.Theta.of_inds (Bcdb.inds db))
+
+let build store q base =
+  let k = Tagged_store.tx_count store in
+  let g = Bcgraph.Undirected.create k in
+  List.iter (fun (i, j) -> Bcgraph.Undirected.add_edge g i j) base;
+  let q_edges = edges store (Q.Theta.of_query (Q.Query.body q)) in
+  List.iter (fun (i, j) -> Bcgraph.Undirected.add_edge g i j) q_edges;
+  g

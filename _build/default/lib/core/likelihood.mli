@@ -1,0 +1,57 @@
+(** Weighting possible worlds by likelihood — the second future-work
+    direction of Section 8 ("denial constraint satisfaction when weighting
+    possible worlds by learning an estimation of their actual
+    likelihood").
+
+    The model assigns each pending transaction an independent inclusion
+    probability (e.g. a logistic function of its fee rate, reflecting
+    miners' preference for high-fee transactions). A random {e proposal}
+    subset drawn from the product measure is repaired into a possible
+    world by greedily appending proposed transactions in decreasing
+    probability order while the constraints hold — the deterministic
+    repair makes the world a function of the proposal, inducing a
+    distribution over [Poss(D)].
+
+    The quantity of interest is the probability that the realized world
+    violates a denial constraint: a risk-weighted refinement of the
+    paper's all-or-nothing [D |= ¬q]. *)
+
+type model
+
+val uniform : float -> model
+(** Every transaction included with the same probability. *)
+
+val of_weights : float array -> model
+(** Per-transaction probabilities (clamped to [0, 1]); the array is
+    indexed by transaction id. *)
+
+val logistic_feerate : fee_rates:float array -> ?midpoint:float -> ?steepness:float -> unit -> model
+(** [p_i = 1 / (1 + exp (-steepness * (rate_i - midpoint)))]; defaults:
+    midpoint 1.0, steepness 2.0. *)
+
+val probability : model -> int -> float
+
+val repair : Session.t -> model -> Bcgraph.Bitset.t -> Bcgraph.Bitset.t
+(** The deterministic greedy repair of a proposal into a possible world. *)
+
+type estimate = {
+  probability : float;
+  std_error : float;  (** Binomial standard error of the estimate. *)
+  samples : int;
+}
+
+val exact_violation_probability :
+  Session.t -> model -> Bcquery.Query.t -> float
+(** Sum of proposal probabilities whose repaired world satisfies the
+    query. Exponential: raises [Invalid_argument] beyond 20 pending
+    transactions. *)
+
+val estimate_violation_probability :
+  ?seed:int ->
+  ?samples:int ->
+  Session.t ->
+  model ->
+  Bcquery.Query.t ->
+  estimate
+(** Monte-Carlo estimate (default 1000 samples, fixed default seed for
+    reproducibility). *)

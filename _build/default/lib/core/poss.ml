@@ -1,0 +1,87 @@
+module R = Relational
+module Bitset = Bcgraph.Bitset
+
+(* Check that the union of the base state and the given transactions
+   satisfies the fds. Since fds are preserved under subsets, this is
+   exactly the condition that no intermediate step can violate an fd. *)
+let fd_consistent store target =
+  let saved = Tagged_store.world store in
+  Tagged_store.set_world store target;
+  let src = Tagged_store.source store in
+  let db = Tagged_store.db store in
+  let ok =
+    List.for_all
+      (fun f -> Option.is_none (R.Check.check_fd src f))
+      (Bcdb.fds db)
+  in
+  Tagged_store.set_world store saved;
+  ok
+
+(* Greedy closure under inds only: fds over the final set were already
+   checked, and fds hold in every subset of an fd-consistent set. *)
+let reachable_subset store target =
+  let db = Tagged_store.db store in
+  let ind_constraints =
+    List.map (fun i -> R.Constr.Ind i) (Bcdb.inds db)
+  in
+  Closure.run store ~constraints:ind_constraints ~candidates:target
+
+let is_possible_world store target =
+  fd_consistent store target
+  && Bitset.equal (reachable_subset store target) target
+
+let enumerate store f =
+  let k = Tagged_store.tx_count store in
+  if k > 24 then
+    invalid_arg "Poss.enumerate: too many pending transactions (max 24)";
+  let of_bits bits =
+    let set = Bitset.create k in
+    for i = 0 to k - 1 do
+      if bits land (1 lsl i) <> 0 then Bitset.add set i
+    done;
+    set
+  in
+  (* BFS over the can-append relation starting from the empty world. *)
+  let visited = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let exception Stop in
+  let visit bits =
+    if not (Hashtbl.mem visited bits) then begin
+      Hashtbl.replace visited bits ();
+      Queue.add bits queue;
+      match f (of_bits bits) with `Continue -> () | `Stop -> raise Stop
+    end
+  in
+  (try
+     visit 0;
+     while not (Queue.is_empty queue) do
+       let bits = Queue.pop queue in
+       let world = of_bits bits in
+       for id = 0 to k - 1 do
+         if bits land (1 lsl id) = 0 then begin
+           let next = Bitset.copy world in
+           Bitset.add next id;
+           let next_bits = bits lor (1 lsl id) in
+           if not (Hashtbl.mem visited next_bits) then begin
+             (* One can-append step: the extended instance must satisfy I. *)
+             let saved = Tagged_store.world store in
+             Tagged_store.set_world store world;
+             let src = Tagged_store.source store in
+             let rows = Tagged_store.tx_rows store id in
+             let db = Tagged_store.db store in
+             let ok = R.Check.batch_consistent src db.Bcdb.constraints rows in
+             Tagged_store.set_world store saved;
+             if ok then visit next_bits
+           end
+         end
+       done
+     done
+   with Stop -> ());
+  ()
+
+let count store =
+  let n = ref 0 in
+  enumerate store (fun _ ->
+      incr n;
+      `Continue);
+  !n

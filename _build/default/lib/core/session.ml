@@ -1,0 +1,88 @@
+module R = Relational
+
+type t = {
+  db : Bcdb.t;
+  store : Tagged_store.t;
+  fd_graph : Fd_graph.t Lazy.t;
+  ind_base_edges : (int * int) list Lazy.t;
+  includable : bool array Lazy.t;
+}
+
+let create db =
+  let store = Tagged_store.create db in
+  {
+    db;
+    store;
+    fd_graph = lazy (Fd_graph.build store);
+    ind_base_edges = lazy (Ind_graph.base_edges store);
+    includable =
+      lazy
+        (let saved = Tagged_store.world store in
+         Tagged_store.base_only store;
+         let src = Tagged_store.source store in
+         let result =
+           Array.init (Tagged_store.tx_count store) (fun id ->
+               R.Check.batch_consistent src db.Bcdb.constraints
+                 (Tagged_store.tx_rows store id))
+         in
+         Tagged_store.set_world store saved;
+         result);
+  }
+
+let db t = t.db
+let store t = t.store
+let fd_graph t = Lazy.force t.fd_graph
+let ind_base_edges t = Lazy.force t.ind_base_edges
+let includable t = Lazy.force t.includable
+
+let warm t =
+  ignore (fd_graph t);
+  ignore (ind_base_edges t);
+  ignore (includable t)
+
+let extended t =
+  let store = t.store in
+  let db' = Tagged_store.db store in
+  let id = Tagged_store.tx_count store - 1 in
+  if Array.length db'.Bcdb.pending <> Array.length t.db.Bcdb.pending + 1 then
+    invalid_arg "Session.extended: store is not one transaction ahead";
+  let fd_graph =
+    if Lazy.is_val t.fd_graph then
+      Lazy.from_val (Fd_graph.extend (Lazy.force t.fd_graph) store)
+    else lazy (Fd_graph.build store)
+  in
+  let ind_base_edges =
+    if Lazy.is_val t.ind_base_edges then
+      Lazy.from_val
+        (Lazy.force t.ind_base_edges
+        @ Ind_graph.edges_for_tx store
+            (Bcquery.Theta.of_inds (Bcdb.inds db'))
+            id)
+    else lazy (Ind_graph.base_edges store)
+  in
+  let includable =
+    if Lazy.is_val t.includable then
+      Lazy.from_val
+        (let saved = Tagged_store.world store in
+         Tagged_store.base_only store;
+         let ok =
+           R.Check.batch_consistent (Tagged_store.source store)
+             db'.Bcdb.constraints
+             (Tagged_store.tx_rows store id)
+         in
+         Tagged_store.set_world store saved;
+         Array.append (Lazy.force t.includable) [| ok |])
+    else
+      lazy
+        (let saved = Tagged_store.world store in
+         Tagged_store.base_only store;
+         let src = Tagged_store.source store in
+         let result =
+           Array.init (Tagged_store.tx_count store) (fun i ->
+               R.Check.batch_consistent src db'.Bcdb.constraints
+                 (Tagged_store.tx_rows store i))
+         in
+         Tagged_store.set_world store saved;
+         result)
+  in
+  { db = db'; store; fd_graph; ind_base_edges; includable }

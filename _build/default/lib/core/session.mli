@@ -1,0 +1,29 @@
+(** A solving session over one blockchain database: owns the tagged store
+    and lazily caches the structures the paper precomputes in the steady
+    state (Section 6.3) — the fd-transaction graph, the ΘI edges of the
+    ind-transaction graph, and per-transaction includability
+    ([R ∪ {T} |= I]). Multiple denial constraints can then be checked
+    against the same session cheaply. *)
+
+type t
+
+val create : Bcdb.t -> t
+val db : t -> Bcdb.t
+val store : t -> Tagged_store.t
+val fd_graph : t -> Fd_graph.t
+(** Computed on first use, then cached. *)
+
+val ind_base_edges : t -> (int * int) list
+val includable : t -> bool array
+(** [includable.(i)] iff [R ∪ {T_i} |= I] — the transaction could be
+    appended right now. *)
+
+val warm : t -> unit
+(** Force all cached structures (for benchmarking the steady state). *)
+
+val extended : t -> t
+(** A session over the same store after the store has been extended with
+    one hypothetical transaction ({!Tagged_store.append_tx}): every
+    already-computed structure is updated incrementally (one new graph
+    node, its edges found via indexes) instead of rebuilt. Used by
+    {!Dry_run}; the extended session must not outlive the rollback. *)

@@ -1,0 +1,44 @@
+module Q = Bcquery
+
+type strategy =
+  | Tractable of Tractable.case
+  | Opt
+  | Naive
+  | Brute_force
+
+let strategy_name = function
+  | Tractable case -> "tractable: " ^ Tractable.case_name case
+  | Opt -> "OptDCSat"
+  | Naive -> "NaiveDCSat"
+  | Brute_force -> "brute force"
+
+let brute_limit = 24
+
+let solve ?sum_args_nonnegative session q =
+  match Tractable.solve ?sum_args_nonnegative session q with
+  | Some (outcome, case) -> Ok (outcome, Tractable case)
+  | None -> (
+      match Dcsat.opt session q with
+      | Ok outcome -> Ok (outcome, Opt)
+      | Error `Not_connected -> (
+          match Dcsat.naive session q with
+          | Ok outcome -> Ok (outcome, Naive)
+          | Error refusal -> Error (Format.asprintf "%a" Dcsat.pp_refusal refusal))
+      | Error (`Not_monotone _) ->
+          let store = Session.store session in
+          if Tagged_store.tx_count store > brute_limit then
+            Error
+              (Printf.sprintf
+                 "constraint is not monotone and %d pending transactions \
+                  exceed the exhaustive-enumeration limit (%d)"
+                 (Tagged_store.tx_count store) brute_limit)
+          else Ok (Dcsat.brute_force session q, Brute_force))
+
+let solve_exn ?sum_args_nonnegative session q =
+  match solve ?sum_args_nonnegative session q with
+  | Ok result -> result
+  | Error msg -> invalid_arg ("Solver.solve: " ^ msg)
+
+let check db q =
+  let session = Session.create db in
+  Result.map (fun (o, _) -> o.Dcsat.satisfied) (solve session q)

@@ -1,0 +1,33 @@
+(** One-stop entry point: dispatch a denial constraint to the cheapest
+    sound procedure.
+
+    Order of preference: a tractable PTIME special case when the
+    constraint profile and query class admit one (Theorems 1–2); otherwise
+    OptDCSat for connected monotone constraints; NaiveDCSat for monotone
+    but disconnected ones; and the exact exponential enumeration as a last
+    resort for non-monotone constraints over small pending sets. *)
+
+type strategy =
+  | Tractable of Tractable.case
+  | Opt
+  | Naive
+  | Brute_force
+
+val strategy_name : strategy -> string
+
+val solve :
+  ?sum_args_nonnegative:bool ->
+  Session.t ->
+  Bcquery.Query.t ->
+  (Dcsat.outcome * strategy, string) result
+(** [Error] only when the constraint is non-monotone {e and} the pending
+    set is too large for exhaustive enumeration (> 24 transactions). *)
+
+val solve_exn :
+  ?sum_args_nonnegative:bool ->
+  Session.t ->
+  Bcquery.Query.t ->
+  Dcsat.outcome * strategy
+
+val check : Bcdb.t -> Bcquery.Query.t -> (bool, string) result
+(** Convenience: does [D |= ¬q]? Builds a throwaway session. *)

@@ -1,0 +1,339 @@
+module R = Relational
+module Bitset = Bcgraph.Bitset
+
+module Vtbl = Hashtbl.Make (struct
+  type t = R.Value.t
+
+  let equal = R.Value.equal
+  let hash = R.Value.hash
+end)
+
+type entry = { tuple : R.Tuple.t; origins : int array }
+
+type rel_store = {
+  mutable entries : entry array;  (* valid up to [len] *)
+  mutable len : int;
+  by_tuple : int R.Tuple.Tbl.t;
+  indexes : (int, int list Vtbl.t) Hashtbl.t;
+  composite : (int list, int list R.Tuple.Tbl.t) Hashtbl.t;
+      (** Multi-column hash indexes, keyed by the (sorted) column list;
+          the inner table maps a projection to entry positions. Built on
+          demand for the column sets the evaluator actually probes. *)
+}
+
+module Smap = Map.Make (String)
+
+type t = {
+  mutable db : Bcdb.t;
+  rels : rel_store Smap.t;
+  mutable k : int;
+  mutable visible : Bitset.t;
+}
+
+let base_origin = -1
+
+let build_rel rows =
+  (* rows: (origin, tuple) in insertion order. Distinct tuples are stored
+     once; repeated insertions only extend the origin set. *)
+  let scratch = R.Tuple.Tbl.create (max 64 (List.length rows)) in
+  let order = ref [] in
+  List.iter
+    (fun (origin, tuple) ->
+      match R.Tuple.Tbl.find_opt scratch tuple with
+      | Some origins ->
+          if not (List.mem origin !origins) then origins := origin :: !origins
+      | None ->
+          R.Tuple.Tbl.replace scratch tuple (ref [ origin ]);
+          order := tuple :: !order)
+    rows;
+  let entries =
+    Array.of_list
+      (List.rev_map
+         (fun tuple ->
+           let origins = !(R.Tuple.Tbl.find scratch tuple) in
+           { tuple; origins = Array.of_list (List.sort Int.compare origins) })
+         !order)
+  in
+  let by_tuple = R.Tuple.Tbl.create (max 64 (Array.length entries)) in
+  Array.iteri (fun i e -> R.Tuple.Tbl.replace by_tuple e.tuple i) entries;
+  {
+    entries;
+    len = Array.length entries;
+    by_tuple;
+    indexes = Hashtbl.create 4;
+    composite = Hashtbl.create 4;
+  }
+
+let create (db : Bcdb.t) =
+  let catalog = R.Database.catalog db.Bcdb.state in
+  let rows_by_rel = Hashtbl.create 8 in
+  let push rel row =
+    let prev = Option.value (Hashtbl.find_opt rows_by_rel rel) ~default:[] in
+    Hashtbl.replace rows_by_rel rel (row :: prev)
+  in
+  List.iter
+    (fun schema ->
+      let rel = schema.R.Schema.name in
+      R.Relation.iter
+        (fun tuple -> push rel (base_origin, tuple))
+        (R.Database.relation db.Bcdb.state rel))
+    (R.Schema.relations catalog);
+  Array.iter
+    (fun (tx : Pending.t) ->
+      List.iter (fun (rel, tuple) -> push rel (tx.Pending.id, tuple)) tx.Pending.rows)
+    db.Bcdb.pending;
+  let rels =
+    List.fold_left
+      (fun acc schema ->
+        let rel = schema.R.Schema.name in
+        let rows =
+          List.rev (Option.value (Hashtbl.find_opt rows_by_rel rel) ~default:[])
+        in
+        Smap.add rel (build_rel rows) acc)
+      Smap.empty (R.Schema.relations catalog)
+  in
+  let k = Array.length db.Bcdb.pending in
+  { db; rels; k; visible = Bitset.create k }
+
+let db t = t.db
+let tx_count t = t.k
+let world t = Bitset.copy t.visible
+
+let set_world t vis =
+  if Bitset.capacity vis <> t.k then
+    invalid_arg "Tagged_store.set_world: capacity mismatch";
+  t.visible <- Bitset.copy vis
+
+let set_world_list t ids = t.visible <- Bitset.of_list t.k ids
+let all_visible t = t.visible <- Bitset.full t.k
+let base_only t = t.visible <- Bitset.create t.k
+
+let entry_visible t (e : entry) =
+  let n = Array.length e.origins in
+  let rec go i =
+    i < n
+    && (e.origins.(i) = base_origin
+       || Bitset.mem t.visible e.origins.(i)
+       || go (i + 1))
+  in
+  go 0
+
+let rel_store t name =
+  match Smap.find_opt name t.rels with
+  | Some rs -> rs
+  | None -> invalid_arg ("Tagged_store: unknown relation " ^ name)
+
+let ensure_index rs col =
+  match Hashtbl.find_opt rs.indexes col with
+  | Some idx -> idx
+  | None ->
+      let idx = Vtbl.create (max 16 rs.len) in
+      for i = 0 to rs.len - 1 do
+        let v = rs.entries.(i).tuple.(col) in
+        Vtbl.replace idx v (i :: Option.value (Vtbl.find_opt idx v) ~default:[])
+      done;
+      Hashtbl.replace rs.indexes col idx;
+      idx
+
+let ensure_composite rs cols =
+  match Hashtbl.find_opt rs.composite cols with
+  | Some idx -> idx
+  | None ->
+      let idx = R.Tuple.Tbl.create (max 16 rs.len) in
+      for i = 0 to rs.len - 1 do
+        let key = R.Tuple.project rs.entries.(i).tuple cols in
+        R.Tuple.Tbl.replace idx key
+          (i :: Option.value (R.Tuple.Tbl.find_opt idx key) ~default:[])
+      done;
+      Hashtbl.replace rs.composite cols idx;
+      idx
+
+let matches binds (tuple : R.Tuple.t) =
+  List.for_all (fun (col, v) -> R.Value.equal tuple.(col) v) binds
+
+let scan t name =
+  let rs = rel_store t name in
+  let n = rs.len in
+  let rec go i () =
+    if i >= n then Seq.Nil
+    else if entry_visible t rs.entries.(i) then
+      Seq.Cons (rs.entries.(i).tuple, go (i + 1))
+    else go (i + 1) ()
+  in
+  go 0
+
+let positions_of rs binds =
+  match binds with
+  | [] -> invalid_arg "positions_of: no binds"
+  | [ (col, v) ] ->
+      let idx = ensure_index rs col in
+      (Option.value (Vtbl.find_opt idx v) ~default:[], [])
+  | _ when List.length binds <= 3 ->
+      (* Exact composite index: no residual filtering needed. *)
+      let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) binds in
+      let cols = List.map fst sorted in
+      let key = Array.of_list (List.map snd sorted) in
+      let idx = ensure_composite rs cols in
+      (Option.value (R.Tuple.Tbl.find_opt idx key) ~default:[], [])
+  | (col, v) :: rest ->
+      let idx = ensure_index rs col in
+      (Option.value (Vtbl.find_opt idx v) ~default:[], rest)
+
+let lookup t name binds =
+  match binds with
+  | [] -> scan t name
+  | _ ->
+      let rs = rel_store t name in
+      let positions, residual = positions_of rs binds in
+      List.to_seq positions
+      |> Seq.filter_map (fun i ->
+             let e = rs.entries.(i) in
+             if entry_visible t e && matches residual e.tuple then Some e.tuple
+             else None)
+
+let mem t name tuple =
+  let rs = rel_store t name in
+  match R.Tuple.Tbl.find_opt rs.by_tuple tuple with
+  | None -> false
+  | Some i -> entry_visible t rs.entries.(i)
+
+let cardinality t name = (rel_store t name).len
+
+let selectivity t name binds =
+  match binds with
+  | [] -> cardinality t name
+  | _ ->
+      let rs = rel_store t name in
+      let positions, _ = positions_of rs binds in
+      List.length positions
+
+let source t =
+  {
+    R.Source.catalog = R.Database.catalog t.db.Bcdb.state;
+    scan = scan t;
+    lookup = lookup t;
+    mem = mem t;
+    cardinality = cardinality t;
+    selectivity = selectivity t;
+  }
+
+let tx_rows t id =
+  let tx = t.db.Bcdb.pending.(id) in
+  List.map
+    (fun rel -> (rel, Pending.rows_for tx rel))
+    (Pending.relations tx)
+
+let origins t name tuple =
+  let rs = rel_store t name in
+  match R.Tuple.Tbl.find_opt rs.by_tuple tuple with
+  | None -> []
+  | Some i -> Array.to_list rs.entries.(i).origins
+
+let to_database t =
+  let out = R.Database.create (R.Database.catalog t.db.Bcdb.state) in
+  Smap.iter
+    (fun name rs ->
+      for i = 0 to rs.len - 1 do
+        let e = rs.entries.(i) in
+        if entry_visible t e then ignore (R.Database.insert out name e.tuple)
+      done)
+    t.rels;
+  out
+
+(* --- hypothetical extension (dry runs) --- *)
+
+type undo_item =
+  | Entry_added of string * int
+  | Origin_added of string * int * entry
+
+type journal = {
+  prev_db : Bcdb.t;
+  prev_visible : Bitset.t;
+  items : undo_item list;
+}
+
+let push_entry rs e =
+  if rs.len >= Array.length rs.entries then begin
+    let ncap = max 16 (2 * Array.length rs.entries) in
+    let ne = Array.make ncap e in
+    Array.blit rs.entries 0 ne 0 rs.len;
+    rs.entries <- ne
+  end;
+  rs.entries.(rs.len) <- e;
+  rs.len <- rs.len + 1;
+  rs.len - 1
+
+let append_tx t (db' : Bcdb.t) =
+  let id = t.k in
+  assert (Array.length db'.Bcdb.pending = t.k + 1);
+  let tx = db'.Bcdb.pending.(id) in
+  let journal =
+    {
+      prev_db = t.db;
+      prev_visible = t.visible;
+      items =
+        List.map
+          (fun (rel, tuple) ->
+            let rs = rel_store t rel in
+            match R.Tuple.Tbl.find_opt rs.by_tuple tuple with
+            | Some i ->
+                let prev = rs.entries.(i) in
+                rs.entries.(i) <-
+                  { prev with origins = Array.append prev.origins [| id |] };
+                Origin_added (rel, i, prev)
+            | None ->
+                let i = push_entry rs { tuple; origins = [| id |] } in
+                R.Tuple.Tbl.replace rs.by_tuple tuple i;
+                Hashtbl.iter
+                  (fun col idx ->
+                    let v = tuple.(col) in
+                    Vtbl.replace idx v
+                      (i :: Option.value (Vtbl.find_opt idx v) ~default:[]))
+                  rs.indexes;
+                Hashtbl.iter
+                  (fun cols idx ->
+                    let key = R.Tuple.project tuple cols in
+                    R.Tuple.Tbl.replace idx key
+                      (i :: Option.value (R.Tuple.Tbl.find_opt idx key) ~default:[]))
+                  rs.composite;
+                Entry_added (rel, i))
+          tx.Pending.rows;
+    }
+  in
+  t.db <- db';
+  t.k <- t.k + 1;
+  t.visible <- Bitset.of_list t.k (Bitset.to_list journal.prev_visible);
+  journal
+
+let undo t journal =
+  List.iter
+    (function
+      | Origin_added (rel, i, prev) -> (rel_store t rel).entries.(i) <- prev
+      | Entry_added (rel, i) ->
+          let rs = rel_store t rel in
+          let e = rs.entries.(i) in
+          R.Tuple.Tbl.remove rs.by_tuple e.tuple;
+          Hashtbl.iter
+            (fun col idx ->
+              let v = e.tuple.(col) in
+              match Vtbl.find_opt idx v with
+              | None -> ()
+              | Some positions ->
+                  Vtbl.replace idx v (List.filter (fun p -> p <> i) positions))
+            rs.indexes;
+          Hashtbl.iter
+            (fun cols idx ->
+              let key = R.Tuple.project e.tuple cols in
+              match R.Tuple.Tbl.find_opt idx key with
+              | None -> ()
+              | Some positions ->
+                  R.Tuple.Tbl.replace idx key
+                    (List.filter (fun p -> p <> i) positions))
+            rs.composite;
+          (* Entries were appended; undoing in any order is fine because
+             lengths only shrink back to the original boundary. *)
+          rs.len <- min rs.len i)
+    (List.rev journal.items);
+  t.db <- journal.prev_db;
+  t.k <- Array.length journal.prev_db.Bcdb.pending;
+  t.visible <- journal.prev_visible

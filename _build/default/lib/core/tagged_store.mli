@@ -1,0 +1,70 @@
+(** The evaluation store: every tuple of the current state and of every
+    pending transaction is loaded once, tagged with its origins, and
+    indexed. A {e possible world} is then just a visibility bitset over
+    transaction ids — switching worlds costs nothing, and the exposed
+    {!Relational.Source.t} filters scans, index lookups and membership
+    tests by the active visibility.
+
+    This is the in-memory analogue of the paper's implementation trick
+    (Section 6.3) of augmenting every Postgres table with a boolean
+    [current] column that marks the tuples of the world under
+    consideration.
+
+    A tuple may be contributed both by the base state and by pending
+    transactions (or by several transactions); it is stored once with the
+    set of its origins, so that worlds are genuine {e sets} of tuples and
+    aggregate queries never double-count. *)
+
+type t
+
+val create : Bcdb.t -> t
+val db : t -> Bcdb.t
+val tx_count : t -> int
+
+val world : t -> Bcgraph.Bitset.t
+(** The active visibility (a copy; mutating it does not affect the
+    store). *)
+
+val set_world : t -> Bcgraph.Bitset.t -> unit
+(** Make exactly the given transactions visible (base state is always
+    visible). Capacity must equal {!tx_count}. *)
+
+val set_world_list : t -> int list -> unit
+val all_visible : t -> unit
+(** The (usually inconsistent) instance [R ∪ T] used by the monotone
+    pre-check. *)
+
+val base_only : t -> unit
+
+val source : t -> Relational.Source.t
+(** A live view: reflects subsequent [set_world] calls. *)
+
+val tx_rows : t -> int -> (string * Relational.Tuple.t list) list
+(** Rows of one pending transaction, grouped by relation. *)
+
+val origins : t -> string -> Relational.Tuple.t -> int list
+(** All origins of a tuple ([-1] is the base state); [[]] if the store
+    has never seen the tuple. *)
+
+val to_database : t -> Relational.Database.t
+(** Materialize the active world as a standalone database (testing and
+    debugging). *)
+
+(** {2 Hypothetical extension}
+
+    Dry runs (Example 4: "the user hypothetically adds her transaction")
+    extend the store in place with one more pending transaction —
+    sharing every loaded tuple and index — and later roll it back. Used
+    by {!Dry_run}; while a journal is outstanding, other consumers of
+    the store must not rely on the transaction count. *)
+
+type journal
+
+val append_tx : t -> Bcdb.t -> journal
+(** [append_tx t db'] where [db'] is [db t] plus exactly one more pending
+    transaction: loads that transaction's rows (id = old {!tx_count}) and
+    switches the store to [db']. Returns the rollback journal. *)
+
+val undo : t -> journal -> unit
+(** Roll back the matching {!append_tx}. Journals must be undone in LIFO
+    order. Restores the previously active world. *)

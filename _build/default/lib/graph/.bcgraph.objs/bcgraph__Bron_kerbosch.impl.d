@@ -1,0 +1,1 @@
+lib/graph/bron_kerbosch.ml: Array Bitset Int List Undirected

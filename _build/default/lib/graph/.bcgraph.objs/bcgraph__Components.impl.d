@@ -1,0 +1,1 @@
+lib/graph/components.ml: Array Int List Queue Undirected Union_find

@@ -1,0 +1,1 @@
+lib/graph/undirected.ml: Array Bytes Char Format List

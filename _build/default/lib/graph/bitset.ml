@@ -1,0 +1,103 @@
+type t = { n : int; words : Bytes.t }
+
+(* 63-bit words stored via Bytes.{get,set}_int64 would complicate bounds;
+   a plain byte array keeps the code simple and is fast enough for the
+   few-thousand-node graphs we handle. *)
+
+let nbytes n = (n + 7) / 8
+let create n = { n; words = Bytes.make (nbytes n) '\000' }
+let capacity t = t.n
+let copy t = { n = t.n; words = Bytes.copy t.words }
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: element out of range"
+
+let add t i =
+  check t i;
+  let pos = i lsr 3 in
+  Bytes.set t.words pos
+    (Char.chr (Char.code (Bytes.get t.words pos) lor (1 lsl (i land 7))))
+
+let remove t i =
+  check t i;
+  let pos = i lsr 3 in
+  Bytes.set t.words pos
+    (Char.chr (Char.code (Bytes.get t.words pos) land lnot (1 lsl (i land 7))))
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let is_empty t = Bytes.for_all (fun c -> c = '\000') t.words
+
+let popcount_byte =
+  let table = Array.make 256 0 in
+  for i = 1 to 255 do
+    table.(i) <- table.(i lsr 1) + (i land 1)
+  done;
+  fun c -> table.(Char.code c)
+
+let cardinal t = Bytes.fold_left (fun acc c -> acc + popcount_byte c) 0 t.words
+let equal a b = a.n = b.n && Bytes.equal a.words b.words
+
+let binop f a b =
+  if a.n <> b.n then invalid_arg "Bitset: capacity mismatch";
+  let out = create a.n in
+  for i = 0 to nbytes a.n - 1 do
+    Bytes.set out.words i
+      (Char.chr
+         (f (Char.code (Bytes.get a.words i)) (Char.code (Bytes.get b.words i))))
+  done;
+  out
+
+let inter = binop ( land )
+let union = binop ( lor )
+let diff = binop (fun x y -> x land lnot y land 0xff)
+
+let subset a b =
+  if a.n <> b.n then invalid_arg "Bitset: capacity mismatch";
+  let rec go i =
+    i >= nbytes a.n
+    || Char.code (Bytes.get a.words i) land lnot (Char.code (Bytes.get b.words i))
+         land 0xff
+       = 0
+       && go (i + 1)
+  in
+  go 0
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let choose_opt t =
+  let rec go i =
+    if i >= t.n then None else if mem t i then Some i else go (i + 1)
+  in
+  go 0
+
+let of_list n members =
+  let t = create n in
+  List.iter (add t) members;
+  t
+
+let to_list t = List.rev (fold List.cons t [])
+
+let full n =
+  let t = create n in
+  for i = 0 to n - 1 do
+    add t i
+  done;
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_int)
+    (to_list t)

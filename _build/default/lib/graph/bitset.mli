@@ -1,0 +1,36 @@
+(** Fixed-capacity mutable bitsets over [0 .. n-1]. Shared by the clique
+    enumerator and by the core library's possible-world representation
+    (a world is the bitset of included pending transactions). *)
+
+type t
+
+val create : int -> t
+(** All-zero bitset of the given capacity. *)
+
+val capacity : t -> int
+val copy : t -> t
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val mem : t -> int -> bool
+val is_empty : t -> bool
+val cardinal : t -> int
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+(** [subset a b] is true when every member of [a] is in [b]. *)
+
+val inter : t -> t -> t
+(** Fresh bitset; operands must have equal capacity. *)
+
+val union : t -> t -> t
+val diff : t -> t -> t
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val choose_opt : t -> int option
+(** Smallest member, if any. *)
+
+val of_list : int -> int list -> t
+val to_list : t -> int list
+val full : int -> t
+(** [full n] contains all of [0 .. n-1]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+exception Stop
+
+(* Neighbour bitsets are materialized once; the recursion then works purely
+   on bitset intersections. Pivot choice: the vertex of P ∪ X with the most
+   neighbours inside P, which minimizes the branching set P \ N(pivot). *)
+
+let iter_maximal_cliques g f =
+  let n = Undirected.node_count g in
+  if n = 0 then ()
+  else begin
+    let neigh =
+      Array.init n (fun i ->
+          let b = Bitset.create n in
+          Undirected.iter_neighbours g i (Bitset.add b);
+          b)
+    in
+    let report clique =
+      match f (List.sort Int.compare clique) with
+      | `Continue -> ()
+      | `Stop -> raise Stop
+    in
+    let pick_pivot p x =
+      let best = ref (-1) and best_score = ref (-1) in
+      let consider u =
+        let score = Bitset.cardinal (Bitset.inter p neigh.(u)) in
+        if score > !best_score then begin
+          best := u;
+          best_score := score
+        end
+      in
+      Bitset.iter consider p;
+      Bitset.iter consider x;
+      !best
+    in
+    let rec expand r p x =
+      if Bitset.is_empty p && Bitset.is_empty x then report r
+      else begin
+        let pivot = pick_pivot p x in
+        let candidates = Bitset.diff p neigh.(pivot) in
+        Bitset.iter
+          (fun v ->
+            if Bitset.mem p v then begin
+              expand (v :: r) (Bitset.inter p neigh.(v)) (Bitset.inter x neigh.(v));
+              Bitset.remove p v;
+              Bitset.add x v
+            end)
+          candidates
+      end
+    in
+    try expand [] (Bitset.full n) (Bitset.create n) with Stop -> ()
+  end
+
+let maximal_cliques g =
+  let acc = ref [] in
+  iter_maximal_cliques g (fun c ->
+      acc := c :: !acc;
+      `Continue);
+  List.rev !acc
+
+let count_maximal_cliques g =
+  let count = ref 0 in
+  iter_maximal_cliques g (fun _ ->
+      incr count;
+      `Continue);
+  !count

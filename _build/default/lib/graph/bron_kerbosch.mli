@@ -1,0 +1,17 @@
+(** Maximal-clique enumeration: the Bron–Kerbosch algorithm (CACM 1973)
+    with the pivoting rule of Tomita, Tanaka and Takahashi (TCS 2006),
+    exactly the combination the paper uses inside OptDCSat (Section 6.3).
+
+    Enumeration is lazy through a callback that may abort early — denial
+    constraint checking stops at the first violating world, so the
+    consumer frequently does not need the full clique list. *)
+
+val iter_maximal_cliques : Undirected.t -> (int list -> [ `Continue | `Stop ]) -> unit
+(** Calls the function once per maximal clique (ascending node list,
+    isolated nodes yield singleton cliques). Returning [`Stop] aborts the
+    enumeration. *)
+
+val maximal_cliques : Undirected.t -> int list list
+(** All maximal cliques, in enumeration order. *)
+
+val count_maximal_cliques : Undirected.t -> int

@@ -1,0 +1,27 @@
+let of_graph g =
+  let n = Undirected.node_count g in
+  let uf = Union_find.create n in
+  for i = 0 to n - 1 do
+    Undirected.iter_neighbours g i (fun j -> if j > i then Union_find.union uf i j)
+  done;
+  Union_find.groups uf
+
+let count g = List.length (of_graph g)
+
+let component_of g start =
+  let n = Undirected.node_count g in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  Queue.add start queue;
+  seen.(start) <- true;
+  let acc = ref [] in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    acc := v :: !acc;
+    Undirected.iter_neighbours g v (fun w ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          Queue.add w queue
+        end)
+  done;
+  List.sort Int.compare !acc

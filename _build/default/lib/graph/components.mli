@@ -1,0 +1,9 @@
+(** Connected components of an undirected graph. *)
+
+val of_graph : Undirected.t -> int list list
+(** Components as ascending node lists, ordered by smallest member;
+    isolated nodes form singleton components. *)
+
+val count : Undirected.t -> int
+val component_of : Undirected.t -> int -> int list
+(** The component containing the given node (BFS). *)

@@ -1,0 +1,119 @@
+(* Adjacency is a packed bit matrix: row i holds the neighbour bitset of
+   node i. Rows share one Bytes buffer of n*stride bytes. *)
+
+type t = { n : int; stride : int; bits : Bytes.t }
+
+let create n =
+  if n < 0 then invalid_arg "Undirected.create: negative size";
+  let stride = (n + 7) / 8 in
+  { n; stride; bits = Bytes.make (n * stride) '\000' }
+
+let node_count g = g.n
+let copy g = { g with bits = Bytes.copy g.bits }
+
+let extend g extra =
+  if extra < 0 then invalid_arg "Undirected.extend: negative extra";
+  let out = create (g.n + extra) in
+  (* Row widths differ, so copy row by row. *)
+  for i = 0 to g.n - 1 do
+    Bytes.blit g.bits (i * g.stride) out.bits (i * out.stride) g.stride
+  done;
+  out
+
+let check g i =
+  if i < 0 || i >= g.n then invalid_arg "Undirected: node out of range"
+
+let get g i j =
+  let byte = Char.code (Bytes.get g.bits ((i * g.stride) + (j lsr 3))) in
+  byte land (1 lsl (j land 7)) <> 0
+
+let set g i j v =
+  let pos = (i * g.stride) + (j lsr 3) in
+  let byte = Char.code (Bytes.get g.bits pos) in
+  let mask = 1 lsl (j land 7) in
+  let byte = if v then byte lor mask else byte land lnot mask in
+  Bytes.set g.bits pos (Char.chr byte)
+
+let add_edge g i j =
+  check g i;
+  check g j;
+  if i <> j then begin
+    set g i j true;
+    set g j i true
+  end
+
+let remove_edge g i j =
+  check g i;
+  check g j;
+  set g i j false;
+  set g j i false
+
+let connected g i j =
+  check g i;
+  check g j;
+  get g i j
+
+let iter_neighbours g i f =
+  check g i;
+  for j = 0 to g.n - 1 do
+    if get g i j then f j
+  done
+
+let neighbours g i =
+  let acc = ref [] in
+  iter_neighbours g i (fun j -> acc := j :: !acc);
+  List.rev !acc
+
+let degree g i =
+  let d = ref 0 in
+  iter_neighbours g i (fun _ -> incr d);
+  !d
+
+let edge_count g =
+  let total = ref 0 in
+  for i = 0 to g.n - 1 do
+    for j = i + 1 to g.n - 1 do
+      if get g i j then incr total
+    done
+  done;
+  !total
+
+let fold_nodes g f acc =
+  let acc = ref acc in
+  for i = 0 to g.n - 1 do
+    acc := f !acc i
+  done;
+  !acc
+
+let complement g =
+  let c = create g.n in
+  for i = 0 to g.n - 1 do
+    for j = i + 1 to g.n - 1 do
+      if not (get g i j) then add_edge c i j
+    done
+  done;
+  c
+
+let induced g nodes =
+  let nodes = Array.of_list nodes in
+  Array.iter (check g) nodes;
+  let sub = create (Array.length nodes) in
+  for a = 0 to Array.length nodes - 1 do
+    for b = a + 1 to Array.length nodes - 1 do
+      if get g nodes.(a) nodes.(b) then add_edge sub a b
+    done
+  done;
+  (sub, nodes)
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph on %d nodes:" g.n;
+  for i = 0 to g.n - 1 do
+    let ns = neighbours g i in
+    if ns <> [] then
+      Format.fprintf ppf "@ %d -- %a" i
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        ns
+  done;
+  Format.fprintf ppf "@]"

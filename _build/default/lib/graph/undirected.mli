@@ -1,0 +1,38 @@
+(** Simple undirected graphs over the node set [0 .. n-1], represented as
+    adjacency bitsets. Dense-friendly: the transaction graphs of Section 6
+    ([G^fd_T], [G^{q,ind}_T]) have one node per pending transaction and are
+    often dense, and the clique algorithms want O(1) adjacency tests and
+    fast neighbourhood intersections. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the edgeless graph on [n] nodes. *)
+
+val node_count : t -> int
+
+val copy : t -> t
+
+val extend : t -> int -> t
+(** [extend g extra] is a fresh graph with [extra] additional isolated
+    nodes and all of [g]'s edges. *)
+
+val add_edge : t -> int -> int -> unit
+(** Self-loops are ignored. Out-of-range nodes raise [Invalid_argument]. *)
+
+val remove_edge : t -> int -> int -> unit
+val connected : t -> int -> int -> bool
+val degree : t -> int -> int
+val edge_count : t -> int
+val neighbours : t -> int -> int list
+(** Ascending order. *)
+
+val iter_neighbours : t -> int -> (int -> unit) -> unit
+val fold_nodes : t -> ('a -> int -> 'a) -> 'a -> 'a
+val complement : t -> t
+val induced : t -> int list -> t * int array
+(** [induced g nodes] is the subgraph induced by [nodes] with nodes
+    renumbered [0..]; the returned array maps new indices back to the
+    original node ids. *)
+
+val pp : Format.formatter -> t -> unit

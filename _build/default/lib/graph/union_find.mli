@@ -1,0 +1,14 @@
+(** Disjoint-set forest with path compression and union by rank, used to
+    compute connected components of the ind-q-transaction graph without
+    materializing edges twice. *)
+
+type t
+
+val create : int -> t
+val find : t -> int -> int
+val union : t -> int -> int -> unit
+val same : t -> int -> int -> bool
+
+val groups : t -> int list list
+(** The partition as lists of member nodes; singletons included. Each
+    group is ascending; groups are ordered by their smallest member. *)

@@ -1,0 +1,1 @@
+lib/query/atom.ml: Array Format Hashtbl List String Term

@@ -1,0 +1,1 @@
+lib/query/cq.ml: Array Atom Format Hashtbl List Printf Relational Result Term

@@ -1,0 +1,1 @@
+lib/query/eval.ml: Array Atom Cq Hashtbl List Option Query Relational Seq String Term

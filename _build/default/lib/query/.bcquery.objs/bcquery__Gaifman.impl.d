@@ -1,0 +1,1 @@
+lib/query/gaifman.ml: Array Atom Bcgraph Cq Hashtbl List Term

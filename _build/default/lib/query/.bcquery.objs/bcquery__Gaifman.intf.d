@@ -1,0 +1,1 @@
+lib/query/gaifman.mli: Cq Term

@@ -1,0 +1,1 @@
+lib/query/parser.ml: Array Atom Buffer Cq List Printf Query Relational String Term

@@ -1,0 +1,1 @@
+lib/query/query.ml: Array Cq Format List Printf Relational Term

@@ -1,0 +1,1 @@
+lib/query/query.mli: Cq Format Relational Term

@@ -1,0 +1,1 @@
+lib/query/term.ml: Format Relational String

@@ -1,0 +1,1 @@
+lib/query/term.mli: Format Relational

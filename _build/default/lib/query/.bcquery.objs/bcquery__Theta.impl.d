@@ -1,0 +1,1 @@
+lib/query/theta.ml: Array Atom Bcgraph Cq Format Hashtbl List Relational

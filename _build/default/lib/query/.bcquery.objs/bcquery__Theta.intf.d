@@ -1,0 +1,1 @@
+lib/query/theta.mli: Cq Format Relational

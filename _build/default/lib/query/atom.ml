@@ -1,0 +1,39 @@
+type t = { rel : string; args : Term.t array }
+
+let make rel args = { rel; args = Array.of_list args }
+let arity a = Array.length a.args
+
+let vars a =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  Array.iter
+    (function
+      | Term.Var v ->
+          if not (Hashtbl.mem seen v) then begin
+            Hashtbl.replace seen v ();
+            acc := v :: !acc
+          end
+      | Term.Const _ -> ())
+    a.args;
+  List.rev !acc
+
+let constants a =
+  let acc = ref [] in
+  Array.iteri
+    (fun i -> function
+      | Term.Const c -> acc := (i, c) :: !acc
+      | Term.Var _ -> ())
+    a.args;
+  List.rev !acc
+
+let equal a b =
+  String.equal a.rel b.rel
+  && Array.length a.args = Array.length b.args
+  && Array.for_all2 Term.equal a.args b.args
+
+let pp ppf a =
+  Format.fprintf ppf "%s(%a)" a.rel
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Term.pp)
+    (Array.to_list a.args)

@@ -1,0 +1,15 @@
+(** Relational atoms [R(t1, ..., tn)]. *)
+
+type t = { rel : string; args : Term.t array }
+
+val make : string -> Term.t list -> t
+val arity : t -> int
+
+val vars : t -> string list
+(** Distinct variables, in order of first occurrence. *)
+
+val constants : t -> (int * Relational.Value.t) list
+(** [(position, value)] pairs for the constant arguments. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,139 @@
+module Value = Relational.Value
+module Schema = Relational.Schema
+
+type cmp_op = Eq | Neq | Lt | Gt
+
+type comparison = { clhs : Term.t; op : cmp_op; crhs : Term.t }
+
+type t = {
+  positive : Atom.t list;
+  negated : Atom.t list;
+  comparisons : comparison list;
+  vars : string list;
+}
+
+let term_vars = function Term.Var v -> [ v ] | Term.Const _ -> []
+
+let distinct_vars_of_atoms atoms =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem seen v) then begin
+            Hashtbl.replace seen v ();
+            acc := v :: !acc
+          end)
+        (Atom.vars a))
+    atoms;
+  List.rev !acc
+
+let validate ?catalog ~positive ~negated ~comparisons () =
+  let ( let* ) = Result.bind in
+  let* () =
+    if positive = [] then Error "query has no positive atoms" else Ok ()
+  in
+  let* () =
+    match catalog with
+    | None -> Ok ()
+    | Some cat ->
+        let check_atom (a : Atom.t) =
+          match Schema.find_opt cat a.Atom.rel with
+          | None -> Error (Printf.sprintf "unknown relation %s" a.Atom.rel)
+          | Some schema ->
+              if Schema.arity schema <> Atom.arity a then
+                Error
+                  (Printf.sprintf "atom %s has arity %d, schema says %d"
+                     a.Atom.rel (Atom.arity a) (Schema.arity schema))
+              else Ok ()
+        in
+        List.fold_left
+          (fun acc a -> Result.bind acc (fun () -> check_atom a))
+          (Ok ()) (positive @ negated)
+  in
+  let positive_vars = distinct_vars_of_atoms positive in
+  let bound v = List.mem v positive_vars in
+  let* () =
+    let unsafe_atom_var =
+      List.concat_map Atom.vars negated |> List.find_opt (fun v -> not (bound v))
+    in
+    match unsafe_atom_var with
+    | Some v -> Error (Printf.sprintf "unsafe variable %s in negated atom" v)
+    | None -> Ok ()
+  in
+  let* () =
+    let cmp_vars c = term_vars c.clhs @ term_vars c.crhs in
+    match
+      List.concat_map cmp_vars comparisons
+      |> List.find_opt (fun v -> not (bound v))
+    with
+    | Some v -> Error (Printf.sprintf "unsafe variable %s in comparison" v)
+    | None -> Ok ()
+  in
+  Ok { positive; negated; comparisons; vars = positive_vars }
+
+let make ?catalog ~positive ?(negated = []) ?(comparisons = []) () =
+  validate ?catalog ~positive ~negated ~comparisons ()
+
+let make_exn ?catalog ~positive ?negated ?comparisons () =
+  match make ?catalog ~positive ?negated ?comparisons () with
+  | Ok q -> q
+  | Error msg -> invalid_arg ("Cq.make: " ^ msg)
+
+let is_positive q = q.negated = []
+
+let substitute q bindings =
+  let subst_term = function
+    | Term.Var v as t -> (
+        match List.assoc_opt v bindings with
+        | Some value -> Term.Const value
+        | None -> t)
+    | Term.Const _ as t -> t
+  in
+  let subst_atom (a : Atom.t) =
+    { a with Atom.args = Array.map subst_term a.Atom.args }
+  in
+  let subst_cmp c =
+    { c with clhs = subst_term c.clhs; crhs = subst_term c.crhs }
+  in
+  match
+    make
+      ~positive:(List.map subst_atom q.positive)
+      ~negated:(List.map subst_atom q.negated)
+      ~comparisons:(List.map subst_cmp q.comparisons)
+      ()
+  with
+  | Ok q' -> q'
+  | Error msg -> invalid_arg ("Cq.substitute: " ^ msg)
+
+let cmp op a b =
+  match op with
+  | Eq -> Value.equal a b
+  | Neq -> not (Value.equal a b)
+  | Lt -> Value.lt a b
+  | Gt -> Value.lt b a
+
+let var_equalities q =
+  List.filter_map
+    (fun c ->
+      match (c.op, c.clhs, c.crhs) with
+      | Eq, Term.Var x, Term.Var y -> Some (x, y)
+      | _ -> None)
+    q.comparisons
+
+let pp_cmp_op ppf op =
+  Format.pp_print_string ppf
+    (match op with Eq -> "=" | Neq -> "!=" | Lt -> "<" | Gt -> ">")
+
+let pp_comparison ppf c =
+  Format.fprintf ppf "%a %a %a" Term.pp c.clhs pp_cmp_op c.op Term.pp c.crhs
+
+let pp ppf q =
+  let sep ppf () = Format.pp_print_string ppf ", " in
+  let items =
+    List.map (fun a ppf -> Atom.pp ppf a) q.positive
+    @ List.map (fun a ppf -> Format.fprintf ppf "!%a" Atom.pp a) q.negated
+    @ List.map (fun c ppf -> pp_comparison ppf c) q.comparisons
+  in
+  Format.pp_print_list ~pp_sep:sep (fun ppf f -> f ppf) ppf items

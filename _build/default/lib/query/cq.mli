@@ -1,0 +1,56 @@
+(** Conjunctive-query bodies with negation and comparisons (the class
+    [Qc] of Section 5): [q() <- P, N, C] where [P] is a conjunction of
+    positive relational atoms, [N] of negated atoms, and [C] of
+    comparisons between variables and constants.
+
+    Construction enforces the paper's safety condition: every variable
+    occurring in a negated atom or a comparison must also occur in a
+    positive atom. *)
+
+type cmp_op = Eq | Neq | Lt | Gt
+
+type comparison = { clhs : Term.t; op : cmp_op; crhs : Term.t }
+
+type t = private {
+  positive : Atom.t list;
+  negated : Atom.t list;
+  comparisons : comparison list;
+  vars : string list;  (** Distinct variables, first-occurrence order. *)
+}
+
+val make :
+  ?catalog:Relational.Schema.t ->
+  positive:Atom.t list ->
+  ?negated:Atom.t list ->
+  ?comparisons:comparison list ->
+  unit ->
+  (t, string) result
+(** Validates safety and, when a catalog is supplied, relation existence
+    and atom arities. *)
+
+val make_exn :
+  ?catalog:Relational.Schema.t ->
+  positive:Atom.t list ->
+  ?negated:Atom.t list ->
+  ?comparisons:comparison list ->
+  unit ->
+  t
+(** Raises [Invalid_argument] on validation failure. *)
+
+val is_positive : t -> bool
+(** No negated atoms (the class [Q+c]). *)
+
+val cmp : cmp_op -> Relational.Value.t -> Relational.Value.t -> bool
+(** Semantics of a comparison operator on ground values. *)
+
+val substitute : t -> (string * Relational.Value.t) list -> t
+(** Replace variables by constants throughout the body. The result is
+    revalidated; substituting every output variable of a query yields the
+    Boolean specialization asking whether that particular answer holds. *)
+
+val var_equalities : t -> (string * string) list
+(** Variable pairs forced equal by [Eq] comparisons (not closed under
+    transitivity; feed into a union-find). *)
+
+val pp_cmp_op : Format.formatter -> cmp_op -> unit
+val pp : Format.formatter -> t -> unit

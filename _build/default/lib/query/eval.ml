@@ -1,0 +1,268 @@
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Source = Relational.Source
+
+type arg = V of int | C of Value.t
+
+type catom = { rel : string; cargs : arg array }
+
+type compiled = {
+  nvars : int;
+  var_names : string array;
+  pos : catom array;
+  neg : catom array;
+  cmps : (arg * Cq.cmp_op * arg) array;
+}
+
+let compile (q : Cq.t) =
+  let var_names = Array.of_list q.Cq.vars in
+  let ids = Hashtbl.create 16 in
+  Array.iteri (fun i v -> Hashtbl.replace ids v i) var_names;
+  let carg = function
+    | Term.Var v -> V (Hashtbl.find ids v)
+    | Term.Const c -> C c
+  in
+  let catom (a : Atom.t) =
+    { rel = a.Atom.rel; cargs = Array.map carg a.Atom.args }
+  in
+  {
+    nvars = Array.length var_names;
+    var_names;
+    pos = Array.of_list (List.map catom q.Cq.positive);
+    neg = Array.of_list (List.map catom q.Cq.negated);
+    cmps =
+      Array.of_list
+        (List.map
+           (fun (c : Cq.comparison) -> (carg c.Cq.clhs, c.Cq.op, carg c.Cq.crhs))
+           q.Cq.comparisons);
+  }
+
+(* Binding environment: None = unbound. *)
+
+let arg_value env = function
+  | C v -> Some v
+  | V i -> env.(i)
+
+(* A comparison or negated atom is checked once all of its variables are
+   bound; before that it is skipped (it will be re-examined deeper in the
+   search, and in the leaf everything is bound). *)
+
+let cmp_ok env (lhs, op, rhs) =
+  match (arg_value env lhs, arg_value env rhs) with
+  | Some a, Some b -> Cq.cmp op a b
+  | _ -> true
+
+let ground_atom env (a : catom) =
+  let n = Array.length a.cargs in
+  let out = Array.make n Value.Null in
+  let rec go i =
+    if i >= n then Some out
+    else
+      match arg_value env a.cargs.(i) with
+      | Some v ->
+          out.(i) <- v;
+          go (i + 1)
+      | None -> None
+  in
+  go 0
+
+let neg_ok (src : Source.t) env (a : catom) =
+  match ground_atom env a with
+  | Some t -> not (src.Source.mem a.rel t)
+  | None -> true
+
+let guards_ok src env c =
+  Array.for_all (cmp_ok env) c.cmps && Array.for_all (neg_ok src env) c.neg
+
+(* Bound (position, value) pairs of an atom under the current bindings. *)
+let bound_positions env (a : catom) =
+  let acc = ref [] in
+  Array.iteri
+    (fun i arg ->
+      match arg_value env arg with
+      | Some v -> acc := (i, v) :: !acc
+      | None -> ())
+    a.cargs;
+  List.rev !acc
+
+(* Try to match [tuple] against atom [a], extending [env]; returns the list
+   of variable ids newly bound (for undo), or None on mismatch. *)
+let unify env (a : catom) (tuple : Tuple.t) =
+  let n = Array.length a.cargs in
+  let rec go i bound =
+    if i >= n then Some bound
+    else
+      match a.cargs.(i) with
+      | C v ->
+          if Value.equal v tuple.(i) then go (i + 1) bound
+          else begin
+            List.iter (fun id -> env.(id) <- None) bound;
+            None
+          end
+      | V id -> (
+          match env.(id) with
+          | Some v ->
+              if Value.equal v tuple.(i) then go (i + 1) bound
+              else begin
+                List.iter (fun id -> env.(id) <- None) bound;
+                None
+              end
+          | None ->
+              env.(id) <- Some tuple.(i);
+              go (i + 1) (id :: bound))
+  in
+  go 0 []
+
+exception Stop
+
+let run (src : Source.t) (q : Cq.t) on_match =
+  let c = compile q in
+  let env = Array.make c.nvars None in
+  let natoms = Array.length c.pos in
+  let used = Array.make natoms false in
+  let support = Array.make natoms ("", ([||] : Tuple.t)) in
+  (* Pick the cheapest remaining atom: smallest estimated match count,
+     using the source's per-index selectivity. *)
+  let pick () =
+    let best = ref (-1) and best_cost = ref max_int in
+    for i = 0 to natoms - 1 do
+      if not used.(i) then begin
+        let binds = bound_positions env c.pos.(i) in
+        let cost =
+          if binds = [] then src.Source.cardinality c.pos.(i).rel
+          else src.Source.selectivity c.pos.(i).rel binds
+        in
+        if cost < !best_cost then begin
+          best := i;
+          best_cost := cost
+        end
+      end
+    done;
+    !best
+  in
+  let rec go depth =
+    if depth >= natoms then begin
+      if Array.for_all (cmp_ok env) c.cmps && Array.for_all (neg_ok src env) c.neg
+      then begin
+        let values =
+          Array.map
+            (function Some v -> v | None -> assert false)
+            env
+        in
+        match on_match values (Array.to_list support) with
+        | `Continue -> ()
+        | `Stop -> raise Stop
+      end
+    end
+    else begin
+      let i = pick () in
+      used.(i) <- true;
+      let atom = c.pos.(i) in
+      let binds = bound_positions env atom in
+      let candidates = src.Source.lookup atom.rel binds in
+      Seq.iter
+        (fun tuple ->
+          match unify env atom tuple with
+          | None -> ()
+          | Some newly_bound ->
+              if guards_ok src env c then begin
+                support.(i) <- (atom.rel, tuple);
+                go (depth + 1)
+              end;
+              List.iter (fun id -> env.(id) <- None) newly_bound)
+        candidates;
+      used.(i) <- false
+    end
+  in
+  try go 0 with Stop -> ()
+
+let iter_matches src q f = run src q f
+
+let eval_boolean src q =
+  let found = ref false in
+  run src q (fun _ _ ->
+      found := true;
+      `Stop);
+  !found
+
+let find_witness src q =
+  let witness = ref None in
+  run src q (fun values _ ->
+      witness := Some values;
+      `Stop);
+  Option.map
+    (fun values -> List.combine q.Cq.vars (Array.to_list values))
+    !witness
+
+let project_args (q : Cq.t) (agg_args : Term.t array) values =
+  let index v =
+    let rec go i = function
+      | [] -> assert false
+      | v' :: _ when String.equal v v' -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 q.Cq.vars
+  in
+  Array.map
+    (function
+      | Term.Var v -> values.(index v)
+      | Term.Const c -> c)
+    agg_args
+
+let aggregate_value src (a : Query.aggregate) =
+  let q = a.Query.body in
+  match a.Query.agg with
+  | Query.Count ->
+      let n = ref 0 in
+      run src q (fun _ _ ->
+          incr n;
+          `Continue);
+      if !n = 0 then None else Some (Value.Int !n)
+  | Query.Cntd ->
+      let seen = Tuple.Tbl.create 64 in
+      run src q (fun values _ ->
+          Tuple.Tbl.replace seen (project_args q a.Query.agg_args values) ();
+          `Continue);
+      let n = Tuple.Tbl.length seen in
+      if n = 0 then None else Some (Value.Int n)
+  | Query.Sum ->
+      let total = ref Value.zero and any = ref false in
+      run src q (fun values _ ->
+          let projected = project_args q a.Query.agg_args values in
+          total := Value.add !total projected.(0);
+          any := true;
+          `Continue);
+      if !any then Some !total else None
+  | Query.Max | Query.Min ->
+      let combine =
+        match a.Query.agg with
+        | Query.Max -> Value.max_v
+        | Query.Min -> Value.min_v
+        | Query.Count | Query.Cntd | Query.Sum -> assert false
+      in
+      let acc = ref None in
+      run src q (fun values _ ->
+          let v = (project_args q a.Query.agg_args values).(0) in
+          acc := Some (match !acc with None -> v | Some w -> combine v w);
+          `Continue);
+      !acc
+
+let theta_holds theta value threshold =
+  match theta with
+  | Query.Lt -> Value.lt value threshold
+  | Query.Gt -> Value.lt threshold value
+  | Query.Eq -> Value.equal value threshold
+
+let eval src = function
+  | Query.Boolean q -> eval_boolean src q
+  | Query.Aggregate a -> (
+      match aggregate_value src a with
+      | None -> false (* empty bag: comparison is false (footnote 9) *)
+      | Some v -> theta_holds a.Query.theta v a.Query.threshold)
+
+let count_matches src q =
+  let n = ref 0 in
+  run src q (fun _ _ ->
+      incr n;
+      `Continue);
+  !n

@@ -1,0 +1,42 @@
+(** Query evaluation over a {!Relational.Source.t}.
+
+    The evaluator runs a backtracking join: at every depth it picks the
+    cheapest remaining positive atom (most bound argument positions,
+    smallest index-estimated result), enumerates matching tuples through
+    the source's index lookups, and prunes with negated atoms and
+    comparisons as soon as their variables are bound.
+
+    An assignment [h] maps each body variable to a value; because every
+    variable occurs in a positive atom, assignments correspond one-to-one
+    to the tuple combinations the join enumerates, which gives exactly the
+    bag semantics of Section 5 for aggregates. *)
+
+val eval_boolean : Relational.Source.t -> Cq.t -> bool
+(** True when at least one satisfying assignment exists (early exit). *)
+
+val find_witness :
+  Relational.Source.t -> Cq.t -> (string * Relational.Value.t) list option
+(** A satisfying assignment, as variable bindings in [q.vars] order. *)
+
+val iter_matches :
+  Relational.Source.t ->
+  Cq.t ->
+  (Relational.Value.t array ->
+  (string * Relational.Tuple.t) list ->
+  [ `Continue | `Stop ]) ->
+  unit
+(** Calls the callback once per satisfying assignment with the values of
+    [q.vars] (in order) and the {e support}: the (relation, tuple) pair
+    each positive atom was mapped to, in atom order. Duplicate assignments
+    never occur. Return [`Stop] to abort. *)
+
+val aggregate_value :
+  Relational.Source.t -> Query.aggregate -> Relational.Value.t option
+(** [α(B)] where [B] is the bag of [h(x̄)] over all satisfying
+    assignments; [None] when the bag is empty. *)
+
+val eval : Relational.Source.t -> Query.t -> bool
+(** Full denial-constraint body evaluation over one world. For aggregates
+    an empty bag makes the comparison false (footnote 9 semantics). *)
+
+val count_matches : Relational.Source.t -> Cq.t -> int

@@ -1,0 +1,38 @@
+(* Terms are interned into dense ids; atoms clique their terms together;
+   Eq comparisons merge the two variables' nodes. *)
+
+let build q =
+  let ids = Hashtbl.create 16 in
+  let terms = ref [] in
+  let intern t =
+    match Hashtbl.find_opt ids t with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length ids in
+        Hashtbl.replace ids t i;
+        terms := t :: !terms;
+        i
+  in
+  let atoms = q.Cq.positive @ q.Cq.negated in
+  List.iter (fun a -> Array.iter (fun t -> ignore (intern t)) a.Atom.args) atoms;
+  let n = Hashtbl.length ids in
+  let uf = Bcgraph.Union_find.create n in
+  List.iter
+    (fun a ->
+      let members = Array.map intern a.Atom.args in
+      Array.iter (fun i -> Bcgraph.Union_find.union uf members.(0) i) members)
+    atoms;
+  List.iter
+    (fun (x, y) ->
+      match (Hashtbl.find_opt ids (Term.Var x), Hashtbl.find_opt ids (Term.Var y)) with
+      | Some i, Some j -> Bcgraph.Union_find.union uf i j
+      | _ -> ())
+    (Cq.var_equalities q);
+  (uf, Array.of_list (List.rev !terms))
+
+let components q =
+  let uf, terms = build q in
+  Bcgraph.Union_find.groups uf
+  |> List.map (fun members -> List.map (fun i -> terms.(i)) members)
+
+let is_connected q = List.length (components q) <= 1

@@ -1,0 +1,14 @@
+(** The Gaifman graph of a query (Section 6.2): nodes are the terms
+    appearing in relational atoms; two terms are adjacent when they occur
+    in the same atom. A query is {e connected} when this graph has a
+    single component — comparisons do {e not} create edges, so
+    [q() <- R(x,y), S(w,v), y < v] is disconnected even though its atoms
+    are linked by a comparison. OptDCSat is only sound for connected
+    queries. *)
+
+val is_connected : Cq.t -> bool
+(** Connectivity of the Gaifman graph over positive and negated atoms.
+    Variables identified by [Eq] comparisons are treated as one node. *)
+
+val components : Cq.t -> Term.t list list
+(** The term partition, ordered by first occurrence. *)

@@ -1,0 +1,35 @@
+type verdict = Monotone | Not_monotone of string
+
+let analyze ?(sum_args_nonnegative = true) q =
+  match q with
+  | Query.Boolean body ->
+      if Cq.is_positive body then Monotone
+      else Not_monotone "negated atoms can become false as the world grows"
+  | Query.Aggregate a ->
+      if not (Cq.is_positive a.Query.body) then
+        Not_monotone "negated atoms can become false as the world grows"
+      else begin
+        match (a.Query.agg, a.Query.theta) with
+        | (Query.Count | Query.Cntd), Query.Gt -> Monotone
+        | Query.Sum, Query.Gt ->
+            if sum_args_nonnegative then Monotone
+            else
+              Not_monotone
+                "sum > c is monotone only when summands are non-negative"
+        | Query.Max, Query.Gt | Query.Min, Query.Lt -> Monotone
+        | (Query.Count | Query.Cntd | Query.Sum), (Query.Lt | Query.Eq) ->
+            Not_monotone
+              (Printf.sprintf "%s with '%s' can flip from true to false"
+                 (Query.agg_name a.Query.agg)
+                 (match a.Query.theta with
+                 | Query.Lt -> "<"
+                 | Query.Eq -> "="
+                 | Query.Gt -> ">"))
+        | Query.Max, (Query.Lt | Query.Eq) | Query.Min, (Query.Gt | Query.Eq) ->
+            Not_monotone "extremum can move past the threshold as worlds grow"
+      end
+
+let is_monotone ?sum_args_nonnegative q =
+  match analyze ?sum_args_nonnegative q with
+  | Monotone -> true
+  | Not_monotone _ -> false

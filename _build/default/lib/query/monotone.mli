@@ -1,0 +1,20 @@
+(** Syntactic monotonicity analysis. A Boolean query [q] is monotone when
+    [R ⊆ R'] and [q(R)] imply [q(R')] (Section 6.1); NaiveDCSat and
+    OptDCSat are only sound for monotone denial constraints, because they
+    restrict attention to maximal possible worlds.
+
+    The analysis is sound but incomplete: [Not_monotone] really means
+    "not established monotone by this analysis". *)
+
+type verdict =
+  | Monotone
+  | Not_monotone of string  (** Human-readable reason. *)
+
+val analyze : ?sum_args_nonnegative:bool -> Query.t -> verdict
+(** Positive conjunctive queries are monotone. Positive aggregate queries
+    are monotone for [count > c], [cntd > c], [max > c], [min < c], and —
+    when [sum_args_nonnegative] (default [true], matching bitcoin amounts)
+    — [sum > c]. Negation, [θ ∈ {<, =}] on growing aggregates, and
+    [max <] / [min >] are rejected with a reason. *)
+
+val is_monotone : ?sum_args_nonnegative:bool -> Query.t -> bool

@@ -1,0 +1,338 @@
+module Value = Relational.Value
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | BANG
+  | PIPE
+  | ARROW (* :- or <- *)
+  | OP_EQ
+  | OP_NEQ
+  | OP_LT
+  | OP_GT
+  | EOF
+
+exception Err of string * int
+
+let fail pos msg = raise (Err (msg, pos))
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let push pos tok = tokens := (tok, pos) :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = input.[!i] in
+    let pos = !i in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '%' then begin
+      (* line comment *)
+      while !i < n && input.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do
+        incr i
+      done;
+      push pos (IDENT (String.sub input start (!i - start)))
+    end
+    else if is_digit c || (c = '-' && !i + 1 < n && is_digit input.[!i + 1])
+    then begin
+      let start = !i in
+      if c = '-' then incr i;
+      while !i < n && is_digit input.[!i] do
+        incr i
+      done;
+      let is_float =
+        !i + 1 < n && input.[!i] = '.' && is_digit input.[!i + 1]
+      in
+      if is_float then begin
+        incr i;
+        while !i < n && is_digit input.[!i] do
+          incr i
+        done;
+        (* Optional exponent, as produced by the value printer. *)
+        if
+          !i < n
+          && (input.[!i] = 'e' || input.[!i] = 'E')
+          &&
+          let j = if !i + 1 < n && (input.[!i + 1] = '+' || input.[!i + 1] = '-')
+                  then !i + 2 else !i + 1
+          in
+          j < n && is_digit input.[j]
+        then begin
+          incr i;
+          if input.[!i] = '+' || input.[!i] = '-' then incr i;
+          while !i < n && is_digit input.[!i] do
+            incr i
+          done
+        end;
+        push pos (FLOAT (float_of_string (String.sub input start (!i - start))))
+      end
+      else push pos (INT (int_of_string (String.sub input start (!i - start))))
+    end
+    else if c = '"' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        let c = input.[!i] in
+        if c = '"' then begin
+          closed := true;
+          incr i
+        end
+        else if c = '\\' && !i + 1 < n then begin
+          let e = input.[!i + 1] in
+          Buffer.add_char buf
+            (match e with 'n' -> '\n' | 't' -> '\t' | other -> other);
+          i := !i + 2
+        end
+        else begin
+          Buffer.add_char buf c;
+          incr i
+        end
+      done;
+      if not !closed then fail pos "unterminated string literal";
+      push pos (STRING (Buffer.contents buf))
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub input !i 2) else None
+      in
+      match two with
+      | Some ":-" | Some "<-" ->
+          push pos ARROW;
+          i := !i + 2
+      | Some "!=" | Some "<>" ->
+          push pos OP_NEQ;
+          i := !i + 2
+      | _ -> (
+          incr i;
+          match c with
+          | '(' -> push pos LPAREN
+          | ')' -> push pos RPAREN
+          | ',' -> push pos COMMA
+          | '.' -> push pos DOT
+          | '!' -> push pos BANG
+          | '|' -> push pos PIPE
+          | '=' -> push pos OP_EQ
+          | '<' -> push pos OP_LT
+          | '>' -> push pos OP_GT
+          | _ -> fail pos (Printf.sprintf "unexpected character %c" c))
+    end
+  done;
+  push n EOF;
+  Array.of_list (List.rev !tokens)
+
+type state = { toks : (token * int) array; mutable cur : int }
+
+let peek st = fst st.toks.(st.cur)
+let pos st = snd st.toks.(st.cur)
+let advance st = st.cur <- st.cur + 1
+
+let expect st tok what =
+  if peek st = tok then advance st else fail (pos st) ("expected " ^ what)
+
+let parse_value st =
+  match peek st with
+  | INT i ->
+      advance st;
+      Value.Int i
+  | FLOAT f ->
+      advance st;
+      Value.Float f
+  | STRING s ->
+      advance st;
+      Value.Str s
+  | IDENT "true" ->
+      advance st;
+      Value.Bool true
+  | IDENT "false" ->
+      advance st;
+      Value.Bool false
+  | IDENT "null" ->
+      advance st;
+      Value.Null
+  | _ -> fail (pos st) "expected a constant"
+
+let parse_term st =
+  match peek st with
+  | IDENT name
+    when not (List.mem name [ "true"; "false"; "null" ]) ->
+      advance st;
+      Term.Var name
+  | _ -> Term.Const (parse_value st)
+
+let parse_term_list st =
+  let rec go acc =
+    let t = parse_term st in
+    match peek st with
+    | COMMA ->
+        advance st;
+        go (t :: acc)
+    | _ -> List.rev (t :: acc)
+  in
+  if peek st = RPAREN then [] else go []
+
+let parse_atom st name =
+  expect st LPAREN "'('";
+  let args = parse_term_list st in
+  expect st RPAREN "')'";
+  Atom.make name args
+
+let cmp_op_of_token = function
+  | OP_EQ -> Some Cq.Eq
+  | OP_NEQ -> Some Cq.Neq
+  | OP_LT -> Some Cq.Lt
+  | OP_GT -> Some Cq.Gt
+  | _ -> None
+
+type item =
+  | Pos of Atom.t
+  | Neg of Atom.t
+  | Cmp of Cq.comparison
+
+let parse_item st =
+  match peek st with
+  | BANG ->
+      advance st;
+      let name =
+        match peek st with
+        | IDENT n ->
+            advance st;
+            n
+        | _ -> fail (pos st) "expected relation name after '!'"
+      in
+      Neg (parse_atom st name)
+  | IDENT "not" when fst st.toks.(st.cur + 1) <> LPAREN ->
+      advance st;
+      let name =
+        match peek st with
+        | IDENT n ->
+            advance st;
+            n
+        | _ -> fail (pos st) "expected relation name after 'not'"
+      in
+      Neg (parse_atom st name)
+  | IDENT name when fst st.toks.(st.cur + 1) = LPAREN ->
+      advance st;
+      Pos (parse_atom st name)
+  | _ -> (
+      let lhs = parse_term st in
+      match cmp_op_of_token (peek st) with
+      | Some op ->
+          advance st;
+          let rhs = parse_term st in
+          Cmp { Cq.clhs = lhs; op; crhs = rhs }
+      | None -> fail (pos st) "expected a comparison operator")
+
+let parse_body st =
+  let rec go acc =
+    let item = parse_item st in
+    match peek st with
+    | COMMA ->
+        advance st;
+        go (item :: acc)
+    | _ -> List.rev (item :: acc)
+  in
+  go []
+
+let aggregates = [ "count"; "cntd"; "sum"; "max"; "min" ]
+
+let agg_of_string = function
+  | "count" -> Query.Count
+  | "cntd" -> Query.Cntd
+  | "sum" -> Query.Sum
+  | "max" -> Query.Max
+  | "min" -> Query.Min
+  | s -> invalid_arg ("unknown aggregate " ^ s)
+
+type head = Bool_head | Agg_head of Query.agg * Term.t list
+
+let parse_head st =
+  (match peek st with
+  | IDENT _ -> advance st
+  | _ -> fail (pos st) "expected query name");
+  expect st LPAREN "'(' after query name";
+  match peek st with
+  | RPAREN ->
+      advance st;
+      Bool_head
+  | IDENT a when List.mem a aggregates && fst st.toks.(st.cur + 1) = LPAREN ->
+      advance st;
+      expect st LPAREN "'('";
+      let args = parse_term_list st in
+      expect st RPAREN "')'";
+      expect st RPAREN "')' closing the head";
+      Agg_head (agg_of_string a, args)
+  | _ -> fail (pos st) "expected ')' or an aggregate in the query head"
+
+let theta_of_token = function
+  | OP_LT -> Some Query.Lt
+  | OP_GT -> Some Query.Gt
+  | OP_EQ -> Some Query.Eq
+  | _ -> None
+
+let parse_query ?catalog st =
+  let head = parse_head st in
+  expect st ARROW "':-'";
+  let items = parse_body st in
+  let positive = List.filter_map (function Pos a -> Some a | _ -> None) items in
+  let negated = List.filter_map (function Neg a -> Some a | _ -> None) items in
+  let comparisons =
+    List.filter_map (function Cmp c -> Some c | _ -> None) items
+  in
+  let body_result = Cq.make ?catalog ~positive ~negated ~comparisons () in
+  let body =
+    match body_result with Ok b -> b | Error msg -> fail (pos st) msg
+  in
+  let q =
+    match head with
+    | Bool_head -> Query.Boolean body
+    | Agg_head (agg, args) ->
+        let theta =
+          if peek st = PIPE then begin
+            advance st;
+            match theta_of_token (peek st) with
+            | Some t ->
+                advance st;
+                t
+            | None -> fail (pos st) "expected <, > or = after '|'"
+          end
+          else fail (pos st) "aggregate query needs '| theta constant'"
+        in
+        let threshold = parse_value st in
+        let result = Query.aggregate ~body ~agg ~args ~theta ~threshold in
+        (match result with Ok q -> q | Error msg -> fail (pos st) msg)
+  in
+  if peek st = DOT then advance st;
+  expect st EOF "end of input";
+  q
+
+let parse ?catalog input =
+  match
+    let st = { toks = tokenize input; cur = 0 } in
+    parse_query ?catalog st
+  with
+  | q -> Ok q
+  | exception Err (msg, pos) ->
+      Error (Printf.sprintf "parse error at position %d: %s" pos msg)
+
+let parse_exn ?catalog input =
+  match parse ?catalog input with
+  | Ok q -> q
+  | Error msg -> invalid_arg ("Parser.parse: " ^ msg)

@@ -1,0 +1,30 @@
+(** Concrete syntax for denial constraints, in the spirit of the paper's
+    notation. Examples:
+
+    {v
+    q() :- TxOut(t, s, "U8Pk", a).
+    q() :- TxIn(p1, s1, "AlicePK", 1, n1, "AliceSig"),
+           TxOut(n1, o1, "BobPK", 1),
+           TxIn(p2, s2, "AlicePK", 1, n2, "AliceSig"),
+           TxOut(n2, o2, "BobPK", 1), n1 != n2.
+    q() :- TxIn(p, s, "AlcPK", a, n, g), TxOut(n, o, pk, b), !Trusted(pk).
+    q(sum(a)) :- TxIn(t, s, "AlcPK", a, n, g) | > 5.
+    v}
+
+    Identifiers are variables inside atom argument lists; constants are
+    quoted strings, integers, floats, [true], [false] or [null]. [!]
+    (or [not]) negates an atom. Comparisons use [=], [!=], [<], [>].
+    An aggregate head is [q(agg(x, ...))] with agg one of [count], [cntd],
+    [sum], [max], [min], and the threshold comparison follows the body
+    after a [|]. The trailing period is optional, as is [<-] for [:-].
+
+    {!Query.pp} prints in this same syntax; [parse (to_string q)]
+    round-trips. *)
+
+val parse : ?catalog:Relational.Schema.t -> string -> (Query.t, string) result
+(** Parse a denial constraint; validates safety (and schema conformance
+    when a catalog is given). The error string includes a character
+    position. *)
+
+val parse_exn : ?catalog:Relational.Schema.t -> string -> Query.t
+(** Raises [Invalid_argument] with the parse error. *)

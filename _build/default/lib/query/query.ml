@@ -1,0 +1,74 @@
+type agg = Count | Cntd | Sum | Max | Min
+
+type theta = Lt | Gt | Eq
+
+type aggregate = {
+  body : Cq.t;
+  agg : agg;
+  agg_args : Term.t array;
+  theta : theta;
+  threshold : Relational.Value.t;
+}
+
+type t = Boolean of Cq.t | Aggregate of aggregate
+
+let boolean q = Boolean q
+
+let agg_name = function
+  | Count -> "count"
+  | Cntd -> "cntd"
+  | Sum -> "sum"
+  | Max -> "max"
+  | Min -> "min"
+
+let aggregate ~body ~agg ~args ~theta ~threshold =
+  let arity = List.length args in
+  let arity_ok =
+    match agg with
+    | Count -> true
+    | Cntd -> arity >= 1
+    | Sum | Max | Min -> arity = 1
+  in
+  if not arity_ok then
+    Error (Printf.sprintf "aggregate %s cannot take %d arguments" (agg_name agg) arity)
+  else
+    let bad_arg =
+      List.find_opt
+        (function
+          | Term.Var v -> not (List.mem v body.Cq.vars)
+          | Term.Const _ -> true)
+        args
+    in
+    match bad_arg with
+    | Some t ->
+        Error
+          (Format.asprintf "aggregate argument %a is not a body variable"
+             Term.pp t)
+    | None ->
+        Ok
+          (Aggregate
+             { body; agg; agg_args = Array.of_list args; theta; threshold })
+
+let aggregate_exn ~body ~agg ~args ~theta ~threshold =
+  match aggregate ~body ~agg ~args ~theta ~threshold with
+  | Ok q -> q
+  | Error msg -> invalid_arg ("Query.aggregate: " ^ msg)
+
+let body = function Boolean q -> q | Aggregate a -> a.body
+
+let is_positive q = Cq.is_positive (body q)
+
+let pp_theta ppf t =
+  Format.pp_print_string ppf (match t with Lt -> "<" | Gt -> ">" | Eq -> "=")
+
+let pp ppf = function
+  | Boolean q -> Format.fprintf ppf "q() :- %a." Cq.pp q
+  | Aggregate a ->
+      Format.fprintf ppf "q(%s(%a)) :- %a | %a %a." (agg_name a.agg)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Term.pp)
+        (Array.to_list a.agg_args)
+        Cq.pp a.body pp_theta a.theta Relational.Value.pp a.threshold
+
+let to_string q = Format.asprintf "%a" pp q

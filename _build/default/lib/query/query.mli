@@ -1,0 +1,52 @@
+(** Denial constraints: Boolean conjunctive queries or aggregate queries
+    [[q(α(x̄)) <- body] θ c] (Section 5). A denial constraint [q] is
+    {e satisfied} by a blockchain database when [q] is false over every
+    possible world — evaluation of [q] itself over a single world lives in
+    {!Eval}. *)
+
+type agg = Count | Cntd | Sum | Max | Min
+
+type theta = Lt | Gt | Eq
+(** The aggregate comparison operators the paper studies. *)
+
+type aggregate = {
+  body : Cq.t;
+  agg : agg;
+  agg_args : Term.t array;
+      (** The tuple [x̄] the aggregate is applied to. Must be variables of
+          the body ([count] may take zero arguments). *)
+  theta : theta;
+  threshold : Relational.Value.t;
+}
+
+type t = Boolean of Cq.t | Aggregate of aggregate
+
+val boolean : Cq.t -> t
+
+val aggregate :
+  body:Cq.t ->
+  agg:agg ->
+  args:Term.t list ->
+  theta:theta ->
+  threshold:Relational.Value.t ->
+  (t, string) result
+(** Validates that aggregate arguments are body variables, that
+    [sum]/[max]/[min] take exactly one argument, and that [cntd] takes at
+    least one. *)
+
+val aggregate_exn :
+  body:Cq.t ->
+  agg:agg ->
+  args:Term.t list ->
+  theta:theta ->
+  threshold:Relational.Value.t ->
+  t
+
+val body : t -> Cq.t
+val is_positive : t -> bool
+val agg_name : agg -> string
+val pp_theta : Format.formatter -> theta -> unit
+val pp : Format.formatter -> t -> unit
+(** Prints in the parser's concrete syntax; see {!Parser}. *)
+
+val to_string : t -> string

@@ -1,0 +1,16 @@
+type t = Var of string | Const of Relational.Value.t
+
+let is_var = function Var _ -> true | Const _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Var x, Var y -> String.compare x y
+  | Const x, Const y -> Relational.Value.compare x y
+  | Var _, Const _ -> -1
+  | Const _, Var _ -> 1
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Var v -> Format.pp_print_string ppf v
+  | Const c -> Relational.Value.pp ppf c

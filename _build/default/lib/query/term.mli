@@ -1,0 +1,8 @@
+(** Terms of denial-constraint bodies: variables or ground constants. *)
+
+type t = Var of string | Const of Relational.Value.t
+
+val is_var : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,98 @@
+module Tuple = Relational.Tuple
+module Constr = Relational.Constr
+
+type t = {
+  lrel : string;
+  lattrs : int list;
+  rrel : string;
+  rattrs : int list;
+}
+
+let of_inds inds =
+  List.map
+    (fun (i : Constr.ind) ->
+      {
+        lrel = i.Constr.sub_rel;
+        lattrs = i.Constr.sub_attrs;
+        rrel = i.Constr.sup_rel;
+        rattrs = i.Constr.sup_attrs;
+      })
+    inds
+
+(* Terms (variables *and* constants) are grouped into identity classes,
+   closed under the query's Eq comparisons; two atoms imply an equality
+   constraint on the first-occurrence positions of every class they
+   share. Constants matter: the star queries of Section 7 (q_r) are
+   connected only through a repeated constant, and OptDCSat is sound on
+   them precisely because atoms sharing a constant are linked here. *)
+let of_query (q : Cq.t) =
+  let atoms = Array.of_list q.Cq.positive in
+  let n = Array.length atoms in
+  let ids = Hashtbl.create 16 in
+  let intern t =
+    match Hashtbl.find_opt ids t with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length ids in
+        Hashtbl.replace ids t i;
+        i
+  in
+  Array.iter (fun a -> Array.iter (fun t -> ignore (intern t)) a.Atom.args) atoms;
+  let uf = Bcgraph.Union_find.create (Hashtbl.length ids) in
+  List.iter
+    (fun (c : Cq.comparison) ->
+      match c.Cq.op with
+      | Cq.Eq -> (
+          match (Hashtbl.find_opt ids c.Cq.clhs, Hashtbl.find_opt ids c.Cq.crhs) with
+          | Some i, Some j -> Bcgraph.Union_find.union uf i j
+          | _ -> ())
+      | Cq.Neq | Cq.Lt | Cq.Gt -> ())
+    q.Cq.comparisons;
+  let repr t = Bcgraph.Union_find.find uf (Hashtbl.find ids t) in
+  (* First position of each class within an atom. *)
+  let positions (a : Atom.t) =
+    let tbl = Hashtbl.create 8 in
+    Array.iteri
+      (fun pos term ->
+        let r = repr term in
+        if not (Hashtbl.mem tbl r) then Hashtbl.replace tbl r pos)
+      a.Atom.args;
+    tbl
+  in
+  let pos_tables = Array.map positions atoms in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let shared =
+        Hashtbl.fold
+          (fun r pi pairs ->
+            match Hashtbl.find_opt pos_tables.(j) r with
+            | Some pj -> (pi, pj) :: pairs
+            | None -> pairs)
+          pos_tables.(i) []
+        |> List.sort compare
+      in
+      if shared <> [] then
+        acc :=
+          {
+            lrel = atoms.(i).Atom.rel;
+            lattrs = List.map fst shared;
+            rrel = atoms.(j).Atom.rel;
+            rattrs = List.map snd shared;
+          }
+          :: !acc
+    done
+  done;
+  List.sort_uniq compare !acc
+
+let satisfied_by_tuples theta l r =
+  Tuple.equal (Tuple.project l theta.lattrs) (Tuple.project r theta.rattrs)
+
+let pp ppf t =
+  let pp_ints =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+      Format.pp_print_int
+  in
+  Format.fprintf ppf "%s[%a] = %s[%a]" t.lrel pp_ints t.lattrs t.rrel pp_ints
+    t.rattrs

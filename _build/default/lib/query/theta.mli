@@ -1,0 +1,34 @@
+(** Equality constraints [R\[X̄\] = S\[Ȳ\]] (Section 6.2). Two sources:
+    every inclusion dependency induces one (the set ΘI), and every pair of
+    positive query atoms sharing variables (or variables forced equal by
+    [Eq] comparisons) induces one (the set Θq). The union Θ = ΘI ∪ Θq
+    drives the edges of the ind-q-transaction graph: two pending
+    transactions are connected when some θ is satisfied by a tuple from
+    each. *)
+
+type t = {
+  lrel : string;
+  lattrs : int list;
+  rrel : string;
+  rattrs : int list;
+}
+(** [lrel[lattrs] = rrel[rattrs]]; the position lists have equal length
+    and are nonempty. *)
+
+val of_inds : Relational.Constr.ind list -> t list
+(** ΘI: one equality constraint per inclusion dependency. *)
+
+val of_query : Cq.t -> t list
+(** Θq: for each unordered pair of distinct positive atoms, the equality
+    constraint pairing the first occurrence positions of every term class
+    the two atoms share — shared variables, {e repeated constants} (the
+    only link inside the star queries q_r of Section 7), and terms
+    identified by the query's [Eq] comparisons. Atom pairs sharing
+    nothing contribute nothing. Duplicates are removed. *)
+
+val satisfied_by_tuples :
+  t -> Relational.Tuple.t -> Relational.Tuple.t -> bool
+(** [satisfied_by_tuples theta l r] with [l] from [lrel] and [r] from
+    [rrel]. *)
+
+val pp : Format.formatter -> t -> unit

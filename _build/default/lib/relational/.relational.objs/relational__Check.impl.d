@@ -1,0 +1,1 @@
+lib/relational/check.ml: Array Constr Format List Option Seq Source String Tuple

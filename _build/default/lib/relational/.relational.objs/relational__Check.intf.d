@@ -1,0 +1,1 @@
+lib/relational/check.mli: Constr Format Source Tuple

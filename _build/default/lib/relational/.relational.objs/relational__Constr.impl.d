@@ -1,0 +1,1 @@
+lib/relational/constr.ml: Array Format Int List Schema

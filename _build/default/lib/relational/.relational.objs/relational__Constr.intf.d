@@ -1,0 +1,1 @@
+lib/relational/constr.mli: Format Schema

@@ -1,0 +1,1 @@
+lib/relational/source.ml: Schema Seq Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/source.mli: Schema Seq Tuple Value

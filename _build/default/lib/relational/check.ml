@@ -1,0 +1,105 @@
+type violation =
+  | Fd_violation of Constr.fd * Tuple.t * Tuple.t
+  | Ind_violation of Constr.ind * Tuple.t
+
+let pp_violation ppf = function
+  | Fd_violation (f, t1, t2) ->
+      Format.fprintf ppf "fd violation on %s: %a vs %a" f.Constr.frel Tuple.pp
+        t1 Tuple.pp t2
+  | Ind_violation (i, t) ->
+      Format.fprintf ppf "ind violation: %s tuple %a unsupported in %s"
+        i.Constr.sub_rel Tuple.pp t i.Constr.sup_rel
+
+exception Found of violation
+
+let check_fd (src : Source.t) (f : Constr.fd) =
+  let seen = Tuple.Tbl.create 256 in
+  try
+    src.Source.scan f.Constr.frel
+    |> Seq.iter (fun t ->
+           let lhs = Tuple.project t f.Constr.lhs in
+           let rhs = Tuple.project t f.Constr.rhs in
+           match Tuple.Tbl.find_opt seen lhs with
+           | Some (rhs', t') ->
+               if not (Tuple.equal rhs rhs') then
+                 raise (Found (Fd_violation (f, t', t)))
+           | None -> Tuple.Tbl.replace seen lhs (rhs, t));
+    None
+  with Found v -> Some v
+
+let check_ind (src : Source.t) (i : Constr.ind) =
+  let supported = Tuple.Tbl.create 256 in
+  src.Source.scan i.Constr.sup_rel
+  |> Seq.iter (fun t ->
+         Tuple.Tbl.replace supported (Tuple.project t i.Constr.sup_attrs) ());
+  try
+    src.Source.scan i.Constr.sub_rel
+    |> Seq.iter (fun t ->
+           if not (Tuple.Tbl.mem supported (Tuple.project t i.Constr.sub_attrs))
+           then raise (Found (Ind_violation (i, t))));
+    None
+  with Found v -> Some v
+
+let check_one src = function
+  | Constr.Fd f -> check_fd src f
+  | Constr.Ind i -> check_ind src i
+
+let first_violation src cs = List.find_map (check_one src) cs
+let satisfies src cs = Option.is_none (first_violation src cs)
+let violations src cs = List.filter_map (check_one src) cs
+
+let fd_conflict (src : Source.t) (f : Constr.fd) (t : Tuple.t) =
+  let binds = List.map (fun col -> (col, t.(col))) f.Constr.lhs in
+  let rhs = Tuple.project t f.Constr.rhs in
+  src.Source.lookup f.Constr.frel binds
+  |> Seq.find (fun t' -> not (Tuple.equal (Tuple.project t' f.Constr.rhs) rhs))
+
+let ind_supported (src : Source.t) (i : Constr.ind) (t : Tuple.t) =
+  let binds =
+    List.map2
+      (fun sup_col sub_col -> (sup_col, t.(sub_col)))
+      i.Constr.sup_attrs i.Constr.sub_attrs
+  in
+  not (Seq.is_empty (src.Source.lookup i.Constr.sup_rel binds))
+
+let batch_consistent (src : Source.t) cs rows =
+  let batch_of rel =
+    List.concat_map (fun (name, ts) -> if String.equal name rel then ts else [])
+      rows
+  in
+  let fd_ok (f : Constr.fd) =
+    let fresh = batch_of f.Constr.frel in
+    fresh = []
+    ||
+    let seen = Tuple.Tbl.create 16 in
+    List.for_all
+      (fun t ->
+        if Option.is_some (fd_conflict src f t) then false
+        else
+          let lhs = Tuple.project t f.Constr.lhs in
+          let rhs = Tuple.project t f.Constr.rhs in
+          match Tuple.Tbl.find_opt seen lhs with
+          | Some rhs' -> Tuple.equal rhs rhs'
+          | None ->
+              Tuple.Tbl.replace seen lhs rhs;
+              true)
+      fresh
+  in
+  let ind_ok (i : Constr.ind) =
+    let fresh_sub = batch_of i.Constr.sub_rel in
+    fresh_sub = []
+    ||
+    let fresh_sup = Tuple.Tbl.create 16 in
+    List.iter
+      (fun t ->
+        Tuple.Tbl.replace fresh_sup (Tuple.project t i.Constr.sup_attrs) ())
+      (batch_of i.Constr.sup_rel);
+    List.for_all
+      (fun t ->
+        Tuple.Tbl.mem fresh_sup (Tuple.project t i.Constr.sub_attrs)
+        || ind_supported src i t)
+      fresh_sub
+  in
+  List.for_all
+    (function Constr.Fd f -> fd_ok f | Constr.Ind i -> ind_ok i)
+    cs

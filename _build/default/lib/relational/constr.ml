@@ -1,0 +1,65 @@
+type fd = { frel : string; lhs : int list; rhs : int list }
+
+type ind = {
+  sub_rel : string;
+  sub_attrs : int list;
+  sup_rel : string;
+  sup_attrs : int list;
+}
+
+type t = Fd of fd | Ind of ind
+
+let fd r xs ys =
+  if xs = [] then invalid_arg "Constr.fd: empty lhs";
+  if ys = [] then invalid_arg "Constr.fd: empty rhs";
+  Fd
+    {
+      frel = r.Schema.name;
+      lhs = Schema.attr_indices r xs;
+      rhs = Schema.attr_indices r ys;
+    }
+
+let key r xs = fd r xs (Array.to_list r.Schema.attrs)
+
+let ind ~sub sub_xs ~sup sup_ys =
+  if List.length sub_xs <> List.length sup_ys then
+    invalid_arg "Constr.ind: attribute lists of different lengths";
+  if sub_xs = [] then invalid_arg "Constr.ind: empty attribute lists";
+  Ind
+    {
+      sub_rel = sub.Schema.name;
+      sub_attrs = Schema.attr_indices sub sub_xs;
+      sup_rel = sup.Schema.name;
+      sup_attrs = Schema.attr_indices sup sup_ys;
+    }
+
+let is_key schema f =
+  let positions = List.sort_uniq Int.compare f.rhs in
+  List.length positions = Schema.arity schema
+
+let fds cs = List.filter_map (function Fd f -> Some f | Ind _ -> None) cs
+let inds cs = List.filter_map (function Ind i -> Some i | Fd _ -> None) cs
+
+let classify catalog cs =
+  let of_constr = function
+    | Ind _ -> `Ind
+    | Fd f -> if is_key (Schema.find catalog f.frel) f then `Key else `Fd
+  in
+  List.map of_constr cs
+
+let pp_attrs schema ppf positions =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    (fun ppf i -> Format.pp_print_string ppf schema.Schema.attrs.(i))
+    ppf positions
+
+let pp catalog ppf = function
+  | Fd f ->
+      let schema = Schema.find catalog f.frel in
+      Format.fprintf ppf "%s: %a -> %a" f.frel (pp_attrs schema) f.lhs
+        (pp_attrs schema) f.rhs
+  | Ind i ->
+      let sub = Schema.find catalog i.sub_rel in
+      let sup = Schema.find catalog i.sup_rel in
+      Format.fprintf ppf "%s[%a] <= %s[%a]" i.sub_rel (pp_attrs sub)
+        i.sub_attrs i.sup_rel (pp_attrs sup) i.sup_attrs

@@ -1,0 +1,42 @@
+(** Integrity constraints of Section 4: functional dependencies (with key
+    constraints as the special case [rhs = all attributes]) and inclusion
+    dependencies. Attribute sets are stored as positional indices into the
+    relation schema, resolved once at construction time. *)
+
+type fd = { frel : string; lhs : int list; rhs : int list }
+(** [X -> Y] over relation [frel]; [lhs]/[rhs] are attribute positions. *)
+
+type ind = {
+  sub_rel : string;
+  sub_attrs : int list;
+  sup_rel : string;
+  sup_attrs : int list;
+}
+(** [sub_rel\[sub_attrs\] ⊆ sup_rel\[sup_attrs\]]; the two position lists
+    have equal length. *)
+
+type t = Fd of fd | Ind of ind
+
+val fd : Schema.relation -> string list -> string list -> t
+(** [fd r xs ys] builds [X -> Y] from attribute names. Raises
+    [Invalid_argument]/[Not_found] on bad attribute names. *)
+
+val key : Schema.relation -> string list -> t
+(** [key r xs] is the key constraint [X -> all attributes of r]. *)
+
+val ind : sub:Schema.relation -> string list -> sup:Schema.relation -> string list -> t
+(** Raises [Invalid_argument] if the attribute lists have different
+    lengths. *)
+
+val is_key : Schema.relation -> fd -> bool
+(** True when the fd's rhs covers every attribute of the schema. *)
+
+val fds : t list -> fd list
+(** The functional dependencies (including keys) among a constraint set. *)
+
+val inds : t list -> ind list
+
+val classify : Schema.t -> t list -> [ `Key | `Fd | `Ind ] list
+(** Constraint-type profile of a set, for the complexity dispatcher. *)
+
+val pp : Schema.t -> Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+module Smap = Map.Make (String)
+
+type t = { catalog : Schema.t; relations : Relation.t Smap.t }
+
+let create catalog =
+  let relations =
+    List.fold_left
+      (fun acc r -> Smap.add r.Schema.name (Relation.create r) acc)
+      Smap.empty (Schema.relations catalog)
+  in
+  { catalog; relations }
+
+let catalog t = t.catalog
+let relation t name = Smap.find name t.relations
+let relation_opt t name = Smap.find_opt name t.relations
+let insert t name tuple = Relation.insert (relation t name) tuple
+
+let insert_all t rows =
+  List.iter (fun (name, tuple) -> ignore (insert t name tuple)) rows
+
+let total_cardinality t =
+  Smap.fold (fun _ r acc -> acc + Relation.cardinality r) t.relations 0
+
+let copy t =
+  let fresh = create t.catalog in
+  Smap.iter
+    (fun name r -> Relation.iter (fun tu -> ignore (insert fresh name tu)) r)
+    t.relations;
+  fresh
+
+let source t =
+  {
+    Source.catalog = t.catalog;
+    scan = (fun name -> Relation.scan (relation t name));
+    lookup = (fun name binds -> Relation.lookup (relation t name) binds);
+    mem = (fun name tu -> Relation.mem (relation t name) tu);
+    cardinality = (fun name -> Relation.cardinality (relation t name));
+    selectivity =
+      (fun name binds -> Relation.lookup_count_estimate (relation t name) binds);
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list Relation.pp)
+    (List.map snd (Smap.bindings t.relations))

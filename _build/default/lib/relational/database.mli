@@ -1,0 +1,28 @@
+(** A database: a catalog of schemas together with one {!Relation.t}
+    instance per relation name. Used for the current state [R] of a
+    blockchain database and for scratch materializations in tests. *)
+
+type t
+
+val create : Schema.t -> t
+(** Fresh empty instance for every relation of the catalog. *)
+
+val catalog : t -> Schema.t
+val relation : t -> string -> Relation.t
+(** Raises [Not_found] for an unknown relation name. *)
+
+val relation_opt : t -> string -> Relation.t option
+
+val insert : t -> string -> Tuple.t -> bool
+(** Insert into a named relation; see {!Relation.insert}. *)
+
+val insert_all : t -> (string * Tuple.t) list -> unit
+
+val total_cardinality : t -> int
+val copy : t -> t
+(** Deep copy (fresh relations holding the same tuples). *)
+
+val source : t -> Source.t
+(** Read-only view for the query evaluator. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,118 @@
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type index = int list Vtbl.t
+(* value on the indexed column -> positions (most recent first) *)
+
+type t = {
+  schema : Schema.relation;
+  mutable tuples : Tuple.t array;
+  mutable len : int;
+  present : unit Tuple.Tbl.t;
+  indexes : (int, index) Hashtbl.t;
+}
+
+let create schema =
+  {
+    schema;
+    tuples = [||];
+    len = 0;
+    present = Tuple.Tbl.create 64;
+    indexes = Hashtbl.create 4;
+  }
+
+let schema r = r.schema
+let name r = r.schema.Schema.name
+let cardinality r = r.len
+
+let grow r =
+  let cap = Array.length r.tuples in
+  if r.len >= cap then begin
+    let ncap = max 16 (2 * cap) in
+    let nt = Array.make ncap [||] in
+    Array.blit r.tuples 0 nt 0 r.len;
+    r.tuples <- nt
+  end
+
+let index_add idx v pos =
+  let prev = Option.value (Vtbl.find_opt idx v) ~default:[] in
+  Vtbl.replace idx v (pos :: prev)
+
+let insert r t =
+  if Tuple.arity t <> Schema.arity r.schema then
+    invalid_arg
+      (Printf.sprintf "Relation.insert: arity mismatch for %s (got %d, want %d)"
+         (name r) (Tuple.arity t)
+         (Schema.arity r.schema));
+  if Tuple.Tbl.mem r.present t then false
+  else begin
+    grow r;
+    r.tuples.(r.len) <- t;
+    Tuple.Tbl.replace r.present t ();
+    Hashtbl.iter (fun col idx -> index_add idx t.(col) r.len) r.indexes;
+    r.len <- r.len + 1;
+    true
+  end
+
+let mem r t = Tuple.Tbl.mem r.present t
+
+let scan r =
+  let n = r.len in
+  let tuples = r.tuples in
+  let rec go i () = if i >= n then Seq.Nil else Seq.Cons (tuples.(i), go (i + 1)) in
+  go 0
+
+let ensure_index r col =
+  match Hashtbl.find_opt r.indexes col with
+  | Some idx -> idx
+  | None ->
+      let idx = Vtbl.create (max 16 r.len) in
+      for i = 0 to r.len - 1 do
+        index_add idx r.tuples.(i).(col) i
+      done;
+      Hashtbl.replace r.indexes col idx;
+      idx
+
+let matches binds (t : Tuple.t) =
+  List.for_all (fun (col, v) -> Value.equal t.(col) v) binds
+
+let lookup r binds =
+  match binds with
+  | [] -> scan r
+  | (col, v) :: rest ->
+      let idx = ensure_index r col in
+      let positions = Option.value (Vtbl.find_opt idx v) ~default:[] in
+      let tuples = r.tuples in
+      List.to_seq positions
+      |> Seq.map (fun i -> tuples.(i))
+      |> Seq.filter (matches rest)
+
+let lookup_count_estimate r binds =
+  match binds with
+  | [] -> r.len
+  | (col, v) :: _ ->
+      let idx = ensure_index r col in
+      List.length (Option.value (Vtbl.find_opt idx v) ~default:[])
+
+let fold f r acc =
+  let acc = ref acc in
+  for i = 0 to r.len - 1 do
+    acc := f r.tuples.(i) !acc
+  done;
+  !acc
+
+let iter f r =
+  for i = 0 to r.len - 1 do
+    f r.tuples.(i)
+  done
+
+let to_list r = List.rev (fold List.cons r [])
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v 2>%a:@ %a@]" Schema.pp_relation r.schema
+    (Format.pp_print_list Tuple.pp)
+    (to_list r)

@@ -1,0 +1,36 @@
+(** A mutable relation instance: a set of ground tuples with lazily built
+    per-column hash indexes.
+
+    Relations are {e sets}: inserting a duplicate tuple is a no-op. This
+    matches the paper's model, where a blockchain database's current state
+    is a set of relations and transactions insert sets of tuples. The
+    store is append-only (blockchains never delete), so indexes are
+    maintained incrementally and never invalidated. *)
+
+type t
+
+val create : Schema.relation -> t
+val schema : t -> Schema.relation
+val name : t -> string
+val cardinality : t -> int
+
+val insert : t -> Tuple.t -> bool
+(** [insert r t] adds [t]; returns [false] if it was already present.
+    Raises [Invalid_argument] on an arity mismatch. *)
+
+val mem : t -> Tuple.t -> bool
+val scan : t -> Tuple.t Seq.t
+
+val lookup : t -> (int * Value.t) list -> Tuple.t Seq.t
+(** [lookup r binds] yields every tuple agreeing with all [(position,
+    value)] pairs in [binds], using (and if needed building) a hash index
+    on the first bound position. [lookup r []] is {!scan}. *)
+
+val lookup_count_estimate : t -> (int * Value.t) list -> int
+(** Upper bound on [lookup] result size from the index on the first bound
+    position; used by the query planner for join ordering. *)
+
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Tuple.t -> unit) -> t -> unit
+val to_list : t -> Tuple.t list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+type relation = { name : string; attrs : string array }
+
+let relation name attrs =
+  if attrs = [] then invalid_arg "Schema.relation: no attributes";
+  let sorted = List.sort_uniq String.compare attrs in
+  if List.length sorted <> List.length attrs then
+    invalid_arg ("Schema.relation: duplicate attribute in " ^ name);
+  { name; attrs = Array.of_list attrs }
+
+let arity r = Array.length r.attrs
+
+let attr_index r a =
+  let n = Array.length r.attrs in
+  let rec go i =
+    if i >= n then raise Not_found
+    else if String.equal r.attrs.(i) a then i
+    else go (i + 1)
+  in
+  go 0
+
+let attr_indices r attrs = List.map (attr_index r) attrs
+
+let pp_relation ppf r =
+  Format.fprintf ppf "%s(%a)" r.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_string)
+    (Array.to_list r.attrs)
+
+module Smap = Map.Make (String)
+
+type t = relation Smap.t
+
+let empty = Smap.empty
+
+let add t r =
+  if Smap.mem r.name t then
+    invalid_arg ("Schema.add: duplicate relation " ^ r.name)
+  else Smap.add r.name r t
+
+let of_list rs = List.fold_left add empty rs
+let find t name = Smap.find name t
+let find_opt t name = Smap.find_opt name t
+let mem t name = Smap.mem name t
+let relations t = List.map snd (Smap.bindings t)

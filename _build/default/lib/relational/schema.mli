@@ -1,0 +1,36 @@
+(** Relation schemas and schema catalogs.
+
+    A relation schema [R(A1, ..., An)] names a relation and its attributes
+    (Section 4 of the paper). A catalog maps relation names to schemas and
+    is shared by the current state, pending transactions, and queries. *)
+
+type relation = private { name : string; attrs : string array }
+
+val relation : string -> string list -> relation
+(** [relation name attrs] builds a schema. Raises [Invalid_argument] on an
+    empty or duplicate attribute list. *)
+
+val arity : relation -> int
+
+val attr_index : relation -> string -> int
+(** Position of a named attribute. Raises [Not_found] if absent. *)
+
+val attr_indices : relation -> string list -> int list
+
+val pp_relation : Format.formatter -> relation -> unit
+
+type t
+(** A catalog of relation schemas, keyed by relation name. *)
+
+val empty : t
+val add : t -> relation -> t
+(** Raises [Invalid_argument] if a schema with the same name exists. *)
+
+val of_list : relation list -> t
+val find : t -> string -> relation
+(** Raises [Not_found]. *)
+
+val find_opt : t -> string -> relation option
+val mem : t -> string -> bool
+val relations : t -> relation list
+(** In name order. *)

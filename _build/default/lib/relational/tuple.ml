@@ -1,0 +1,57 @@
+type t = Value.t array
+
+let make vs = Array.of_list vs
+let arity = Array.length
+let get t i = t.(i)
+
+let project t positions =
+  let n = Array.length t in
+  let pick i =
+    if i < 0 || i >= n then invalid_arg "Tuple.project: position out of range"
+    else t.(i)
+  in
+  Array.of_list (List.map pick positions)
+
+let equal a b =
+  Array.length a = Array.length b
+  &&
+  let rec go i = i >= Array.length a || (Value.equal a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+let compare a b =
+  let c = Int.compare (Array.length a) (Array.length b) in
+  if c <> 0 then c
+  else
+    let rec go i =
+      if i >= Array.length a then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Value.pp)
+    (Array.to_list t)
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Tbl = Hashtbl.Make (Hashed)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

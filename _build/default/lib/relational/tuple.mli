@@ -1,0 +1,28 @@
+(** Ground tuples: fixed-arity arrays of {!Value.t}.
+
+    Tuples are treated as immutable once inserted into a relation; the
+    array representation is exposed for efficient positional access by
+    the query evaluator, but callers must not mutate stored tuples. *)
+
+type t = Value.t array
+
+val make : Value.t list -> t
+val arity : t -> int
+val get : t -> int -> Value.t
+
+val project : t -> int list -> t
+(** [project t positions] extracts the listed attribute positions, in
+    order. Raises [Invalid_argument] on an out-of-range position. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(v1, v2, ...)]. *)
+
+val to_string : t -> string
+
+module Hashed : Hashtbl.HashedType with type t = t
+module Tbl : Hashtbl.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,79 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+let tag = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 3
+  | Str _ -> 4
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | _ -> Int.compare (tag a) (tag b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 0
+  | Bool b -> if b then 1 else 2
+  | Int i -> Hashtbl.hash (2, i)
+  | Float f -> Hashtbl.hash (3, f)
+  | Str s -> Hashtbl.hash (4, s)
+
+let to_float = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | Null | Bool _ | Str _ -> None
+
+let is_numeric v = match v with Int _ | Float _ -> true | _ -> false
+
+let lt a b =
+  match (a, b) with
+  | Int x, Int y -> x < y
+  | Str x, Str y -> x < y
+  | Bool x, Bool y -> (not x) && y
+  | (Int _ | Float _), (Int _ | Float _) -> (
+      match (to_float a, to_float b) with
+      | Some x, Some y -> x < y
+      | _ -> false)
+  | _ -> false
+
+let add a b =
+  match (a, b) with
+  | Int x, Int y -> Int (x + y)
+  | (Int _ | Float _), (Int _ | Float _) -> (
+      match (to_float a, to_float b) with
+      | Some x, Some y -> Float (x +. y)
+      | _ -> invalid_arg "Value.add: non-numeric operand")
+  | _ -> invalid_arg "Value.add: non-numeric operand"
+
+let zero = Int 0
+let max_v a b = if lt a b then b else a
+let min_v a b = if lt b a then b else a
+
+let pp ppf = function
+  | Null -> Format.pp_print_string ppf "null"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int i -> Format.pp_print_int ppf i
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Format.fprintf ppf "%.1f" f
+      else begin
+        (* Shortest representation that parses back to the same float. *)
+        let short = Printf.sprintf "%.12g" f in
+        if float_of_string short = f then Format.pp_print_string ppf short
+        else Format.fprintf ppf "%.17g" f
+      end
+  | Str s -> Format.fprintf ppf "%S" s
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,1 @@
+lib/workload/datasets.ml: Chain Generator List

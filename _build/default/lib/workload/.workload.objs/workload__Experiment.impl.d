@@ -1,0 +1,1 @@
+lib/workload/experiment.ml: Bccore Format List Printf Queries String

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Chain Format Hashtbl List Option Printf Random

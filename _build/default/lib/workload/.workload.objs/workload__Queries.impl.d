@@ -1,0 +1,1 @@
+lib/workload/queries.ml: Bcquery Generator List Printf Relational

@@ -1,0 +1,54 @@
+module C = Chain
+
+type preset = Small | Mid | Large
+
+let name = function Small -> "D-small" | Mid -> "D-mid" | Large -> "D-large"
+
+let params preset =
+  let base = Generator.default_params in
+  match preset with
+  | Small -> { base with Generator.state_blocks = 20; txs_per_block = 25; seed = 11 }
+  | Mid -> { base with Generator.state_blocks = 40; txs_per_block = 35; seed = 22 }
+  | Large -> { base with Generator.state_blocks = 70; txs_per_block = 45; seed = 33 }
+
+let sweep_params =
+  {
+    (params Mid) with
+    Generator.pending_blocks = 50;
+    max_contradictions = 60;
+    seed = 44;
+  }
+
+let default_contradictions = 20
+
+type stats = {
+  blocks : int;
+  transactions : int;
+  input_rows : int;
+  output_rows : int;
+}
+
+let stats_of_txs blocks txs =
+  {
+    blocks;
+    transactions = List.length txs;
+    input_rows =
+      List.fold_left (fun acc (tx : C.Tx.t) -> acc + List.length tx.C.Tx.inputs) 0 txs;
+    output_rows =
+      List.fold_left
+        (fun acc (tx : C.Tx.t) -> acc + List.length tx.C.Tx.outputs)
+        0 txs;
+  }
+
+let state_stats (sim : Generator.sim) =
+  stats_of_txs
+    (sim.Generator.params.Generator.state_blocks + 1)
+    sim.Generator.confirmed_txs
+
+let pending_stats (sim : Generator.sim) ~pending_take ~contradictions =
+  let pending =
+    List.concat
+      (List.filteri (fun i _ -> i < pending_take) sim.Generator.pending_by_block)
+    @ List.filteri (fun i _ -> i < contradictions) sim.Generator.conflict_pool
+  in
+  stats_of_txs pending_take pending

@@ -1,0 +1,76 @@
+module Core = Bccore
+
+type algo = Naive | Opt
+
+let algo_name = function Naive -> "NaiveDCSat" | Opt -> "OptDCSat"
+
+type measurement = {
+  label : string;
+  algo : algo;
+  variant : Queries.variant;
+  satisfied : bool;
+  seconds : float;
+  stats : Core.Dcsat.stats;
+}
+
+let run ?(repeats = 3) ~session ~label ~algo ~variant q =
+  let solve () =
+    let result =
+      match algo with
+      | Naive -> Core.Dcsat.naive session q
+      | Opt -> Core.Dcsat.opt session q
+    in
+    match result with
+    | Ok outcome -> outcome
+    | Error refusal ->
+        invalid_arg
+          (Format.asprintf "Experiment.run (%s, %s): %a" label (algo_name algo)
+             Core.Dcsat.pp_refusal refusal)
+  in
+  let outcomes = List.init (max 1 repeats) (fun _ -> solve ()) in
+  let total =
+    List.fold_left
+      (fun acc (o : Core.Dcsat.outcome) -> acc +. o.Core.Dcsat.stats.Core.Dcsat.runtime)
+      0.0 outcomes
+  in
+  let last = List.nth outcomes (List.length outcomes - 1) in
+  {
+    label;
+    algo;
+    variant;
+    satisfied = last.Core.Dcsat.satisfied;
+    seconds = total /. float_of_int (List.length outcomes);
+    stats = last.Core.Dcsat.stats;
+  }
+
+let session_of db =
+  let session = Core.Session.create db in
+  Core.Session.warm session;
+  session
+
+let print_table ~title ~columns ~rows =
+  let all = columns :: rows in
+  let ncols = List.length columns in
+  let width i =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row i with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let print_row row =
+    List.mapi (fun i cell -> pad cell (List.nth widths i)) row
+    |> String.concat "  " |> String.trim |> print_endline
+  in
+  Printf.printf "\n== %s ==\n" title;
+  print_row columns;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let ms seconds =
+  if seconds < 0.0005 then Printf.sprintf "%.2f ms" (seconds *. 1000.0)
+  else if seconds < 1.0 then Printf.sprintf "%.1f ms" (seconds *. 1000.0)
+  else Printf.sprintf "%.2f s" seconds

@@ -1,0 +1,40 @@
+(** Experiment harness: timed denial-constraint runs and the paper-style
+    tables printed by the benchmark binary (one per table/figure of
+    Section 7). *)
+
+type algo = Naive | Opt
+
+val algo_name : algo -> string
+
+type measurement = {
+  label : string;
+  algo : algo;
+  variant : Queries.variant;
+  satisfied : bool;
+  seconds : float;  (** Mean over [repeats] runs. *)
+  stats : Bccore.Dcsat.stats;  (** From the last run. *)
+}
+
+val run :
+  ?repeats:int ->
+  session:Bccore.Session.t ->
+  label:string ->
+  algo:algo ->
+  variant:Queries.variant ->
+  Bcquery.Query.t ->
+  measurement
+(** Executes the solver [repeats] times (default 3, as in the paper) and
+    averages the wall-clock time. Raises [Invalid_argument] if the solver
+    refuses the query (e.g. OptDCSat on a disconnected query). *)
+
+val session_of : Bccore.Bcdb.t -> Bccore.Session.t
+(** Fresh session with the steady-state structures prebuilt (warm), so
+    measurements exclude one-time precomputation — matching the paper's
+    setting where graphs are maintained incrementally. *)
+
+val print_table :
+  title:string -> columns:string list -> rows:string list list -> unit
+(** Aligned plain-text table on stdout. *)
+
+val ms : float -> string
+(** Milliseconds with sensible precision. *)

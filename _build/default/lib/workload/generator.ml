@@ -1,0 +1,276 @@
+module C = Chain
+
+type params = {
+  users : int;
+  state_blocks : int;
+  pending_blocks : int;
+  txs_per_block : int;
+  max_contradictions : int;
+  seed : int;
+}
+
+let default_params =
+  {
+    users = 40;
+    state_blocks = 30;
+    pending_blocks = 12;
+    txs_per_block = 30;
+    max_contradictions = 60;
+    seed = 42;
+  }
+
+type planted = {
+  chain : (string * string * string) list;
+  star_spender : string;
+  star_count : int;
+  agg_receiver : string;
+  agg_total : int;
+  fresh_pk : string;
+}
+
+type sim = {
+  params : params;
+  confirmed_txs : C.Tx.t list;
+  pending_by_block : C.Tx.t list list;
+  conflict_pool : C.Tx.t list;
+  planted : planted;
+  resolver : C.Tx.outpoint -> C.Tx.output option;
+}
+
+let coin = 2_000_000
+let coins_per_user = 8
+let chain_hops = 6
+
+let pk_of_wallet = C.Wallet.public_key
+
+(* A payment built against the [effective] UTXO view (chain UTXO plus
+   already-submitted pending transactions) and submitted to the node. *)
+let issue node effective wallet ~to_ ~amount ~fee =
+  match C.Wallet.pay wallet ~utxo:effective ~to_ ~amount ~fee with
+  | Error msg -> Error msg
+  | Ok tx -> (
+      match C.Node.submit node tx with
+      | Error reject -> Error (Format.asprintf "%a" C.Mempool.pp_reject reject)
+      | Ok () -> (
+          match C.Utxo.apply_tx effective tx with
+          | Ok () -> Ok tx
+          | Error msg -> Error ("effective view: " ^ msg)))
+
+let issue_exn node effective wallet ~to_ ~amount ~fee =
+  match issue node effective wallet ~to_ ~amount ~fee with
+  | Ok tx -> tx
+  | Error msg -> invalid_arg ("Generator.issue: " ^ msg)
+
+let generate params =
+  if params.users < 4 then invalid_arg "Generator.generate: need >= 4 users";
+  let rng = Random.State.make [| params.seed |] in
+  let wallets =
+    Array.init params.users (fun i ->
+        C.Wallet.create ~seed:(Printf.sprintf "user-%d-%d" params.seed i))
+  in
+  let chain_wallets =
+    Array.init (chain_hops + 1) (fun i ->
+        C.Wallet.create ~seed:(Printf.sprintf "chain-%d-%d" params.seed i))
+  in
+  let agg_wallet = C.Wallet.create ~seed:(Printf.sprintf "agg-%d" params.seed) in
+  let miner = C.Wallet.create ~seed:"miner" in
+  (* The star wallet is kept out of the background traffic so that its
+     genesis coins — all locked by its primary key — are still unspent
+     when the star payments are planted. *)
+  let star_wallet =
+    C.Wallet.create ~seed:(Printf.sprintf "star-%d" params.seed)
+  in
+  let initial =
+    List.concat_map
+      (fun w ->
+        List.init coins_per_user (fun _ -> (C.Wallet.address w, coin)))
+      (Array.to_list wallets)
+    @ [ (C.Wallet.address chain_wallets.(0), 200_000) ]
+    @ List.init 6 (fun _ -> (C.Wallet.address star_wallet, 100_000))
+  in
+  let node = C.Node.create ~initial in
+  let total_blocks = params.state_blocks + params.pending_blocks in
+  let first_pending = params.state_blocks + 1 in
+  (* (sender wallet, tx) for pending non-planted payments: double-spend
+     candidates. *)
+  let conflict_candidates = ref [] in
+  let planted_txids = Hashtbl.create 16 in
+  let chain_txs = ref [] in
+  let star_payments = ref 0 in
+  let agg_received = ref 0 in
+  let rand_amount () = 1_000 + Random.State.int rng 40_000 in
+  let rand_fee () = 50 + Random.State.int rng 500 in
+  let pick_sender effective =
+    let rec try_pick n =
+      if n = 0 then None
+      else
+        let w = wallets.(Random.State.int rng params.users) in
+        if C.Wallet.balance w effective > 100_000 then Some w
+        else try_pick (n - 1)
+    in
+    try_pick 20
+  in
+  let pick_receiver sender =
+    let rec go () =
+      let w = wallets.(Random.State.int rng params.users) in
+      if w == sender then go () else w
+    in
+    go ()
+  in
+  for height = 1 to total_blocks do
+    let effective = C.Utxo.copy (C.Node.utxo node) in
+    let pending_region = height >= first_pending in
+    (* Planted structures live in the first pending blocks. *)
+    if height = first_pending then begin
+      (* The payment chain c0 -> c1 -> ... -> c6, each hop spending the
+         previous hop's output 0 (each chain wallet owns only that coin,
+         and the hop pays the full amount minus fee, so there is no
+         change). *)
+      let amount = ref 100_000 in
+      for hop = 0 to chain_hops - 1 do
+        amount := !amount - 300;
+        let tx =
+          issue_exn node effective chain_wallets.(hop)
+            ~to_:(C.Wallet.address chain_wallets.(hop + 1))
+            ~amount:!amount ~fee:300
+        in
+        Hashtbl.replace planted_txids tx.C.Tx.txid ();
+        chain_txs :=
+          ( tx.C.Tx.txid,
+            pk_of_wallet chain_wallets.(hop + 1),
+            pk_of_wallet chain_wallets.(hop) )
+          :: !chain_txs
+      done;
+      (* The star: one wallet spends five distinct coins in five distinct
+         transactions. *)
+      for _ = 1 to 5 do
+        let receiver = pick_receiver star_wallet in
+        let tx =
+          issue_exn node effective star_wallet
+            ~to_:(C.Wallet.address receiver) ~amount:10_000 ~fee:200
+        in
+        Hashtbl.replace planted_txids tx.C.Tx.txid ();
+        incr star_payments
+      done
+    end;
+    if pending_region && height - first_pending < 4 then begin
+      (* Aggregate receiver: a known pending income stream. *)
+      match pick_sender effective with
+      | Some sender ->
+          let tx =
+            issue_exn node effective sender ~to_:(C.Wallet.address agg_wallet)
+              ~amount:25_000 ~fee:(rand_fee ())
+          in
+          Hashtbl.replace planted_txids tx.C.Tx.txid ();
+          agg_received := !agg_received + 25_000
+      | None -> ()
+    end;
+    (* Background traffic. *)
+    for _ = 1 to params.txs_per_block do
+      match pick_sender effective with
+      | None -> ()
+      | Some sender -> (
+          let receiver = pick_receiver sender in
+          match
+            issue node effective sender
+              ~to_:(C.Wallet.fresh_address receiver)
+              ~amount:(rand_amount ()) ~fee:(rand_fee ())
+          with
+          | Ok tx ->
+              if pending_region then
+                conflict_candidates := (sender, tx) :: !conflict_candidates
+          | Error _ -> ())
+    done;
+    match C.Node.mine node ~coinbase_script:(C.Wallet.address miner) () with
+    | Ok _ -> ()
+    | Error msg -> invalid_arg ("Generator.generate: mining failed: " ^ msg)
+  done;
+  let chain_state = C.Node.chain node in
+  let resolver = C.Chain_state.find_output chain_state in
+  let blocks = C.Chain_state.blocks chain_state in
+  let confirmed_txs =
+    List.concat_map
+      (fun (b : C.Block.t) -> b.C.Block.txs)
+      (List.filteri (fun i _ -> i <= params.state_blocks) blocks)
+  in
+  let pending_by_block =
+    List.filteri (fun i _ -> i > params.state_blocks) blocks
+    |> List.map (fun (b : C.Block.t) ->
+           List.filter (fun tx -> not (C.Tx.is_coinbase tx)) b.C.Block.txs)
+  in
+  (* Double-spend pool: one conflict per distinct non-planted pending
+     payment, oldest first. *)
+  let conflict_pool =
+    !conflict_candidates |> List.rev
+    |> List.filter (fun ((_ : C.Wallet.t), (tx : C.Tx.t)) ->
+           not (Hashtbl.mem planted_txids tx.C.Tx.txid))
+    |> List.filter_map (fun (w, (tx : C.Tx.t)) ->
+           match tx.C.Tx.inputs with
+           | [] -> None
+           | input :: _ -> (
+               match resolver input.C.Tx.prev with
+               | None -> None
+               | Some (prev : C.Tx.output) ->
+                   if prev.C.Tx.amount <= 1_000 then None
+                   else
+                     let outputs =
+                       [
+                         {
+                           C.Tx.amount = prev.C.Tx.amount - 777;
+                           script = C.Wallet.fresh_address w;
+                         };
+                       ]
+                     in
+                     (match
+                        C.Wallet.sign_inputs w
+                          ~prevs:[ (input.C.Tx.prev, prev) ]
+                          ~outputs
+                      with
+                     | Ok inputs -> Some (C.Tx.create ~inputs ~outputs)
+                     | Error _ -> None)))
+    |> List.filteri (fun i _ -> i < params.max_contradictions)
+  in
+  let planted =
+    {
+      chain = List.rev !chain_txs;
+      star_spender = pk_of_wallet star_wallet;
+      star_count = !star_payments;
+      agg_receiver = pk_of_wallet agg_wallet;
+      agg_total = !agg_received;
+      fresh_pk = "PKfresh-never-used";
+    }
+  in
+  {
+    params;
+    confirmed_txs;
+    pending_by_block;
+    conflict_pool;
+    planted;
+    resolver;
+  }
+
+let dataset sim ?pending_take ?(contradictions = 0) () =
+  let take = Option.value pending_take ~default:(List.length sim.pending_by_block) in
+  if contradictions > List.length sim.conflict_pool then
+    invalid_arg
+      (Printf.sprintf
+         "Generator.dataset: %d contradictions requested, pool has %d"
+         contradictions
+         (List.length sim.conflict_pool));
+  let pending =
+    List.concat (List.filteri (fun i _ -> i < take) sim.pending_by_block)
+    @ List.filteri (fun i _ -> i < contradictions) sim.conflict_pool
+  in
+  match
+    C.Encode.bcdb_of_txs ~confirmed:sim.confirmed_txs ~pending
+      ~resolver:sim.resolver
+  with
+  | Ok db -> db
+  | Error msg -> invalid_arg ("Generator.dataset: " ^ msg)
+
+let pending_count sim ~pending_take ~contradictions =
+  List.fold_left ( + ) 0
+    (List.filteri
+       (fun i _ -> i < pending_take)
+       (List.map List.length sim.pending_by_block))
+  + contradictions

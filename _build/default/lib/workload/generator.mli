@@ -1,0 +1,60 @@
+(** Synthetic Bitcoin economy, standing in for the real blockchain data
+    of Section 7 (see DESIGN.md for the substitution rationale).
+
+    A population of funded wallets exchanges random payments; a miner
+    collects them into blocks. The first [state_blocks] blocks become the
+    current state [R]; the transactions of the following [pending_blocks]
+    blocks are the pending set [T] — exactly how the paper derived its
+    pending transactions from "subsequent blocks". The generator
+    additionally {e plants} deterministic structures the experiment
+    queries need (a payment chain for the path queries, a star spender, a
+    known aggregate receiver) and precomputes a pool of double-spend
+    conflicts used to control the number of fd contradictions.
+
+    Everything is deterministic in [seed]. *)
+
+type params = {
+  users : int;
+  state_blocks : int;
+  pending_blocks : int;
+  txs_per_block : int;
+  max_contradictions : int;
+  seed : int;
+}
+
+val default_params : params
+
+type planted = {
+  chain : (string * string * string) list;
+      (** Pending payment chain, in order: (txid, receiver pk of output 0,
+          spender pk of its input). Length ≥ 6. *)
+  star_spender : string;  (** pk that made ≥ 5 distinct pending payments. *)
+  star_count : int;
+  agg_receiver : string;  (** pk with a known pending received total. *)
+  agg_total : int;
+  fresh_pk : string;  (** A pk that appears nowhere in the data. *)
+}
+
+type sim = private {
+  params : params;
+  confirmed_txs : Chain.Tx.t list;  (** Blocks [0 .. state_blocks]. *)
+  pending_by_block : Chain.Tx.t list list;
+      (** Non-coinbase txs of each subsequent block, oldest block first. *)
+  conflict_pool : Chain.Tx.t list;
+      (** Prebuilt double-spends of distinct non-planted pending txs. *)
+  planted : planted;
+  resolver : Chain.Tx.outpoint -> Chain.Tx.output option;
+      (** Full-history output resolver. *)
+}
+
+val generate : params -> sim
+
+val dataset :
+  sim -> ?pending_take:int -> ?contradictions:int -> unit -> Bccore.Bcdb.t
+(** Build the blockchain database: the confirmed transactions as [R]; the
+    first [pending_take] pending blocks' transactions (default: all) plus
+    the first [contradictions] conflict transactions (default: 0) as [T].
+    Raises [Invalid_argument] if more contradictions are requested than
+    the pool holds. *)
+
+val pending_count : sim -> pending_take:int -> contradictions:int -> int

@@ -1,0 +1,130 @@
+module Q = Bcquery
+module V = Relational.Value
+
+let var v = Q.Term.Var v
+let str s = Q.Term.Const (V.Str s)
+let atom = Q.Atom.make
+
+let boolean ?comparisons positive =
+  Q.Query.boolean (Q.Cq.make_exn ~positive ?comparisons ())
+
+let qs ~x = boolean [ atom "TxOut" [ var "ntx"; var "s"; str x; var "a" ] ]
+
+(* One (TxOut, TxIn) pair per hop: the output of transaction ntx_j is
+   consumed inside transaction ntx_{j+1}. X receives in the first hop's
+   output; Y is the spender in the last hop's input. *)
+let qp i ~x ~y =
+  if i < 2 then invalid_arg "Queries.qp: path length must be >= 2";
+  let hops = i - 1 in
+  let pair j =
+    let ntx = Printf.sprintf "ntx%d" j in
+    let ser = Printf.sprintf "s%d" j in
+    let next = Printf.sprintf "ntx%d" (j + 1) in
+    let out_pk = if j = 1 then str x else var (Printf.sprintf "pk%d" j) in
+    let in_pk =
+      if j = hops then str y else var (Printf.sprintf "spk%d" j)
+    in
+    [
+      atom "TxOut" [ var ntx; var ser; out_pk; var (Printf.sprintf "a%d" j) ];
+      atom "TxIn"
+        [
+          var ntx;
+          var ser;
+          in_pk;
+          var (Printf.sprintf "a%d" j);
+          var next;
+          var (Printf.sprintf "sig%d" j);
+        ];
+    ]
+  in
+  boolean (List.concat_map pair (List.init hops (fun j -> j + 1)))
+
+let qr i ~x =
+  if i < 1 then invalid_arg "Queries.qr: star size must be >= 1";
+  let branch j =
+    [
+      atom "TxIn"
+        [
+          var (Printf.sprintf "pntx%d" j);
+          var (Printf.sprintf "s%d" j);
+          str x;
+          var (Printf.sprintf "a%d" j);
+          var (Printf.sprintf "ntx%d" j);
+          var (Printf.sprintf "sig%d" j);
+        ];
+      atom "TxOut"
+        [
+          var (Printf.sprintf "ntx%d" j);
+          var (Printf.sprintf "t%d" j);
+          var (Printf.sprintf "pk%d" j);
+          var (Printf.sprintf "b%d" j);
+        ];
+    ]
+  in
+  let branches = List.init i (fun j -> j + 1) in
+  let comparisons =
+    List.concat_map
+      (fun j ->
+        List.filter_map
+          (fun k ->
+            if j < k then
+              Some
+                {
+                  Q.Cq.clhs = var (Printf.sprintf "ntx%d" j);
+                  op = Q.Cq.Neq;
+                  crhs = var (Printf.sprintf "ntx%d" k);
+                }
+            else None)
+          branches)
+      branches
+  in
+  boolean ~comparisons (List.concat_map branch branches)
+
+let qa ~x ~threshold =
+  Q.Query.aggregate_exn
+    ~body:
+      (Q.Cq.make_exn
+         ~positive:[ atom "TxOut" [ var "ntx"; var "s"; str x; var "a" ] ]
+         ())
+    ~agg:Q.Query.Sum ~args:[ var "a" ] ~theta:Q.Query.Gt
+    ~threshold:(V.Int threshold)
+
+type family = Qs | Qp of int | Qr of int | Qa
+type variant = Satisfied | Unsatisfied
+
+let family_name = function
+  | Qs -> "qs"
+  | Qp i -> Printf.sprintf "qp%d" i
+  | Qr i -> Printf.sprintf "qr%d" i
+  | Qa -> "qa"
+
+let instantiate (sim : Generator.sim) family variant =
+  let p = sim.Generator.planted in
+  let fresh = p.Generator.fresh_pk in
+  match (family, variant) with
+  | Qs, Satisfied -> qs ~x:fresh
+  | Qs, Unsatisfied -> qs ~x:p.Generator.agg_receiver
+  | Qp i, Satisfied -> qp i ~x:fresh ~y:fresh
+  | Qp i, Unsatisfied ->
+      let hops = i - 1 in
+      if hops > List.length p.Generator.chain - 1 then
+        invalid_arg "Queries.instantiate: planted chain too short";
+      (* X receives in the first chain transaction; Y signs the input of
+         the transaction consuming hop [hops]'s output. *)
+      let nth_receiver j =
+        let _, receiver, _ = List.nth p.Generator.chain j in
+        receiver
+      in
+      let x = nth_receiver 0 in
+      (* The spender of hop j's output is the receiver of hop j: chain
+         wallet j+1. *)
+      let y = nth_receiver (hops - 1) in
+      qp i ~x ~y
+  | Qr i, Satisfied -> qr i ~x:fresh
+  | Qr i, Unsatisfied ->
+      if i > p.Generator.star_count then
+        invalid_arg "Queries.instantiate: star too small";
+      qr i ~x:p.Generator.star_spender
+  | Qa, Satisfied -> qa ~x:fresh ~threshold:100
+  | Qa, Unsatisfied ->
+      qa ~x:p.Generator.agg_receiver ~threshold:(p.Generator.agg_total / 2)

@@ -1,0 +1,31 @@
+(** The four denial-constraint families of the experimental evaluation
+    (Section 7):
+
+    - [qs]  — simple: "address X never receives bitcoins";
+    - [qp i] — path: "no series of [i] transactions transfers bitcoins
+      from X's output onward to a spend by Y";
+    - [qr i] — star: "X never transfers bitcoins in [i] distinct
+      transactions";
+    - [qa n] — aggregate: "X never receives more than [n] in total".
+
+    [instantiate] picks the constants from a generated dataset so that
+    the denial constraint is satisfied (fresh keys that appear nowhere —
+    the underlying query is false everywhere) or unsatisfied (keys of the
+    planted structures — some possible world satisfies the query). *)
+
+val qs : x:string -> Bcquery.Query.t
+val qp : int -> x:string -> y:string -> Bcquery.Query.t
+(** [qp i] has [i - 1] (TxOut, TxIn) atom pairs chained by transaction id
+    and serial; [i >= 2]. *)
+
+val qr : int -> x:string -> Bcquery.Query.t
+(** [i >= 1] TxIn/TxOut pairs with pairwise-distinct new transaction
+    ids. *)
+
+val qa : x:string -> threshold:int -> Bcquery.Query.t
+
+type family = Qs | Qp of int | Qr of int | Qa
+type variant = Satisfied | Unsatisfied
+
+val family_name : family -> string
+val instantiate : Generator.sim -> family -> variant -> Bcquery.Query.t

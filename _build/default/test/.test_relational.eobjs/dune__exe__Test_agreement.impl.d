@@ -1,0 +1,1 @@
+test/test_agreement.ml: Alcotest Array Bccore Bcgraph Bcquery List QCheck QCheck_alcotest Random Relational

@@ -1,0 +1,1 @@
+test/test_answers.ml: Alcotest Bccore Bcgraph Bcquery Fixtures List Printf Relational

@@ -1,0 +1,1 @@
+test/test_chain.ml: Alcotest Array Bccore Bcgraph Chain List Printf QCheck QCheck_alcotest Random Relational String

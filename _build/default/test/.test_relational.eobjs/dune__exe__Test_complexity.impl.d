@@ -1,0 +1,1 @@
+test/test_complexity.ml: Alcotest Bccore Bcquery Fixtures List Relational String

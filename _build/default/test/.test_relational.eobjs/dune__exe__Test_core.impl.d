@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bccore Bcgraph Bcquery Fixtures Gen List Option Printf QCheck QCheck_alcotest Relational String

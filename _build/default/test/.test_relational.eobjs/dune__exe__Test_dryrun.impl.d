@@ -1,0 +1,1 @@
+test/test_dryrun.ml: Alcotest Bccore Bcgraph Bcquery Fixtures Fun List Printf QCheck QCheck_alcotest Random Relational

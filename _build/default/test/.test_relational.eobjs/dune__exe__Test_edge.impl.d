@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Bccore Bcgraph Bcquery Chain Fixtures List Relational

@@ -1,0 +1,1 @@
+test/test_file.ml: Alcotest Array Bccore Bcgraph Filename Fixtures List Printf QCheck QCheck_alcotest Random Relational String Sys

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bcgraph Fun List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_likelihood.ml: Alcotest Bccore Bcgraph Bcquery Fixtures Float List Printf

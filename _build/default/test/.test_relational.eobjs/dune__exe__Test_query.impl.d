@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Array Bcquery Chain Format List Printf QCheck QCheck_alcotest Random Relational

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Bccore Bcgraph Fixtures List QCheck QCheck_alcotest Relational

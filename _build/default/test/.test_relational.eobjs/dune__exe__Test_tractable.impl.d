@@ -1,0 +1,1 @@
+test/test_tractable.ml: Alcotest Array Bccore Bcquery Fixtures List Option QCheck QCheck_alcotest Random Relational

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Bccore Bcquery Lazy List Printf Workload

@@ -1,0 +1,183 @@
+(* Certain/possible answers (Section 5) and contradicting-transaction
+   derivation (Section 8 future work). *)
+
+module R = Relational
+module V = R.Value
+module Q = Bcquery
+module Core = Bccore
+
+let body_of text =
+  match Q.Parser.parse_exn ~catalog:Fixtures.catalog text with
+  | Q.Query.Boolean b -> b
+  | Q.Query.Aggregate _ -> Alcotest.fail "expected a boolean query"
+
+let strs = List.map (fun s -> R.Tuple.make [ V.Str s ])
+
+let tuples = Alcotest.testable R.Tuple.pp R.Tuple.equal
+
+let test_certain_positive () =
+  let session = Fixtures.session_of (Fixtures.paper_db ()) in
+  let body = body_of {| q() :- TxOut(t, s, pk, a). |} in
+  match Core.Answers.certain session body ~vars:[ "pk" ] with
+  | Error msg -> Alcotest.fail msg
+  | Ok answers ->
+      (* Receivers in the current state only. *)
+      Alcotest.(check (list tuples))
+        "certain receivers"
+        (strs [ "U1Pk"; "U2Pk"; "U3Pk"; "U4Pk" ])
+        answers
+
+let test_possible () =
+  let session = Fixtures.session_of (Fixtures.paper_db ()) in
+  let body = body_of {| q() :- TxOut(t, s, pk, a). |} in
+  match Core.Answers.possible session body ~vars:[ "pk" ] with
+  | Error msg -> Alcotest.fail msg
+  | Ok answers ->
+      Alcotest.(check (list tuples))
+        "possible receivers"
+        (strs [ "U1Pk"; "U2Pk"; "U3Pk"; "U4Pk"; "U5Pk"; "U7Pk"; "U8Pk" ])
+        (List.map (fun a -> a.Core.Answers.values) answers);
+      (* Every possible-only answer carries a witness world that is a
+         legal possible world. *)
+      let store = Core.Session.store session in
+      List.iter
+        (fun a ->
+          match a.Core.Answers.world with
+          | None -> ()
+          | Some ids ->
+              Alcotest.(check bool) "witness world legal" true
+                (Core.Poss.is_possible_world store
+                   (Bcgraph.Bitset.of_list (Core.Tagged_store.tx_count store) ids)))
+        answers
+
+let test_uncertain () =
+  let session = Fixtures.session_of (Fixtures.paper_db ()) in
+  let body = body_of {| q() :- TxOut(t, s, pk, a). |} in
+  match Core.Answers.uncertain session body ~vars:[ "pk" ] with
+  | Error msg -> Alcotest.fail msg
+  | Ok answers ->
+      Alcotest.(check (list tuples))
+        "future-dependent receivers"
+        (strs [ "U5Pk"; "U7Pk"; "U8Pk" ])
+        answers
+
+let test_possible_join () =
+  let session = Fixtures.session_of (Fixtures.paper_db ()) in
+  (* Which (payer-key, receiver-key) transfer pairs are possible? Needs
+     the spend to actually be appendable. *)
+  let body =
+    body_of {| q() :- TxIn(pt, ps, src, a, ntx, g), TxOut(ntx, s, dst, b). |}
+  in
+  match Core.Answers.possible session body ~vars:[ "src"; "dst" ] with
+  | Error msg -> Alcotest.fail msg
+  | Ok answers ->
+      let has src dst =
+        List.exists
+          (fun a ->
+            R.Tuple.equal a.Core.Answers.values
+              (R.Tuple.make [ V.Str src; V.Str dst ]))
+          answers
+      in
+      Alcotest.(check bool) "U2 -> U5 possible (T1)" true (has "U2Pk" "U5Pk");
+      Alcotest.(check bool) "U4 -> U8 possible (T4)" true (has "U4Pk" "U8Pk");
+      Alcotest.(check bool) "U2 -> U4 possible (T2 after T1)" true
+        (has "U2Pk" "U4Pk");
+      Alcotest.(check bool) "U3 never spends" false (has "U3Pk" "U7Pk")
+
+let test_certain_with_negation () =
+  let session = Fixtures.session_of (Fixtures.paper_db ()) in
+  (* Outputs (txid, ser) that are unspent in every possible world: the
+     negated atom can be killed by future spends. Output (3,1) to U3Pk is
+     never spent by any pending transaction; (2,2) is spent in worlds
+     containing T1 or T5; (3,3) is spent by T3. *)
+  let body =
+    body_of
+      {| q() :- TxOut(t, s, pk, a), !TxIn(t, s, pk, a, "x", "y"). |}
+  in
+  ignore body;
+  (* Negated atoms must be fully determined by the world, so instead use
+     ground negations per candidate spend marker: here we check the
+     mechanism on a simpler body. *)
+  let simple =
+    body_of {| q() :- TxOut("3", s, pk, a), !TxIn("3", 3, "U1Pk", 0.5, "6", "U1Sig"). |}
+  in
+  match Core.Answers.certain session simple ~vars:[ "s" ] with
+  | Error msg -> Alcotest.fail msg
+  | Ok answers ->
+      (* Serials 1 and 2 of transaction 3 hold regardless of T3; serial 3
+         also matches while T3 is out, but in worlds with T3 the negated
+         row appears, killing *all* serials - so no serial is certain ...
+         except none? In worlds containing T3, the negated atom is false,
+         so the query returns nothing at all: no answer is certain. *)
+      Alcotest.(check (list tuples)) "negation kills certainty" [] answers
+
+(* --- contradiction derivation --- *)
+
+let test_derive_for_t1 () =
+  let db = Fixtures.paper_db () in
+  let session = Fixtures.session_of db in
+  match Core.Contradict.derive session 0 with
+  | Error msg -> Alcotest.fail msg
+  | Ok rows ->
+      Alcotest.(check bool) "collides with T1 on an fd" true
+        (Core.Contradict.conflicts_on_fd session 0 rows);
+      (* Extend the database and verify by exhaustive enumeration that no
+         possible world contains both T1 and the derived transaction. *)
+      let db' = Core.Bcdb.with_pending db ~label:"derived" rows in
+      let store = Core.Tagged_store.create db' in
+      let both = ref false in
+      Core.Poss.enumerate store (fun world ->
+          if Bcgraph.Bitset.mem world 0 && Bcgraph.Bitset.mem world 5 then
+            both := true;
+          `Continue);
+      Alcotest.(check bool) "mutually exclusive in every world" false !both;
+      (* ... and the derived transaction itself is reachable. *)
+      Alcotest.(check bool) "derived tx appendable" true
+        (Core.Poss.is_possible_world store (Bcgraph.Bitset.of_list 6 [ 5 ]))
+
+let test_derive_depends_on_pending () =
+  (* T2 consumes T1's output: any conflicting variant needs T1's rows,
+     which are not in the current state, so no candidate is includable
+     from the base - derive must report failure rather than produce an
+     unusable transaction. *)
+  let session = Fixtures.session_of (Fixtures.paper_db ()) in
+  match Core.Contradict.derive session 1 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "T2's contradiction cannot be includable from R"
+
+let test_derive_every_root_tx () =
+  (* T1, T3 and T5 spend current-state outputs; all should admit derived
+     contradictions. *)
+  let session = Fixtures.session_of (Fixtures.paper_db ()) in
+  List.iter
+    (fun id ->
+      match Core.Contradict.derive session id with
+      | Ok rows ->
+          Alcotest.(check bool)
+            (Printf.sprintf "T%d conflict valid" (id + 1))
+            true
+            (Core.Contradict.conflicts_on_fd session id rows)
+      | Error msg -> Alcotest.failf "T%d: %s" (id + 1) msg)
+    [ 0; 2; 4 ]
+
+let () =
+  Alcotest.run "answers"
+    [
+      ( "answers",
+        [
+          Alcotest.test_case "certain (positive)" `Quick test_certain_positive;
+          Alcotest.test_case "possible" `Quick test_possible;
+          Alcotest.test_case "uncertain" `Quick test_uncertain;
+          Alcotest.test_case "possible join" `Quick test_possible_join;
+          Alcotest.test_case "certain with negation" `Quick
+            test_certain_with_negation;
+        ] );
+      ( "contradict",
+        [
+          Alcotest.test_case "derive for T1" `Quick test_derive_for_t1;
+          Alcotest.test_case "pending-dependent target" `Quick
+            test_derive_depends_on_pending;
+          Alcotest.test_case "all root transactions" `Quick
+            test_derive_every_root_tx;
+        ] );
+    ]

@@ -1,0 +1,216 @@
+(* Edge cases across the stack: the can-append relation's one-at-a-time
+   semantics (mutually dependent transactions), exact bag semantics for
+   aggregates, deep mempool chains, and container guard rails. *)
+
+module R = Relational
+module V = R.Value
+module Q = Bcquery
+module Core = Bccore
+module C = Chain
+
+(* --- mutual inclusion dependencies --- *)
+
+let p_rel = R.Schema.relation "P" [ "id"; "ref" ]
+let p_cat = R.Schema.of_list [ p_rel ]
+let p_ind = R.Constr.ind ~sub:p_rel [ "ref" ] ~sup:p_rel [ "id" ]
+let p_row id r = ("P", R.Tuple.make [ V.Int id; V.Int r ])
+
+let test_mutual_dependency () =
+  (* A references B's tuple and vice versa. The can-append relation adds
+     one whole transaction at a time, so neither can ever be appended -
+     but a single transaction carrying both tuples can. This pins the
+     paper's incremental semantics: Poss(D) is *not* "all subsets whose
+     union is consistent". *)
+  let state = R.Database.create p_cat in
+  R.Database.insert_all state [ p_row 0 0 ];
+  let db_separate =
+    Core.Bcdb.create_exn ~state ~constraints:[ p_ind ]
+      ~pending:[ [ p_row 1 2 ]; [ p_row 2 1 ] ]
+      ()
+  in
+  let store = Core.Tagged_store.create db_separate in
+  Alcotest.(check int) "only R is reachable" 1 (Core.Poss.count store);
+  Alcotest.(check bool) "the union is not a possible world" false
+    (Core.Poss.is_possible_world store (Bcgraph.Bitset.of_list 2 [ 0; 1 ]));
+  (* The union *is* consistent, so a merged transaction works. *)
+  let db_merged =
+    Core.Bcdb.create_exn ~state ~constraints:[ p_ind ]
+      ~pending:[ [ p_row 1 2; p_row 2 1 ] ]
+      ()
+  in
+  let store' = Core.Tagged_store.create db_merged in
+  Alcotest.(check int) "merged transaction appends" 2 (Core.Poss.count store')
+
+let test_mutual_dependency_solvers_agree () =
+  (* The same subtlety must flow through the solvers: "id 1 exists" is
+     unreachable with separate transactions, reachable when merged. *)
+  let state = R.Database.create p_cat in
+  R.Database.insert_all state [ p_row 0 0 ];
+  let q = Q.Parser.parse_exn ~catalog:p_cat {| q() :- P(1, r). |} in
+  let check pending expected =
+    let db = Core.Bcdb.create_exn ~state ~constraints:[ p_ind ] ~pending () in
+    let session = Core.Session.create db in
+    List.iter
+      (fun (name, result) ->
+        match result with
+        | Ok (o : Core.Dcsat.outcome) ->
+            Alcotest.(check bool) name expected o.Core.Dcsat.satisfied
+        | Error r -> Alcotest.failf "%s refused: %a" name Core.Dcsat.pp_refusal r)
+      [
+        ("naive", Core.Dcsat.naive session q);
+        ("opt", Core.Dcsat.opt session q);
+        ("brute", Ok (Core.Dcsat.brute_force session q));
+      ]
+  in
+  check [ [ p_row 1 2 ]; [ p_row 2 1 ] ] true;
+  check [ [ p_row 1 2; p_row 2 1 ] ] false
+
+(* --- dependency chains need multiple closure passes --- *)
+
+let test_deep_dependency_chain () =
+  let state = R.Database.create p_cat in
+  R.Database.insert_all state [ p_row 0 0 ];
+  (* T_i = P(i, i-1): each needs its predecessor; issued in reverse
+     order so a single greedy pass cannot finish. *)
+  let n = 12 in
+  let pending = List.init n (fun j -> [ p_row (n - j) (n - j - 1) ]) in
+  let db = Core.Bcdb.create_exn ~state ~constraints:[ p_ind ] ~pending () in
+  let store = Core.Tagged_store.create db in
+  let all = Bcgraph.Bitset.full n in
+  Alcotest.(check bool) "whole chain reachable" true
+    (Core.Poss.is_possible_world store all);
+  let maximal = Core.Get_maximal.run store all in
+  Alcotest.(check int) "getMaximal reaches the end" n
+    (Bcgraph.Bitset.cardinal maximal)
+
+(* --- aggregate bag semantics --- *)
+
+let test_bag_semantics_exact () =
+  (* Two satisfying assignments produce the same x̄ value: sum counts it
+     twice, cntd once. *)
+  let catalog = Chain.Encode.catalog in
+  let db = R.Database.create catalog in
+  R.Database.insert_all db
+    [
+      ("TxOut", R.Tuple.make [ V.Str "t1"; V.Int 0; V.Str "A"; V.Int 7 ]);
+      ("TxOut", R.Tuple.make [ V.Str "t2"; V.Int 0; V.Str "A"; V.Int 7 ]);
+    ];
+  let src = R.Database.source db in
+  let t s = Q.Eval.eval src (Q.Parser.parse_exn ~catalog s) in
+  Alcotest.(check bool) "sum = 14 (bag)" true
+    (t {| q(sum(a)) :- TxOut(tt, s, "A", a) | = 14. |});
+  Alcotest.(check bool) "cntd(a) = 1 (set of values)" true
+    (t {| q(cntd(a)) :- TxOut(tt, s, "A", a) | = 1. |});
+  Alcotest.(check bool) "cntd(tt) = 2" true
+    (t {| q(cntd(tt)) :- TxOut(tt, s, "A", a) | = 2. |});
+  (* A cross join doubles the bag again: 2 x 2 assignments. *)
+  Alcotest.(check bool) "cross join count = 4" true
+    (t ({| q(count()) :- TxOut(tt, s, "A", a), TxOut(uu, r, "A", b) |} ^ " | = 4."))
+
+(* --- deep mempool chains and RBF cascades --- *)
+
+let test_deep_mempool_chain_eviction () =
+  let alice = C.Wallet.create ~seed:"alice" in
+  let node = C.Node.create ~initial:[ (C.Wallet.address alice, 500_000) ] in
+  let effective = C.Utxo.copy (C.Node.utxo node) in
+  (* A chain of five self-payments, each spending the previous change. *)
+  let txs = ref [] in
+  for _ = 1 to 5 do
+    match
+      C.Wallet.pay alice ~utxo:effective ~to_:(C.Wallet.fresh_address alice)
+        ~amount:10_000 ~fee:200
+    with
+    | Ok tx ->
+        (match C.Node.submit node tx with
+        | Ok () -> ()
+        | Error r -> Alcotest.failf "%a" C.Mempool.pp_reject r);
+        (match C.Utxo.apply_tx effective tx with
+        | Ok () -> ()
+        | Error msg -> Alcotest.fail msg);
+        txs := tx :: !txs
+    | Error msg -> Alcotest.fail msg
+  done;
+  Alcotest.(check int) "five chained txs" 5 (C.Mempool.size (C.Node.mempool node));
+  let root = List.nth (List.rev !txs) 0 in
+  Alcotest.(check int) "descendants include the whole chain" 5
+    (List.length (C.Mempool.descendants (C.Node.mempool node) root.C.Tx.txid));
+  (* Replacing the root evicts everything downstream. *)
+  let rbf =
+    match
+      C.Wallet.cancel alice ~utxo:(C.Node.utxo node) ~original:root ~fee:5_000
+    with
+    | Ok tx -> tx
+    | Error msg -> Alcotest.fail msg
+  in
+  (match C.Node.submit node rbf with
+  | Ok () -> ()
+  | Error r -> Alcotest.failf "rbf: %a" C.Mempool.pp_reject r);
+  Alcotest.(check int) "only the replacement remains" 1
+    (C.Mempool.size (C.Node.mempool node))
+
+(* --- container guard rails --- *)
+
+let test_guards () =
+  let b = Bcgraph.Bitset.create 4 in
+  Alcotest.(check_raises) "bitset bounds"
+    (Invalid_argument "Bitset: element out of range") (fun () ->
+      Bcgraph.Bitset.add b 4);
+  let c = Bcgraph.Bitset.create 5 in
+  Alcotest.(check_raises) "capacity mismatch"
+    (Invalid_argument "Bitset: capacity mismatch") (fun () ->
+      ignore (Bcgraph.Bitset.inter b c));
+  let g = Bcgraph.Undirected.create 3 in
+  Alcotest.(check_raises) "graph bounds"
+    (Invalid_argument "Undirected: node out of range") (fun () ->
+      Bcgraph.Undirected.add_edge g 0 3);
+  let db = Fixtures.paper_db () in
+  let store = Core.Tagged_store.create db in
+  Alcotest.(check_raises) "world capacity checked"
+    (Invalid_argument "Tagged_store.set_world: capacity mismatch") (fun () ->
+      Core.Tagged_store.set_world store (Bcgraph.Bitset.create 3))
+
+(* --- empty pending set --- *)
+
+let test_no_pending () =
+  let state = Fixtures.paper_state () in
+  let db =
+    Core.Bcdb.create_exn ~state ~constraints:Fixtures.constraints ~pending:[] ()
+  in
+  let session = Core.Session.create db in
+  let q_true = Fixtures.parse {| q() :- TxOut(t, s, "U2Pk", a). |} in
+  let q_false = Fixtures.parse {| q() :- TxOut(t, s, "U8Pk", a). |} in
+  List.iter
+    (fun (name, q, expected) ->
+      match Core.Solver.solve session q with
+      | Ok (o, _) -> Alcotest.(check bool) name expected o.Core.Dcsat.satisfied
+      | Error msg -> Alcotest.fail msg)
+    [
+      ("query true on R alone", q_true, false);
+      ("query false everywhere", q_false, true);
+    ];
+  let store = Core.Tagged_store.create db in
+  Alcotest.(check int) "only R" 1 (Core.Poss.count store)
+
+let () =
+  Alcotest.run "edge"
+    [
+      ( "can-append semantics",
+        [
+          Alcotest.test_case "mutual dependency" `Quick test_mutual_dependency;
+          Alcotest.test_case "solvers agree" `Quick
+            test_mutual_dependency_solvers_agree;
+          Alcotest.test_case "deep chain" `Quick test_deep_dependency_chain;
+        ] );
+      ( "aggregates",
+        [ Alcotest.test_case "bag semantics" `Quick test_bag_semantics_exact ] );
+      ( "mempool",
+        [
+          Alcotest.test_case "deep chain eviction" `Quick
+            test_deep_mempool_chain_eviction;
+        ] );
+      ( "guards",
+        [
+          Alcotest.test_case "bounds" `Quick test_guards;
+          Alcotest.test_case "no pending" `Quick test_no_pending;
+        ] );
+    ]

@@ -1,0 +1,220 @@
+(* The bcdb text format: parsing, validation errors, round-trips. *)
+
+module R = Relational
+module V = R.Value
+module Core = Bccore
+
+let sample =
+  {|
+# a tiny ledger
+relation Item(id, kind)
+relation Move(id, owner, epoch)
+key Item(id)
+key Move(id, epoch)
+fd Move(id -> owner)            % every id has one owner over all moves
+ind Move(id) <= Item(id)
+
+state Item("axe", "tool")
+state Move("axe", "ann", 1)
+
+tx first
+  Item("saw", "tool")
+  Move("saw", "bob", 1)
+
+tx
+  Move("axe", "ann", 2)
+|}
+
+let parse_ok s =
+  match Core.Bcdb_file.of_string s with
+  | Ok db -> db
+  | Error msg -> Alcotest.fail msg
+
+let test_parse () =
+  let db = parse_ok sample in
+  Alcotest.(check int) "pending" 2 (Core.Bcdb.pending_count db);
+  Alcotest.(check int) "constraints" 4 (List.length db.Core.Bcdb.constraints);
+  Alcotest.(check string) "first label" "first"
+    db.Core.Bcdb.pending.(0).Core.Pending.label;
+  Alcotest.(check string) "default label" "T2"
+    db.Core.Bcdb.pending.(1).Core.Pending.label;
+  Alcotest.(check int) "state rows" 2
+    (R.Database.total_cardinality db.Core.Bcdb.state)
+
+let test_roundtrip () =
+  let db = parse_ok sample in
+  let printed = Core.Bcdb_file.to_string db in
+  let db' = parse_ok printed in
+  Alcotest.(check string) "print is a fixpoint" printed
+    (Core.Bcdb_file.to_string db');
+  (* Same possible worlds. *)
+  let worlds db =
+    let store = Core.Tagged_store.create db in
+    let acc = ref [] in
+    Core.Poss.enumerate store (fun w ->
+        acc := Bcgraph.Bitset.to_list w :: !acc;
+        `Continue);
+    List.sort compare !acc
+  in
+  Alcotest.(check (list (list int))) "same worlds" (worlds db) (worlds db')
+
+let test_roundtrip_paper () =
+  let db = Fixtures.paper_db () in
+  let printed = Core.Bcdb_file.to_string db in
+  let db' = parse_ok printed in
+  Alcotest.(check int) "pending preserved" 5 (Core.Bcdb.pending_count db');
+  let store = Core.Tagged_store.create db' in
+  Alcotest.(check int) "nine worlds" 9 (Core.Poss.count store);
+  (* Values (including floats and ints) survive the round trip. *)
+  Alcotest.(check string) "second print stable" printed
+    (Core.Bcdb_file.to_string db')
+
+let expect_error fragment s =
+  match Core.Bcdb_file.of_string s with
+  | Ok _ -> Alcotest.failf "expected failure mentioning %S" fragment
+  | Error msg ->
+      let contains =
+        let lf = String.lowercase_ascii fragment
+        and lm = String.lowercase_ascii msg in
+        let n = String.length lf in
+        let rec go i =
+          i + n <= String.length lm && (String.sub lm i n = lf || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) (Printf.sprintf "%S in %S" fragment msg) true contains
+
+let test_errors () =
+  expect_error "not declared" {| state Foo(1) |};
+  expect_error "expects 2 values" {|
+relation Item(id, kind)
+state Item(1)
+|};
+  expect_error "declared twice" {|
+relation Item(id)
+relation Item(id)
+|};
+  expect_error "before any" {|
+relation Item(id)
+Item(1)
+|};
+  expect_error "->" {|
+relation Item(id, kind)
+fd Item(id, kind)
+|};
+  expect_error "violates" {|
+relation Item(id, kind)
+key Item(id)
+state Item(1, "a")
+state Item(1, "b")
+|};
+  expect_error "cannot parse" {|
+relation Item(id)
+state Item(unquoted)
+|}
+
+let test_values () =
+  let db =
+    parse_ok
+      {|
+relation Mixed(a, b, c, d, e)
+state Mixed(42, -7.5, "hello, world", true, null)
+|}
+  in
+  let rel = R.Database.relation db.Core.Bcdb.state "Mixed" in
+  match R.Relation.to_list rel with
+  | [ t ] ->
+      Alcotest.(check bool) "int" true (V.equal (R.Tuple.get t 0) (V.Int 42));
+      Alcotest.(check bool) "float" true
+        (V.equal (R.Tuple.get t 1) (V.Float (-7.5)));
+      Alcotest.(check bool) "string with comma" true
+        (V.equal (R.Tuple.get t 2) (V.Str "hello, world"));
+      Alcotest.(check bool) "bool" true (V.equal (R.Tuple.get t 3) (V.Bool true));
+      Alcotest.(check bool) "null" true (V.equal (R.Tuple.get t 4) V.Null)
+  | other -> Alcotest.failf "expected one tuple, got %d" (List.length other)
+
+let test_save_load () =
+  let db = Fixtures.paper_db () in
+  let path = Filename.temp_file "bcdb" ".txt" in
+  (match Core.Bcdb_file.save path db with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  (match Core.Bcdb_file.load path with
+  | Ok db' -> Alcotest.(check int) "reloaded" 5 (Core.Bcdb.pending_count db')
+  | Error msg -> Alcotest.fail msg);
+  Sys.remove path
+
+(* Fuzz: random databases (awkward values included: commas, quotes,
+   floats, booleans) survive a print/parse round-trip with identical
+   possible-world structure. *)
+let fuzz_roundtrip =
+  QCheck.Test.make ~name:"random db roundtrips" ~count:60
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let item = R.Schema.relation "Item" [ "id"; "kind" ] in
+      let move = R.Schema.relation "Move" [ "id"; "owner" ] in
+      let cat = R.Schema.of_list [ item; move ] in
+      let constraints =
+        [
+          R.Constr.key item [ "id" ];
+          R.Constr.ind ~sub:move [ "id" ] ~sup:item [ "id" ];
+        ]
+      in
+      let rand_value () =
+        match Random.State.int rng 5 with
+        | 0 -> V.Int (Random.State.int rng 5)
+        | 1 -> V.Str (Printf.sprintf "s%d, \"x\"" (Random.State.int rng 3))
+        | 2 -> V.Float (float_of_int (Random.State.int rng 9) /. 2.0)
+        | 3 -> V.Bool (Random.State.bool rng)
+        | _ -> V.Null
+      in
+      let state = R.Database.create cat in
+      for i = 0 to 2 do
+        ignore
+          (R.Database.insert state "Item" (R.Tuple.make [ V.Int i; rand_value () ]))
+      done;
+      let k = 1 + Random.State.int rng 4 in
+      let pending =
+        List.init k (fun j ->
+            if Random.State.bool rng then
+              [ ("Item", R.Tuple.make [ V.Int (3 + j); rand_value () ]) ]
+            else
+              [
+                ( "Move",
+                  R.Tuple.make [ V.Int (Random.State.int rng 6); rand_value () ]
+                );
+              ])
+      in
+      let db = Core.Bcdb.create_exn ~state ~constraints ~pending () in
+      let printed = Core.Bcdb_file.to_string db in
+      match Core.Bcdb_file.of_string printed with
+      | Error _ -> false
+      | Ok db' ->
+          let worlds d =
+            let store = Core.Tagged_store.create d in
+            let acc = ref [] in
+            Core.Poss.enumerate store (fun w ->
+                acc := Bcgraph.Bitset.to_list w :: !acc;
+                `Continue);
+            List.sort compare !acc
+          in
+          (* Value fidelity: printing the reparsed database must be a
+             fixpoint (catches broken string escaping). *)
+          String.equal printed (Core.Bcdb_file.to_string db')
+          && worlds db = worlds db')
+
+let () =
+  Alcotest.run "file"
+    [
+      ( "bcdb-file",
+        [
+          Alcotest.test_case "parse" `Quick test_parse;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "roundtrip paper" `Quick test_roundtrip_paper;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "values" `Quick test_values;
+          Alcotest.test_case "save/load" `Quick test_save_load;
+          QCheck_alcotest.to_alcotest fuzz_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,191 @@
+(* Graph substrate: bitsets, union-find, components, Bron–Kerbosch. *)
+
+module G = Bcgraph
+
+let test_bitset_basics () =
+  let b = G.Bitset.create 10 in
+  Alcotest.(check bool) "empty" true (G.Bitset.is_empty b);
+  G.Bitset.add b 3;
+  G.Bitset.add b 7;
+  G.Bitset.add b 3;
+  Alcotest.(check int) "cardinal" 2 (G.Bitset.cardinal b);
+  Alcotest.(check (list int)) "to_list" [ 3; 7 ] (G.Bitset.to_list b);
+  G.Bitset.remove b 3;
+  Alcotest.(check bool) "mem after remove" false (G.Bitset.mem b 3);
+  Alcotest.(check (option int)) "choose" (Some 7) (G.Bitset.choose_opt b)
+
+let bitset_ops_prop =
+  QCheck.Test.make ~name:"bitset ops agree with list ops" ~count:200
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_bound 20) (int_bound 30))
+        (list_of_size (QCheck.Gen.int_bound 20) (int_bound 30)))
+    (fun (xs, ys) ->
+      let a = G.Bitset.of_list 31 xs and b = G.Bitset.of_list 31 ys in
+      let sx = List.sort_uniq compare xs and sy = List.sort_uniq compare ys in
+      let expect_inter = List.filter (fun x -> List.mem x sy) sx in
+      let expect_union = List.sort_uniq compare (sx @ sy) in
+      let expect_diff = List.filter (fun x -> not (List.mem x sy)) sx in
+      G.Bitset.to_list (G.Bitset.inter a b) = expect_inter
+      && G.Bitset.to_list (G.Bitset.union a b) = expect_union
+      && G.Bitset.to_list (G.Bitset.diff a b) = expect_diff
+      && G.Bitset.subset (G.Bitset.inter a b) a
+      && G.Bitset.cardinal a = List.length sx)
+
+let test_union_find () =
+  let uf = G.Union_find.create 6 in
+  G.Union_find.union uf 0 1;
+  G.Union_find.union uf 1 2;
+  G.Union_find.union uf 4 5;
+  Alcotest.(check bool) "same component" true (G.Union_find.same uf 0 2);
+  Alcotest.(check bool) "different" false (G.Union_find.same uf 0 4);
+  Alcotest.(check (list (list int)))
+    "groups"
+    [ [ 0; 1; 2 ]; [ 3 ]; [ 4; 5 ] ]
+    (G.Union_find.groups uf)
+
+let test_undirected () =
+  let g = G.Undirected.create 5 in
+  G.Undirected.add_edge g 0 1;
+  G.Undirected.add_edge g 1 2;
+  G.Undirected.add_edge g 0 0;
+  Alcotest.(check bool) "edge" true (G.Undirected.connected g 0 1);
+  Alcotest.(check bool) "symmetric" true (G.Undirected.connected g 1 0);
+  Alcotest.(check bool) "self loop ignored" false (G.Undirected.connected g 0 0);
+  Alcotest.(check int) "edge count" 2 (G.Undirected.edge_count g);
+  Alcotest.(check (list int)) "neighbours" [ 0; 2 ] (G.Undirected.neighbours g 1);
+  G.Undirected.remove_edge g 0 1;
+  Alcotest.(check bool) "removed" false (G.Undirected.connected g 0 1)
+
+let test_components () =
+  let g = G.Undirected.create 6 in
+  G.Undirected.add_edge g 0 1;
+  G.Undirected.add_edge g 2 3;
+  G.Undirected.add_edge g 3 4;
+  Alcotest.(check (list (list int)))
+    "components"
+    [ [ 0; 1 ]; [ 2; 3; 4 ]; [ 5 ] ]
+    (G.Components.of_graph g);
+  Alcotest.(check (list int)) "bfs component" [ 2; 3; 4 ]
+    (G.Components.component_of g 3)
+
+let test_bron_kerbosch_known () =
+  (* Classic example: two triangles sharing an edge plus a pendant. *)
+  let g = G.Undirected.create 5 in
+  List.iter
+    (fun (i, j) -> G.Undirected.add_edge g i j)
+    [ (0, 1); (0, 2); (1, 2); (1, 3); (2, 3); (3, 4) ];
+  let cliques = List.sort compare (G.Bron_kerbosch.maximal_cliques g) in
+  Alcotest.(check (list (list int)))
+    "maximal cliques"
+    [ [ 0; 1; 2 ]; [ 1; 2; 3 ]; [ 3; 4 ] ]
+    cliques
+
+let test_bron_kerbosch_extremes () =
+  let empty = G.Undirected.create 4 in
+  Alcotest.(check (list (list int)))
+    "edgeless graph: singletons"
+    [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ] ]
+    (List.sort compare (G.Bron_kerbosch.maximal_cliques empty));
+  let complete = G.Undirected.complement empty in
+  Alcotest.(check (list (list int)))
+    "complete graph: one clique"
+    [ [ 0; 1; 2; 3 ] ]
+    (G.Bron_kerbosch.maximal_cliques complete);
+  let zero = G.Undirected.create 0 in
+  Alcotest.(check int) "empty graph" 0 (G.Bron_kerbosch.count_maximal_cliques zero)
+
+let test_early_stop () =
+  let g = G.Undirected.create 8 in
+  let seen = ref 0 in
+  G.Bron_kerbosch.iter_maximal_cliques g (fun _ ->
+      incr seen;
+      if !seen >= 3 then `Stop else `Continue);
+  Alcotest.(check int) "stopped after three" 3 !seen
+
+(* Reference implementation: a set is a maximal clique iff it is a clique
+   and no outside vertex extends it. *)
+let brute_cliques g =
+  let n = G.Undirected.node_count g in
+  let nodes = List.init n Fun.id in
+  let subsets =
+    List.fold_left
+      (fun acc v -> acc @ List.map (fun s -> v :: s) acc)
+      [ [] ] nodes
+    |> List.map (List.sort compare)
+  in
+  let is_clique s =
+    List.for_all
+      (fun i -> List.for_all (fun j -> i = j || G.Undirected.connected g i j) s)
+      s
+  in
+  let maximal s =
+    is_clique s && s <> []
+    && List.for_all
+         (fun v -> List.mem v s || not (is_clique (List.sort compare (v :: s))))
+         nodes
+  in
+  List.filter maximal subsets |> List.sort_uniq compare
+
+let bk_matches_brute =
+  QCheck.Test.make ~name:"Bron–Kerbosch = brute force (n <= 8)" ~count:80
+    QCheck.(
+      pair (int_range 1 8) (list_of_size (QCheck.Gen.int_bound 20) (pair (int_bound 7) (int_bound 7))))
+    (fun (n, edges) ->
+      let g = G.Undirected.create n in
+      List.iter
+        (fun (i, j) ->
+          if i < n && j < n && i <> j then G.Undirected.add_edge g i j)
+        edges;
+      List.sort compare (G.Bron_kerbosch.maximal_cliques g) = brute_cliques g)
+
+let induced_preserves_edges =
+  QCheck.Test.make ~name:"induced subgraph preserves adjacency" ~count:80
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_bound 15) (pair (int_bound 9) (int_bound 9)))
+        (list_of_size (QCheck.Gen.int_bound 6) (int_bound 9)))
+    (fun (edges, nodes) ->
+      let g = G.Undirected.create 10 in
+      List.iter
+        (fun (i, j) -> if i <> j then G.Undirected.add_edge g i j)
+        edges;
+      let nodes = List.sort_uniq compare nodes in
+      let sub, back = G.Undirected.induced g nodes in
+      let n = G.Undirected.node_count sub in
+      let ok = ref (n = List.length nodes) in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          if a <> b then
+            ok :=
+              !ok
+              && G.Undirected.connected sub a b
+                 = G.Undirected.connected g back.(a) back.(b)
+        done
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "bitset",
+        [
+          Alcotest.test_case "basics" `Quick test_bitset_basics;
+          QCheck_alcotest.to_alcotest bitset_ops_prop;
+        ] );
+      ( "union-find",
+        [ Alcotest.test_case "groups" `Quick test_union_find ] );
+      ( "undirected",
+        [
+          Alcotest.test_case "edges" `Quick test_undirected;
+          Alcotest.test_case "components" `Quick test_components;
+          QCheck_alcotest.to_alcotest induced_preserves_edges;
+        ] );
+      ( "bron-kerbosch",
+        [
+          Alcotest.test_case "known graph" `Quick test_bron_kerbosch_known;
+          Alcotest.test_case "extremes" `Quick test_bron_kerbosch_extremes;
+          Alcotest.test_case "early stop" `Quick test_early_stop;
+          QCheck_alcotest.to_alcotest bk_matches_brute;
+        ] );
+    ]

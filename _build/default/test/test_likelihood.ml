@@ -1,0 +1,127 @@
+(* Likelihood weighting of possible worlds (the paper's Section 8 future
+   work): repairs must always land in Poss(D); exact probabilities must
+   obey monotone bounds; Monte-Carlo must converge to the exact value. *)
+
+module Core = Bccore
+module Q = Bcquery
+module Bitset = Bcgraph.Bitset
+
+let session () = Fixtures.session_of (Fixtures.paper_db ())
+
+let test_repair_lands_in_poss () =
+  let s = session () in
+  let store = Core.Session.store s in
+  let model = Core.Likelihood.uniform 0.8 in
+  (* Every one of the 32 proposals repairs to a legal possible world. *)
+  for bits = 0 to 31 do
+    let proposal = Bitset.create 5 in
+    for i = 0 to 4 do
+      if bits land (1 lsl i) <> 0 then Bitset.add proposal i
+    done;
+    let world = Core.Likelihood.repair s model proposal in
+    Alcotest.(check bool)
+      (Printf.sprintf "proposal %d repairs to a world" bits)
+      true
+      (Core.Poss.is_possible_world store world);
+    Alcotest.(check bool) "repair within proposal" true
+      (Bitset.subset world proposal)
+  done
+
+let test_repair_respects_priority () =
+  let s = session () in
+  (* T1 and T5 conflict; with T1 more likely, the repair of {T1, T5}
+     keeps T1. With T5 more likely, it keeps T5. *)
+  let weights_t1 = Core.Likelihood.of_weights [| 0.9; 0.1; 0.1; 0.1; 0.2 |] in
+  let weights_t5 = Core.Likelihood.of_weights [| 0.2; 0.1; 0.1; 0.1; 0.9 |] in
+  let proposal = Bitset.of_list 5 [ 0; 4 ] in
+  Alcotest.(check (list int))
+    "T1 wins" [ 0 ]
+    (Bitset.to_list (Core.Likelihood.repair s weights_t1 proposal));
+  Alcotest.(check (list int))
+    "T5 wins" [ 4 ]
+    (Bitset.to_list (Core.Likelihood.repair s weights_t5 proposal))
+
+let test_exact_bounds () =
+  let s = session () in
+  let q = Fixtures.qs_u8 in
+  (* qs(U8Pk) needs T4, which needs T1, T2, T3: probability of violation
+     with p = 1 must be 1 (the repair includes everything consistent,
+     preferring no one; T1 vs T5: T1 first by id). With p = 0 it is 0. *)
+  Alcotest.(check (float 1e-9)) "p=0" 0.0
+    (Core.Likelihood.exact_violation_probability s (Core.Likelihood.uniform 0.0) q);
+  let p1 =
+    Core.Likelihood.exact_violation_probability s (Core.Likelihood.uniform 1.0) q
+  in
+  Alcotest.(check (float 1e-9)) "p=1" 1.0 p1;
+  (* Monotone in p. *)
+  let at p =
+    Core.Likelihood.exact_violation_probability s (Core.Likelihood.uniform p) q
+  in
+  let p3 = at 0.3 and p6 = at 0.6 and p9 = at 0.9 in
+  Alcotest.(check bool) "monotone 0.3 <= 0.6" true (p3 <= p6 +. 1e-12);
+  Alcotest.(check bool) "monotone 0.6 <= 0.9" true (p6 <= p9 +. 1e-12);
+  Alcotest.(check bool) "strictly inside (0,1)" true (p6 > 0.0 && p6 < 1.0)
+
+let test_exact_formula_simple () =
+  let s = session () in
+  (* q() :- TxOut(t, s, "U5Pk", a) is violated exactly when T1 is
+     included; T1 is includable whenever proposed (its only conflict, T5,
+     has lower priority under uniform weights - tie broken by id: T1
+     first). So P(violation) = p. *)
+  let q = Fixtures.parse {| q() :- TxOut(t, s, "U5Pk", a). |} in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "P = %.1f" p)
+        p
+        (Core.Likelihood.exact_violation_probability s
+           (Core.Likelihood.uniform p) q))
+    [ 0.0; 0.25; 0.5; 0.75; 1.0 ]
+
+let test_monte_carlo_converges () =
+  let s = session () in
+  let q = Fixtures.qs_u8 in
+  let model = Core.Likelihood.uniform 0.7 in
+  let exact = Core.Likelihood.exact_violation_probability s model q in
+  let est =
+    Core.Likelihood.estimate_violation_probability ~samples:4000 s model q
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %.3f within 4 sigma of %.3f"
+       est.Core.Likelihood.probability exact)
+    true
+    (Float.abs (est.Core.Likelihood.probability -. exact)
+    <= (4.0 *. est.Core.Likelihood.std_error) +. 0.02)
+
+let test_deterministic_seed () =
+  let s = session () in
+  let q = Fixtures.qs_u8 in
+  let model = Core.Likelihood.logistic_feerate ~fee_rates:[| 1.0; 2.0; 0.5; 3.0; 1.5 |] () in
+  let a = Core.Likelihood.estimate_violation_probability ~seed:5 ~samples:200 s model q in
+  let b = Core.Likelihood.estimate_violation_probability ~seed:5 ~samples:200 s model q in
+  Alcotest.(check (float 1e-12)) "same seed, same estimate"
+    a.Core.Likelihood.probability b.Core.Likelihood.probability
+
+let test_logistic_model () =
+  let m = Core.Likelihood.logistic_feerate ~fee_rates:[| 0.0; 1.0; 10.0 |] () in
+  Alcotest.(check bool) "low fee -> low p" true (Core.Likelihood.probability m 0 < 0.5);
+  Alcotest.(check (float 1e-9)) "midpoint -> 0.5" 0.5 (Core.Likelihood.probability m 1);
+  Alcotest.(check bool) "high fee -> ~1" true (Core.Likelihood.probability m 2 > 0.99)
+
+let () =
+  Alcotest.run "likelihood"
+    [
+      ( "repair",
+        [
+          Alcotest.test_case "lands in Poss" `Quick test_repair_lands_in_poss;
+          Alcotest.test_case "priority" `Quick test_repair_respects_priority;
+        ] );
+      ( "probability",
+        [
+          Alcotest.test_case "bounds" `Quick test_exact_bounds;
+          Alcotest.test_case "closed form" `Quick test_exact_formula_simple;
+          Alcotest.test_case "monte carlo" `Slow test_monte_carlo_converges;
+          Alcotest.test_case "seeded" `Quick test_deterministic_seed;
+          Alcotest.test_case "logistic" `Quick test_logistic_model;
+        ] );
+    ]

@@ -1,0 +1,169 @@
+(* Gossip network: convergence, partitions, and the footnote-6 scenario -
+   two honest nodes answering the same denial constraint differently
+   because their mempools diverge. *)
+
+module C = Chain
+module Q = Bcquery
+module Core = Bccore
+
+let wallets n = Array.init n (fun i -> C.Wallet.create ~seed:(Printf.sprintf "nw%d" i))
+
+let make_network peers =
+  let ws = wallets 3 in
+  let initial =
+    Array.to_list ws
+    |> List.concat_map (fun w ->
+           List.init 4 (fun _ -> (C.Wallet.address w, 100_000)))
+  in
+  (C.Network.create ~peers ~initial, ws)
+
+let pay net ws ~at ~from ~to_ ~amount ~fee =
+  let utxo = C.Node.utxo (C.Network.peer net at) in
+  match C.Wallet.pay ws.(from) ~utxo ~to_:(C.Wallet.address ws.(to_)) ~amount ~fee with
+  | Ok tx -> (
+      match C.Network.submit net ~at tx with
+      | Ok () -> tx
+      | Error r -> Alcotest.failf "submit: %a" C.Mempool.pp_reject r)
+  | Error msg -> Alcotest.fail msg
+
+let test_tx_gossip () =
+  let net, ws = make_network 4 in
+  let tx = pay net ws ~at:0 ~from:0 ~to_:1 ~amount:5_000 ~fee:100 in
+  Alcotest.(check bool) "not yet at peer 3" false
+    (C.Mempool.mem (C.Node.mempool (C.Network.peer net 3)) tx.C.Tx.txid);
+  ignore (C.Network.deliver net ());
+  for i = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "peer %d has the tx" i)
+      true
+      (C.Mempool.mem (C.Node.mempool (C.Network.peer net i)) tx.C.Tx.txid)
+  done;
+  Alcotest.(check bool) "network in sync" true (C.Network.in_sync net)
+
+let test_block_gossip_and_confirmation () =
+  let net, ws = make_network 3 in
+  let tx = pay net ws ~at:0 ~from:0 ~to_:1 ~amount:5_000 ~fee:100 in
+  ignore (C.Network.deliver net ());
+  (match C.Network.mine_at net ~at:1 ~coinbase_script:(C.Wallet.address ws.(2)) () with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  ignore (C.Network.deliver net ());
+  for i = 0 to 2 do
+    Alcotest.(check int)
+      (Printf.sprintf "peer %d height" i)
+      1
+      (C.Chain_state.height (C.Node.chain (C.Network.peer net i)));
+    Alcotest.(check bool)
+      (Printf.sprintf "peer %d dropped the confirmed tx" i)
+      false
+      (C.Mempool.mem (C.Node.mempool (C.Network.peer net i)) tx.C.Tx.txid)
+  done;
+  Alcotest.(check bool) "in sync" true (C.Network.in_sync net)
+
+let test_orphan_catchup () =
+  let net, ws = make_network 3 in
+  (* Peer 2 misses two blocks (partitioned), then receives them out of
+     order through heal; the orphan stash must connect both. *)
+  C.Network.partition net [ 2 ];
+  ignore (pay net ws ~at:0 ~from:0 ~to_:1 ~amount:4_000 ~fee:100);
+  ignore (C.Network.deliver net ());
+  (match C.Network.mine_at net ~at:0 ~coinbase_script:(C.Wallet.address ws.(0)) () with
+  | Ok _ -> () | Error msg -> Alcotest.fail msg);
+  ignore (pay net ws ~at:0 ~from:1 ~to_:2 ~amount:3_000 ~fee:100);
+  ignore (C.Network.deliver net ());
+  (match C.Network.mine_at net ~at:0 ~coinbase_script:(C.Wallet.address ws.(0)) () with
+  | Ok _ -> () | Error msg -> Alcotest.fail msg);
+  ignore (C.Network.deliver net ());
+  Alcotest.(check int) "peer 2 still at genesis" 0
+    (C.Chain_state.height (C.Node.chain (C.Network.peer net 2)));
+  C.Network.heal net;
+  ignore (C.Network.deliver net ());
+  Alcotest.(check int) "peer 2 caught up" 2
+    (C.Chain_state.height (C.Node.chain (C.Network.peer net 2)));
+  Alcotest.(check bool) "in sync" true (C.Network.in_sync net)
+
+(* Footnote 6: divergent mempools mean divergent denial-constraint
+   answers. *)
+let test_divergent_dcsat () =
+  let net, ws = make_network 2 in
+  let receiver_pk = C.Wallet.public_key ws.(1) in
+  C.Network.partition net [ 1 ];
+  (* Issued at peer 0 while peer 1 is cut off. *)
+  ignore (pay net ws ~at:0 ~from:0 ~to_:1 ~amount:7_777 ~fee:150);
+  ignore (C.Network.deliver net ());
+  let constraint_of_peer i =
+    let db = Result.get_ok (C.Encode.bcdb_of_node (C.Network.peer net i)) in
+    let q =
+      Q.Parser.parse_exn ~catalog:C.Encode.catalog
+        (Printf.sprintf {| q() :- TxOut(t, s, "%s", a), a = 7777. |} receiver_pk)
+    in
+    match Core.Solver.solve (Core.Session.create db) q with
+    | Ok (o, _) -> o.Core.Dcsat.satisfied
+    | Error msg -> Alcotest.fail msg
+  in
+  Alcotest.(check bool) "peer 0 sees the risk" false (constraint_of_peer 0);
+  Alcotest.(check bool) "peer 1 believes it is safe" true (constraint_of_peer 1);
+  (* After healing, the answers agree. *)
+  C.Network.heal net;
+  ignore (C.Network.deliver net ());
+  Alcotest.(check bool) "peer 1 now agrees" false (constraint_of_peer 1);
+  Alcotest.(check bool) "views converged" true (C.Network.in_sync net)
+
+let test_conflict_resolution_per_peer () =
+  let net, ws = make_network 2 in
+  (* Two conflicting spends submitted on opposite sides of a partition:
+     each peer accepts its own; after heal, the gossiped duplicate is
+     rejected as a low-fee conflict (or replaces, if it pays enough). *)
+  C.Network.partition net [ 1 ];
+  let utxo0 = C.Node.utxo (C.Network.peer net 0) in
+  let coins = C.Wallet.utxos ws.(0) utxo0 in
+  let coin = List.hd coins in
+  let sign outputs =
+    match C.Wallet.sign_inputs ws.(0) ~prevs:[ coin ] ~outputs with
+    | Ok inputs -> C.Tx.create ~inputs ~outputs
+    | Error msg -> Alcotest.fail msg
+  in
+  let tx_a =
+    sign [ { C.Tx.amount = (snd coin).C.Tx.amount - 100; script = C.Wallet.address ws.(1) } ]
+  in
+  let tx_b =
+    sign [ { C.Tx.amount = (snd coin).C.Tx.amount - 150; script = C.Wallet.address ws.(2) } ]
+  in
+  (match C.Network.submit net ~at:0 tx_a with
+  | Ok () -> () | Error r -> Alcotest.failf "a: %a" C.Mempool.pp_reject r);
+  (match C.Network.submit net ~at:1 tx_b with
+  | Ok () -> () | Error r -> Alcotest.failf "b: %a" C.Mempool.pp_reject r);
+  ignore (C.Network.deliver net ());
+  Alcotest.(check bool) "conflict" true (C.Tx.conflicts tx_a tx_b);
+  C.Network.heal net;
+  ignore (C.Network.deliver net ());
+  (* Each peer holds exactly one of the two (whichever its RBF policy
+     kept) - never both. *)
+  for i = 0 to 1 do
+    let pool = C.Node.mempool (C.Network.peer net i) in
+    let has_a = C.Mempool.mem pool tx_a.C.Tx.txid in
+    let has_b = C.Mempool.mem pool tx_b.C.Tx.txid in
+    Alcotest.(check bool)
+      (Printf.sprintf "peer %d holds exactly one" i)
+      true
+      ((has_a || has_b) && not (has_a && has_b))
+  done
+
+let () =
+  Alcotest.run "network"
+    [
+      ( "gossip",
+        [
+          Alcotest.test_case "tx propagation" `Quick test_tx_gossip;
+          Alcotest.test_case "block confirmation" `Quick
+            test_block_gossip_and_confirmation;
+          Alcotest.test_case "orphan catch-up" `Quick test_orphan_catchup;
+        ] );
+      ( "divergence",
+        [
+          Alcotest.test_case "divergent DCSat answers" `Quick
+            test_divergent_dcsat;
+          Alcotest.test_case "conflicting spends" `Quick
+            test_conflict_resolution_per_peer;
+        ] );
+    ]

@@ -1,0 +1,247 @@
+(* Tractable PTIME solvers (Theorems 1-2) checked against the exact
+   brute-force solver on databases restricted to the matching constraint
+   profiles. *)
+
+module R = Relational
+module V = R.Value
+module Q = Bcquery
+module Core = Bccore
+
+let account = Fixtures.account
+let cat = Fixtures.account_catalog
+let row = Fixtures.account_row
+let key_owner = R.Constr.key account [ "owner" ]
+
+let parse s = Q.Parser.parse_exn ~catalog:cat s
+
+let mk_db ~constraints ~state ~pending =
+  let db = R.Database.create cat in
+  R.Database.insert_all db state;
+  Core.Bcdb.create_exn ~state:db ~constraints ~pending ()
+
+(* fd-only database: accounts with a key on owner; pending transactions
+   move people between banks (conflicting on the key). *)
+let fd_db () =
+  mk_db ~constraints:[ key_owner ]
+    ~state:[ row "ann" "acme" 10; row "bob" "zeta" 5 ]
+    ~pending:
+      [
+        [ row "carol" "acme" 7 ];
+        [ row "carol" "zeta" 7 ] (* key-conflicts with the previous *);
+        [ row "dan" "acme" 2 ];
+        [ row "ann" "acme" 10 ] (* duplicate of a state row: harmless *);
+      ]
+
+let applicable_case db q =
+  Core.Tractable.applicable (Core.Session.db (Fixtures.session_of db)) q
+
+let solve db q =
+  let session = Fixtures.session_of db in
+  match Core.Tractable.solve session q with
+  | Some (o, _) -> o.Core.Dcsat.satisfied
+  | None -> Alcotest.fail "expected a tractable case"
+
+let brute db q =
+  let session = Fixtures.session_of db in
+  (Core.Dcsat.brute_force session q).Core.Dcsat.satisfied
+
+let test_fd_conjunctive_cases () =
+  let db = fd_db () in
+  let check q =
+    Alcotest.(check bool)
+      (Q.Query.to_string q)
+      (brute db q) (solve db q)
+  in
+  check (parse {| q() :- Account("carol", "acme", b). |});
+  check (parse {| q() :- Account("carol", b, x), Account("dan", b, y). |});
+  check (parse {| q() :- Account("missing", b, x). |});
+  (* Negation: carol somewhere in a world without dan at the same bank. *)
+  check (parse {| q() :- Account("carol", bk, x), !Account("dan", bk, 2), x > 1. |});
+  check (parse {| q() :- Account(o, bk, x), !Account("ann", bk, 10). |})
+
+let test_fd_conjunctive_negation_needs_exclusion () =
+  (* q asks for a world containing carol@acme but NOT dan@acme. Both are
+     includable and non-conflicting, but with fds only, any subset is a
+     world, so the constraint must be found violable. The naive algorithm
+     cannot even accept this query (negation); brute force and the
+     tractable solver agree. *)
+  let db = fd_db () in
+  let q =
+    parse {| q() :- Account("carol", "acme", x), !Account("dan", "acme", 2). |}
+  in
+  Alcotest.(check bool) "brute: violable" false (brute db q);
+  Alcotest.(check bool) "tractable agrees" false (solve db q);
+  match applicable_case db q with
+  | Some Core.Tractable.Fd_conjunctive -> ()
+  | _ -> Alcotest.fail "expected the fd-conjunctive case"
+
+(* ind-only database: Orders reference Customers. *)
+let customer = R.Schema.relation "Customer" [ "cname"; "city" ]
+let orders = R.Schema.relation "Orders" [ "oid"; "cname"; "total" ]
+let ind_cat = R.Schema.of_list [ customer; orders ]
+let ind_constraints =
+  [ R.Constr.ind ~sub:orders [ "cname" ] ~sup:customer [ "cname" ] ]
+
+let ind_parse s = Q.Parser.parse_exn ~catalog:ind_cat s
+
+let ind_db () =
+  let state = R.Database.create ind_cat in
+  R.Database.insert_all state
+    [
+      ("Customer", R.Tuple.make [ V.Str "ann"; V.Str "oslo" ]);
+      ("Orders", R.Tuple.make [ V.Int 1; V.Str "ann"; V.Int 10 ]);
+    ];
+  Core.Bcdb.create_exn ~state ~constraints:ind_constraints
+    ~pending:
+      [
+        [ ("Customer", R.Tuple.make [ V.Str "bob"; V.Str "rome" ]) ];
+        (* depends on the customer above *)
+        [ ("Orders", R.Tuple.make [ V.Int 2; V.Str "bob"; V.Int 99 ]) ];
+        (* self-contained: customer + order in one transaction *)
+        [
+          ("Customer", R.Tuple.make [ V.Str "eve"; V.Str "kyiv" ]);
+          ("Orders", R.Tuple.make [ V.Int 3; V.Str "eve"; V.Int 5 ]);
+        ];
+        (* forever unsupported: no such customer anywhere *)
+        [ ("Orders", R.Tuple.make [ V.Int 4; V.Str "ghost"; V.Int 1 ]) ];
+      ]
+    ()
+
+let test_ind_conjunctive () =
+  let db = ind_db () in
+  let check q =
+    Alcotest.(check bool) (Q.Query.to_string q) (brute db q) (solve db q)
+  in
+  check (ind_parse {| q() :- Orders(i, "bob", t). |});
+  check (ind_parse {| q() :- Orders(i, "ghost", t). |});
+  (* must stay satisfied *)
+  check (ind_parse {| q() :- Orders(i, c, t), Customer(c, "kyiv"). |});
+  check (ind_parse {| q() :- Orders(i, c, t), t > 50. |});
+  check (ind_parse {| q() :- Orders(i, c, t), !Customer("zed", "oz"). |});
+  (* Negation forcing exclusion: an order by bob in a world without eve.
+     bob's order needs bob (another tx); eve's tx is excluded; fine. *)
+  check (ind_parse {| q() :- Orders(i, "bob", t), !Customer("eve", "kyiv"). |});
+  (* Impossible: an order by eve without eve's customer row (same tx). *)
+  check (ind_parse {| q() :- Orders(i, "eve", t), !Customer("eve", "kyiv"). |})
+
+let test_ind_negation_exclusion_is_sound () =
+  let db = ind_db () in
+  let q = ind_parse {| q() :- Orders(i, "eve", t), !Customer("eve", "kyiv"). |} in
+  Alcotest.(check bool) "satisfied (cannot separate)" true (solve db q);
+  let q2 = ind_parse {| q() :- Orders(i, "bob", t), !Customer("eve", "kyiv"). |} in
+  Alcotest.(check bool) "violable (eve excluded)" false (solve db q2)
+
+let test_fd_aggregates () =
+  let db = fd_db () in
+  let check q =
+    Alcotest.(check bool) (Q.Query.to_string q) (brute db q) (solve db q)
+  in
+  (* count < : anti-monotone, minimal support worlds. *)
+  check (parse ({| q(count()) :- Account(o, "acme", b) |} ^ " | < 2."));
+  check (parse ({| q(count()) :- Account(o, "acme", b) |} ^ " | < 1."));
+  (* sum < with non-negative balances. *)
+  check (parse {| q(sum(b)) :- Account(o, "acme", b) | < 3. |});
+  check (parse {| q(sum(b)) :- Account(o, bk, b) | < 6. |});
+  (* max, all thetas. *)
+  check (parse {| q(max(b)) :- Account(o, bk, b) | = 7. |});
+  check (parse {| q(max(b)) :- Account(o, bk, b) | < 6. |});
+  check (parse {| q(max(b)) :- Account(o, bk, b) | > 9. |});
+  check (parse {| q(max(b)) :- Account(o, bk, b) | = 99. |});
+  (* min, all thetas. *)
+  check (parse {| q(min(b)) :- Account(o, bk, b) | = 2. |});
+  check (parse {| q(min(b)) :- Account(o, bk, b) | > 9. |});
+  check (parse {| q(min(b)) :- Account(o, bk, b) | < 3. |})
+
+let test_ind_monotone_aggregates () =
+  let db = ind_db () in
+  let check q =
+    Alcotest.(check bool) (Q.Query.to_string q) (brute db q) (solve db q)
+  in
+  check (ind_parse ({| q(count()) :- Orders(i, c, t) |} ^ " | > 2."));
+  check (ind_parse ({| q(count()) :- Orders(i, c, t) |} ^ " | > 3."));
+  (* order 4 can never be included: count can reach 3, not 4 *)
+  check (ind_parse {| q(sum(t)) :- Orders(i, c, t) | > 100. |});
+  check (ind_parse {| q(sum(t)) :- Orders(i, c, t) | > 120. |});
+  check (ind_parse {| q(max(t)) :- Orders(i, c, t) | > 50. |});
+  check (ind_parse {| q(min(t)) :- Orders(i, c, t) | < 6. |})
+
+let test_applicability_matrix () =
+  let fd = fd_db () and ind = ind_db () and mixed = Fixtures.paper_db () in
+  let is_case db q expected =
+    Alcotest.(check bool) (Q.Query.to_string q) expected
+      (Option.is_some (applicable_case db q))
+  in
+  is_case fd (parse {| q() :- Account(o, b, x). |}) true;
+  is_case ind (ind_parse {| q() :- Orders(i, c, t). |}) true;
+  (* key + ind together: CoNP-complete (Theorem 1.2); no tractable case. *)
+  is_case mixed Fixtures.qs_u8 false;
+  (* count > under fd-only: CoNP-complete (Theorem 2.3). *)
+  is_case fd (parse ({| q(count()) :- Account(o, b, x) |} ^ " | > 1.")) false;
+  (* count < under ind-only: CoNP-complete (Theorem 2.5). *)
+  is_case ind (ind_parse ({| q(count()) :- Orders(i, c, t) |} ^ " | < 2.")) false;
+  (* sum < loses tractability without the non-negativity assumption. *)
+  Alcotest.(check bool) "sum< needs nonneg" true
+    (Option.is_none
+       (Core.Tractable.applicable ~sum_args_nonnegative:false
+          (Core.Session.db (Fixtures.session_of fd))
+          (parse {| q(sum(b)) :- Account(o, bk, b) | < 3. |})))
+
+(* Randomized agreement on fd-only databases. *)
+let fd_agreement =
+  QCheck.Test.make ~name:"tractable = brute on random fd-only dbs" ~count:60
+    QCheck.(
+      pair (int_bound 1000)
+        (pair (int_range 0 5) (int_range 0 4)))
+    (fun (seed, (npending, shape)) ->
+      let rng = Random.State.make [| seed |] in
+      let owners = [| "a"; "b"; "c"; "d" |] in
+      let banks = [| "x"; "y" |] in
+      let rand_row () =
+        row
+          owners.(Random.State.int rng 4)
+          banks.(Random.State.int rng 2)
+          (Random.State.int rng 5)
+      in
+      let state_rows = [ row "s1" "x" 1; row "s2" "y" 2 ] in
+      let pending = List.init npending (fun _ -> [ rand_row () ]) in
+      let db = mk_db ~constraints:[ key_owner ] ~state:state_rows ~pending in
+      let q =
+        match shape with
+        | 0 -> parse {| q() :- Account("a", bk, x). |}
+        | 1 -> parse {| q() :- Account("a", bk, x), Account("b", bk, y). |}
+        | 2 -> parse {| q() :- Account(o, "x", v), !Account("b", "y", 3). |}
+        | 3 -> parse ({| q(count()) :- Account(o, "x", v) |} ^ " | < 2.")
+        | _ -> parse {| q(max(v)) :- Account(o, bk, v) | = 4. |}
+      in
+      let session = Fixtures.session_of db in
+      match Core.Tractable.solve session q with
+      | None -> false
+      | Some (o, _) ->
+          o.Core.Dcsat.satisfied
+          = (Core.Dcsat.brute_force session q).Core.Dcsat.satisfied)
+
+let () =
+  Alcotest.run "tractable"
+    [
+      ( "fd-only",
+        [
+          Alcotest.test_case "conjunctive" `Quick test_fd_conjunctive_cases;
+          Alcotest.test_case "negation exclusion" `Quick
+            test_fd_conjunctive_negation_needs_exclusion;
+          Alcotest.test_case "aggregates" `Quick test_fd_aggregates;
+        ] );
+      ( "ind-only",
+        [
+          Alcotest.test_case "conjunctive" `Quick test_ind_conjunctive;
+          Alcotest.test_case "negation exclusion" `Quick
+            test_ind_negation_exclusion_is_sound;
+          Alcotest.test_case "monotone aggregates" `Quick
+            test_ind_monotone_aggregates;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "applicability matrix" `Quick
+            test_applicability_matrix;
+          QCheck_alcotest.to_alcotest fd_agreement;
+        ] );
+    ]
