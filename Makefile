@@ -1,0 +1,23 @@
+.PHONY: all build test fmt check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+fmt:
+	dune build @fmt --auto-promote
+
+# Build + formatting (if ocamlformat is installed) + full test suite.
+check:
+	sh bin/check.sh
+
+# Full paper-figure benchmark; writes BENCH_dcsat.json in the repo root.
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -83,12 +83,65 @@ let table1 () =
     ~rows:(List.concat_map row [ W.Datasets.Small; W.Datasets.Mid; W.Datasets.Large ])
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable results: every measurement taken during a run is
+   recorded and dumped to BENCH_dcsat.json on exit, so the performance
+   trajectory (including jobs=1 vs jobs=N) is trackable across PRs. *)
+
+let bench_json_path = "BENCH_dcsat.json"
+let recorded : (string * E.measurement) list ref = ref []
+
+let record ~figure (m : E.measurement) =
+  recorded := (figure, m) :: !recorded;
+  m
+
+let variant_name = function
+  | Q.Satisfied -> "satisfied"
+  | Q.Unsatisfied -> "unsatisfied"
+
+let write_bench_json () =
+  match !recorded with
+  | [] -> ()
+  | entries ->
+      let buf = Buffer.create 4096 in
+      Buffer.add_string buf "{\n";
+      Buffer.add_string buf
+        (Printf.sprintf "  \"recommended_domains\": %d,\n"
+           (Domain.recommended_domain_count ()));
+      Buffer.add_string buf "  \"series\": [\n";
+      List.rev entries
+      |> List.iteri (fun i (figure, (m : E.measurement)) ->
+             if i > 0 then Buffer.add_string buf ",\n";
+             Buffer.add_string buf
+               (Printf.sprintf
+                  "    {\"figure\": %S, \"label\": %S, \"algo\": %S, \
+                   \"variant\": %S, \"jobs\": %d, \"satisfied\": %b, \
+                   \"seconds\": %.6f, \"worlds\": %d, \"cliques\": %d, \
+                   \"components\": %d, \"components_covered\": %d, \
+                   \"precheck\": %b}"
+                  figure m.E.label
+                  (E.algo_name m.E.algo)
+                  (variant_name m.E.variant)
+                  m.E.jobs m.E.satisfied m.E.seconds
+                  m.E.stats.Core.Dcsat.worlds_checked
+                  m.E.stats.Core.Dcsat.cliques_enumerated
+                  m.E.stats.Core.Dcsat.components_total
+                  m.E.stats.Core.Dcsat.components_covered
+                  m.E.stats.Core.Dcsat.precheck_decided));
+      Buffer.add_string buf "\n  ]\n}\n";
+      let oc = open_out bench_json_path in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "\n[json] wrote %s (%d measurements)\n" bench_json_path
+        (List.length entries)
+
+(* ------------------------------------------------------------------ *)
 (* Fig 6a/6b: query types. *)
 
-let run_measure ~session ~label ~algo ~variant q =
-  E.run ~repeats:3 ~session ~label ~algo ~variant q
+let run_measure ?(figure = "adhoc") ?jobs ~session ~label ~algo ~variant q =
+  record ~figure (E.run ~repeats:3 ?jobs ~session ~label ~algo ~variant q)
 
 let query_types variant =
+  let figure = match variant with Q.Satisfied -> "fig6a" | Q.Unsatisfied -> "fig6b" in
   let s = sim (Preset W.Datasets.Mid) in
   let sess = session (Preset W.Datasets.Mid) ~contradictions:default_c () in
   let families = [ Q.Qs; Q.Qp 3; Q.Qr 3 ] in
@@ -97,12 +150,12 @@ let query_types variant =
       (fun family ->
         let q = Q.instantiate s family variant in
         let naive =
-          run_measure ~session:sess ~label:(Q.family_name family)
+          run_measure ~figure ~session:sess ~label:(Q.family_name family)
             ~algo:E.Naive ~variant q
         in
         let opt =
-          run_measure ~session:sess ~label:(Q.family_name family) ~algo:E.Opt
-            ~variant q
+          run_measure ~figure ~session:sess ~label:(Q.family_name family)
+            ~algo:E.Opt ~variant q
         in
         [
           Q.family_name family;
@@ -115,7 +168,9 @@ let query_types variant =
   (* qa is not connected in the OptDCSat sense (aggregate): Naive only,
      as in the paper. *)
   let qa = Q.instantiate s Q.Qa variant in
-  let naive_qa = run_measure ~session:sess ~label:"qa" ~algo:E.Naive ~variant qa in
+  let naive_qa =
+    run_measure ~figure ~session:sess ~label:"qa" ~algo:E.Naive ~variant qa
+  in
   rows
   @ [
       [ "qa"; E.ms naive_qa.E.seconds; "n/a (aggregate)";
@@ -136,13 +191,18 @@ let fig6b () =
 (* Fig 6c/6d: number of pending transactions. *)
 
 let pending_sweep variant =
+  let figure = match variant with Q.Satisfied -> "fig6c" | Q.Unsatisfied -> "fig6d" in
   let s = sim Sweep in
   List.map
     (fun take ->
       let sess = session Sweep ~pending_take:take ~contradictions:default_c () in
       let q = Q.instantiate s (Q.Qp 3) variant in
-      let naive = run_measure ~session:sess ~label:"qp3" ~algo:E.Naive ~variant q in
-      let opt = run_measure ~session:sess ~label:"qp3" ~algo:E.Opt ~variant q in
+      let naive =
+        run_measure ~figure ~session:sess ~label:"qp3" ~algo:E.Naive ~variant q
+      in
+      let opt =
+        run_measure ~figure ~session:sess ~label:"qp3" ~algo:E.Opt ~variant q
+      in
       let count =
         W.Generator.pending_count s ~pending_take:take ~contradictions:default_c
       in
@@ -168,13 +228,18 @@ let fig6d () =
 (* Fig 6e/6f: number of fd contradictions. *)
 
 let contradiction_sweep variant =
+  let figure = match variant with Q.Satisfied -> "fig6e" | Q.Unsatisfied -> "fig6f" in
   let s = sim (Preset W.Datasets.Mid) in
   List.map
     (fun c ->
       let sess = session (Preset W.Datasets.Mid) ~contradictions:c () in
       let q = Q.instantiate s (Q.Qp 3) variant in
-      let naive = run_measure ~session:sess ~label:"qp3" ~algo:E.Naive ~variant q in
-      let opt = run_measure ~session:sess ~label:"qp3" ~algo:E.Opt ~variant q in
+      let naive =
+        run_measure ~figure ~session:sess ~label:"qp3" ~algo:E.Naive ~variant q
+      in
+      let opt =
+        run_measure ~figure ~session:sess ~label:"qp3" ~algo:E.Opt ~variant q
+      in
       [ string_of_int c; E.ms naive.E.seconds; E.ms opt.E.seconds ])
     [ 10; 20; 30; 40; 50 ]
 
@@ -199,12 +264,12 @@ let fig6g () =
       (fun i ->
         let q = Q.instantiate s (Q.Qp i) Q.Unsatisfied in
         let naive =
-          run_measure ~session:sess
+          run_measure ~figure:"fig6g" ~session:sess
             ~label:(Printf.sprintf "qp%d" i)
             ~algo:E.Naive ~variant:Q.Unsatisfied q
         in
         let opt =
-          run_measure ~session:sess
+          run_measure ~figure:"fig6g" ~session:sess
             ~label:(Printf.sprintf "qp%d" i)
             ~algo:E.Opt ~variant:Q.Unsatisfied q
         in
@@ -233,10 +298,12 @@ let fig6h () =
           session (Preset preset) ~pending_take:take ~contradictions:default_c ()
         in
         let q = Q.instantiate s (Q.Qp 3) Q.Unsatisfied in
-        let naive = run_measure ~session:sess ~label:"qp3" ~algo:E.Naive
+        let naive =
+          run_measure ~figure:"fig6h" ~session:sess ~label:"qp3" ~algo:E.Naive
             ~variant:Q.Unsatisfied q
         in
-        let opt = run_measure ~session:sess ~label:"qp3" ~algo:E.Opt
+        let opt =
+          run_measure ~figure:"fig6h" ~session:sess ~label:"qp3" ~algo:E.Opt
             ~variant:Q.Unsatisfied q
         in
         let st = W.Datasets.state_stats s in
@@ -258,15 +325,65 @@ let fig6h () =
     ~rows
 
 (* ------------------------------------------------------------------ *)
+(* Parallel engine: jobs=1 vs jobs=N on the unsatisfied-constraint
+   figures, where the clique stream is long enough to fan out. *)
+
+let parallel () =
+  let jobs_n = max 2 (Core.Engine.default_jobs ()) in
+  let s = sim Sweep in
+  let sess = session Sweep ~pending_take:50 ~contradictions:default_c () in
+  let s_mid = sim (Preset W.Datasets.Mid) in
+  let mid_sess = session (Preset W.Datasets.Mid) ~contradictions:default_c () in
+  let row ~figure ~label ~sim:s ~session:sess ~algo family =
+    let q = Q.instantiate s family Q.Unsatisfied in
+    let seq =
+      run_measure ~figure ~jobs:1 ~session:sess ~label ~algo
+        ~variant:Q.Unsatisfied q
+    in
+    let par =
+      run_measure ~figure ~jobs:jobs_n ~session:sess ~label ~algo
+        ~variant:Q.Unsatisfied q
+    in
+    [
+      figure ^ "/" ^ label;
+      E.algo_name algo;
+      E.ms seq.E.seconds;
+      E.ms par.E.seconds;
+      Printf.sprintf "%.2fx" (seq.E.seconds /. par.E.seconds);
+    ]
+  in
+  let rows =
+    [
+      row ~figure:"fig6d-jobs" ~label:"qp3" ~sim:s ~session:sess ~algo:E.Naive
+        (Q.Qp 3);
+      row ~figure:"fig6d-jobs" ~label:"qp3" ~sim:s ~session:sess ~algo:E.Opt
+        (Q.Qp 3);
+      row ~figure:"fig6b-jobs" ~label:"qr3" ~sim:s_mid ~session:mid_sess
+        ~algo:E.Naive (Q.Qr 3);
+      row ~figure:"fig6g-jobs" ~label:"qp5" ~sim:s_mid ~session:mid_sess
+        ~algo:E.Opt (Q.Qp 5);
+    ]
+  in
+  E.print_table
+    ~title:
+      (Printf.sprintf
+         "Parallel engine: sequential vs %d domains (unsatisfied; this \
+          machine recommends %d)"
+         jobs_n
+         (Core.Engine.default_jobs ()))
+    ~columns:[ "workload"; "algo"; "jobs=1"; Printf.sprintf "jobs=%d" jobs_n; "speedup" ]
+    ~rows
+
+(* ------------------------------------------------------------------ *)
 (* Ablations: the design choices DESIGN.md calls out, each toggled
    individually. *)
 
 let time_runs n f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Core.Monotime.now () in
   for _ = 1 to n do
     f ()
   done;
-  (Unix.gettimeofday () -. t0) /. float_of_int n
+  Core.Monotime.elapsed ~since:t0 /. float_of_int n
 
 let ablation () =
   let s = sim Sweep in
@@ -464,6 +581,7 @@ let sections =
     ("fig6f", fig6f);
     ("fig6g", fig6g);
     ("fig6h", fig6h);
+    ("parallel", parallel);
     ("ablation", ablation);
     ("bechamel", bechamel);
   ]
@@ -483,4 +601,5 @@ let () =
             (String.concat " " (List.map fst sections));
           exit 1)
     requested;
+  write_bench_json ();
   print_newline ()

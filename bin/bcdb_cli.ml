@@ -65,6 +65,15 @@ let file =
         ~doc:"Load the blockchain database from a .bcdb text file (see \
               'bcdb dump' for the format).")
 
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for world evaluation: 1 (default) runs the \
+           sequential engine backend, larger values fan candidate worlds \
+           out over N parallel domains with identical results.")
+
 (* The paper's Figure 2 example, shared with the test fixtures in
    spirit. *)
 let paper_db () =
@@ -238,7 +247,7 @@ let report db (o : Core.Dcsat.outcome) strategy =
   | None -> ()
 
 let check_cmd =
-  let run file paper preset contradictions seed algo query =
+  let run file paper preset contradictions seed algo jobs query =
     match load_db ?file ~paper ~preset ~contradictions ~seed () with
     | Error msg ->
         Printf.eprintf "error: %s\n" msg;
@@ -257,21 +266,21 @@ let check_cmd =
                     (fun o -> (o, "NaiveDCSat"))
                     (Result.map_error
                        (Format.asprintf "%a" Core.Dcsat.pp_refusal)
-                       (Core.Dcsat.naive session q))
+                       (Core.Dcsat.naive ~jobs session q))
               | `Opt ->
                   Result.map
                     (fun o -> (o, "OptDCSat"))
                     (Result.map_error
                        (Format.asprintf "%a" Core.Dcsat.pp_refusal)
-                       (Core.Dcsat.opt session q))
+                       (Core.Dcsat.opt ~jobs session q))
               | `Brute -> (
-                  match Core.Dcsat.brute_force session q with
+                  match Core.Dcsat.brute_force ~jobs session q with
                   | o -> Ok (o, "brute force")
                   | exception Invalid_argument msg -> Error msg)
               | `Auto ->
                   Result.map
                     (fun (o, s) -> (o, Core.Solver.strategy_name s))
-                    (Core.Solver.solve session q)
+                    (Core.Solver.solve ~jobs session q)
             in
             match result with
             | Ok (o, strategy) ->
@@ -287,7 +296,7 @@ let check_cmd =
          "Decide whether a denial constraint is satisfied (holds in every \
           possible world). Exit code 0: satisfied, 2: unsatisfied.")
     Term.(
-      const run $ file $ paper $ preset $ contradictions $ seed $ algo
+      const run $ file $ paper $ preset $ contradictions $ seed $ algo $ jobs
       $ query_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -344,7 +353,7 @@ let likelihood_cmd =
 (* explain *)
 
 let explain_cmd =
-  let run file paper preset contradictions seed query =
+  let run file paper preset contradictions seed jobs query =
     match load_db ?file ~paper ~preset ~contradictions ~seed () with
     | Error msg ->
         Printf.eprintf "error: %s\n" msg;
@@ -356,7 +365,7 @@ let explain_cmd =
             1
         | Ok q -> (
             let session = Core.Session.create db in
-            match Core.Explain.run session q with
+            match Core.Explain.run ~jobs session q with
             | Ok report ->
                 print_endline (Core.Explain.to_string db report);
                 if report.Core.Explain.outcome.Core.Dcsat.satisfied then 0 else 2
@@ -370,7 +379,9 @@ let explain_cmd =
          "Decide a denial constraint and print the reasoning: query \
           properties, complexity class (Theorems 1-2), chosen strategy, \
           and a trace of components, cliques and worlds.")
-    Term.(const run $ file $ paper $ preset $ contradictions $ seed $ query_arg)
+    Term.(
+      const run $ file $ paper $ preset $ contradictions $ seed $ jobs
+      $ query_arg)
 
 (* ------------------------------------------------------------------ *)
 (* answers *)

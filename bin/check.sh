@@ -1,0 +1,23 @@
+#!/bin/sh
+# Repo health check: build, formatting (when ocamlformat is available),
+# and the full test suite. Used by `make check` and intended for CI.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+# The @fmt alias needs the ocamlformat binary; skip (with a notice)
+# on machines that don't have it rather than failing the check.
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune build @fmt =="
+  dune build @fmt
+else
+  echo "== dune build @fmt == (skipped: ocamlformat not installed)"
+fi
+
+echo "== dune runtest =="
+dune runtest
+
+echo "OK"

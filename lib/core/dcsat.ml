@@ -62,71 +62,132 @@ let finish ~t0 ~precheck counters satisfied witness_world witness =
         components_total = counters.comps;
         components_covered = counters.covered;
         precheck_decided = precheck;
-        runtime = Unix.gettimeofday () -. t0;
+        runtime = Monotime.elapsed ~since:t0;
       };
   }
 
-let eval_world session counters world =
-  let store = Session.store session in
-  counters.worlds <- counters.worlds + 1;
-  Tagged_store.set_world store world;
-  Tagged_store.source store
+(* Evaluate q over the world whose included transactions are [txs], on
+   the given store (the session's primary one, or a worker replica). *)
+let eval_txs q store txs =
+  Tagged_store.set_world_list store txs;
+  let src = Tagged_store.source store in
+  let violation =
+    match q with
+    | Q.Query.Boolean body ->
+        Option.map
+          (fun assignment ->
+            { Engine.world = txs; witness = Some assignment })
+          (Q.Eval.find_witness src body)
+    | Q.Query.Aggregate _ ->
+        if Q.Eval.eval src q then Some { Engine.world = txs; witness = None }
+        else None
+  in
+  { Engine.world = txs; violation }
 
-(* Evaluate q over the world; on violation return the witness. *)
-let violated session counters q world =
-  let src = eval_world session counters world in
-  match q with
-  | Q.Query.Boolean body -> (
-      match Q.Eval.find_witness src body with
-      | Some assignment -> Some (Bitset.to_list world, Some assignment)
-      | None -> None)
-  | Q.Query.Aggregate _ ->
-      if Q.Eval.eval src q then Some (Bitset.to_list world, None) else None
+(* A clique work item: materialize its maximal world, then evaluate. *)
+let eval_clique q store members =
+  let world = Get_maximal.run_list store members in
+  eval_txs q store (Bitset.to_list world)
 
-let brute_force session q =
-  let t0 = Unix.gettimeofday () in
+(* The monotone pre-check: q false over R ∪ T implies satisfied. The
+   previously active world is restored afterwards. *)
+let precheck session q =
   let store = Session.store session in
+  let saved = Tagged_store.world store in
+  Tagged_store.all_visible store;
+  let decided = not (Q.Eval.eval (Tagged_store.source store) q) in
+  Tagged_store.set_world store saved;
+  decided
+
+(* Fan the items of [source] out over the engine and fold the report
+   back into the run's counters. Returns a violation or None. *)
+let run_worlds ~jobs ~on_event ~count_cliques session counters q ~eval source =
+  let report =
+    Engine.run ~jobs
+      ~store:(Session.store session)
+      ~replicate:(fun () -> Session.store (Session.replica session))
+      ~source ~eval:(eval q)
+      ~on_item:(fun members ->
+        if count_cliques then on_event (Clique_found members))
+      ~on_evaluated:(fun ev ->
+        on_event
+          (World_evaluated (ev.Engine.world, ev.Engine.violation <> None)))
+  in
+  if count_cliques then
+    counters.cliques <- counters.cliques + report.Engine.pulled;
+  counters.worlds <- counters.worlds + report.Engine.evaluated;
+  Option.map
+    (fun (v : Engine.violation) -> (v.Engine.world, v.witness))
+    report.Engine.hit
+
+(* Work source: the maximal cliques of the fd graph restricted to
+   [nodes], as candidate sets in original transaction ids. *)
+let clique_source session nodes =
+  let fd = Session.fd_graph session in
+  let sub, back = Undirected.induced fd.Fd_graph.graph nodes in
+  Engine.Work_source.of_cliques sub ~back
+
+(* Work source for OptDCSat: the clique streams of the covered
+   components, chained in component order. The Covers test and the
+   component events fire lazily, when the stream first reaches the
+   component — under the engine lock in the parallel backend, so the
+   primary store is never touched concurrently.
+
+   The parallel claim pump may pull ahead of the winning violation
+   into later components, so covers are not counted directly: each is
+   tagged with the emission index of the component's first clique
+   (= its engine claim index), and [covered] later counts only those
+   within the claimed-and-counted prefix — making the stat identical
+   to the sequential run's. *)
+let component_source ~use_covers ~on_event session q components =
+  let store = Session.store session in
+  let remaining = ref components in
+  let current = ref Engine.Work_source.empty in
+  let emitted = ref 0 in
+  let cover_marks = ref [] in
+  let rec pull () =
+    match !current () with
+    | Some _ as item ->
+        incr emitted;
+        item
+    | None -> (
+        match !remaining with
+        | [] -> None
+        | component :: rest ->
+            remaining := rest;
+            if (not use_covers) || Covers.covers store component q then begin
+              cover_marks := !emitted :: !cover_marks;
+              on_event (Component_entered component);
+              current := clique_source session component;
+              pull ()
+            end
+            else begin
+              on_event (Component_skipped component);
+              pull ()
+            end)
+  in
+  let covered ~pulled =
+    List.length (List.filter (fun mark -> mark < pulled) !cover_marks)
+  in
+  (pull, covered)
+
+let brute_force ?(jobs = 1) session q =
+  let t0 = Monotime.now () in
+  let store = Session.store session in
+  let saved = Tagged_store.world store in
+  Fun.protect ~finally:(fun () -> Tagged_store.set_world store saved)
+  @@ fun () ->
   let counters = fresh_counters () in
-  let violation = ref None in
-  Poss.enumerate store (fun world ->
-      match violated session counters q world with
-      | Some (txs, witness) ->
-          violation := Some (txs, witness);
-          `Stop
-      | None -> `Continue);
-  match !violation with
+  let next = Poss.generator store in
+  let source () = Option.map Bitset.to_list (next ()) in
+  let violation =
+    run_worlds ~jobs ~on_event:ignore ~count_cliques:false session counters q
+      ~eval:eval_txs source
+  in
+  match violation with
   | Some (txs, witness) ->
       finish ~t0 ~precheck:false counters false (Some txs) witness
   | None -> finish ~t0 ~precheck:false counters true None None
-
-(* The monotone pre-check: q false over R ∪ T implies satisfied. *)
-let precheck session q =
-  let store = Session.store session in
-  Tagged_store.all_visible store;
-  not (Q.Eval.eval (Tagged_store.source store) q)
-
-(* Iterate maximal worlds arising from the maximal cliques of the fd
-   graph restricted to [nodes]; evaluate q on each. Returns a violation
-   or None. Counts via [counters]. *)
-let check_cliques ?(on_event = ignore) session counters q nodes =
-  let store = Session.store session in
-  let fd = Session.fd_graph session in
-  let sub, back = Undirected.induced fd.Fd_graph.graph nodes in
-  let violation = ref None in
-  Bcgraph.Bron_kerbosch.iter_maximal_cliques sub (fun clique ->
-      counters.cliques <- counters.cliques + 1;
-      let members = List.map (fun i -> back.(i)) clique in
-      on_event (Clique_found members);
-      let world = Get_maximal.run_list store members in
-      match violated session counters q world with
-      | Some v ->
-          on_event (World_evaluated (fst v, true));
-          violation := Some v;
-          `Stop
-      | None ->
-          on_event (World_evaluated (Bitset.to_list world, false));
-          `Continue);
-  !violation
 
 let require_monotone q k =
   match Q.Monotone.analyze q with
@@ -135,12 +196,24 @@ let require_monotone q k =
 
 let base_world_check session counters q =
   let store = Session.store session in
-  let empty = Bitset.create (Tagged_store.tx_count store) in
-  violated session counters q empty
+  counters.worlds <- counters.worlds + 1;
+  let ev = eval_txs q store [] in
+  Option.map
+    (fun (v : Engine.violation) -> (v.Engine.world, v.witness))
+    ev.Engine.violation
 
-let naive ?(use_precheck = true) ?(on_event = ignore) session q =
+(* Restore the store's active world on every exit path: neither a
+   refusal, nor a pre-check decision, nor a full enumeration may leave
+   the session in a surprising world. *)
+let with_world_restored session k =
+  let store = Session.store session in
+  let saved = Tagged_store.world store in
+  Fun.protect ~finally:(fun () -> Tagged_store.set_world store saved) k
+
+let naive ?(jobs = 1) ?(use_precheck = true) ?(on_event = ignore) session q =
   require_monotone q @@ fun () ->
-  let t0 = Unix.gettimeofday () in
+  with_world_restored session @@ fun () ->
+  let t0 = Monotime.now () in
   let counters = fresh_counters () in
   if use_precheck && precheck session q then begin
     on_event Precheck_decided;
@@ -152,7 +225,9 @@ let naive ?(use_precheck = true) ?(on_event = ignore) session q =
     let all = List.init k Fun.id in
     let violation =
       if k = 0 then base_world_check session counters q
-      else check_cliques ~on_event session counters q all
+      else
+        run_worlds ~jobs ~on_event ~count_cliques:true session counters q
+          ~eval:eval_clique (clique_source session all)
     in
     match violation with
     | Some (txs, witness) ->
@@ -160,15 +235,16 @@ let naive ?(use_precheck = true) ?(on_event = ignore) session q =
     | None -> Ok (finish ~t0 ~precheck:false counters true None None)
   end
 
-let opt ?(use_precheck = true) ?(use_covers = true) ?(on_event = ignore)
-    session q =
+let opt ?(jobs = 1) ?(use_precheck = true) ?(use_covers = true)
+    ?(on_event = ignore) session q =
   require_monotone q @@ fun () ->
   match q with
   | Q.Query.Aggregate _ -> Error `Not_connected
   | Q.Query.Boolean body ->
       if not (Q.Gaifman.is_connected body) then Error `Not_connected
-      else begin
-        let t0 = Unix.gettimeofday () in
+      else
+        with_world_restored session @@ fun () ->
+        let t0 = Monotime.now () in
         let counters = fresh_counters () in
         if use_precheck && precheck session q then begin
           on_event Precheck_decided;
@@ -180,27 +256,21 @@ let opt ?(use_precheck = true) ?(use_covers = true) ?(on_event = ignore)
           let violation =
             if k = 0 then base_world_check session counters q
             else begin
-              let graph = Ind_graph.build store q (Session.ind_base_edges session) in
+              let graph =
+                Ind_graph.build store q (Session.ind_base_edges session)
+              in
               let components = Bcgraph.Components.of_graph graph in
               counters.comps <- List.length components;
               on_event (Components_found (List.length components));
-              let rec go = function
-                | [] -> None
-                | component :: rest ->
-                    if (not use_covers) || Covers.covers store component q
-                    then begin
-                      counters.covered <- counters.covered + 1;
-                      on_event (Component_entered component);
-                      match check_cliques ~on_event session counters q component with
-                      | Some v -> Some v
-                      | None -> go rest
-                    end
-                    else begin
-                      on_event (Component_skipped component);
-                      go rest
-                    end
+              let source, covered =
+                component_source ~use_covers ~on_event session q components
               in
-              go components
+              let violation =
+                run_worlds ~jobs ~on_event ~count_cliques:true session
+                  counters q ~eval:eval_clique source
+              in
+              counters.covered <- covered ~pulled:counters.cliques;
+              violation
             end
           in
           match violation with
@@ -208,4 +278,3 @@ let opt ?(use_precheck = true) ?(use_covers = true) ?(on_event = ignore)
               Ok (finish ~t0 ~precheck:false counters false (Some txs) witness)
           | None -> Ok (finish ~t0 ~precheck:false counters true None None)
         end
-      end

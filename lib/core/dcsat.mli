@@ -20,7 +20,16 @@
     Both practical solvers apply the paper's pre-check first: if [q] is
     already false over [R ∪ T] (all transactions visible), monotonicity
     makes it false over every possible world, and the constraint is
-    satisfied without any enumeration. *)
+    satisfied without any enumeration.
+
+    All solvers run on the {!Engine}: candidate worlds stream from a
+    pull-based work source and are evaluated by a backend selected with
+    [?jobs]. The default [jobs:1] is the sequential backend —
+    bit-for-bit the historical behaviour; [jobs:n] with [n > 1] fans the
+    per-world work out over [n] OCaml domains, each on a private store
+    replica, with identical results and work counts (see the engine's
+    determinism contract). Every solver restores the session store's
+    active world on exit, whatever the outcome. *)
 
 type stats = {
   worlds_checked : int;  (** Maximal worlds materialized and evaluated. *)
@@ -58,19 +67,23 @@ type event =
 
 val pp_refusal : Format.formatter -> refusal -> unit
 
-val brute_force : Session.t -> Bcquery.Query.t -> outcome
+val brute_force : ?jobs:int -> Session.t -> Bcquery.Query.t -> outcome
 (** Raises [Invalid_argument] beyond 24 pending transactions. *)
 
 val naive :
+  ?jobs:int ->
   ?use_precheck:bool ->
   ?on_event:(event -> unit) ->
   Session.t ->
   Bcquery.Query.t ->
   (outcome, refusal) result
 (** [use_precheck] (default true) disables the [R ∪ T] pre-check for
-    ablation measurements. *)
+    ablation measurements. [jobs] (default 1) selects the engine
+    backend; with [jobs > 1], [on_event] callbacks are serialized but
+    their order is nondeterministic. *)
 
 val opt :
+  ?jobs:int ->
   ?use_precheck:bool ->
   ?use_covers:bool ->
   ?on_event:(event -> unit) ->
@@ -78,6 +91,6 @@ val opt :
   Bcquery.Query.t ->
   (outcome, refusal) result
 (** [use_covers] (default true) disables the constant-coverage component
-    filter for ablation measurements. *)
+    filter for ablation measurements. [jobs] as in {!naive}. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,122 @@
+module Bitset = Bcgraph.Bitset
+
+module Work_source = struct
+  type t = unit -> int list option
+
+  let empty : t = fun () -> None
+
+  let of_list items =
+    let remaining = ref items in
+    fun () ->
+      match !remaining with
+      | [] -> None
+      | x :: tl ->
+          remaining := tl;
+          Some x
+
+  let of_cliques graph ~back =
+    let next = Bcgraph.Bron_kerbosch.generator graph in
+    fun () -> Option.map (List.map (fun i -> back.(i))) (next ())
+end
+
+type violation = {
+  world : int list;
+  witness : (string * Relational.Value.t) list option;
+}
+
+type evaluation = { world : int list; violation : violation option }
+
+type report = { hit : violation option; pulled : int; evaluated : int }
+
+type backend = Sequential | Parallel of int
+
+let max_jobs = 64
+let backend_of_jobs jobs = if jobs <= 1 then Sequential else Parallel (min jobs max_jobs)
+let default_jobs () = Domain.recommended_domain_count ()
+
+let run_sequential ~store ~source ~eval ~on_item ~on_evaluated =
+  let pulled = ref 0 and evaluated = ref 0 in
+  let rec go () =
+    match source () with
+    | None -> None
+    | Some members ->
+        incr pulled;
+        on_item members;
+        let ev = eval store members in
+        incr evaluated;
+        on_evaluated ev;
+        (match ev.violation with Some _ as hit -> hit | None -> go ())
+  in
+  let hit = go () in
+  { hit; pulled = !pulled; evaluated = !evaluated }
+
+(* Parallel backend. Work items are claimed from the source in index
+   order under a single lock — the source itself may touch the primary
+   store (Covers tests, can-append checks), which is safe because only
+   the claim path ever does. Each worker evaluates on its private
+   replica. Once any violation is recorded, claiming stops: unclaimed
+   items all carry higher indexes than every claimed one, so none of
+   them can beat the recorded violation; workers finish the items they
+   already hold, and the lowest-index violation wins. That makes the
+   returned witness — and, after clamping the work counters to the
+   winning index, the reported stats — deterministic and equal to the
+   sequential backend's. *)
+let run_parallel ~replicas ~source ~eval ~on_item ~on_evaluated =
+  let lock = Mutex.create () in
+  let locked f =
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+  in
+  let stop = Atomic.make false in
+  let best = ref None in
+  let next_index = ref 0 in
+  let claim () =
+    locked (fun () ->
+        if Atomic.get stop then None
+        else
+          match source () with
+          | None -> None
+          | Some members ->
+              let i = !next_index in
+              incr next_index;
+              on_item members;
+              Some (i, members))
+  in
+  let record i v =
+    locked (fun () ->
+        (match !best with
+        | Some (bi, _) when bi <= i -> ()
+        | _ -> best := Some (i, v));
+        Atomic.set stop true)
+  in
+  let worker store =
+    let claimed = ref [] in
+    let rec go () =
+      match claim () with
+      | None -> ()
+      | Some (i, members) ->
+          let ev = eval store members in
+          claimed := i :: !claimed;
+          locked (fun () -> on_evaluated ev);
+          (match ev.violation with Some v -> record i v | None -> ());
+          go ()
+    in
+    go ();
+    !claimed
+  in
+  let domains = List.map (fun store -> Domain.spawn (fun () -> worker store)) replicas in
+  let claimed = List.concat_map Domain.join domains in
+  let win, hit =
+    match !best with None -> (max_int, None) | Some (i, v) -> (i, Some v)
+  in
+  let counted = List.length (List.filter (fun i -> i <= win) claimed) in
+  { hit; pulled = counted; evaluated = counted }
+
+let run ~jobs ~store ~replicate ~source ~eval ~on_item ~on_evaluated =
+  match backend_of_jobs jobs with
+  | Sequential -> run_sequential ~store ~source ~eval ~on_item ~on_evaluated
+  | Parallel jobs ->
+      (* Replicas are created up front, in this domain: cloning reads the
+         primary store, which must not race with source pulls. *)
+      let replicas = List.init jobs (fun _ -> replicate ()) in
+      run_parallel ~replicas ~source ~eval ~on_item ~on_evaluated

@@ -1,0 +1,77 @@
+(** The solver engine: a pull-based stream of candidate worlds
+    ({!Work_source}) fanned out over a pluggable execution backend.
+
+    The per-world work of NaiveDCSat/OptDCSat — materialize the maximal
+    world of a clique with [getMaximal], evaluate [q] over it — is
+    independent across work items, so it parallelizes naturally once
+    each worker owns a private {!Tagged_store} replica (the snapshot-per-
+    worker idea of block-parallel blockchain databases). Two backends:
+
+    - [Sequential] (the [jobs <= 1] path) runs items inline on the
+      primary store — bit-for-bit the pre-engine behaviour, including
+      event order and statistics;
+    - [Parallel n] spawns [n] OCaml 5 domains, each owning a replica
+      created by [replicate], with an [Atomic] first-violation
+      short-circuit.
+
+    {b Determinism contract.} Work items are claimed in source order and
+    numbered; once a violation is found, no further items are handed out
+    (unclaimed items all have higher indexes), in-flight items finish,
+    and the lowest-index violation wins. Hence both backends return the
+    same [satisfied]/witness answer, and the reported work counts (items
+    pulled, worlds evaluated — clamped to the winning index) coincide.
+    Only the {e order} of [on_item]/[on_evaluated] callbacks is
+    backend-dependent: the parallel backend serializes them under a lock
+    but interleaves completions. *)
+
+module Work_source : sig
+  type t = unit -> int list option
+  (** A stateful puller of candidate transaction sets. Pulls happen
+      under the engine lock in the parallel backend, so a source may
+      safely touch the primary store (e.g. Covers tests). *)
+
+  val empty : t
+  val of_list : int list list -> t
+
+  val of_cliques : Bcgraph.Undirected.t -> back:int array -> t
+  (** Stream the graph's maximal cliques ({!Bcgraph.Bron_kerbosch.generator}),
+      mapping node ids through [back] (as produced by
+      {!Bcgraph.Undirected.induced}). *)
+end
+
+type violation = {
+  world : int list;  (** Transactions of the violating possible world. *)
+  witness : (string * Relational.Value.t) list option;
+}
+
+type evaluation = { world : int list; violation : violation option }
+
+type report = {
+  hit : violation option;  (** Lowest-index violation, if any. *)
+  pulled : int;  (** Work items handed out (≤ winning index + 1). *)
+  evaluated : int;  (** Worlds evaluated (counted up to the winner). *)
+}
+
+type backend = Sequential | Parallel of int
+
+val backend_of_jobs : int -> backend
+(** [jobs <= 1] is [Sequential]; larger values are clamped to a sane
+    domain-pool bound. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val run :
+  jobs:int ->
+  store:Tagged_store.t ->
+  replicate:(unit -> Tagged_store.t) ->
+  source:Work_source.t ->
+  eval:(Tagged_store.t -> int list -> evaluation) ->
+  on_item:(int list -> unit) ->
+  on_evaluated:(evaluation -> unit) ->
+  report
+(** Drain [source], evaluating each item with [eval] on [store]
+    (sequential) or on worker replicas from [replicate] (parallel),
+    stopping at the first violation per the determinism contract.
+    [eval] must use only the store it is handed. [on_item] fires when an
+    item is claimed, [on_evaluated] after it is evaluated. *)

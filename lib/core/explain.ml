@@ -12,7 +12,7 @@ type report = {
   trace_truncated : bool;
 }
 
-let run ?(max_events = 50) session q =
+let run ?jobs ?(max_events = 50) session q =
   let monotone, monotone_reason =
     match Q.Monotone.analyze q with
     | Q.Monotone.Monotone -> (true, None)
@@ -38,10 +38,10 @@ let run ?(max_events = 50) session q =
     | Some (outcome, case) ->
         Ok (outcome, "tractable: " ^ Tractable.case_name case)
     | None -> (
-        match Dcsat.opt ~on_event session q with
+        match Dcsat.opt ?jobs ~on_event session q with
         | Ok outcome -> Ok (outcome, "OptDCSat")
         | Error `Not_connected -> (
-            match Dcsat.naive ~on_event session q with
+            match Dcsat.naive ?jobs ~on_event session q with
             | Ok outcome -> Ok (outcome, "NaiveDCSat")
             | Error refusal ->
                 Error (Format.asprintf "%a" Dcsat.pp_refusal refusal))
@@ -49,7 +49,7 @@ let run ?(max_events = 50) session q =
             if Tagged_store.tx_count (Session.store session) > 24 then
               Error
                 "not monotone and too many pending transactions to enumerate"
-            else Ok (Dcsat.brute_force session q, "brute force"))
+            else Ok (Dcsat.brute_force ?jobs session q, "brute force"))
   in
   Result.map
     (fun (outcome, strategy) ->

@@ -16,13 +16,16 @@ type report = {
 }
 
 val run :
+  ?jobs:int ->
   ?max_events:int ->
   Session.t ->
   Bcquery.Query.t ->
   (report, string) result
 (** Solve with the dispatcher's preference order (tracing only applies to
     the Naive/Opt paths; tractable and brute-force runs yield an empty
-    trace). [max_events] defaults to 50. *)
+    trace). [max_events] defaults to 50. [jobs] selects the engine
+    backend (default 1); with [jobs > 1] the trace's event order is
+    nondeterministic. *)
 
 val pp_event : labels:(int -> string) -> Format.formatter -> Dcsat.event -> unit
 val pp : labels:(int -> string) -> Format.formatter -> report -> unit

@@ -1,0 +1,16 @@
+/* Monotonic clock for solver timing: immune to NTP adjustment, unlike
+   gettimeofday. CLOCK_MONOTONIC is POSIX; the OCaml stdlib (5.1) does
+   not expose it, hence this stub. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <time.h>
+
+CAMLprim value bcdb_monotime_ns(value unit)
+{
+  CAMLparam1(unit);
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  CAMLreturn(caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec));
+}

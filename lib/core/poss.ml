@@ -30,7 +30,11 @@ let is_possible_world store target =
   fd_consistent store target
   && Bitset.equal (reachable_subset store target) target
 
-let enumerate store f =
+(* BFS over the can-append relation starting from the empty world,
+   expressed as a resumable stepper: each call emits the next discovered
+   world, expanding one BFS node at a time. The emission order is the
+   visit order of the original push-based loop. *)
+let generator store =
   let k = Tagged_store.tx_count store in
   if k > 24 then
     invalid_arg "Poss.enumerate: too many pending transactions (max 24)";
@@ -41,43 +45,52 @@ let enumerate store f =
     done;
     set
   in
-  (* BFS over the can-append relation starting from the empty world. *)
   let visited = Hashtbl.create 256 in
-  let queue = Queue.create () in
-  let exception Stop in
+  let frontier = Queue.create () in
+  let to_emit = Queue.create () in
   let visit bits =
     if not (Hashtbl.mem visited bits) then begin
       Hashtbl.replace visited bits ();
-      Queue.add bits queue;
-      match f (of_bits bits) with `Continue -> () | `Stop -> raise Stop
+      Queue.add bits frontier;
+      Queue.add bits to_emit
     end
   in
-  (try
-     visit 0;
-     while not (Queue.is_empty queue) do
-       let bits = Queue.pop queue in
-       let world = of_bits bits in
-       for id = 0 to k - 1 do
-         if bits land (1 lsl id) = 0 then begin
-           let next = Bitset.copy world in
-           Bitset.add next id;
-           let next_bits = bits lor (1 lsl id) in
-           if not (Hashtbl.mem visited next_bits) then begin
-             (* One can-append step: the extended instance must satisfy I. *)
-             let saved = Tagged_store.world store in
-             Tagged_store.set_world store world;
-             let src = Tagged_store.source store in
-             let rows = Tagged_store.tx_rows store id in
-             let db = Tagged_store.db store in
-             let ok = R.Check.batch_consistent src db.Bcdb.constraints rows in
-             Tagged_store.set_world store saved;
-             if ok then visit next_bits
-           end
-         end
-       done
-     done
-   with Stop -> ());
-  ()
+  visit 0;
+  let rec next () =
+    if not (Queue.is_empty to_emit) then Some (of_bits (Queue.pop to_emit))
+    else if Queue.is_empty frontier then None
+    else begin
+      let bits = Queue.pop frontier in
+      let world = of_bits bits in
+      for id = 0 to k - 1 do
+        if bits land (1 lsl id) = 0 then begin
+          let next_bits = bits lor (1 lsl id) in
+          if not (Hashtbl.mem visited next_bits) then begin
+            (* One can-append step: the extended instance must satisfy I. *)
+            let saved = Tagged_store.world store in
+            Tagged_store.set_world store world;
+            let src = Tagged_store.source store in
+            let rows = Tagged_store.tx_rows store id in
+            let db = Tagged_store.db store in
+            let ok = R.Check.batch_consistent src db.Bcdb.constraints rows in
+            Tagged_store.set_world store saved;
+            if ok then visit next_bits
+          end
+        end
+      done;
+      next ()
+    end
+  in
+  next
+
+let enumerate store f =
+  let next = generator store in
+  let rec go () =
+    match next () with
+    | None -> ()
+    | Some world -> ( match f world with `Continue -> go () | `Stop -> ())
+  in
+  go ()
 
 let count store =
   let n = ref 0 in

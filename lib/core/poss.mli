@@ -18,6 +18,15 @@ val reachable_subset : Tagged_store.t -> Bcgraph.Bitset.t -> Bcgraph.Bitset.t
     the inclusion dependencies, assuming the given set is fd-consistent
     as a whole; used by recognition and by [getMaximal]-style closures. *)
 
+val generator : Tagged_store.t -> unit -> Bcgraph.Bitset.t option
+(** A resumable pull-based enumerator over every possible world
+    (including the empty world [R]), in the same order as {!enumerate}.
+    Each call performs at most one BFS expansion step against the store
+    (switching worlds and restoring them), so the solver engine can hand
+    worlds out as work items. Exponential in the number of pending
+    transactions; raises [Invalid_argument] when more than 24
+    transactions are pending. *)
+
 val enumerate : Tagged_store.t -> (Bcgraph.Bitset.t -> [ `Continue | `Stop ]) -> unit
 (** Enumerate every possible world exactly once (including the empty
     world [R]). Exponential in the number of pending transactions —

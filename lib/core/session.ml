@@ -40,6 +40,34 @@ let warm t =
   ignore (ind_base_edges t);
   ignore (includable t)
 
+let replica t =
+  (* Already-forced caches are shared by value (they are immutable once
+     built); unforced ones are rebound to the replica's own store so a
+     worker can never force a computation against the parent's store. *)
+  let store = Tagged_store.clone t.store in
+  let share forced fresh =
+    if Lazy.is_val forced then Lazy.from_val (Lazy.force forced) else fresh
+  in
+  {
+    db = t.db;
+    store;
+    fd_graph = share t.fd_graph (lazy (Fd_graph.build store));
+    ind_base_edges = share t.ind_base_edges (lazy (Ind_graph.base_edges store));
+    includable =
+      share t.includable
+        (lazy
+          (let saved = Tagged_store.world store in
+           Tagged_store.base_only store;
+           let src = Tagged_store.source store in
+           let result =
+             Array.init (Tagged_store.tx_count store) (fun id ->
+                 R.Check.batch_consistent src t.db.Bcdb.constraints
+                   (Tagged_store.tx_rows store id))
+           in
+           Tagged_store.set_world store saved;
+           result));
+  }
+
 let extended t =
   let store = t.store in
   let db' = Tagged_store.db store in

@@ -21,6 +21,15 @@ val includable : t -> bool array
 val warm : t -> unit
 (** Force all cached structures (for benchmarking the steady state). *)
 
+val replica : t -> t
+(** A worker-private view of the same database: the store is cloned
+    ({!Tagged_store.clone}) so worlds can be switched independently,
+    while every cached structure that has already been forced
+    (fd-transaction graph, ΘI edges, includability) is shared by value —
+    they are immutable once built. Structures not yet forced are rebound
+    to the replica's own store. Used by the parallel {!Engine} backend:
+    one replica per worker domain. *)
+
 val extended : t -> t
 (** A session over the same store after the store has been extended with
     one hypothetical transaction ({!Tagged_store.append_tx}): every

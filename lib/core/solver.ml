@@ -14,14 +14,14 @@ let strategy_name = function
 
 let brute_limit = 24
 
-let solve ?sum_args_nonnegative session q =
+let solve ?jobs ?sum_args_nonnegative session q =
   match Tractable.solve ?sum_args_nonnegative session q with
   | Some (outcome, case) -> Ok (outcome, Tractable case)
   | None -> (
-      match Dcsat.opt session q with
+      match Dcsat.opt ?jobs session q with
       | Ok outcome -> Ok (outcome, Opt)
       | Error `Not_connected -> (
-          match Dcsat.naive session q with
+          match Dcsat.naive ?jobs session q with
           | Ok outcome -> Ok (outcome, Naive)
           | Error refusal -> Error (Format.asprintf "%a" Dcsat.pp_refusal refusal))
       | Error (`Not_monotone _) ->
@@ -32,10 +32,10 @@ let solve ?sum_args_nonnegative session q =
                  "constraint is not monotone and %d pending transactions \
                   exceed the exhaustive-enumeration limit (%d)"
                  (Tagged_store.tx_count store) brute_limit)
-          else Ok (Dcsat.brute_force session q, Brute_force))
+          else Ok (Dcsat.brute_force ?jobs session q, Brute_force))
 
-let solve_exn ?sum_args_nonnegative session q =
-  match solve ?sum_args_nonnegative session q with
+let solve_exn ?jobs ?sum_args_nonnegative session q =
+  match solve ?jobs ?sum_args_nonnegative session q with
   | Ok result -> result
   | Error msg -> invalid_arg ("Solver.solve: " ^ msg)
 

@@ -16,14 +16,19 @@ type strategy =
 val strategy_name : strategy -> string
 
 val solve :
+  ?jobs:int ->
   ?sum_args_nonnegative:bool ->
   Session.t ->
   Bcquery.Query.t ->
   (Dcsat.outcome * strategy, string) result
 (** [Error] only when the constraint is non-monotone {e and} the pending
-    set is too large for exhaustive enumeration (> 24 transactions). *)
+    set is too large for exhaustive enumeration (> 24 transactions).
+    [jobs] selects the engine backend for the Naive/Opt/brute-force
+    paths (default 1, sequential); the tractable procedures are
+    PTIME and always run inline. *)
 
 val solve_exn :
+  ?jobs:int ->
   ?sum_args_nonnegative:bool ->
   Session.t ->
   Bcquery.Query.t ->

@@ -95,6 +95,28 @@ let create (db : Bcdb.t) =
   let k = Array.length db.Bcdb.pending in
   { db; rels; k; visible = Bitset.create k }
 
+let clone_rel rs =
+  let copy_inner copy tbl =
+    let out = Hashtbl.create (max 4 (Hashtbl.length tbl)) in
+    Hashtbl.iter (fun key inner -> Hashtbl.replace out key (copy inner)) tbl;
+    out
+  in
+  {
+    entries = Array.copy rs.entries;
+    len = rs.len;
+    by_tuple = R.Tuple.Tbl.copy rs.by_tuple;
+    indexes = copy_inner Vtbl.copy rs.indexes;
+    composite = copy_inner R.Tuple.Tbl.copy rs.composite;
+  }
+
+let clone t =
+  {
+    db = t.db;
+    rels = Smap.map clone_rel t.rels;
+    k = t.k;
+    visible = Bitset.copy t.visible;
+  }
+
 let db t = t.db
 let tx_count t = t.k
 let world t = Bitset.copy t.visible

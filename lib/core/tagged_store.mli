@@ -19,6 +19,16 @@ type t
 
 val create : Bcdb.t -> t
 val db : t -> Bcdb.t
+
+val clone : t -> t
+(** An independent replica over the same database: the loaded tuples and
+    origin sets are shared (they are never mutated in place), while the
+    visibility bitset, entry arrays and every index table are copied.
+    Switching worlds or building indexes on the clone never affects the
+    parent and vice versa — this is what lets one worker per replica
+    evaluate worlds concurrently ({!Engine}). Clone while no
+    {!append_tx} journal is outstanding. *)
+
 val tx_count : t -> int
 
 val world : t -> Bcgraph.Bitset.t

@@ -68,7 +68,7 @@ let outcome run satisfied witness_world witness : Dcsat.outcome =
         components_total = 0;
         components_covered = 0;
         precheck_decided = false;
-        runtime = Unix.gettimeofday () -. run.t0;
+        runtime = Monotime.elapsed ~since:run.t0;
       };
   }
 
@@ -299,7 +299,7 @@ let solve ?sum_args_nonnegative session q =
   match applicable ?sum_args_nonnegative (Session.db session) q with
   | None -> None
   | Some case ->
-      let run = { session; worlds = 0; t0 = Unix.gettimeofday () } in
+      let run = { session; worlds = 0; t0 = Monotime.now () } in
       let result =
         match (case, q) with
         | Fd_conjunctive, Q.Query.Boolean body -> solve_fd_conjunctive run body

@@ -1,23 +1,30 @@
-exception Stop
-
-(* Neighbour bitsets are materialized once; the recursion then works purely
+(* Neighbour bitsets are materialized once; the search then works purely
    on bitset intersections. Pivot choice: the vertex of P ∪ X with the most
-   neighbours inside P, which minimizes the branching set P \ N(pivot). *)
+   neighbours inside P, which minimizes the branching set P \ N(pivot).
 
-let iter_maximal_cliques g f =
+   The recursion is expressed as an explicit stack of frames so that the
+   enumeration can be suspended between cliques: [generator] hands the
+   cliques out one at a time, which lets a solver engine treat them as
+   work items to distribute. [iter_maximal_cliques] is a thin wrapper and
+   enumerates in exactly the order of the original recursive
+   formulation. *)
+
+type frame = {
+  r : int list;  (* current clique under construction *)
+  p : Bitset.t;  (* candidates still extending r *)
+  x : Bitset.t;  (* vertices already covered by earlier branches *)
+  mutable todo : int list;  (* P \ N(pivot), ascending, not yet branched *)
+}
+
+let generator g =
   let n = Undirected.node_count g in
-  if n = 0 then ()
+  if n = 0 then fun () -> None
   else begin
     let neigh =
       Array.init n (fun i ->
           let b = Bitset.create n in
           Undirected.iter_neighbours g i (Bitset.add b);
           b)
-    in
-    let report clique =
-      match f (List.sort Int.compare clique) with
-      | `Continue -> ()
-      | `Stop -> raise Stop
     in
     let pick_pivot p x =
       let best = ref (-1) and best_score = ref (-1) in
@@ -32,23 +39,44 @@ let iter_maximal_cliques g f =
       Bitset.iter consider x;
       !best
     in
-    let rec expand r p x =
-      if Bitset.is_empty p && Bitset.is_empty x then report r
-      else begin
-        let pivot = pick_pivot p x in
-        let candidates = Bitset.diff p neigh.(pivot) in
-        Bitset.iter
-          (fun v ->
-            if Bitset.mem p v then begin
-              expand (v :: r) (Bitset.inter p neigh.(v)) (Bitset.inter x neigh.(v));
-              Bitset.remove p v;
-              Bitset.add x v
-            end)
-          candidates
-      end
+    let frame r p x =
+      let pivot = pick_pivot p x in
+      { r; p; x; todo = Bitset.to_list (Bitset.diff p neigh.(pivot)) }
     in
-    try expand [] (Bitset.full n) (Bitset.create n) with Stop -> ()
+    let stack = ref [ frame [] (Bitset.full n) (Bitset.create n) ] in
+    let rec next () =
+      match !stack with
+      | [] -> None
+      | f :: rest -> (
+          match f.todo with
+          | [] ->
+              stack := rest;
+              next ()
+          | v :: tl ->
+              f.todo <- tl;
+              let p' = Bitset.inter f.p neigh.(v)
+              and x' = Bitset.inter f.x neigh.(v) in
+              let r' = v :: f.r in
+              Bitset.remove f.p v;
+              Bitset.add f.x v;
+              if Bitset.is_empty p' && Bitset.is_empty x' then
+                Some (List.sort Int.compare r')
+              else begin
+                stack := frame r' p' x' :: !stack;
+                next ()
+              end)
+    in
+    next
   end
+
+let iter_maximal_cliques g f =
+  let next = generator g in
+  let rec go () =
+    match next () with
+    | None -> ()
+    | Some clique -> ( match f clique with `Continue -> go () | `Stop -> ())
+  in
+  go ()
 
 let maximal_cliques g =
   let acc = ref [] in

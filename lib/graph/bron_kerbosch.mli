@@ -2,9 +2,18 @@
     with the pivoting rule of Tomita, Tanaka and Takahashi (TCS 2006),
     exactly the combination the paper uses inside OptDCSat (Section 6.3).
 
-    Enumeration is lazy through a callback that may abort early — denial
-    constraint checking stops at the first violating world, so the
-    consumer frequently does not need the full clique list. *)
+    Enumeration is lazy in two flavours: a callback that may abort early
+    — denial constraint checking stops at the first violating world — and
+    a resumable step-wise generator that hands cliques out one at a time,
+    so that a scheduler can distribute them as work items. *)
+
+val generator : Undirected.t -> unit -> int list option
+(** [generator g] is a stateful puller: each call produces the next
+    maximal clique (ascending node list; isolated nodes yield singleton
+    cliques) or [None] once the enumeration is exhausted. The traversal
+    state lives in the returned closure, so several generators over the
+    same graph are independent. Enumeration order is identical to
+    {!iter_maximal_cliques}. *)
 
 val iter_maximal_cliques : Undirected.t -> (int list -> [ `Continue | `Stop ]) -> unit
 (** Calls the function once per maximal clique (ascending node list,

@@ -8,17 +8,18 @@ type measurement = {
   label : string;
   algo : algo;
   variant : Queries.variant;
+  jobs : int;
   satisfied : bool;
   seconds : float;
   stats : Core.Dcsat.stats;
 }
 
-let run ?(repeats = 3) ~session ~label ~algo ~variant q =
+let run ?(repeats = 3) ?(jobs = 1) ~session ~label ~algo ~variant q =
   let solve () =
     let result =
       match algo with
-      | Naive -> Core.Dcsat.naive session q
-      | Opt -> Core.Dcsat.opt session q
+      | Naive -> Core.Dcsat.naive ~jobs session q
+      | Opt -> Core.Dcsat.opt ~jobs session q
     in
     match result with
     | Ok outcome -> outcome
@@ -28,6 +29,8 @@ let run ?(repeats = 3) ~session ~label ~algo ~variant q =
              Core.Dcsat.pp_refusal refusal)
   in
   let outcomes = List.init (max 1 repeats) (fun _ -> solve ()) in
+  (* Per-run times come from the solver's own stats, which read the
+     monotonic clock (Monotime) — immune to NTP adjustments. *)
   let total =
     List.fold_left
       (fun acc (o : Core.Dcsat.outcome) -> acc +. o.Core.Dcsat.stats.Core.Dcsat.runtime)
@@ -38,6 +41,7 @@ let run ?(repeats = 3) ~session ~label ~algo ~variant q =
     label;
     algo;
     variant;
+    jobs;
     satisfied = last.Core.Dcsat.satisfied;
     seconds = total /. float_of_int (List.length outcomes);
     stats = last.Core.Dcsat.stats;

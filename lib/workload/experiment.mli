@@ -10,6 +10,7 @@ type measurement = {
   label : string;
   algo : algo;
   variant : Queries.variant;
+  jobs : int;  (** Engine worker count used for the run. *)
   satisfied : bool;
   seconds : float;  (** Mean over [repeats] runs. *)
   stats : Bccore.Dcsat.stats;  (** From the last run. *)
@@ -17,6 +18,7 @@ type measurement = {
 
 val run :
   ?repeats:int ->
+  ?jobs:int ->
   session:Bccore.Session.t ->
   label:string ->
   algo:algo ->
@@ -24,8 +26,10 @@ val run :
   Bcquery.Query.t ->
   measurement
 (** Executes the solver [repeats] times (default 3, as in the paper) and
-    averages the wall-clock time. Raises [Invalid_argument] if the solver
-    refuses the query (e.g. OptDCSat on a disconnected query). *)
+    averages the wall-clock time, read from the solver's monotonic-clock
+    stats. [jobs] (default 1) selects the engine backend. Raises
+    [Invalid_argument] if the solver refuses the query (e.g. OptDCSat on
+    a disconnected query). *)
 
 val session_of : Bccore.Bcdb.t -> Bccore.Session.t
 (** Fresh session with the steady-state structures prebuilt (warm), so

@@ -118,6 +118,37 @@ let witness_soundness =
           in
           legal && violating)
 
+(* The engine's determinism contract: the parallel backend must return
+   exactly the sequential answer — same satisfaction verdict, same
+   witness world, and (runtime aside) the same stats: claims happen in
+   source order and counts are clamped to the winning violation's
+   index, so parallel never *reports* more worlds than sequential. *)
+let backend_agreement =
+  QCheck.Test.make
+    ~name:"parallel backend agrees with sequential (naive & opt)" ~count:80
+    QCheck.(pair (int_bound 100_000) (int_bound (List.length queries - 1)))
+    (fun (seed, qi) ->
+      let rng = Random.State.make [| seed |] in
+      let db = random_db rng in
+      let session = Core.Session.create db in
+      let q = Q.Parser.parse_exn ~catalog:cat (List.nth queries qi) in
+      let agree run =
+        match (run ~jobs:1, run ~jobs:3) with
+        | Ok (seq : Core.Dcsat.outcome), Ok (par : Core.Dcsat.outcome) ->
+            seq.Core.Dcsat.satisfied = par.Core.Dcsat.satisfied
+            && seq.Core.Dcsat.witness_world = par.Core.Dcsat.witness_world
+            && { par.Core.Dcsat.stats with Core.Dcsat.runtime = 0.0 }
+               = { seq.Core.Dcsat.stats with Core.Dcsat.runtime = 0.0 }
+        | Error _, Error _ -> true (* same refusal either way *)
+        | _ -> false
+      in
+      agree (fun ~jobs -> Core.Dcsat.naive ~jobs session q)
+      && agree (fun ~jobs -> Core.Dcsat.opt ~jobs session q)
+      && agree (fun ~jobs ->
+             match Core.Dcsat.brute_force ~jobs session q with
+             | o -> Ok o
+             | exception Invalid_argument m -> Error m))
+
 let () =
   Alcotest.run "agreement"
     [
@@ -125,5 +156,6 @@ let () =
         [
           QCheck_alcotest.to_alcotest agreement;
           QCheck_alcotest.to_alcotest witness_soundness;
+          QCheck_alcotest.to_alcotest backend_agreement;
         ] );
     ]

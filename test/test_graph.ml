@@ -127,6 +127,29 @@ let brute_cliques g =
   in
   List.filter maximal subsets |> List.sort_uniq compare
 
+(* The resumable generator must emit the same cliques, in the same
+   order, as iter_maximal_cliques — the engine's jobs:1 determinism
+   guarantee rests on this. *)
+let generator_matches_iter =
+  QCheck.Test.make ~name:"clique generator = iterator, same order" ~count:80
+    QCheck.(
+      pair (int_range 1 9) (list_of_size (QCheck.Gen.int_bound 24) (pair (int_bound 8) (int_bound 8))))
+    (fun (n, edges) ->
+      let g = G.Undirected.create n in
+      List.iter
+        (fun (i, j) ->
+          if i < n && j < n && i <> j then G.Undirected.add_edge g i j)
+        edges;
+      let via_iter = ref [] in
+      G.Bron_kerbosch.iter_maximal_cliques g (fun c ->
+          via_iter := c :: !via_iter;
+          `Continue);
+      let next = G.Bron_kerbosch.generator g in
+      let rec drain acc =
+        match next () with Some c -> drain (c :: acc) | None -> acc
+      in
+      drain [] = !via_iter && next () = None)
+
 let bk_matches_brute =
   QCheck.Test.make ~name:"Bron–Kerbosch = brute force (n <= 8)" ~count:80
     QCheck.(
@@ -187,5 +210,6 @@ let () =
           Alcotest.test_case "extremes" `Quick test_bron_kerbosch_extremes;
           Alcotest.test_case "early stop" `Quick test_early_stop;
           QCheck_alcotest.to_alcotest bk_matches_brute;
+          QCheck_alcotest.to_alcotest generator_matches_iter;
         ] );
     ]

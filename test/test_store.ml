@@ -84,6 +84,34 @@ let test_to_database_matches () =
            (of_seq (src_store.R.Source.scan rel))))
     [ "TxOut"; "TxIn" ]
 
+let test_clone_independence () =
+  (* A clone must share no mutable state with its parent: world switches
+     and index builds on one side never show through on the other. *)
+  let db = mk [ row 1 1 ] [ [ row 2 2 ]; [ row 3 3 ] ] in
+  let store = Core.Tagged_store.create db in
+  Core.Tagged_store.set_world_list store [ 0 ];
+  let replica = Core.Tagged_store.clone store in
+  let count st =
+    let src = Core.Tagged_store.source st in
+    List.length (List.of_seq (src.R.Source.scan "Rel"))
+  in
+  Alcotest.(check int) "clone starts in parent's world" 2 (count replica);
+  (* Move the clone; the parent must not budge — including via indexed
+     lookups, which build per-store index tables on demand. *)
+  Core.Tagged_store.set_world_list replica [ 0; 1 ];
+  Alcotest.(check int) "clone moved" 3 (count replica);
+  Alcotest.(check int) "parent unchanged" 2 (count store);
+  let lookup st a =
+    let src = Core.Tagged_store.source st in
+    List.length (List.of_seq (src.R.Source.lookup "Rel" [ (0, V.Int a) ]))
+  in
+  Alcotest.(check int) "clone lookup sees T1" 1 (lookup replica 3);
+  Alcotest.(check int) "parent lookup does not" 0 (lookup store 3);
+  (* And the other direction. *)
+  Core.Tagged_store.base_only store;
+  Alcotest.(check int) "parent narrowed" 1 (count store);
+  Alcotest.(check int) "clone unaffected" 3 (count replica)
+
 let store_scan_prop =
   QCheck.Test.make
     ~name:"store scan = base ∪ visible txs, as a set" ~count:100
@@ -131,6 +159,8 @@ let () =
           Alcotest.test_case "set semantics" `Quick test_set_semantics_across_origins;
           Alcotest.test_case "indexed lookup" `Quick test_lookup_respects_visibility;
           Alcotest.test_case "materialize" `Quick test_to_database_matches;
+          Alcotest.test_case "clone independence" `Quick
+            test_clone_independence;
           QCheck_alcotest.to_alcotest store_scan_prop;
         ] );
     ]
