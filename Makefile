@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check bench clean
+.PHONY: all build test fmt check bench bench-smoke clean
 
 all: build
 
@@ -18,6 +18,12 @@ check:
 # Full paper-figure benchmark; writes BENCH_dcsat.json in the repo root.
 bench:
 	dune exec bench/main.exe
+
+# Fast subset that exercises the measurement pipeline and
+# shape-validates the results JSON (including the committed
+# BENCH_dcsat.json, when present). Non-zero exit on schema drift.
+bench-smoke:
+	dune exec bench/main.exe -- --smoke
 
 clean:
 	dune clean

@@ -102,16 +102,19 @@ let precheck session q =
 (* Fan the items of [source] out over the engine and fold the report
    back into the run's counters. Returns a violation or None. *)
 let run_worlds ~jobs ~on_event ~count_cliques session counters q ~eval source =
+  let store = Session.store session in
   let report =
-    Engine.run ~jobs
-      ~store:(Session.store session)
-      ~replicate:(fun () -> Session.store (Session.replica session))
+    Engine.run ~jobs ~store
+      ~replicate:(fun () -> Session.borrow_replica session)
+      ~release:(Session.return_replica session)
+      ~restrict:(Tagged_store.restrict store)
       ~source ~eval:(eval q)
       ~on_item:(fun members ->
         if count_cliques then on_event (Clique_found members))
       ~on_evaluated:(fun ev ->
         on_event
           (World_evaluated (ev.Engine.world, ev.Engine.violation <> None)))
+      ()
   in
   if count_cliques then
     counters.cliques <- counters.cliques + report.Engine.pulled;
@@ -121,11 +124,12 @@ let run_worlds ~jobs ~on_event ~count_cliques session counters q ~eval source =
     report.Engine.hit
 
 (* Work source: the maximal cliques of the fd graph restricted to
-   [nodes], as candidate sets in original transaction ids. *)
-let clique_source session nodes =
+   [nodes], as candidate sets in original transaction ids. When [scope]
+   is given, items are tagged with that component-scoped store view. *)
+let clique_source ?scope session nodes =
   let fd = Session.fd_graph session in
   let sub, back = Undirected.induced fd.Fd_graph.graph nodes in
-  Engine.Work_source.of_cliques sub ~back
+  Engine.Work_source.of_cliques ?scope sub ~back
 
 (* Work source for OptDCSat: the clique streams of the covered
    components, chained in component order. The Covers test and the
@@ -158,7 +162,11 @@ let component_source ~use_covers ~on_event session q components =
             if (not use_covers) || Covers.covers store component q then begin
               cover_marks := !emitted :: !cover_marks;
               on_event (Component_entered component);
-              current := clique_source session component;
+              (* Every clique of this component — and the maximal world
+                 it closes into — lives inside [component], so its items
+                 are scoped to it: workers evaluate on component-sized
+                 store views (tens of tuples, not the whole store). *)
+              current := clique_source ~scope:component session component;
               pull ()
             end
             else begin
@@ -179,7 +187,11 @@ let brute_force ?(jobs = 1) session q =
   @@ fun () ->
   let counters = fresh_counters () in
   let next = Poss.generator store in
-  let source () = Option.map Bitset.to_list (next ()) in
+  let source () =
+    Option.map
+      (fun w -> Engine.Work_source.plain (Bitset.to_list w))
+      (next ())
+  in
   let violation =
     run_worlds ~jobs ~on_event:ignore ~count_cliques:false session counters q
       ~eval:eval_txs source

@@ -1,8 +1,15 @@
-module Bitset = Bcgraph.Bitset
-
 module Work_source = struct
-  type t = unit -> int list option
+  (* [scope], when present, is the member list of the component every
+     world of this item lives inside. Workers materialize their own
+     component-scoped store view from it (via the [restrict] parameter
+     of {!run}) and cache the view while consecutive items carry the
+     physically-equal scope list — sources must reuse one list instance
+     per component for that caching to hit. *)
+  type item = { members : int list; scope : int list option }
 
+  type t = unit -> item option
+
+  let plain members = { members; scope = None }
   let empty : t = fun () -> None
 
   let of_list items =
@@ -12,11 +19,14 @@ module Work_source = struct
       | [] -> None
       | x :: tl ->
           remaining := tl;
-          Some x
+          Some (plain x)
 
-  let of_cliques graph ~back =
+  let of_cliques ?scope graph ~back =
     let next = Bcgraph.Bron_kerbosch.generator graph in
-    fun () -> Option.map (List.map (fun i -> back.(i))) (next ())
+    fun () ->
+      Option.map
+        (fun c -> { members = List.map (fun i -> back.(i)) c; scope })
+        (next ())
 end
 
 type violation = {
@@ -34,15 +44,30 @@ let max_jobs = 64
 let backend_of_jobs jobs = if jobs <= 1 then Sequential else Parallel (min jobs max_jobs)
 let default_jobs () = Domain.recommended_domain_count ()
 
-let run_sequential ~store ~source ~eval ~on_item ~on_evaluated =
+let run_sequential ~store ~restrict ~source ~eval ~on_item ~on_evaluated =
   let pulled = ref 0 and evaluated = ref 0 in
+  (* One scoped view per component, rebuilt when the scope list changes
+     (sources reuse one list instance per component, so consecutive
+     items of a component hit the cache and its warm indexes). *)
+  let scoped = ref None in
+  let store_for (item : Work_source.item) =
+    match (item.Work_source.scope, restrict) with
+    | None, _ | _, None -> store
+    | Some comp, Some restrict -> (
+        match !scoped with
+        | Some (c, view) when c == comp -> view
+        | _ ->
+            let view = restrict comp in
+            scoped := Some (comp, view);
+            view)
+  in
   let rec go () =
     match source () with
     | None -> None
-    | Some members ->
+    | Some item ->
         incr pulled;
-        on_item members;
-        let ev = eval store members in
+        on_item item.Work_source.members;
+        let ev = eval (store_for item) item.Work_source.members in
         incr evaluated;
         on_evaluated ev;
         (match ev.violation with Some _ as hit -> hit | None -> go ())
@@ -50,18 +75,85 @@ let run_sequential ~store ~source ~eval ~on_item ~on_evaluated =
   let hit = go () in
   { hit; pulled = !pulled; evaluated = !evaluated }
 
+(* A pool of parked helper domains, reused across engine runs.
+   [Domain.spawn] costs milliseconds — often more than an entire small
+   solve — so helpers are spawned once and then sleep on a condition
+   variable between runs (where they don't take part in GC barriers
+   either). The pool only ever grows to the high-water mark of
+   concurrently requested helpers. *)
+module Pool = struct
+  type slot = {
+    m : Mutex.t;
+    cv : Condition.t;
+    mutable job : (unit -> unit) option;
+  }
+
+  let lock = Mutex.create ()
+  let idle : slot list ref = ref []
+
+  let rec loop slot =
+    Mutex.lock slot.m;
+    while slot.job = None do
+      Condition.wait slot.cv slot.m
+    done;
+    let job = match slot.job with Some j -> j | None -> assert false in
+    Mutex.unlock slot.m;
+    (try job () with _ -> ());
+    Mutex.lock slot.m;
+    slot.job <- None;
+    Mutex.unlock slot.m;
+    Mutex.lock lock;
+    idle := slot :: !idle;
+    Mutex.unlock lock;
+    loop slot
+
+  let take () =
+    Mutex.lock lock;
+    let reused =
+      match !idle with
+      | s :: tl ->
+          idle := tl;
+          Some s
+      | [] -> None
+    in
+    Mutex.unlock lock;
+    match reused with
+    | Some s -> s
+    | None ->
+        let s = { m = Mutex.create (); cv = Condition.create (); job = None } in
+        ignore (Domain.spawn (fun () -> loop s) : unit Domain.t);
+        s
+
+  let submit slot job =
+    Mutex.lock slot.m;
+    slot.job <- Some job;
+    Condition.signal slot.cv;
+    Mutex.unlock slot.m
+end
+
 (* Parallel backend. Work items are claimed from the source in index
    order under a single lock — the source itself may touch the primary
    store (Covers tests, can-append checks), which is safe because only
-   the claim path ever does. Each worker evaluates on its private
-   replica. Once any violation is recorded, claiming stops: unclaimed
-   items all carry higher indexes than every claimed one, so none of
-   them can beat the recorded violation; workers finish the items they
-   already hold, and the lowest-index violation wins. That makes the
-   returned witness — and, after clamping the work counters to the
-   winning index, the reported stats — deterministic and equal to the
-   sequential backend's. *)
-let run_parallel ~replicas ~source ~eval ~on_item ~on_evaluated =
+   the claim path ever does. The calling domain is one of the [jobs]
+   workers (so [jobs = 2] parks only one helper, and a helper that never
+   gets scheduled costs nothing); the rest come from the persistent
+   {!Pool}. Each worker evaluates unscoped items on a private full
+   replica, borrowed lazily (and under the lock, since replication reads
+   the primary store) the first time the worker actually needs one —
+   workers that only ever see scoped items never pay for a full clone.
+   For scoped items each worker materializes its own component view with
+   [restrict] — under the lock, since restriction reads the primary
+   store, which only the claim path otherwise touches — and caches it
+   while consecutive claims come from the same component. No store is
+   ever shared between worker domains. Once any violation is recorded,
+   claiming stops: unclaimed items all carry higher indexes than every
+   claimed one, so none of them can beat the recorded violation; workers
+   finish the items they already hold, and the lowest-index violation
+   wins. That makes the returned witness — and, after clamping the work
+   counters to the winning index, the reported stats — deterministic and
+   equal to the sequential backend's. *)
+let run_parallel ~jobs ~replicate ~release ~restrict ~source ~eval ~on_item
+    ~on_evaluated =
   let lock = Mutex.create () in
   let locked f =
     Mutex.lock lock;
@@ -70,17 +162,18 @@ let run_parallel ~replicas ~source ~eval ~on_item ~on_evaluated =
   let stop = Atomic.make false in
   let best = ref None in
   let next_index = ref 0 in
+  let borrowed = ref [] in
   let claim () =
     locked (fun () ->
         if Atomic.get stop then None
         else
           match source () with
           | None -> None
-          | Some members ->
+          | Some item ->
               let i = !next_index in
               incr next_index;
-              on_item members;
-              Some (i, members))
+              on_item item.Work_source.members;
+              Some (i, item))
   in
   let record i v =
     locked (fun () ->
@@ -89,13 +182,39 @@ let run_parallel ~replicas ~source ~eval ~on_item ~on_evaluated =
         | _ -> best := Some (i, v));
         Atomic.set stop true)
   in
-  let worker store =
+  let worker () =
+    let replica = ref None in
+    let scoped = ref None in
+    let full_replica () =
+      match !replica with
+      | Some store -> store
+      | None ->
+          let store =
+            locked (fun () ->
+                let store = replicate () in
+                borrowed := store :: !borrowed;
+                store)
+          in
+          replica := Some store;
+          store
+    in
+    let store_for (item : Work_source.item) =
+      match (item.Work_source.scope, restrict) with
+      | None, _ | _, None -> full_replica ()
+      | Some comp, Some restrict -> (
+          match !scoped with
+          | Some (c, view) when c == comp -> view
+          | _ ->
+              let view = locked (fun () -> restrict comp) in
+              scoped := Some (comp, view);
+              view)
+    in
     let claimed = ref [] in
     let rec go () =
       match claim () with
       | None -> ()
-      | Some (i, members) ->
-          let ev = eval store members in
+      | Some (i, item) ->
+          let ev = eval (store_for item) item.Work_source.members in
           claimed := i :: !claimed;
           locked (fun () -> on_evaluated ev);
           (match ev.violation with Some v -> record i v | None -> ());
@@ -104,19 +223,38 @@ let run_parallel ~replicas ~source ~eval ~on_item ~on_evaluated =
     go ();
     !claimed
   in
-  let domains = List.map (fun store -> Domain.spawn (fun () -> worker store)) replicas in
-  let claimed = List.concat_map Domain.join domains in
+  let done_m = Mutex.create () and done_cv = Condition.create () in
+  let helpers = jobs - 1 in
+  let finished = ref 0 in
+  let helper_claims = ref [] in
+  for _ = 1 to helpers do
+    Pool.submit (Pool.take ()) (fun () ->
+        let claimed = worker () in
+        Mutex.lock done_m;
+        helper_claims := claimed @ !helper_claims;
+        incr finished;
+        Condition.signal done_cv;
+        Mutex.unlock done_m)
+  done;
+  let mine = worker () in
+  Mutex.lock done_m;
+  while !finished < helpers do
+    Condition.wait done_cv done_m
+  done;
+  Mutex.unlock done_m;
+  let claimed = mine @ !helper_claims in
+  List.iter release !borrowed;
   let win, hit =
     match !best with None -> (max_int, None) | Some (i, v) -> (i, Some v)
   in
   let counted = List.length (List.filter (fun i -> i <= win) claimed) in
   { hit; pulled = counted; evaluated = counted }
 
-let run ~jobs ~store ~replicate ~source ~eval ~on_item ~on_evaluated =
+let run ~jobs ~store ~replicate ?(release = ignore) ?restrict ~source ~eval
+    ~on_item ~on_evaluated () =
   match backend_of_jobs jobs with
-  | Sequential -> run_sequential ~store ~source ~eval ~on_item ~on_evaluated
+  | Sequential ->
+      run_sequential ~store ~restrict ~source ~eval ~on_item ~on_evaluated
   | Parallel jobs ->
-      (* Replicas are created up front, in this domain: cloning reads the
-         primary store, which must not race with source pulls. *)
-      let replicas = List.init jobs (fun _ -> replicate ()) in
-      run_parallel ~replicas ~source ~eval ~on_item ~on_evaluated
+      run_parallel ~jobs ~replicate ~release ~restrict ~source ~eval ~on_item
+        ~on_evaluated

@@ -8,11 +8,20 @@
     worker idea of block-parallel blockchain databases). Two backends:
 
     - [Sequential] (the [jobs <= 1] path) runs items inline on the
-      primary store — bit-for-bit the pre-engine behaviour, including
+      primary store — or, for scoped items, on a component view built
+      with [restrict] — bit-for-bit the pre-engine behaviour, including
       event order and statistics;
-    - [Parallel n] spawns [n] OCaml 5 domains, each owning a replica
-      created by [replicate], with an [Atomic] first-violation
-      short-circuit.
+    - [Parallel n] runs [n] workers: the calling domain plus [n - 1]
+      helpers from a persistent pool of parked domains (spawning a
+      domain costs milliseconds, often more than a whole solve, so
+      helpers are reused across runs and sleep on a condition variable
+      in between). Full replicas are borrowed lazily via [replicate] the
+      first time a worker meets an unscoped item (and handed back
+      through [release] after the join); for scoped items each worker
+      materializes its own component view with [restrict] under the
+      engine lock, cached across consecutive items of the same
+      component — no store is ever shared between domains. An [Atomic]
+      first-violation short-circuit stops claiming.
 
     {b Determinism contract.} Work items are claimed in source order and
     numbered; once a violation is found, no further items are handed out
@@ -25,18 +34,27 @@
     but interleaves completions. *)
 
 module Work_source : sig
-  type t = unit -> int list option
+  type item = { members : int list; scope : int list option }
+  (** A candidate transaction set, optionally tagged with the member
+      list of the component all its worlds live inside. Workers turn
+      the scope into a component-sized store view via the [restrict]
+      parameter of {!run} and cache the view while consecutive items
+      carry the physically-equal scope list — sources must reuse one
+      list instance per component for the cache to hit. *)
+
+  type t = unit -> item option
   (** A stateful puller of candidate transaction sets. Pulls happen
       under the engine lock in the parallel backend, so a source may
       safely touch the primary store (e.g. Covers tests). *)
 
+  val plain : int list -> item
   val empty : t
   val of_list : int list list -> t
 
-  val of_cliques : Bcgraph.Undirected.t -> back:int array -> t
+  val of_cliques : ?scope:int list -> Bcgraph.Undirected.t -> back:int array -> t
   (** Stream the graph's maximal cliques ({!Bcgraph.Bron_kerbosch.generator}),
       mapping node ids through [back] (as produced by
-      {!Bcgraph.Undirected.induced}). *)
+      {!Bcgraph.Undirected.induced}), each tagged with [scope]. *)
 end
 
 type violation = {
@@ -65,13 +83,21 @@ val run :
   jobs:int ->
   store:Tagged_store.t ->
   replicate:(unit -> Tagged_store.t) ->
+  ?release:(Tagged_store.t -> unit) ->
+  ?restrict:(int list -> Tagged_store.t) ->
   source:Work_source.t ->
   eval:(Tagged_store.t -> int list -> evaluation) ->
   on_item:(int list -> unit) ->
   on_evaluated:(evaluation -> unit) ->
+  unit ->
   report
-(** Drain [source], evaluating each item with [eval] on [store]
-    (sequential) or on worker replicas from [replicate] (parallel),
-    stopping at the first violation per the determinism contract.
-    [eval] must use only the store it is handed. [on_item] fires when an
+(** Drain [source], evaluating each item with [eval] on [store] (or a
+    per-component [restrict] view) sequentially, or on worker
+    replicas/views in parallel, stopping at the first violation per the
+    determinism contract. [eval] must use only the store it is handed.
+    [replicate] and [restrict] are called lazily, under the engine lock
+    in the parallel backend (they read the primary store); every store
+    [replicate] returns is passed to [release] after the workers have
+    joined (the default [release] drops it). When [restrict] is absent,
+    scoped items fall back to the unscoped path. [on_item] fires when an
     item is claimed, [on_evaluated] after it is evaluated. *)

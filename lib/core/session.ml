@@ -6,6 +6,8 @@ type t = {
   fd_graph : Fd_graph.t Lazy.t;
   ind_base_edges : (int * int) list Lazy.t;
   includable : bool array Lazy.t;
+  pool : Tagged_store.t list ref;  (* idle full replicas, guarded by pool_lock *)
+  pool_lock : Mutex.t;
 }
 
 let create db =
@@ -13,6 +15,8 @@ let create db =
   {
     db;
     store;
+    pool = ref [];
+    pool_lock = Mutex.create ();
     fd_graph = lazy (Fd_graph.build store);
     ind_base_edges = lazy (Ind_graph.base_edges store);
     includable =
@@ -40,6 +44,35 @@ let warm t =
   ignore (ind_base_edges t);
   ignore (includable t)
 
+(* Replica pooling: engine runs borrow full-store replicas and hand them
+   back when the run finishes, so repeated solves on one session clone
+   the store once per domain overall, not once per run. A pooled replica
+   is only handed out while it still matches the session's database (a
+   dry-run journal on the primary invalidates it — physical equality on
+   the Bcdb value catches that). *)
+let borrow_replica t =
+  Mutex.lock t.pool_lock;
+  let hit =
+    match !(t.pool) with
+    | r :: rest when Tagged_store.db r == Tagged_store.db t.store ->
+        t.pool := rest;
+        Some r
+    | _ :: _ ->
+        (* Stale pool (the database moved on): drop it wholesale. *)
+        t.pool := [];
+        None
+    | [] -> None
+  in
+  Mutex.unlock t.pool_lock;
+  match hit with Some r -> r | None -> Tagged_store.clone t.store
+
+let return_replica t r =
+  if Tagged_store.db r == Tagged_store.db t.store then begin
+    Mutex.lock t.pool_lock;
+    t.pool := r :: !(t.pool);
+    Mutex.unlock t.pool_lock
+  end
+
 let replica t =
   (* Already-forced caches are shared by value (they are immutable once
      built); unforced ones are rebound to the replica's own store so a
@@ -51,6 +84,8 @@ let replica t =
   {
     db = t.db;
     store;
+    pool = ref [];
+    pool_lock = Mutex.create ();
     fd_graph = share t.fd_graph (lazy (Fd_graph.build store));
     ind_base_edges = share t.ind_base_edges (lazy (Ind_graph.base_edges store));
     includable =
@@ -113,4 +148,12 @@ let extended t =
          Tagged_store.set_world store saved;
          result)
   in
-  { db = db'; store; fd_graph; ind_base_edges; includable }
+  {
+    db = db';
+    store;
+    pool = ref [];
+    pool_lock = Mutex.create ();
+    fd_graph;
+    ind_base_edges;
+    includable;
+  }

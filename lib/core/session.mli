@@ -21,6 +21,16 @@ val includable : t -> bool array
 val warm : t -> unit
 (** Force all cached structures (for benchmarking the steady state). *)
 
+val borrow_replica : t -> Tagged_store.t
+(** A full replica of the session store, reused from the session's pool
+    when a previous engine run has returned one that still matches the
+    current database (dry-run extensions invalidate pooled replicas).
+    Thread-safe; the parallel engine calls this under its claim lock. *)
+
+val return_replica : t -> Tagged_store.t -> unit
+(** Hand a borrowed replica back for reuse. Replicas whose database no
+    longer matches the session's are silently dropped. *)
+
 val replica : t -> t
 (** A worker-private view of the same database: the store is cloned
     ({!Tagged_store.clone}) so worlds can be switched independently,

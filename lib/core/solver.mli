@@ -24,8 +24,11 @@ val solve :
 (** [Error] only when the constraint is non-monotone {e and} the pending
     set is too large for exhaustive enumeration (> 24 transactions).
     [jobs] selects the engine backend for the Naive/Opt/brute-force
-    paths (default 1, sequential); the tractable procedures are
-    PTIME and always run inline. *)
+    paths (default 1, sequential — bit-identical to the pre-engine
+    solvers); [jobs > 1] runs the calling domain plus pooled helper
+    domains, evaluating on session-pooled replicas or component-scoped
+    store views (see {!Engine}). The tractable procedures are PTIME and
+    always run inline. *)
 
 val solve_exn :
   ?jobs:int ->

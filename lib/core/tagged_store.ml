@@ -10,15 +10,76 @@ end)
 
 type entry = { tuple : R.Tuple.t; origins : int array }
 
+(* The store is segmented per relation:
+
+   - the {e base segment} holds every tuple contributed by the base
+     state. Base tuples are visible in *every* world, so the segment —
+     entries, tuple table and hash indexes — is immutable and shared
+     across clones and component-scoped views. Its indexes are built on
+     demand under a mutex and published as immutable postings; each
+     store keeps a lock-free memo of the postings it has already
+     fetched, so steady-state probes never touch the lock.
+
+   - the {e pending segment} holds tuples contributed only by pending
+     transactions; their visibility depends on the active world. It is
+     private to each store. Instead of re-testing origin sets per probe,
+     each pending position carries a visible-origin refcount
+     ([viscount]) maintained incrementally by world *deltas*: switching
+     worlds flips only the transactions whose membership changed
+     (O(|delta|)), not O(k). A store-wide [epoch] stamps each world;
+     per-posting filtered-visibility caches are valid only for the epoch
+     they were computed at, which is the entire invalidation rule. *)
+
+type base_posting = { b_positions : int list; b_count : int }
+(* positions descending; immutable once published *)
+
+type base_seg = {
+  b_entries : entry array;
+  b_by_tuple : int R.Tuple.Tbl.t;
+  b_lock : Mutex.t;
+  b_indexes : (int, base_posting Vtbl.t) Hashtbl.t;  (* guarded by b_lock *)
+  b_composite : (int list, base_posting R.Tuple.Tbl.t) Hashtbl.t;  (* idem *)
+}
+
+type posting = {
+  mutable all : int list;  (* pending positions, descending *)
+  mutable count : int;  (* memoized [List.length all] *)
+  mutable cepoch : int;  (* epoch [cvis] was computed at; -1 = never *)
+  mutable cvis : int list;  (* visible subset of [all] at [cepoch] *)
+}
+
+(* Cost-model source for [cardinality]/[selectivity]. A scoped view
+   answers cost probes with the *parent's* pending counts (computed over
+   an immutable snapshot of the parent segment): the query planner then
+   picks the same join orders on the view as on the full store, which
+   keeps witnesses bit-identical between the scoped and unscoped
+   evaluation paths. *)
+type snapshot = {
+  s_entries : entry array;
+  s_idx : (int, int Vtbl.t) Hashtbl.t;
+  s_comp : (int list, int R.Tuple.Tbl.t) Hashtbl.t;
+}
+
+type stats_src = Own | Snapshot of snapshot
+
 type rel_store = {
-  mutable entries : entry array;  (* valid up to [len] *)
+  base : base_seg;  (* shared with clones and scoped views *)
+  stats : stats_src;
+  bmemo_idx : (int, base_posting Vtbl.t) Hashtbl.t;
+  bmemo_comp : (int list, base_posting R.Tuple.Tbl.t) Hashtbl.t;
+  mutable entries : entry array;  (* pending segment, valid up to [len] *)
   mutable len : int;
-  by_tuple : int R.Tuple.Tbl.t;
-  indexes : (int, int list Vtbl.t) Hashtbl.t;
-  composite : (int list, int list R.Tuple.Tbl.t) Hashtbl.t;
+  by_tuple : int R.Tuple.Tbl.t;  (* pending tuples only *)
+  indexes : (int, posting Vtbl.t) Hashtbl.t;
+  composite : (int list, posting R.Tuple.Tbl.t) Hashtbl.t;
       (** Multi-column hash indexes, keyed by the (sorted) column list;
-          the inner table maps a projection to entry positions. Built on
-          demand for the column sets the evaluator actually probes. *)
+          the inner table maps a projection to pending positions. Built
+          on demand for the column sets the evaluator actually probes. *)
+  by_origin : (int, int list) Hashtbl.t;  (* tx id -> pending positions *)
+  mutable viscount : int array;  (* per pending position *)
+  overlay : (int, int array) Hashtbl.t;
+      (** Base-position -> origin set extended by an outstanding dry-run
+          journal; affects {!origins} only (base rows stay visible). *)
 }
 
 module Smap = Map.Make (String)
@@ -28,41 +89,86 @@ type t = {
   rels : rel_store Smap.t;
   mutable k : int;
   mutable visible : Bitset.t;
+  mutable epoch : int;
 }
 
 let base_origin = -1
 
+let fresh_rel ?(stats = Own) base entries =
+  let np = Array.length entries in
+  let by_tuple = R.Tuple.Tbl.create (max 16 np) in
+  Array.iteri (fun i (e : entry) -> R.Tuple.Tbl.replace by_tuple e.tuple i) entries;
+  let by_origin = Hashtbl.create (max 16 np) in
+  Array.iteri
+    (fun i (e : entry) ->
+      Array.iter
+        (fun o ->
+          if o >= 0 then
+            Hashtbl.replace by_origin o
+              (i :: Option.value (Hashtbl.find_opt by_origin o) ~default:[]))
+        e.origins)
+    entries;
+  {
+    base;
+    stats;
+    bmemo_idx = Hashtbl.create 4;
+    bmemo_comp = Hashtbl.create 4;
+    entries;
+    len = np;
+    by_tuple;
+    indexes = Hashtbl.create 4;
+    composite = Hashtbl.create 4;
+    by_origin;
+    viscount = Array.make (max 1 np) 0;
+    overlay = Hashtbl.create 4;
+  }
+
 let build_rel rows =
-  (* rows: (origin, tuple) in insertion order. Distinct tuples are stored
-     once; repeated insertions only extend the origin set. *)
+  (* rows: (origin, tuple) in insertion order, origins non-decreasing
+     (base first, then transactions in id order). Distinct tuples are
+     stored once; repeated insertions only extend the origin set — and
+     because rows of one origin arrive together, deduplication is a
+     head check, not a membership scan. *)
   let scratch = R.Tuple.Tbl.create (max 64 (List.length rows)) in
   let order = ref [] in
   List.iter
     (fun (origin, tuple) ->
       match R.Tuple.Tbl.find_opt scratch tuple with
-      | Some origins ->
-          if not (List.mem origin !origins) then origins := origin :: !origins
+      | Some origins -> (
+          match !origins with
+          | last :: _ when last = origin -> ()
+          | _ -> origins := origin :: !origins)
       | None ->
           R.Tuple.Tbl.replace scratch tuple (ref [ origin ]);
           order := tuple :: !order)
     rows;
   let entries =
-    Array.of_list
-      (List.rev_map
-         (fun tuple ->
-           let origins = !(R.Tuple.Tbl.find scratch tuple) in
-           { tuple; origins = Array.of_list (List.sort Int.compare origins) })
-         !order)
+    List.rev_map
+      (fun tuple ->
+        let origins = !(R.Tuple.Tbl.find scratch tuple) in
+        { tuple; origins = Array.of_list (List.sort_uniq Int.compare origins) })
+      !order
   in
-  let by_tuple = R.Tuple.Tbl.create (max 64 (Array.length entries)) in
-  Array.iteri (fun i e -> R.Tuple.Tbl.replace by_tuple e.tuple i) entries;
-  {
-    entries;
-    len = Array.length entries;
-    by_tuple;
-    indexes = Hashtbl.create 4;
-    composite = Hashtbl.create 4;
-  }
+  (* Base-contributed tuples (always visible) go to the shared base
+     segment; the order within each segment is first-seen order, and all
+     base tuples were seen before any pending-only tuple. *)
+  let is_base (e : entry) = Array.length e.origins > 0 && e.origins.(0) = base_origin in
+  let base_entries = Array.of_list (List.filter is_base entries) in
+  let pending = Array.of_list (List.filter (fun e -> not (is_base e)) entries) in
+  let b_by_tuple = R.Tuple.Tbl.create (max 16 (Array.length base_entries)) in
+  Array.iteri
+    (fun i (e : entry) -> R.Tuple.Tbl.replace b_by_tuple e.tuple i)
+    base_entries;
+  let base =
+    {
+      b_entries = base_entries;
+      b_by_tuple;
+      b_lock = Mutex.create ();
+      b_indexes = Hashtbl.create 4;
+      b_composite = Hashtbl.create 4;
+    }
+  in
+  fresh_rel base pending
 
 let create (db : Bcdb.t) =
   let catalog = R.Database.catalog db.Bcdb.state in
@@ -93,20 +199,63 @@ let create (db : Bcdb.t) =
       Smap.empty (R.Schema.relations catalog)
   in
   let k = Array.length db.Bcdb.pending in
-  { db; rels; k; visible = Bitset.create k }
+  { db; rels; k; visible = Bitset.create k; epoch = 0 }
 
 let clone_rel rs =
-  let copy_inner copy tbl =
+  let copy_postings tbl =
+    let out = Vtbl.create (max 4 (Vtbl.length tbl)) in
+    Vtbl.iter
+      (fun key (p : posting) ->
+        Vtbl.replace out key
+          { all = p.all; count = p.count; cepoch = p.cepoch; cvis = p.cvis })
+      tbl;
+    out
+  in
+  let copy_composite tbl =
+    let out = R.Tuple.Tbl.create (max 4 (R.Tuple.Tbl.length tbl)) in
+    R.Tuple.Tbl.iter
+      (fun key (p : posting) ->
+        R.Tuple.Tbl.replace out key
+          { all = p.all; count = p.count; cepoch = p.cepoch; cvis = p.cvis })
+      tbl;
+    out
+  in
+  let copy_outer copy tbl =
     let out = Hashtbl.create (max 4 (Hashtbl.length tbl)) in
     Hashtbl.iter (fun key inner -> Hashtbl.replace out key (copy inner)) tbl;
     out
   in
+  let stats =
+    match rs.stats with
+    | Own -> Own
+    | Snapshot s ->
+        (* The snapshot entries are immutable and shared; the lazily
+           built count tables are private to each store. *)
+        Snapshot
+          {
+            s_entries = s.s_entries;
+            s_idx = copy_outer Vtbl.copy s.s_idx;
+            s_comp =
+              (let out = Hashtbl.create (max 4 (Hashtbl.length s.s_comp)) in
+               Hashtbl.iter
+                 (fun key inner -> Hashtbl.replace out key (R.Tuple.Tbl.copy inner))
+                 s.s_comp;
+               out)
+          }
+  in
   {
+    base = rs.base;  (* shared: immutable entries, lock-guarded indexes *)
+    stats;
+    bmemo_idx = Hashtbl.copy rs.bmemo_idx;
+    bmemo_comp = Hashtbl.copy rs.bmemo_comp;
     entries = Array.copy rs.entries;
     len = rs.len;
     by_tuple = R.Tuple.Tbl.copy rs.by_tuple;
-    indexes = copy_inner Vtbl.copy rs.indexes;
-    composite = copy_inner R.Tuple.Tbl.copy rs.composite;
+    indexes = copy_outer copy_postings rs.indexes;
+    composite = copy_outer copy_composite rs.composite;
+    by_origin = Hashtbl.copy rs.by_origin;
+    viscount = Array.copy rs.viscount;
+    overlay = Hashtbl.copy rs.overlay;
   }
 
 let clone t =
@@ -115,35 +264,151 @@ let clone t =
     rels = Smap.map clone_rel t.rels;
     k = t.k;
     visible = Bitset.copy t.visible;
+    epoch = t.epoch;
+  }
+
+let restrict t members =
+  let mset = Bitset.of_list t.k members in
+  let restrict_rel rs =
+    let keep = ref [] in
+    for i = rs.len - 1 downto 0 do
+      let e = rs.entries.(i) in
+      if Array.exists (fun o -> o >= 0 && Bitset.mem mset o) e.origins then
+        keep := e :: !keep
+    done;
+    let stats =
+      match rs.stats with
+      | Snapshot s ->
+          Snapshot
+            {
+              s_entries = s.s_entries;
+              s_idx = Hashtbl.create 4;
+              s_comp = Hashtbl.create 4;
+            }
+      | Own ->
+          Snapshot
+            {
+              s_entries = Array.sub rs.entries 0 rs.len;
+              s_idx = Hashtbl.create 4;
+              s_comp = Hashtbl.create 4;
+            }
+    in
+    let sub = fresh_rel ~stats rs.base (Array.of_list !keep) in
+    Hashtbl.iter (fun key o -> Hashtbl.replace sub.overlay key o) rs.overlay;
+    (* Seed the base-index memo from the parent so a fresh scoped view
+       starts lock-free for every column the parent already probed. *)
+    Hashtbl.iter (fun c tbl -> Hashtbl.replace sub.bmemo_idx c tbl) rs.bmemo_idx;
+    Hashtbl.iter (fun c tbl -> Hashtbl.replace sub.bmemo_comp c tbl) rs.bmemo_comp;
+    sub
+  in
+  {
+    db = t.db;
+    rels = Smap.map restrict_rel t.rels;
+    k = t.k;
+    visible = Bitset.create t.k;
+    epoch = 0;
   }
 
 let db t = t.db
 let tx_count t = t.k
 let world t = Bitset.copy t.visible
 
+(* Switch to [vis] (a fresh bitset owned by the store) by flipping only
+   the transactions whose membership changed. A no-op switch keeps the
+   epoch, so posting caches survive save/restore pairs. *)
+let apply_world t vis =
+  if not (Bitset.equal vis t.visible) then begin
+    let old = t.visible in
+    Smap.iter
+      (fun _ rs ->
+        let flip sign id =
+          match Hashtbl.find_opt rs.by_origin id with
+          | None -> ()
+          | Some ps ->
+              List.iter
+                (fun p -> rs.viscount.(p) <- rs.viscount.(p) + sign)
+                ps
+        in
+        Bitset.iter_diff (flip (-1)) old vis;
+        Bitset.iter_diff (flip 1) vis old)
+      t.rels;
+    t.visible <- vis;
+    t.epoch <- t.epoch + 1
+  end
+
 let set_world t vis =
   if Bitset.capacity vis <> t.k then
     invalid_arg "Tagged_store.set_world: capacity mismatch";
-  t.visible <- Bitset.copy vis
+  apply_world t (Bitset.copy vis)
 
-let set_world_list t ids = t.visible <- Bitset.of_list t.k ids
-let all_visible t = t.visible <- Bitset.full t.k
-let base_only t = t.visible <- Bitset.create t.k
-
-let entry_visible t (e : entry) =
-  let n = Array.length e.origins in
-  let rec go i =
-    i < n
-    && (e.origins.(i) = base_origin
-       || Bitset.mem t.visible e.origins.(i)
-       || go (i + 1))
-  in
-  go 0
+let set_world_list t ids = apply_world t (Bitset.of_list t.k ids)
+let all_visible t = apply_world t (Bitset.full t.k)
+let base_only t = apply_world t (Bitset.create t.k)
 
 let rel_store t name =
   match Smap.find_opt name t.rels with
   | Some rs -> rs
   | None -> invalid_arg ("Tagged_store: unknown relation " ^ name)
+
+(* --- base-segment indexes: built once under the segment lock,
+   published immutable, memoized per store --- *)
+
+let base_index rs col =
+  match Hashtbl.find_opt rs.bmemo_idx col with
+  | Some tbl -> tbl
+  | None ->
+      let seg = rs.base in
+      Mutex.lock seg.b_lock;
+      let tbl =
+        Fun.protect ~finally:(fun () -> Mutex.unlock seg.b_lock) @@ fun () ->
+        match Hashtbl.find_opt seg.b_indexes col with
+        | Some tbl -> tbl
+        | None ->
+            let tbl = Vtbl.create (max 16 (Array.length seg.b_entries)) in
+            Array.iteri
+              (fun i (e : entry) ->
+                let v = e.tuple.(col) in
+                match Vtbl.find_opt tbl v with
+                | Some p ->
+                    Vtbl.replace tbl v
+                      { b_positions = i :: p.b_positions; b_count = p.b_count + 1 }
+                | None -> Vtbl.replace tbl v { b_positions = [ i ]; b_count = 1 })
+              seg.b_entries;
+            Hashtbl.replace seg.b_indexes col tbl;
+            tbl
+      in
+      Hashtbl.replace rs.bmemo_idx col tbl;
+      tbl
+
+let base_composite rs cols =
+  match Hashtbl.find_opt rs.bmemo_comp cols with
+  | Some tbl -> tbl
+  | None ->
+      let seg = rs.base in
+      Mutex.lock seg.b_lock;
+      let tbl =
+        Fun.protect ~finally:(fun () -> Mutex.unlock seg.b_lock) @@ fun () ->
+        match Hashtbl.find_opt seg.b_composite cols with
+        | Some tbl -> tbl
+        | None ->
+            let tbl = R.Tuple.Tbl.create (max 16 (Array.length seg.b_entries)) in
+            Array.iteri
+              (fun i (e : entry) ->
+                let key = R.Tuple.project e.tuple cols in
+                match R.Tuple.Tbl.find_opt tbl key with
+                | Some p ->
+                    R.Tuple.Tbl.replace tbl key
+                      { b_positions = i :: p.b_positions; b_count = p.b_count + 1 }
+                | None ->
+                    R.Tuple.Tbl.replace tbl key { b_positions = [ i ]; b_count = 1 })
+              seg.b_entries;
+            Hashtbl.replace seg.b_composite cols tbl;
+            tbl
+      in
+      Hashtbl.replace rs.bmemo_comp cols tbl;
+      tbl
+
+(* --- pending-segment indexes (private, incremental) --- *)
 
 let ensure_index rs col =
   match Hashtbl.find_opt rs.indexes col with
@@ -152,7 +417,11 @@ let ensure_index rs col =
       let idx = Vtbl.create (max 16 rs.len) in
       for i = 0 to rs.len - 1 do
         let v = rs.entries.(i).tuple.(col) in
-        Vtbl.replace idx v (i :: Option.value (Vtbl.find_opt idx v) ~default:[])
+        match Vtbl.find_opt idx v with
+        | Some p ->
+            p.all <- i :: p.all;
+            p.count <- p.count + 1
+        | None -> Vtbl.replace idx v { all = [ i ]; count = 1; cepoch = -1; cvis = [] }
       done;
       Hashtbl.replace rs.indexes col idx;
       idx
@@ -164,70 +433,184 @@ let ensure_composite rs cols =
       let idx = R.Tuple.Tbl.create (max 16 rs.len) in
       for i = 0 to rs.len - 1 do
         let key = R.Tuple.project rs.entries.(i).tuple cols in
-        R.Tuple.Tbl.replace idx key
-          (i :: Option.value (R.Tuple.Tbl.find_opt idx key) ~default:[])
+        match R.Tuple.Tbl.find_opt idx key with
+        | Some p ->
+            p.all <- i :: p.all;
+            p.count <- p.count + 1
+        | None ->
+            R.Tuple.Tbl.replace idx key { all = [ i ]; count = 1; cepoch = -1; cvis = [] }
       done;
       Hashtbl.replace rs.composite cols idx;
       idx
+
+(* Visible pending positions of a posting, cached per epoch. *)
+let posting_visible t rs (p : posting) =
+  if p.cepoch <> t.epoch then begin
+    p.cvis <- List.filter (fun i -> rs.viscount.(i) > 0) p.all;
+    p.cepoch <- t.epoch
+  end;
+  p.cvis
 
 let matches binds (tuple : R.Tuple.t) =
   List.for_all (fun (col, v) -> R.Value.equal tuple.(col) v) binds
 
 let scan t name =
   let rs = rel_store t name in
-  let n = rs.len in
-  let rec go i () =
-    if i >= n then Seq.Nil
-    else if entry_visible t rs.entries.(i) then
-      Seq.Cons (rs.entries.(i).tuple, go (i + 1))
-    else go (i + 1) ()
+  let be = rs.base.b_entries in
+  let nb = Array.length be in
+  let np = rs.len in
+  let rec pend i () =
+    if i >= np then Seq.Nil
+    else if rs.viscount.(i) > 0 then Seq.Cons (rs.entries.(i).tuple, pend (i + 1))
+    else pend (i + 1) ()
   in
-  go 0
+  let rec base i () =
+    if i >= nb then pend 0 () else Seq.Cons (be.(i).tuple, base (i + 1))
+  in
+  base 0
 
-let positions_of rs binds =
+(* Probe both segments for [binds]: pending posting, base posting, and
+   the residual binds an over-wide probe still has to filter by. *)
+let probe rs binds =
   match binds with
-  | [] -> invalid_arg "positions_of: no binds"
+  | [] -> invalid_arg "probe: no binds"
   | [ (col, v) ] ->
-      let idx = ensure_index rs col in
-      (Option.value (Vtbl.find_opt idx v) ~default:[], [])
+      (Vtbl.find_opt (ensure_index rs col) v, Vtbl.find_opt (base_index rs col) v, [])
   | _ when List.length binds <= 3 ->
       (* Exact composite index: no residual filtering needed. *)
       let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) binds in
       let cols = List.map fst sorted in
       let key = Array.of_list (List.map snd sorted) in
-      let idx = ensure_composite rs cols in
-      (Option.value (R.Tuple.Tbl.find_opt idx key) ~default:[], [])
+      ( R.Tuple.Tbl.find_opt (ensure_composite rs cols) key,
+        R.Tuple.Tbl.find_opt (base_composite rs cols) key,
+        [] )
   | (col, v) :: rest ->
-      let idx = ensure_index rs col in
-      (Option.value (Vtbl.find_opt idx v) ~default:[], rest)
+      (Vtbl.find_opt (ensure_index rs col) v, Vtbl.find_opt (base_index rs col) v, rest)
 
 let lookup t name binds =
   match binds with
   | [] -> scan t name
   | _ ->
       let rs = rel_store t name in
-      let positions, residual = positions_of rs binds in
-      List.to_seq positions
-      |> Seq.filter_map (fun i ->
-             let e = rs.entries.(i) in
-             if entry_visible t e && matches residual e.tuple then Some e.tuple
-             else None)
+      let pend_p, base_p, residual = probe rs binds in
+      (* Pending matches first (descending position), then base matches
+         (descending position): the same order the unsegmented store
+         produced, since pending entries sat above the base prefix. *)
+      let pend =
+        match pend_p with
+        | None -> Seq.empty
+        | Some p ->
+            fun () ->
+              (List.to_seq (posting_visible t rs p)
+              |> Seq.filter_map (fun i ->
+                     let e = rs.entries.(i) in
+                     if matches residual e.tuple then Some e.tuple else None))
+                ()
+      in
+      let base =
+        match base_p with
+        | None -> Seq.empty
+        | Some b ->
+            List.to_seq b.b_positions
+            |> Seq.filter_map (fun i ->
+                   let tuple = rs.base.b_entries.(i).tuple in
+                   if matches residual tuple then Some tuple else None)
+      in
+      Seq.append pend base
 
 let mem t name tuple =
   let rs = rel_store t name in
-  match R.Tuple.Tbl.find_opt rs.by_tuple tuple with
-  | None -> false
-  | Some i -> entry_visible t rs.entries.(i)
+  if R.Tuple.Tbl.mem rs.base.b_by_tuple tuple then true
+  else
+    match R.Tuple.Tbl.find_opt rs.by_tuple tuple with
+    | None -> false
+    | Some i -> rs.viscount.(i) > 0
 
-let cardinality t name = (rel_store t name).len
+(* Count tables over a stats snapshot, built on first probe of a column
+   (set). Counts only — the positions themselves are never needed. *)
+let snapshot_count_1 s col v =
+  let tbl =
+    match Hashtbl.find_opt s.s_idx col with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Vtbl.create (max 16 (Array.length s.s_entries)) in
+        Array.iter
+          (fun (e : entry) ->
+            let v = e.tuple.(col) in
+            Vtbl.replace tbl v (1 + Option.value (Vtbl.find_opt tbl v) ~default:0))
+          s.s_entries;
+        Hashtbl.replace s.s_idx col tbl;
+        tbl
+  in
+  Option.value (Vtbl.find_opt tbl v) ~default:0
 
+let snapshot_count_n s cols key =
+  let tbl =
+    match Hashtbl.find_opt s.s_comp cols with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = R.Tuple.Tbl.create (max 16 (Array.length s.s_entries)) in
+        Array.iter
+          (fun (e : entry) ->
+            let key = R.Tuple.project e.tuple cols in
+            R.Tuple.Tbl.replace tbl key
+              (1 + Option.value (R.Tuple.Tbl.find_opt tbl key) ~default:0))
+          s.s_entries;
+        Hashtbl.replace s.s_comp cols tbl;
+        tbl
+  in
+  Option.value (R.Tuple.Tbl.find_opt tbl key) ~default:0
+
+let cardinality t name =
+  let rs = rel_store t name in
+  let pend =
+    match rs.stats with Own -> rs.len | Snapshot s -> Array.length s.s_entries
+  in
+  Array.length rs.base.b_entries + pend
+
+(* World-independent by design (and by the pre-segmentation semantics):
+   memoized counts, no list walk, no filtering. A scoped view reports
+   its parent's counts so the planner behaves identically. *)
 let selectivity t name binds =
   match binds with
   | [] -> cardinality t name
-  | _ ->
+  | _ -> (
       let rs = rel_store t name in
-      let positions, _ = positions_of rs binds in
-      List.length positions
+      let base_count_1 col v =
+        match Vtbl.find_opt (base_index rs col) v with
+        | Some b -> b.b_count
+        | None -> 0
+      in
+      let pend_count_1 col v =
+        match rs.stats with
+        | Own -> (
+            match Vtbl.find_opt (ensure_index rs col) v with
+            | Some p -> p.count
+            | None -> 0)
+        | Snapshot s -> snapshot_count_1 s col v
+      in
+      match binds with
+      | [] -> assert false
+      | [ (col, v) ] -> pend_count_1 col v + base_count_1 col v
+      | _ when List.length binds <= 3 ->
+          let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) binds in
+          let cols = List.map fst sorted in
+          let key = Array.of_list (List.map snd sorted) in
+          let pend =
+            match rs.stats with
+            | Own -> (
+                match R.Tuple.Tbl.find_opt (ensure_composite rs cols) key with
+                | Some p -> p.count
+                | None -> 0)
+            | Snapshot s -> snapshot_count_n s cols key
+          in
+          let base =
+            match R.Tuple.Tbl.find_opt (base_composite rs cols) key with
+            | Some b -> b.b_count
+            | None -> 0
+          in
+          pend + base
+      | (col, v) :: _ -> pend_count_1 col v + base_count_1 col v)
 
 let source t =
   {
@@ -247,17 +630,26 @@ let tx_rows t id =
 
 let origins t name tuple =
   let rs = rel_store t name in
-  match R.Tuple.Tbl.find_opt rs.by_tuple tuple with
-  | None -> []
-  | Some i -> Array.to_list rs.entries.(i).origins
+  match R.Tuple.Tbl.find_opt rs.base.b_by_tuple tuple with
+  | Some i -> (
+      match Hashtbl.find_opt rs.overlay i with
+      | Some o -> Array.to_list o
+      | None -> Array.to_list rs.base.b_entries.(i).origins)
+  | None -> (
+      match R.Tuple.Tbl.find_opt rs.by_tuple tuple with
+      | Some i -> Array.to_list rs.entries.(i).origins
+      | None -> [])
 
 let to_database t =
   let out = R.Database.create (R.Database.catalog t.db.Bcdb.state) in
   Smap.iter
     (fun name rs ->
+      Array.iter
+        (fun (e : entry) -> ignore (R.Database.insert out name e.tuple))
+        rs.base.b_entries;
       for i = 0 to rs.len - 1 do
-        let e = rs.entries.(i) in
-        if entry_visible t e then ignore (R.Database.insert out name e.tuple)
+        if rs.viscount.(i) > 0 then
+          ignore (R.Database.insert out name rs.entries.(i).tuple)
       done)
     t.rels;
   out
@@ -267,6 +659,7 @@ let to_database t =
 type undo_item =
   | Entry_added of string * int
   | Origin_added of string * int * entry
+  | Overlay_set of string * int * int array option
 
 type journal = {
   prev_db : Bcdb.t;
@@ -281,9 +674,19 @@ let push_entry rs e =
     Array.blit rs.entries 0 ne 0 rs.len;
     rs.entries <- ne
   end;
+  if rs.len >= Array.length rs.viscount then begin
+    let nv = Array.make (max 16 (2 * Array.length rs.viscount)) 0 in
+    Array.blit rs.viscount 0 nv 0 rs.len;
+    rs.viscount <- nv
+  end;
   rs.entries.(rs.len) <- e;
+  rs.viscount.(rs.len) <- 0;
   rs.len <- rs.len + 1;
   rs.len - 1
+
+let add_origin rs id p =
+  Hashtbl.replace rs.by_origin id
+    (p :: Option.value (Hashtbl.find_opt rs.by_origin id) ~default:[])
 
 let append_tx t (db' : Bcdb.t) =
   let id = t.k in
@@ -297,28 +700,55 @@ let append_tx t (db' : Bcdb.t) =
         List.map
           (fun (rel, tuple) ->
             let rs = rel_store t rel in
-            match R.Tuple.Tbl.find_opt rs.by_tuple tuple with
-            | Some i ->
-                let prev = rs.entries.(i) in
-                rs.entries.(i) <-
-                  { prev with origins = Array.append prev.origins [| id |] };
-                Origin_added (rel, i, prev)
-            | None ->
-                let i = push_entry rs { tuple; origins = [| id |] } in
-                R.Tuple.Tbl.replace rs.by_tuple tuple i;
-                Hashtbl.iter
-                  (fun col idx ->
-                    let v = tuple.(col) in
-                    Vtbl.replace idx v
-                      (i :: Option.value (Vtbl.find_opt idx v) ~default:[]))
-                  rs.indexes;
-                Hashtbl.iter
-                  (fun cols idx ->
-                    let key = R.Tuple.project tuple cols in
-                    R.Tuple.Tbl.replace idx key
-                      (i :: Option.value (R.Tuple.Tbl.find_opt idx key) ~default:[]))
-                  rs.composite;
-                Entry_added (rel, i))
+            match R.Tuple.Tbl.find_opt rs.base.b_by_tuple tuple with
+            | Some bpos ->
+                (* Base rows are always visible; the new origin only has
+                   to show up in [origins], via the overlay. *)
+                let prev = Hashtbl.find_opt rs.overlay bpos in
+                let before =
+                  match prev with
+                  | Some o -> o
+                  | None -> rs.base.b_entries.(bpos).origins
+                in
+                Hashtbl.replace rs.overlay bpos (Array.append before [| id |]);
+                Overlay_set (rel, bpos, prev)
+            | None -> (
+                match R.Tuple.Tbl.find_opt rs.by_tuple tuple with
+                | Some i ->
+                    let prev = rs.entries.(i) in
+                    rs.entries.(i) <-
+                      { prev with origins = Array.append prev.origins [| id |] };
+                    add_origin rs id i;
+                    Origin_added (rel, i, prev)
+                | None ->
+                    let i = push_entry rs { tuple; origins = [| id |] } in
+                    R.Tuple.Tbl.replace rs.by_tuple tuple i;
+                    add_origin rs id i;
+                    (* The new position is invisible ([id] is not in any
+                       world yet), so live posting caches stay valid. *)
+                    Hashtbl.iter
+                      (fun col idx ->
+                        let v = tuple.(col) in
+                        match Vtbl.find_opt idx v with
+                        | Some p ->
+                            p.all <- i :: p.all;
+                            p.count <- p.count + 1
+                        | None ->
+                            Vtbl.replace idx v
+                              { all = [ i ]; count = 1; cepoch = -1; cvis = [] })
+                      rs.indexes;
+                    Hashtbl.iter
+                      (fun cols idx ->
+                        let key = R.Tuple.project tuple cols in
+                        match R.Tuple.Tbl.find_opt idx key with
+                        | Some p ->
+                            p.all <- i :: p.all;
+                            p.count <- p.count + 1
+                        | None ->
+                            R.Tuple.Tbl.replace idx key
+                              { all = [ i ]; count = 1; cepoch = -1; cvis = [] })
+                      rs.composite;
+                    Entry_added (rel, i)))
           tx.Pending.rows;
     }
   in
@@ -328,8 +758,17 @@ let append_tx t (db' : Bcdb.t) =
   journal
 
 let undo t journal =
+  (* Restore the previous world's membership first, while [by_origin]
+     still routes the hypothetical transaction's flips. *)
+  apply_world t (Bitset.of_list t.k (Bitset.to_list journal.prev_visible));
+  let id = Array.length journal.prev_db.Bcdb.pending in
   List.iter
     (function
+      | Overlay_set (rel, bpos, prev) -> (
+          let rs = rel_store t rel in
+          match prev with
+          | Some o -> Hashtbl.replace rs.overlay bpos o
+          | None -> Hashtbl.remove rs.overlay bpos)
       | Origin_added (rel, i, prev) -> (rel_store t rel).entries.(i) <- prev
       | Entry_added (rel, i) ->
           let rs = rel_store t rel in
@@ -340,22 +779,27 @@ let undo t journal =
               let v = e.tuple.(col) in
               match Vtbl.find_opt idx v with
               | None -> ()
-              | Some positions ->
-                  Vtbl.replace idx v (List.filter (fun p -> p <> i) positions))
+              | Some p ->
+                  p.all <- List.filter (fun q -> q <> i) p.all;
+                  p.count <- p.count - 1;
+                  p.cepoch <- -1)
             rs.indexes;
           Hashtbl.iter
             (fun cols idx ->
               let key = R.Tuple.project e.tuple cols in
               match R.Tuple.Tbl.find_opt idx key with
               | None -> ()
-              | Some positions ->
-                  R.Tuple.Tbl.replace idx key
-                    (List.filter (fun p -> p <> i) positions))
+              | Some p ->
+                  p.all <- List.filter (fun q -> q <> i) p.all;
+                  p.count <- p.count - 1;
+                  p.cepoch <- -1)
             rs.composite;
           (* Entries were appended; undoing in any order is fine because
              lengths only shrink back to the original boundary. *)
           rs.len <- min rs.len i)
     (List.rev journal.items);
+  Smap.iter (fun _ rs -> Hashtbl.remove rs.by_origin id) t.rels;
   t.db <- journal.prev_db;
   t.k <- Array.length journal.prev_db.Bcdb.pending;
-  t.visible <- journal.prev_visible
+  t.visible <- journal.prev_visible;
+  t.epoch <- t.epoch + 1

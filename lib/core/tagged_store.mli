@@ -29,6 +29,22 @@ val clone : t -> t
     evaluate worlds concurrently ({!Engine}). Clone while no
     {!append_tx} journal is outstanding. *)
 
+val restrict : t -> int list -> t
+(** [restrict t members] is a component-scoped view: the (shared,
+    always-visible) base segment plus only the pending tuples
+    contributed by a transaction in [members]. Transaction ids keep
+    their meaning, so worlds, [tx_rows] and clique members need no
+    translation. For every world [w ⊆ members], scans, lookups and
+    membership tests agree exactly with [t] under [w] — tuples outside
+    the view are invisible in such worlds anyway. Cloning a scoped view
+    costs O(|view|), which is what lets OptDCSat workers replicate a
+    component-sized slice instead of the whole database. Do not
+    {!append_tx} to a scoped view. [selectivity] and [cardinality]
+    answer with the parent's pending counts (frozen at restriction
+    time), so the join orders the evaluator picks — and therefore the
+    witness it returns — are identical to evaluating on the full
+    store. The view starts with no visible transactions. *)
+
 val tx_count : t -> int
 
 val world : t -> Bcgraph.Bitset.t

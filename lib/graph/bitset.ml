@@ -1,73 +1,103 @@
-type t = { n : int; words : Bytes.t }
+type t = { n : int; words : int array }
 
-(* 63-bit words stored via Bytes.{get,set}_int64 would complicate bounds;
-   a plain byte array keeps the code simple and is fast enough for the
-   few-thousand-node graphs we handle. *)
+(* 32 bits per array slot: comfortably inside OCaml's 63-bit immediate
+   ints (so popcounts and masks never overflow), while still giving the
+   clique enumerator and the world representation word-at-a-time set
+   operations. Invariant: bits at positions >= n in the last word are
+   always zero, so equality / emptiness / popcount need no masking. *)
 
-let nbytes n = (n + 7) / 8
-let create n = { n; words = Bytes.make (nbytes n) '\000' }
+let wbits = 32
+let wmask = 0xFFFFFFFF
+let nwords n = (n + wbits - 1) / wbits
+let create n = { n; words = Array.make (nwords n) 0 }
 let capacity t = t.n
-let copy t = { n = t.n; words = Bytes.copy t.words }
+let copy t = { n = t.n; words = Array.copy t.words }
 
 let check t i =
   if i < 0 || i >= t.n then invalid_arg "Bitset: element out of range"
 
 let add t i =
   check t i;
-  let pos = i lsr 3 in
-  Bytes.set t.words pos
-    (Char.chr (Char.code (Bytes.get t.words pos) lor (1 lsl (i land 7))))
+  let w = i lsr 5 in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i land 31))
 
 let remove t i =
   check t i;
-  let pos = i lsr 3 in
-  Bytes.set t.words pos
-    (Char.chr (Char.code (Bytes.get t.words pos) land lnot (1 lsl (i land 7))))
+  let w = i lsr 5 in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i land 31))
 
 let mem t i =
   check t i;
-  Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+  t.words.(i lsr 5) land (1 lsl (i land 31)) <> 0
 
-let is_empty t = Bytes.for_all (fun c -> c = '\000') t.words
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
 
-let popcount_byte =
-  let table = Array.make 256 0 in
-  for i = 1 to 255 do
-    table.(i) <- table.(i lsr 1) + (i land 1)
-  done;
-  fun c -> table.(Char.code c)
+(* SWAR popcount of a 32-bit value held in a wider int. *)
+let popcount x =
+  let x = x - ((x lsr 1) land 0x55555555) in
+  let x = (x land 0x33333333) + ((x lsr 2) land 0x33333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F in
+  (* mask the product: OCaml ints don't wrap at 32 bits *)
+  ((x * 0x01010101) land 0xFFFFFFFF) lsr 24
 
-let cardinal t = Bytes.fold_left (fun acc c -> acc + popcount_byte c) 0 t.words
-let equal a b = a.n = b.n && Bytes.equal a.words b.words
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let equal a b =
+  a.n = b.n
+  &&
+  let rec go i = i < 0 || (a.words.(i) = b.words.(i) && go (i - 1)) in
+  go (Array.length a.words - 1)
 
 let binop f a b =
   if a.n <> b.n then invalid_arg "Bitset: capacity mismatch";
   let out = create a.n in
-  for i = 0 to nbytes a.n - 1 do
-    Bytes.set out.words i
-      (Char.chr
-         (f (Char.code (Bytes.get a.words i)) (Char.code (Bytes.get b.words i))))
+  for i = 0 to Array.length a.words - 1 do
+    out.words.(i) <- f a.words.(i) b.words.(i)
   done;
   out
 
 let inter = binop ( land )
 let union = binop ( lor )
-let diff = binop (fun x y -> x land lnot y land 0xff)
+
+(* [lnot y] sets bits above position 31, but [x] has none, so no
+   re-masking is needed to keep the trailing-zero invariant. *)
+let diff = binop (fun x y -> x land lnot y)
+
+let inter_cardinal a b =
+  if a.n <> b.n then invalid_arg "Bitset: capacity mismatch";
+  let acc = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount (a.words.(i) land b.words.(i))
+  done;
+  !acc
 
 let subset a b =
   if a.n <> b.n then invalid_arg "Bitset: capacity mismatch";
   let rec go i =
-    i >= nbytes a.n
-    || Char.code (Bytes.get a.words i) land lnot (Char.code (Bytes.get b.words i))
-         land 0xff
-       = 0
-       && go (i + 1)
+    i < 0 || (a.words.(i) land lnot b.words.(i) = 0 && go (i - 1))
   in
-  go 0
+  go (Array.length a.words - 1)
+
+let iter_word f base x =
+  let x = ref x in
+  while !x <> 0 do
+    let b = !x land - !x in
+    (* lowest set bit as a power of two; its index via popcount of b-1 *)
+    f (base + popcount (b - 1));
+    x := !x lxor b
+  done
 
 let iter f t =
-  for i = 0 to t.n - 1 do
-    if mem t i then f i
+  for w = 0 to Array.length t.words - 1 do
+    let x = t.words.(w) in
+    if x <> 0 then iter_word f (w lsl 5) x
+  done
+
+let iter_diff f a b =
+  if a.n <> b.n then invalid_arg "Bitset: capacity mismatch";
+  for w = 0 to Array.length a.words - 1 do
+    let x = a.words.(w) land lnot b.words.(w) in
+    if x <> 0 then iter_word f (w lsl 5) x
   done
 
 let fold f t acc =
@@ -76,8 +106,12 @@ let fold f t acc =
   !acc
 
 let choose_opt t =
-  let rec go i =
-    if i >= t.n then None else if mem t i then Some i else go (i + 1)
+  let rec go w =
+    if w >= Array.length t.words then None
+    else
+      let x = t.words.(w) in
+      if x = 0 then go (w + 1)
+      else Some ((w lsl 5) + popcount ((x land -x) - 1))
   in
   go 0
 
@@ -90,9 +124,12 @@ let to_list t = List.rev (fold List.cons t [])
 
 let full n =
   let t = create n in
-  for i = 0 to n - 1 do
-    add t i
-  done;
+  let nw = nwords n in
+  if nw > 0 then begin
+    Array.fill t.words 0 nw wmask;
+    let tail = n land 31 in
+    if tail <> 0 then t.words.(nw - 1) <- (1 lsl tail) - 1
+  end;
   t
 
 let pp ppf t =

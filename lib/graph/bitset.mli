@@ -23,7 +23,17 @@ val inter : t -> t -> t
 
 val union : t -> t -> t
 val diff : t -> t -> t
+
+val inter_cardinal : t -> t -> int
+(** [inter_cardinal a b] is [cardinal (inter a b)] without the
+    intermediate allocation. *)
+
 val iter : (int -> unit) -> t -> unit
+
+val iter_diff : (int -> unit) -> t -> t -> unit
+(** [iter_diff f a b] applies [f] to every member of [a] not in [b], in
+    ascending order, without materializing the difference. *)
+
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 val choose_opt : t -> int option
 (** Smallest member, if any. *)

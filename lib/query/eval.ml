@@ -122,21 +122,26 @@ let run (src : Source.t) (q : Cq.t) on_match =
   let used = Array.make natoms false in
   let support = Array.make natoms ("", ([||] : Tuple.t)) in
   (* Pick the cheapest remaining atom: smallest estimated match count,
-     using the source's per-index selectivity. *)
+     using the source's per-index selectivity. A zero-cost atom cannot
+     be beaten, and — since only a strictly smaller estimate displaces
+     the current best — later atoms could at most tie with it, so the
+     scan stops there without changing which atom is picked. *)
   let pick () =
     let best = ref (-1) and best_cost = ref max_int in
-    for i = 0 to natoms - 1 do
-      if not used.(i) then begin
-        let binds = bound_positions env c.pos.(i) in
-        let cost =
-          if binds = [] then src.Source.cardinality c.pos.(i).rel
-          else src.Source.selectivity c.pos.(i).rel binds
-        in
-        if cost < !best_cost then begin
-          best := i;
-          best_cost := cost
-        end
-      end
+    let i = ref 0 in
+    while !best_cost > 0 && !i < natoms do
+      (if not used.(!i) then begin
+         let binds = bound_positions env c.pos.(!i) in
+         let cost =
+           if binds = [] then src.Source.cardinality c.pos.(!i).rel
+           else src.Source.selectivity c.pos.(!i).rel binds
+         in
+         if cost < !best_cost then begin
+           best := !i;
+           best_cost := cost
+         end
+       end);
+      incr i
     done;
     !best
   in

@@ -10,7 +10,11 @@ type t = {
   scan : string -> Tuple.t Seq.t;
       (** All visible tuples of the named relation. *)
   lookup : string -> (int * Value.t) list -> Tuple.t Seq.t;
-      (** Visible tuples agreeing with all [(position, value)] binds. *)
+      (** Visible tuples agreeing with all [(position, value)] binds.
+          Implementations are encouraged to serve this from an index and
+          to cache the visibility-filtered posting per world — the core
+          tagged store stamps each cached filter with a world epoch and
+          reuses it until the world actually changes. *)
   mem : string -> Tuple.t -> bool;
       (** Visible membership test (used for negated atoms). *)
   cardinality : string -> int;

@@ -14,7 +14,8 @@ type measurement = {
   stats : Core.Dcsat.stats;
 }
 
-let run ?(repeats = 3) ?(jobs = 1) ~session ~label ~algo ~variant q =
+let run ?(repeats = 3) ?(warmup = 0) ?(summary = `Mean) ?(jobs = 1) ~session
+    ~label ~algo ~variant q =
   let solve () =
     let result =
       match algo with
@@ -28,13 +29,22 @@ let run ?(repeats = 3) ?(jobs = 1) ~session ~label ~algo ~variant q =
           (Format.asprintf "Experiment.run (%s, %s): %a" label (algo_name algo)
              Core.Dcsat.pp_refusal refusal)
   in
+  for _ = 1 to warmup do
+    ignore (solve ())
+  done;
   let outcomes = List.init (max 1 repeats) (fun _ -> solve ()) in
   (* Per-run times come from the solver's own stats, which read the
      monotonic clock (Monotime) — immune to NTP adjustments. *)
-  let total =
-    List.fold_left
-      (fun acc (o : Core.Dcsat.outcome) -> acc +. o.Core.Dcsat.stats.Core.Dcsat.runtime)
-      0.0 outcomes
+  let times =
+    List.map
+      (fun (o : Core.Dcsat.outcome) -> o.Core.Dcsat.stats.Core.Dcsat.runtime)
+      outcomes
+  in
+  let seconds =
+    match summary with
+    | `Mean ->
+        List.fold_left ( +. ) 0.0 times /. float_of_int (List.length times)
+    | `Min -> List.fold_left min infinity times
   in
   let last = List.nth outcomes (List.length outcomes - 1) in
   {
@@ -43,7 +53,7 @@ let run ?(repeats = 3) ?(jobs = 1) ~session ~label ~algo ~variant q =
     variant;
     jobs;
     satisfied = last.Core.Dcsat.satisfied;
-    seconds = total /. float_of_int (List.length outcomes);
+    seconds;
     stats = last.Core.Dcsat.stats;
   }
 

@@ -12,12 +12,14 @@ type measurement = {
   variant : Queries.variant;
   jobs : int;  (** Engine worker count used for the run. *)
   satisfied : bool;
-  seconds : float;  (** Mean over [repeats] runs. *)
+  seconds : float;  (** Mean (or min) over [repeats] runs. *)
   stats : Bccore.Dcsat.stats;  (** From the last run. *)
 }
 
 val run :
   ?repeats:int ->
+  ?warmup:int ->
+  ?summary:[ `Mean | `Min ] ->
   ?jobs:int ->
   session:Bccore.Session.t ->
   label:string ->
@@ -25,11 +27,14 @@ val run :
   variant:Queries.variant ->
   Bcquery.Query.t ->
   measurement
-(** Executes the solver [repeats] times (default 3, as in the paper) and
-    averages the wall-clock time, read from the solver's monotonic-clock
-    stats. [jobs] (default 1) selects the engine backend. Raises
-    [Invalid_argument] if the solver refuses the query (e.g. OptDCSat on
-    a disconnected query). *)
+(** Executes the solver [warmup] (default 0) unrecorded times, then
+    [repeats] recorded times (default 3, as in the paper) and summarizes
+    the wall-clock time — the mean by default, or the minimum with
+    [~summary:`Min] (the right statistic when comparing backends whose
+    difference is smaller than scheduler noise). Times are read from the
+    solver's monotonic-clock stats. [jobs] (default 1) selects the
+    engine backend. Raises [Invalid_argument] if the solver refuses the
+    query (e.g. OptDCSat on a disconnected query). *)
 
 val session_of : Bccore.Bcdb.t -> Bccore.Session.t
 (** Fresh session with the steady-state structures prebuilt (warm), so
