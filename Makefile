@@ -21,9 +21,11 @@ bench:
 
 # Fast subset that exercises the measurement pipeline and
 # shape-validates the results JSON (including the committed
-# BENCH_dcsat.json, when present). Non-zero exit on schema drift.
+# BENCH_dcsat.json, when present). Also writes and validates a Chrome
+# trace_event file from the instrumented runs. Non-zero exit on schema
+# drift or an invalid trace.
 bench-smoke:
-	dune exec bench/main.exe -- --smoke
+	dune exec bench/main.exe -- --smoke --trace BENCH_trace.smoke.json
 
 clean:
 	dune clean

@@ -93,6 +93,17 @@ let table1 () =
 let bench_json_path = "BENCH_dcsat.json"
 let recorded : (string * float * E.measurement) list ref = ref []
 
+(* --trace FILE: every measurement's instrumented run pushes its obs
+   summary into this collector; one Chrome trace_event file covering the
+   whole bench run is written (and schema-validated) at exit. *)
+let trace_out : string option ref = ref None
+let trace_collector = Core.Obs.collector ()
+
+let obs_sinks () =
+  match !trace_out with
+  | Some _ -> [ Core.Obs.collector_sink trace_collector ]
+  | None -> []
+
 (* Worker count that the jobs sweep found fastest on the largest
    series; falls back to the runtime's guess when the sweep was not
    among the requested sections. *)
@@ -130,7 +141,9 @@ let write_bench_json path =
                    \"variant\": %S, \"jobs\": %d, \"x\": %g, \
                    \"satisfied\": %b, \"seconds\": %.6f, \"worlds\": %d, \
                    \"cliques\": %d, \"components\": %d, \
-                   \"components_covered\": %d, \"precheck\": %b}"
+                   \"components_covered\": %d, \"precheck\": %b, \
+                   \"obs_worlds\": %d, \"cache_hit_ratio\": %.6f, \
+                   \"worker_util\": %.6f}"
                   figure m.E.label
                   (E.algo_name m.E.algo)
                   (variant_name m.E.variant)
@@ -139,7 +152,8 @@ let write_bench_json path =
                   m.E.stats.Core.Dcsat.cliques_enumerated
                   m.E.stats.Core.Dcsat.components_total
                   m.E.stats.Core.Dcsat.components_covered
-                  m.E.stats.Core.Dcsat.precheck_decided));
+                  m.E.stats.Core.Dcsat.precheck_decided m.E.obs_worlds
+                  m.E.cache_hit_ratio m.E.worker_util));
       Buffer.add_string buf "\n  ]\n}\n";
       let oc = open_out path in
       output_string oc (Buffer.contents buf);
@@ -160,6 +174,7 @@ let required_keys =
     "\"figure\":"; "\"label\":"; "\"algo\":"; "\"variant\":"; "\"jobs\":";
     "\"x\":"; "\"satisfied\":"; "\"seconds\":"; "\"worlds\":"; "\"cliques\":";
     "\"components\":"; "\"components_covered\":"; "\"precheck\":";
+    "\"obs_worlds\":"; "\"cache_hit_ratio\":"; "\"worker_util\":";
   ]
 
 let validate_bench_json path =
@@ -196,7 +211,8 @@ let validate_bench_json path =
 let run_measure ?(figure = "adhoc") ?(x = 0.0) ?repeats ?warmup ?summary ?jobs
     ~session ~label ~algo ~variant q =
   record ~figure ~x
-    (E.run ?repeats ?warmup ?summary ?jobs ~session ~label ~algo ~variant q)
+    (E.run ?repeats ?warmup ?summary ?jobs ~obs_sinks:(obs_sinks ()) ~session
+       ~label ~algo ~variant q)
 
 let query_types variant =
   let figure = match variant with Q.Satisfied -> "fig6a" | Q.Unsatisfied -> "fig6b" in
@@ -415,8 +431,8 @@ let jobs_attempts = 6
 
 let paired_jobs ~figure ~label ~session ~algo q =
   let measure jobs =
-    E.run ~repeats:5 ~warmup:1 ~summary:`Min ~jobs ~session ~label ~algo
-      ~variant:Q.Unsatisfied q
+    E.run ~repeats:5 ~warmup:1 ~summary:`Min ~jobs ~obs_sinks:(obs_sinks ())
+      ~session ~label ~algo ~variant:Q.Unsatisfied q
   in
   let rec attempt n best =
     let seq = measure 1 in
@@ -749,10 +765,23 @@ let sections =
     ("bechamel", bechamel);
   ]
 
+let write_and_validate_trace () =
+  match !trace_out with
+  | None -> []
+  | Some path -> (
+      Core.Obs.write_trace trace_collector path;
+      match Core.Obs.validate_trace_file path with
+      | Ok events ->
+          Printf.printf "[trace] wrote %s (%d events)\n" path events;
+          []
+      | Error errs ->
+          List.map (Printf.sprintf "trace %s: %s" path) errs)
+
 let finish_with ~json_path ~check_committed =
   write_bench_json json_path;
   let errors =
     (if !recorded <> [] then validate_bench_json json_path else [])
+    @ write_and_validate_trace ()
     @
     if check_committed && Sys.file_exists bench_json_path then
       validate_bench_json bench_json_path
@@ -769,6 +798,17 @@ let finish_with ~json_path ~check_committed =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let rec strip_trace = function
+    | "--trace" :: file :: rest ->
+        trace_out := Some file;
+        strip_trace rest
+    | "--trace" :: [] ->
+        prerr_endline "--trace requires a FILE argument";
+        exit 1
+    | a :: rest -> a :: strip_trace rest
+    | [] -> []
+  in
+  let args = strip_trace args in
   let smoke_mode = List.mem "--smoke" args in
   let section_args = List.filter (fun a -> a <> "--smoke") args in
   if smoke_mode then begin

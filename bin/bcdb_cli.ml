@@ -74,6 +74,43 @@ let jobs =
            sequential engine backend, larger values fan candidate worlds \
            out over N parallel domains with identical results.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record solver/engine/store instrumentation and write a Chrome \
+           trace_event JSON trace to $(docv) (open in about:tracing or \
+           https://ui.perfetto.dev).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Record solver/engine/store instrumentation and write merged \
+           counters, histograms and span aggregates as JSONL to $(docv).")
+
+let obs_flag =
+  Arg.(
+    value & flag
+    & info [ "obs" ]
+        ~doc:
+          "Record solver/engine/store instrumentation and print a summary \
+           (span aggregates, counters, histograms) to stderr.")
+
+(* The session recorder implied by the --trace/--metrics/--obs flags:
+   null (zero overhead) unless at least one sink is requested. *)
+let obs_of_flags ~trace ~metrics ~summary =
+  let sinks =
+    (if summary then [ Core.Obs.pretty_sink () ] else [])
+    @ (match metrics with Some f -> [ Core.Obs.metrics_sink f ] | None -> [])
+    @ match trace with Some f -> [ Core.Obs.trace_sink f ] | None -> []
+  in
+  if sinks = [] then Core.Obs.null else Core.Obs.create ~sinks ()
+
 (* The paper's Figure 2 example, shared with the test fixtures in
    spirit. *)
 let paper_db () =
@@ -247,7 +284,8 @@ let report db (o : Core.Dcsat.outcome) strategy =
   | None -> ()
 
 let check_cmd =
-  let run file paper preset contradictions seed algo jobs query =
+  let run file paper preset contradictions seed algo jobs trace metrics summary
+      query =
     match load_db ?file ~paper ~preset ~contradictions ~seed () with
     | Error msg ->
         Printf.eprintf "error: %s\n" msg;
@@ -258,7 +296,8 @@ let check_cmd =
             Printf.eprintf "error: %s\n" msg;
             1
         | Ok q -> (
-            let session = Core.Session.create db in
+            let obs = obs_of_flags ~trace ~metrics ~summary in
+            let session = Core.Session.create ~obs db in
             let result =
               match algo with
               | `Naive ->
@@ -282,6 +321,7 @@ let check_cmd =
                     (fun (o, s) -> (o, Core.Solver.strategy_name s))
                     (Core.Solver.solve ~jobs session q)
             in
+            Core.Obs.flush obs;
             match result with
             | Ok (o, strategy) ->
                 report db o strategy;
@@ -297,7 +337,7 @@ let check_cmd =
           possible world). Exit code 0: satisfied, 2: unsatisfied.")
     Term.(
       const run $ file $ paper $ preset $ contradictions $ seed $ algo $ jobs
-      $ query_arg)
+      $ trace_arg $ metrics_arg $ obs_flag $ query_arg)
 
 (* ------------------------------------------------------------------ *)
 (* likelihood *)
@@ -353,7 +393,8 @@ let likelihood_cmd =
 (* explain *)
 
 let explain_cmd =
-  let run file paper preset contradictions seed jobs query =
+  let run file paper preset contradictions seed jobs trace metrics summary query
+      =
     match load_db ?file ~paper ~preset ~contradictions ~seed () with
     | Error msg ->
         Printf.eprintf "error: %s\n" msg;
@@ -364,8 +405,11 @@ let explain_cmd =
             Printf.eprintf "error: %s\n" msg;
             1
         | Ok q -> (
-            let session = Core.Session.create db in
-            match Core.Explain.run ~jobs session q with
+            let obs = obs_of_flags ~trace ~metrics ~summary in
+            let session = Core.Session.create ~obs db in
+            let result = Core.Explain.run ~jobs session q in
+            Core.Obs.flush obs;
+            match result with
             | Ok report ->
                 print_endline (Core.Explain.to_string db report);
                 if report.Core.Explain.outcome.Core.Dcsat.satisfied then 0 else 2
@@ -381,7 +425,7 @@ let explain_cmd =
           and a trace of components, cliques and worlds.")
     Term.(
       const run $ file $ paper $ preset $ contradictions $ seed $ jobs
-      $ query_arg)
+      $ trace_arg $ metrics_arg $ obs_flag $ query_arg)
 
 (* ------------------------------------------------------------------ *)
 (* answers *)
@@ -475,6 +519,33 @@ let dump_cmd =
     Term.(const run $ paper $ preset $ contradictions $ seed $ out)
 
 (* ------------------------------------------------------------------ *)
+(* validate-trace *)
+
+let validate_trace_cmd =
+  let trace_file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Chrome trace_event JSON file to validate.")
+  in
+  let run path =
+    match Core.Obs.validate_trace_file path with
+    | Ok events ->
+        Printf.printf "%s: valid trace (%d events)\n" path events;
+        0
+    | Error errs ->
+        List.iter (fun e -> Printf.eprintf "%s: %s\n" path e) errs;
+        1
+  in
+  Cmd.v
+    (Cmd.info "validate-trace"
+       ~doc:
+         "Check that a file produced by --trace is well-formed Chrome \
+          trace_event JSON (loadable by Perfetto / chrome://tracing). \
+          Exits non-zero and lists the problems otherwise.")
+    Term.(const run $ trace_file)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let info =
@@ -492,4 +563,5 @@ let () =
             answers_cmd;
             likelihood_cmd;
             dump_cmd;
+            validate_trace_cmd;
           ]))

@@ -68,7 +68,7 @@ let finish ~t0 ~precheck counters satisfied witness_world witness =
 
 (* Evaluate q over the world whose included transactions are [txs], on
    the given store (the session's primary one, or a worker replica). *)
-let eval_txs q store txs =
+let eval_txs_raw q store txs =
   Tagged_store.set_world_list store txs;
   let src = Tagged_store.source store in
   let violation =
@@ -84,14 +84,29 @@ let eval_txs q store txs =
   in
   { Engine.world = txs; violation }
 
+(* [obs] records the span — it runs on whatever domain evaluates, and
+   per-domain buffering keeps concurrent evaluations from interleaving.
+   This runs once per world: the span closure must only be built when
+   recording, or its allocation taxes the uninstrumented hot path. *)
+let eval_txs obs q store txs =
+  if Obs.enabled obs then
+    Obs.span obs ~cat:"dcsat" "eval" (fun () -> eval_txs_raw q store txs)
+  else eval_txs_raw q store txs
+
 (* A clique work item: materialize its maximal world, then evaluate. *)
-let eval_clique q store members =
-  let world = Get_maximal.run_list store members in
-  eval_txs q store (Bitset.to_list world)
+let eval_clique obs q store members =
+  let world =
+    if Obs.enabled obs then
+      Obs.span obs ~cat:"dcsat" "get_maximal" (fun () ->
+          Get_maximal.run_list store members)
+    else Get_maximal.run_list store members
+  in
+  eval_txs obs q store (Bitset.to_list world)
 
 (* The monotone pre-check: q false over R ∪ T implies satisfied. The
    previously active world is restored afterwards. *)
 let precheck session q =
+  Obs.span (Session.obs session) ~cat:"dcsat" "precheck" @@ fun () ->
   let store = Session.store session in
   let saved = Tagged_store.world store in
   Tagged_store.all_visible store;
@@ -103,12 +118,13 @@ let precheck session q =
    back into the run's counters. Returns a violation or None. *)
 let run_worlds ~jobs ~on_event ~count_cliques session counters q ~eval source =
   let store = Session.store session in
+  let obs = Session.obs session in
   let report =
-    Engine.run ~jobs ~store
+    Engine.run ~obs ~jobs ~store
       ~replicate:(fun () -> Session.borrow_replica session)
       ~release:(Session.return_replica session)
       ~restrict:(Tagged_store.restrict store)
-      ~source ~eval:(eval q)
+      ~source ~eval:(eval obs q)
       ~on_item:(fun members ->
         if count_cliques then on_event (Clique_found members))
       ~on_evaluated:(fun ev ->
@@ -119,6 +135,12 @@ let run_worlds ~jobs ~on_event ~count_cliques session counters q ~eval source =
   if count_cliques then
     counters.cliques <- counters.cliques + report.Engine.pulled;
   counters.worlds <- counters.worlds + report.Engine.evaluated;
+  (* The engine clamps both counts to the winning index, so these obs
+     counters are deterministic across backends and job counts. *)
+  if Obs.enabled obs then begin
+    if count_cliques then Obs.add obs "dcsat.cliques" report.Engine.pulled;
+    Obs.add obs "dcsat.worlds" report.Engine.evaluated
+  end;
   Option.map
     (fun (v : Engine.violation) -> (v.Engine.world, v.witness))
     report.Engine.hit
@@ -127,9 +149,12 @@ let run_worlds ~jobs ~on_event ~count_cliques session counters q ~eval source =
    [nodes], as candidate sets in original transaction ids. When [scope]
    is given, items are tagged with that component-scoped store view. *)
 let clique_source ?scope session nodes =
+  let obs = Session.obs session in
   let fd = Session.fd_graph session in
   let sub, back = Undirected.induced fd.Fd_graph.graph nodes in
-  Engine.Work_source.of_cliques ?scope sub ~back
+  let next = Engine.Work_source.of_cliques ?scope sub ~back in
+  if not (Obs.enabled obs) then next
+  else fun () -> Obs.span obs ~cat:"dcsat" "bk_yield" next
 
 (* Work source for OptDCSat: the clique streams of the covered
    components, chained in component order. The Covers test and the
@@ -159,7 +184,12 @@ let component_source ~use_covers ~on_event session q components =
         | [] -> None
         | component :: rest ->
             remaining := rest;
-            if (not use_covers) || Covers.covers store component q then begin
+            let covers =
+              (not use_covers)
+              || Obs.span (Session.obs session) ~cat:"dcsat" "covers"
+                   (fun () -> Covers.covers store component q)
+            in
+            if covers then begin
               cover_marks := !emitted :: !cover_marks;
               on_event (Component_entered component);
               (* Every clique of this component — and the maximal world
@@ -208,8 +238,10 @@ let require_monotone q k =
 
 let base_world_check session counters q =
   let store = Session.store session in
+  let obs = Session.obs session in
   counters.worlds <- counters.worlds + 1;
-  let ev = eval_txs q store [] in
+  if Obs.enabled obs then Obs.add obs "dcsat.worlds" 1;
+  let ev = eval_txs obs q store [] in
   Option.map
     (fun (v : Engine.violation) -> (v.Engine.world, v.witness))
     ev.Engine.violation
@@ -268,11 +300,17 @@ let opt ?(jobs = 1) ?(use_precheck = true) ?(use_covers = true)
           let violation =
             if k = 0 then base_world_check session counters q
             else begin
-              let graph =
-                Ind_graph.build store q (Session.ind_base_edges session)
+              let obs = Session.obs session in
+              let components =
+                Obs.span obs ~cat:"dcsat" "ind_graph" (fun () ->
+                    let graph =
+                      Ind_graph.build store q (Session.ind_base_edges session)
+                    in
+                    Bcgraph.Components.of_graph graph)
               in
-              let components = Bcgraph.Components.of_graph graph in
               counters.comps <- List.length components;
+              if Obs.enabled obs then
+                Obs.add obs "dcsat.components" (List.length components);
               on_event (Components_found (List.length components));
               let source, covered =
                 component_source ~use_covers ~on_event session q components

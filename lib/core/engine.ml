@@ -44,7 +44,18 @@ let max_jobs = 64
 let backend_of_jobs jobs = if jobs <= 1 then Sequential else Parallel (min jobs max_jobs)
 let default_jobs () = Domain.recommended_domain_count ()
 
-let run_sequential ~store ~restrict ~source ~eval ~on_item ~on_evaluated =
+(* Per-item evaluation time feeds the "engine.busy_s" histogram (its sum
+   over jobs × wall time is the worker-utilization headline number). *)
+let eval_timed obs eval store members =
+  if Obs.enabled obs then begin
+    let since = Monotime.now () in
+    let ev = eval store members in
+    Obs.observe obs "engine.busy_s" (Monotime.elapsed ~since);
+    ev
+  end
+  else eval store members
+
+let run_sequential ~obs ~store ~restrict ~source ~eval ~on_item ~on_evaluated =
   let pulled = ref 0 and evaluated = ref 0 in
   (* One scoped view per component, rebuilt when the scope list changes
      (sources reuse one list instance per component, so consecutive
@@ -67,7 +78,7 @@ let run_sequential ~store ~restrict ~source ~eval ~on_item ~on_evaluated =
     | Some item ->
         incr pulled;
         on_item item.Work_source.members;
-        let ev = eval (store_for item) item.Work_source.members in
+        let ev = eval_timed obs eval (store_for item) item.Work_source.members in
         incr evaluated;
         on_evaluated ev;
         (match ev.violation with Some _ as hit -> hit | None -> go ())
@@ -152,7 +163,7 @@ end
    wins. That makes the returned witness — and, after clamping the work
    counters to the winning index, the reported stats — deterministic and
    equal to the sequential backend's. *)
-let run_parallel ~jobs ~replicate ~release ~restrict ~source ~eval ~on_item
+let run_parallel ~obs ~jobs ~replicate ~release ~restrict ~source ~eval ~on_item
     ~on_evaluated =
   let lock = Mutex.create () in
   let locked f =
@@ -163,7 +174,7 @@ let run_parallel ~jobs ~replicate ~release ~restrict ~source ~eval ~on_item
   let best = ref None in
   let next_index = ref 0 in
   let borrowed = ref [] in
-  let claim () =
+  let claim_raw () =
     locked (fun () ->
         if Atomic.get stop then None
         else
@@ -174,6 +185,13 @@ let run_parallel ~jobs ~replicate ~release ~restrict ~source ~eval ~on_item
               incr next_index;
               on_item item.Work_source.members;
               Some (i, item))
+  in
+  let claim () =
+    (* The claim span covers lock acquisition plus the pull itself, so a
+       trace shows contention on the claim path as wide "claim" slices.
+       One claim per item: no span closure unless recording. *)
+    if Obs.enabled obs then Obs.span obs ~cat:"engine" "claim" claim_raw
+    else claim_raw ()
   in
   let record i v =
     locked (fun () ->
@@ -214,13 +232,13 @@ let run_parallel ~jobs ~replicate ~release ~restrict ~source ~eval ~on_item
       match claim () with
       | None -> ()
       | Some (i, item) ->
-          let ev = eval (store_for item) item.Work_source.members in
+          let ev = eval_timed obs eval (store_for item) item.Work_source.members in
           claimed := i :: !claimed;
           locked (fun () -> on_evaluated ev);
           (match ev.violation with Some v -> record i v | None -> ());
           go ()
     in
-    go ();
+    Obs.span obs ~cat:"engine" "worker" go;
     !claimed
   in
   let done_m = Mutex.create () and done_cv = Condition.create () in
@@ -237,11 +255,12 @@ let run_parallel ~jobs ~replicate ~release ~restrict ~source ~eval ~on_item
         Mutex.unlock done_m)
   done;
   let mine = worker () in
-  Mutex.lock done_m;
-  while !finished < helpers do
-    Condition.wait done_cv done_m
-  done;
-  Mutex.unlock done_m;
+  Obs.span obs ~cat:"engine" "join" (fun () ->
+      Mutex.lock done_m;
+      while !finished < helpers do
+        Condition.wait done_cv done_m
+      done;
+      Mutex.unlock done_m);
   let claimed = mine @ !helper_claims in
   List.iter release !borrowed;
   let win, hit =
@@ -250,11 +269,11 @@ let run_parallel ~jobs ~replicate ~release ~restrict ~source ~eval ~on_item
   let counted = List.length (List.filter (fun i -> i <= win) claimed) in
   { hit; pulled = counted; evaluated = counted }
 
-let run ~jobs ~store ~replicate ?(release = ignore) ?restrict ~source ~eval
-    ~on_item ~on_evaluated () =
+let run ?(obs = Obs.null) ~jobs ~store ~replicate ?(release = ignore) ?restrict
+    ~source ~eval ~on_item ~on_evaluated () =
   match backend_of_jobs jobs with
   | Sequential ->
-      run_sequential ~store ~restrict ~source ~eval ~on_item ~on_evaluated
+      run_sequential ~obs ~store ~restrict ~source ~eval ~on_item ~on_evaluated
   | Parallel jobs ->
-      run_parallel ~jobs ~replicate ~release ~restrict ~source ~eval ~on_item
-        ~on_evaluated
+      run_parallel ~obs ~jobs ~replicate ~release ~restrict ~source ~eval
+        ~on_item ~on_evaluated

@@ -80,6 +80,7 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
 val run :
+  ?obs:Obs.t ->
   jobs:int ->
   store:Tagged_store.t ->
   replicate:(unit -> Tagged_store.t) ->
@@ -95,6 +96,10 @@ val run :
     per-component [restrict] view) sequentially, or on worker
     replicas/views in parallel, stopping at the first violation per the
     determinism contract. [eval] must use only the store it is handed.
+    [obs] (default {!Obs.null}) records per-worker spans ([worker],
+    [claim], [join], cat ["engine"]) and per-item evaluation times (the
+    ["engine.busy_s"] histogram) — each worker domain writes to its own
+    buffer, so instrumentation adds no cross-domain contention.
     [replicate] and [restrict] are called lazily, under the engine lock
     in the parallel backend (they read the primary store); every store
     [replicate] returns is passed to [release] after the workers have

@@ -1,4 +1,4 @@
-external now_ns : unit -> int64 = "bcdb_monotime_ns"
-
-let now () = Int64.to_float (now_ns ()) /. 1e9
-let elapsed ~since = now () -. since
+(* The clock moved into the observability library (spans need it below
+   the core); re-exported here so core modules keep saying
+   [Monotime.now]. *)
+include Bcobs.Monotime

@@ -1,0 +1,3 @@
+(* Alias so core modules (and their .mlis) can name recorder types as
+   [Obs.t] without depending on the wrapped library name. *)
+include Bcobs.Obs

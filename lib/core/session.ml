@@ -3,6 +3,9 @@ module R = Relational
 type t = {
   db : Bcdb.t;
   store : Tagged_store.t;
+  obs : Obs.t ref;
+      (* a ref, not a value: lazies and pooled replicas must see the
+         recorder active when they run, not the one at session creation *)
   fd_graph : Fd_graph.t Lazy.t;
   ind_base_edges : (int * int) list Lazy.t;
   includable : bool array Lazy.t;
@@ -10,31 +13,42 @@ type t = {
   pool_lock : Mutex.t;
 }
 
-let create db =
+let create ?(obs = Obs.null) db =
   let store = Tagged_store.create db in
+  let obs = ref obs in
+  Tagged_store.set_obs store !obs;
   {
     db;
     store;
+    obs;
     pool = ref [];
     pool_lock = Mutex.create ();
-    fd_graph = lazy (Fd_graph.build store);
-    ind_base_edges = lazy (Ind_graph.base_edges store);
+    fd_graph = lazy (Obs.span !obs ~cat:"session" "fd_graph" (fun () -> Fd_graph.build store));
+    ind_base_edges =
+      lazy (Obs.span !obs ~cat:"session" "ind_base_edges" (fun () -> Ind_graph.base_edges store));
     includable =
       lazy
-        (let saved = Tagged_store.world store in
-         Tagged_store.base_only store;
-         let src = Tagged_store.source store in
-         let result =
-           Array.init (Tagged_store.tx_count store) (fun id ->
-               R.Check.batch_consistent src db.Bcdb.constraints
-                 (Tagged_store.tx_rows store id))
-         in
-         Tagged_store.set_world store saved;
-         result);
+        (Obs.span !obs ~cat:"session" "includable" (fun () ->
+             let saved = Tagged_store.world store in
+             Tagged_store.base_only store;
+             let src = Tagged_store.source store in
+             let result =
+               Array.init (Tagged_store.tx_count store) (fun id ->
+                   R.Check.batch_consistent src db.Bcdb.constraints
+                     (Tagged_store.tx_rows store id))
+             in
+             Tagged_store.set_world store saved;
+             result));
   }
 
 let db t = t.db
 let store t = t.store
+let obs t = !(t.obs)
+
+let set_obs t obs =
+  t.obs := obs;
+  Tagged_store.set_obs t.store obs
+
 let fd_graph t = Lazy.force t.fd_graph
 let ind_base_edges t = Lazy.force t.ind_base_edges
 let includable t = Lazy.force t.includable
@@ -64,7 +78,10 @@ let borrow_replica t =
     | [] -> None
   in
   Mutex.unlock t.pool_lock;
-  match hit with Some r -> r | None -> Tagged_store.clone t.store
+  let r = match hit with Some r -> r | None -> Tagged_store.clone t.store in
+  (* Pooled replicas may predate the session's current recorder. *)
+  Tagged_store.set_obs r !(t.obs);
+  r
 
 let return_replica t r =
   if Tagged_store.db r == Tagged_store.db t.store then begin
@@ -84,6 +101,7 @@ let replica t =
   {
     db = t.db;
     store;
+    obs = t.obs;
     pool = ref [];
     pool_lock = Mutex.create ();
     fd_graph = share t.fd_graph (lazy (Fd_graph.build store));
@@ -151,6 +169,7 @@ let extended t =
   {
     db = db';
     store;
+    obs = t.obs;
     pool = ref [];
     pool_lock = Mutex.create ();
     fd_graph;

@@ -7,9 +7,21 @@
 
 type t
 
-val create : Bcdb.t -> t
+val create : ?obs:Obs.t -> Bcdb.t -> t
+(** [obs] (default {!Obs.null}) is the session's recorder: spans around
+    the lazy precomputations, store cache counters, and — via
+    {!Solver}/{!Dcsat} — solver phase spans and counters. *)
+
 val db : t -> Bcdb.t
 val store : t -> Tagged_store.t
+
+val obs : t -> Obs.t
+val set_obs : t -> Obs.t -> unit
+(** Swap the recorder mid-session (the bench harness records one
+    instrumented run after the timed ones). The store, pooled replicas
+    as they are next borrowed, and future solver runs all pick up the
+    new recorder; {!replica} sessions share it. *)
+
 val fd_graph : t -> Fd_graph.t
 (** Computed on first use, then cached. *)
 

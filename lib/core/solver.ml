@@ -14,25 +14,43 @@ let strategy_name = function
 
 let brute_limit = 24
 
+(* One "solver.strategy.*" counter per dispatch outcome, so merged
+   metrics show which algorithm answered each constraint. *)
+let strategy_counter = function
+  | Tractable _ -> "solver.strategy.tractable"
+  | Opt -> "solver.strategy.opt"
+  | Naive -> "solver.strategy.naive"
+  | Brute_force -> "solver.strategy.brute_force"
+
 let solve ?jobs ?sum_args_nonnegative session q =
-  match Tractable.solve ?sum_args_nonnegative session q with
-  | Some (outcome, case) -> Ok (outcome, Tractable case)
-  | None -> (
-      match Dcsat.opt ?jobs session q with
-      | Ok outcome -> Ok (outcome, Opt)
-      | Error `Not_connected -> (
-          match Dcsat.naive ?jobs session q with
-          | Ok outcome -> Ok (outcome, Naive)
-          | Error refusal -> Error (Format.asprintf "%a" Dcsat.pp_refusal refusal))
-      | Error (`Not_monotone _) ->
-          let store = Session.store session in
-          if Tagged_store.tx_count store > brute_limit then
-            Error
-              (Printf.sprintf
-                 "constraint is not monotone and %d pending transactions \
-                  exceed the exhaustive-enumeration limit (%d)"
-                 (Tagged_store.tx_count store) brute_limit)
-          else Ok (Dcsat.brute_force ?jobs session q, Brute_force))
+  let obs = Session.obs session in
+  let result =
+    Obs.span obs ~cat:"solver" "solve" @@ fun () ->
+    match Tractable.solve ?sum_args_nonnegative session q with
+    | Some (outcome, case) -> Ok (outcome, Tractable case)
+    | None -> (
+        match Dcsat.opt ?jobs session q with
+        | Ok outcome -> Ok (outcome, Opt)
+        | Error `Not_connected -> (
+            match Dcsat.naive ?jobs session q with
+            | Ok outcome -> Ok (outcome, Naive)
+            | Error refusal ->
+                Error (Format.asprintf "%a" Dcsat.pp_refusal refusal))
+        | Error (`Not_monotone _) ->
+            let store = Session.store session in
+            if Tagged_store.tx_count store > brute_limit then
+              Error
+                (Printf.sprintf
+                   "constraint is not monotone and %d pending transactions \
+                    exceed the exhaustive-enumeration limit (%d)"
+                   (Tagged_store.tx_count store) brute_limit)
+            else Ok (Dcsat.brute_force ?jobs session q, Brute_force))
+  in
+  (match result with
+  | Ok (_, strategy) when Obs.enabled obs ->
+      Obs.add obs (strategy_counter strategy) 1
+  | _ -> ());
+  result
 
 let solve_exn ?jobs ?sum_args_nonnegative session q =
   match solve ?jobs ?sum_args_nonnegative session q with

@@ -90,6 +90,7 @@ type t = {
   mutable k : int;
   mutable visible : Bitset.t;
   mutable epoch : int;
+  mutable obs : Obs.t;
 }
 
 let base_origin = -1
@@ -199,7 +200,7 @@ let create (db : Bcdb.t) =
       Smap.empty (R.Schema.relations catalog)
   in
   let k = Array.length db.Bcdb.pending in
-  { db; rels; k; visible = Bitset.create k; epoch = 0 }
+  { db; rels; k; visible = Bitset.create k; epoch = 0; obs = Obs.null }
 
 let clone_rel rs =
   let copy_postings tbl =
@@ -265,6 +266,7 @@ let clone t =
     k = t.k;
     visible = Bitset.copy t.visible;
     epoch = t.epoch;
+    obs = t.obs;
   }
 
 let restrict t members =
@@ -307,10 +309,12 @@ let restrict t members =
     k = t.k;
     visible = Bitset.create t.k;
     epoch = 0;
+    obs = t.obs;
   }
 
 let db t = t.db
 let tx_count t = t.k
+let set_obs t obs = t.obs <- obs
 let world t = Bitset.copy t.visible
 
 (* Switch to [vis] (a fresh bitset owned by the store) by flipping only
@@ -333,7 +337,8 @@ let apply_world t vis =
         Bitset.iter_diff (flip 1) vis old)
       t.rels;
     t.visible <- vis;
-    t.epoch <- t.epoch + 1
+    t.epoch <- t.epoch + 1;
+    if Obs.enabled t.obs then Obs.add t.obs "store.epoch_switch" 1
   end
 
 let set_world t vis =
@@ -447,8 +452,10 @@ let ensure_composite rs cols =
 let posting_visible t rs (p : posting) =
   if p.cepoch <> t.epoch then begin
     p.cvis <- List.filter (fun i -> rs.viscount.(i) > 0) p.all;
-    p.cepoch <- t.epoch
-  end;
+    p.cepoch <- t.epoch;
+    if Obs.enabled t.obs then Obs.add t.obs "store.vis_miss" 1
+  end
+  else if Obs.enabled t.obs then Obs.add t.obs "store.vis_hit" 1;
   p.cvis
 
 let matches binds (tuple : R.Tuple.t) =

@@ -47,6 +47,12 @@ val restrict : t -> int list -> t
 
 val tx_count : t -> int
 
+val set_obs : t -> Obs.t -> unit
+(** Attach a recorder; the store bumps visibility-cache hit/miss and
+    world-epoch-switch counters on it (defaults to {!Obs.null}, whose
+    per-call cost is one branch). {!clone} and {!restrict} inherit the
+    parent's recorder. *)
+
 val world : t -> Bcgraph.Bitset.t
 (** The active visibility (a copy; mutating it does not affect the
     store). *)

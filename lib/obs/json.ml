@@ -1,0 +1,144 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Fail of int * string
+
+let fail i msg = raise (Fail (i, msg))
+
+let parse s =
+  let n = String.length s in
+  let rec skip i =
+    if i < n && (match s.[i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    then skip (i + 1)
+    else i
+  in
+  let literal i word v =
+    let l = String.length word in
+    if i + l <= n && String.sub s i l = word then (v, i + l)
+    else fail i ("expected " ^ word)
+  in
+  let number i =
+    let j = ref i in
+    let num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !j < n && num_char s.[!j] do
+      incr j
+    done;
+    match float_of_string_opt (String.sub s i (!j - i)) with
+    | Some f -> (Num f, !j)
+    | None -> fail i "malformed number"
+  in
+  let string_lit i =
+    let buf = Buffer.create 16 in
+    let rec go i =
+      if i >= n then fail i "unterminated string"
+      else
+        match s.[i] with
+        | '"' -> (Buffer.contents buf, i + 1)
+        | '\\' ->
+            if i + 1 >= n then fail i "truncated escape"
+            else (
+              (match s.[i + 1] with
+              | '"' -> Buffer.add_char buf '"'
+              | '\\' -> Buffer.add_char buf '\\'
+              | '/' -> Buffer.add_char buf '/'
+              | 'n' -> Buffer.add_char buf '\n'
+              | 't' -> Buffer.add_char buf '\t'
+              | 'r' -> Buffer.add_char buf '\r'
+              | 'b' -> Buffer.add_char buf '\b'
+              | 'f' -> Buffer.add_char buf '\012'
+              | 'u' -> ()
+              | c -> fail i (Printf.sprintf "bad escape \\%c" c));
+              if s.[i + 1] = 'u' then begin
+                if i + 5 >= n then fail i "truncated \\u escape";
+                match int_of_string_opt ("0x" ^ String.sub s (i + 2) 4) with
+                | Some code ->
+                    Buffer.add_utf_8_uchar buf
+                      (if Uchar.is_valid code then Uchar.of_int code
+                       else Uchar.rep);
+                    go (i + 6)
+                | None -> fail i "bad \\u escape"
+              end
+              else go (i + 2))
+        | c ->
+            Buffer.add_char buf c;
+            go (i + 1)
+    in
+    go i
+  in
+  let rec value i =
+    let i = skip i in
+    if i >= n then fail i "unexpected end of input"
+    else
+      match s.[i] with
+      | 'n' -> literal i "null" Null
+      | 't' -> literal i "true" (Bool true)
+      | 'f' -> literal i "false" (Bool false)
+      | '"' ->
+          let str, i = string_lit (i + 1) in
+          (Str str, i)
+      | '[' -> list_items (i + 1) []
+      | '{' -> obj_items (i + 1) []
+      | _ -> number i
+  and list_items i acc =
+    let i = skip i in
+    if i < n && s.[i] = ']' then (List (List.rev acc), i + 1)
+    else
+      let v, i = value i in
+      let i = skip i in
+      if i < n && s.[i] = ',' then list_items (i + 1) (v :: acc)
+      else if i < n && s.[i] = ']' then (List (List.rev (v :: acc)), i + 1)
+      else fail i "expected ',' or ']'"
+  and obj_items i acc =
+    let i = skip i in
+    if i < n && s.[i] = '}' then (Obj (List.rev acc), i + 1)
+    else if i < n && s.[i] = '"' then begin
+      let key, i = string_lit (i + 1) in
+      let i = skip i in
+      if i >= n || s.[i] <> ':' then fail i "expected ':'"
+      else
+        let v, i = value (i + 1) in
+        let i = skip i in
+        if i < n && s.[i] = ',' then obj_items (i + 1) ((key, v) :: acc)
+        else if i < n && s.[i] = '}' then
+          (Obj (List.rev ((key, v) :: acc)), i + 1)
+        else fail i "expected ',' or '}'"
+    end
+    else fail i "expected '\"' or '}'"
+  in
+  match value 0 with
+  | v, i ->
+      let i = skip i in
+      if i = n then Ok v
+      else Error (Printf.sprintf "trailing input at offset %d" i)
+  | exception Fail (i, msg) -> Error (Printf.sprintf "%s at offset %d" msg i)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** A minimal JSON reader, just large enough to validate the files the
+    observability sinks emit (Chrome [trace_event] traces, JSONL
+    metrics) without pulling a JSON dependency into the build. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON value. The error carries a character offset. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing fields and non-objects. *)
+
+val escape : string -> string
+(** The JSON string-literal encoding of [s], quotes included. Shared by
+    every sink that writes JSON. *)

@@ -1,0 +1,4 @@
+external now_ns : unit -> int64 = "bcdb_monotime_ns"
+
+let now () = Int64.to_float (now_ns ()) /. 1e9
+let elapsed ~since = now () -. since

@@ -1,0 +1,16 @@
+(** Monotonic wall-clock readings ([clock_gettime(CLOCK_MONOTONIC)]).
+
+    Solver statistics report elapsed times as differences of these
+    readings, so [stats.runtime] cannot go negative or jump when NTP
+    slews the system clock — which [Unix.gettimeofday] cannot
+    guarantee. The absolute value is meaningless (an arbitrary epoch,
+    typically boot time); only differences are. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds since an arbitrary fixed epoch. *)
+
+val now : unit -> float
+(** Seconds since an arbitrary fixed epoch. *)
+
+val elapsed : since:float -> float
+(** [elapsed ~since:(now ())] is the seconds elapsed, always >= 0. *)

@@ -1,0 +1,369 @@
+type span = {
+  name : string;
+  cat : string;
+  dom : int;
+  start_ns : int64;
+  dur_ns : int64;
+}
+
+type hist = { count : int; sum : float; min : float; max : float }
+
+type summary = {
+  spans : span list;
+  counters : (string * int) list;
+  hists : (string * hist) list;
+}
+
+type sink = summary -> unit
+
+(* Per-domain buffer: only the owning domain ever writes to it, so no
+   synchronization is needed on the record path. Spans are kept in
+   completion order (consed, then reversed at merge time). *)
+type buffer = {
+  dom : int;
+  mutable b_spans : span list;
+  b_counters : (string, int ref) Hashtbl.t;
+  b_hists : (string, hist ref) Hashtbl.t;
+}
+
+type t = {
+  id : int;  (* distinguishes recorders in the domain-local registry *)
+  enabled : bool;
+  sinks : sink list;
+  lock : Mutex.t;  (* guards [buffers] registration only *)
+  mutable buffers : buffer list;
+}
+
+(* One process-wide epoch so every recorder shares a timeline and a
+   collector can merge traces from many recorders into one file. *)
+let epoch_ns = Monotime.now_ns ()
+
+let next_id =
+  let counter = Atomic.make 0 in
+  fun () -> Atomic.fetch_and_add counter 1
+
+let null =
+  {
+    id = next_id ();
+    enabled = false;
+    sinks = [];
+    lock = Mutex.create ();
+    buffers = [];
+  }
+
+let create ?(sinks = []) () =
+  { id = next_id (); enabled = true; sinks; lock = Mutex.create (); buffers = [] }
+
+let enabled t = t.enabled
+
+(* The calling domain's buffer for [t], created and registered on first
+   use. The registry is domain-local (a map from recorder id to buffer),
+   so the lookup never synchronizes; only the one-time registration into
+   [t.buffers] takes the recorder's lock. *)
+let dls_key : (int, buffer) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let buffer t =
+  let registry = Domain.DLS.get dls_key in
+  match Hashtbl.find_opt registry t.id with
+  | Some b -> b
+  | None ->
+      let b =
+        {
+          dom = (Domain.self () :> int);
+          b_spans = [];
+          b_counters = Hashtbl.create 16;
+          b_hists = Hashtbl.create 8;
+        }
+      in
+      Hashtbl.replace registry t.id b;
+      Mutex.lock t.lock;
+      t.buffers <- b :: t.buffers;
+      Mutex.unlock t.lock;
+      b
+
+let span t ?(cat = "") name f =
+  if not t.enabled then f ()
+  else begin
+    let b = buffer t in
+    let start = Monotime.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let stop = Monotime.now_ns () in
+        b.b_spans <-
+          {
+            name;
+            cat;
+            dom = b.dom;
+            start_ns = Int64.sub start epoch_ns;
+            dur_ns = Int64.sub stop start;
+          }
+          :: b.b_spans)
+      f
+  end
+
+let add t name n =
+  if t.enabled then begin
+    let b = buffer t in
+    match Hashtbl.find_opt b.b_counters name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.replace b.b_counters name (ref n)
+  end
+
+let observe t name v =
+  if t.enabled then begin
+    let b = buffer t in
+    match Hashtbl.find_opt b.b_hists name with
+    | Some h ->
+        h :=
+          {
+            count = !h.count + 1;
+            sum = !h.sum +. v;
+            min = Float.min !h.min v;
+            max = Float.max !h.max v;
+          }
+    | None ->
+        Hashtbl.replace b.b_hists name (ref { count = 1; sum = v; min = v; max = v })
+  end
+
+let merge_hist a b =
+  {
+    count = a.count + b.count;
+    sum = a.sum +. b.sum;
+    min = Float.min a.min b.min;
+    max = Float.max a.max b.max;
+  }
+
+let summary t =
+  Mutex.lock t.lock;
+  let buffers = t.buffers in
+  Mutex.unlock t.lock;
+  let buffers = List.sort (fun a b -> Int.compare a.dom b.dom) buffers in
+  let counters = Hashtbl.create 16 and hists = Hashtbl.create 8 in
+  List.iter
+    (fun b ->
+      Hashtbl.iter
+        (fun name r ->
+          Hashtbl.replace counters name
+            (!r + Option.value (Hashtbl.find_opt counters name) ~default:0))
+        b.b_counters;
+      Hashtbl.iter
+        (fun name h ->
+          Hashtbl.replace hists name
+            (match Hashtbl.find_opt hists name with
+            | Some prev -> merge_hist prev !h
+            | None -> !h))
+        b.b_hists)
+    buffers;
+  let sorted tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare in
+  {
+    spans = List.concat_map (fun b -> List.rev b.b_spans) buffers;
+    counters = sorted counters;
+    hists = sorted hists;
+  }
+
+let counter t name =
+  Mutex.lock t.lock;
+  let buffers = t.buffers in
+  Mutex.unlock t.lock;
+  List.fold_left
+    (fun acc b ->
+      acc + Option.value (Option.map ( ! ) (Hashtbl.find_opt b.b_counters name)) ~default:0)
+    0 buffers
+
+let counters t = (summary t).counters
+let hist_of t name = List.assoc_opt name (summary t).hists
+
+let flush t =
+  match t.sinks with
+  | [] -> ()
+  | sinks ->
+      let s = summary t in
+      List.iter (fun sink -> sink s) sinks
+
+(* --- sinks --- *)
+
+(* Span aggregates by (cat, name): count and total/min/max duration. *)
+let span_aggregates spans =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun sp ->
+      let key = (sp.cat, sp.name) in
+      let d = Int64.to_float sp.dur_ns /. 1e9 in
+      match Hashtbl.find_opt tbl key with
+      | Some h -> h := merge_hist !h { count = 1; sum = d; min = d; max = d }
+      | None ->
+          Hashtbl.replace tbl key (ref { count = 1; sum = d; min = d; max = d });
+          order := key :: !order)
+    spans;
+  List.rev_map (fun key -> (key, !(Hashtbl.find tbl key))) !order
+  |> List.sort compare
+
+let pretty_sink ?(out = stderr) () s =
+  let p fmt = Printf.fprintf out fmt in
+  p "== obs summary ==\n";
+  if s.spans <> [] then begin
+    p "spans (cat/name: count, total, min..max):\n";
+    List.iter
+      (fun ((cat, name), h) ->
+        p "  %-28s %6d  %9.3f ms  [%0.3f..%0.3f ms]\n"
+          ((if cat = "" then "" else cat ^ "/") ^ name)
+          h.count (h.sum *. 1e3) (h.min *. 1e3) (h.max *. 1e3))
+      (span_aggregates s.spans)
+  end;
+  if s.counters <> [] then begin
+    p "counters:\n";
+    List.iter (fun (name, v) -> p "  %-28s %d\n" name v) s.counters
+  end;
+  if s.hists <> [] then begin
+    p "histograms (count, sum, min..max):\n";
+    List.iter
+      (fun (name, (h : hist)) ->
+        p "  %-28s %6d  %9.6f  [%g..%g]\n" name h.count h.sum h.min h.max)
+      s.hists
+  end;
+  Stdlib.flush out
+
+let metrics_sink path s =
+  let oc = open_out path in
+  let line fmt = Printf.fprintf oc fmt in
+  List.iter
+    (fun (name, v) ->
+      line "{\"type\": \"counter\", \"name\": %s, \"value\": %d}\n"
+        (Json.escape name) v)
+    s.counters;
+  List.iter
+    (fun (name, (h : hist)) ->
+      line
+        "{\"type\": \"hist\", \"name\": %s, \"count\": %d, \"sum\": %.9f, \
+         \"min\": %.9f, \"max\": %.9f}\n"
+        (Json.escape name) h.count h.sum h.min h.max)
+    s.hists;
+  List.iter
+    (fun ((cat, name), (h : hist)) ->
+      line
+        "{\"type\": \"span\", \"cat\": %s, \"name\": %s, \"count\": %d, \
+         \"total_s\": %.9f, \"min_s\": %.9f, \"max_s\": %.9f}\n"
+        (Json.escape cat) (Json.escape name) h.count h.sum h.min h.max)
+    (span_aggregates s.spans);
+  close_out oc
+
+(* --- Chrome trace_event --- *)
+
+let us_of_ns ns = Int64.to_float ns /. 1e3
+
+let trace_string summaries =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\": [\n";
+  Buffer.add_string buf
+    "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \
+     \"args\": {\"name\": \"bcdb\"}}";
+  let doms = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (sp : span) ->
+          if not (Hashtbl.mem doms sp.dom) then begin
+            Hashtbl.replace doms sp.dom ();
+            Buffer.add_string buf
+              (Printf.sprintf
+                 ",\n\
+                 \  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \
+                  \"tid\": %d, \"args\": {\"name\": \"domain %d\"}}"
+                 sp.dom sp.dom)
+          end)
+        s.spans)
+    summaries;
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (sp : span) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               ",\n\
+               \  {\"name\": %s, \"cat\": %s, \"ph\": \"X\", \"pid\": 1, \
+                \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f}"
+               (Json.escape sp.name)
+               (Json.escape (if sp.cat = "" then "default" else sp.cat))
+               sp.dom (us_of_ns sp.start_ns) (us_of_ns sp.dur_ns)))
+        s.spans)
+    summaries;
+  Buffer.add_string buf "\n], \"displayTimeUnit\": \"ms\"}\n";
+  Buffer.contents buf
+
+let write_string path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let trace_sink path s = write_string path (trace_string [ s ])
+
+type collector = { c_lock : Mutex.t; mutable c_summaries : summary list }
+
+let collector () = { c_lock = Mutex.create (); c_summaries = [] }
+
+let collector_sink c s =
+  Mutex.lock c.c_lock;
+  c.c_summaries <- s :: c.c_summaries;
+  Mutex.unlock c.c_lock
+
+let write_trace c path =
+  Mutex.lock c.c_lock;
+  let summaries = List.rev c.c_summaries in
+  Mutex.unlock c.c_lock;
+  write_string path (trace_string summaries)
+
+(* --- trace_event schema validation --- *)
+
+let validate_trace_file path =
+  if not (Sys.file_exists path) then Error [ path ^ ": no such file" ]
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    match Json.parse contents with
+    | Error msg -> Error [ path ^ ": " ^ msg ]
+    | Ok json -> (
+        match Json.member "traceEvents" json with
+        | None -> Error [ path ^ ": top-level object lacks \"traceEvents\"" ]
+        | Some (Json.List events) ->
+            let errors = ref [] in
+            let err i fmt =
+              Printf.ksprintf
+                (fun s -> errors := Printf.sprintf "event %d: %s" i s :: !errors)
+                fmt
+            in
+            List.iteri
+              (fun i ev ->
+                let str key =
+                  match Json.member key ev with
+                  | Some (Json.Str s) -> Some s
+                  | _ -> None
+                in
+                let num key =
+                  match Json.member key ev with
+                  | Some (Json.Num _) -> true
+                  | _ -> false
+                in
+                (match ev with
+                | Json.Obj _ -> ()
+                | _ -> err i "not an object");
+                (match str "name" with
+                | Some _ -> ()
+                | None -> err i "missing string \"name\"");
+                match str "ph" with
+                | None -> err i "missing string \"ph\""
+                | Some "X" ->
+                    List.iter
+                      (fun key ->
+                        if not (num key) then
+                          err i "complete event lacks numeric %S" key)
+                      [ "ts"; "dur"; "pid"; "tid" ]
+                | Some _ -> ())
+              events;
+            if !errors <> [] then Error (List.rev !errors)
+            else Ok (List.length events)
+        | Some _ -> Error [ path ^ ": \"traceEvents\" is not an array" ])
+  end

@@ -1,0 +1,114 @@
+(** Observability: spans, counters and histograms, buffered per domain.
+
+    A recorder ({!t}) is either {!null} — disabled, every operation is a
+    single branch, safe to leave on the hottest paths — or enabled
+    ({!create}), in which case each OCaml domain records into a private
+    buffer (domain-local storage), so instrumentation under the parallel
+    engine never contends on a lock and never interleaves two domains'
+    measurements in one buffer. The buffers are merged into a {!summary}
+    on demand and pushed through pluggable {!sink}s at {!flush} time.
+
+    Timestamps come from {!Monotime} (monotonic clock), as nanoseconds
+    since a process-wide epoch fixed when this module is loaded — so
+    spans recorded by different recorders in one process share a
+    timeline and can be written into one trace file. *)
+
+type t
+
+val null : t
+(** The disabled recorder: {!enabled} is false, {!span} runs its thunk
+    directly, {!add}/{!observe} are no-ops, {!flush} does nothing. *)
+
+type span = {
+  name : string;
+  cat : string;  (** Coarse grouping: ["dcsat"], ["engine"], ... *)
+  dom : int;  (** Id of the domain that recorded the span. *)
+  start_ns : int64;  (** Nanoseconds since the process epoch. *)
+  dur_ns : int64;
+}
+
+type hist = { count : int; sum : float; min : float; max : float }
+(** Summary statistics of the samples passed to {!observe}. *)
+
+type summary = {
+  spans : span list;
+      (** Grouped by domain (ascending id); within one domain, in
+          completion order — the order the scoped timers returned, so
+          same-domain spans are properly nested or disjoint, never
+          interleaved. *)
+  counters : (string * int) list;  (** Merged across domains; sorted. *)
+  hists : (string * hist) list;  (** Merged across domains; sorted. *)
+}
+
+type sink = summary -> unit
+
+val create : ?sinks:sink list -> unit -> t
+(** A fresh enabled recorder. [sinks] (default none) receive the merged
+    summary at {!flush}. *)
+
+val enabled : t -> bool
+
+val span : t -> ?cat:string -> string -> (unit -> 'a) -> 'a
+(** [span t name f] runs [f ()], recording a scoped monotonic-clock
+    timer in the calling domain's buffer (also on exception). *)
+
+val add : t -> string -> int -> unit
+(** Bump a counter in the calling domain's buffer; merged by sum. *)
+
+val observe : t -> string -> float -> unit
+(** Record one histogram sample (a duration in seconds, a size, ...). *)
+
+val summary : t -> summary
+(** Merge the per-domain buffers. Call only when no other domain is
+    still recording into [t] (e.g. after the engine joined its
+    workers). Does not clear the buffers. *)
+
+val counter : t -> string -> int
+(** Merged value of one counter; 0 when never bumped. *)
+
+val counters : t -> (string * int) list
+
+val hist_of : t -> string -> hist option
+
+val flush : t -> unit
+(** Merge and push the summary through the recorder's sinks. A null or
+    sink-less recorder flushes to nowhere. *)
+
+(** {2 Sinks} *)
+
+val pretty_sink : ?out:out_channel -> unit -> sink
+(** Human-readable summary — span aggregates by name, counters,
+    histograms — to [out] (default stderr). *)
+
+val metrics_sink : string -> sink
+(** JSONL metrics file: one object per line, [{"type":"counter",...}],
+    [{"type":"hist",...}] and per-name span aggregates
+    [{"type":"span",...}]. Overwrites. *)
+
+val trace_sink : string -> sink
+(** Chrome [trace_event] JSON file (open in [about:tracing] or
+    {{:https://ui.perfetto.dev}Perfetto}). Overwrites. *)
+
+(** {2 Trace collection across recorders}
+
+    The bench harness uses one recorder per measurement (so counters
+    stay attributable) but wants a single trace file for the whole run:
+    a collector accumulates summaries and writes them as one trace. *)
+
+type collector
+
+val collector : unit -> collector
+val collector_sink : collector -> sink
+
+val write_trace : collector -> string -> unit
+(** All collected summaries as one Chrome trace_event JSON file. *)
+
+val trace_string : summary list -> string
+(** The Chrome trace_event JSON document for the given summaries. *)
+
+val validate_trace_file : string -> (int, string list) result
+(** Parse a trace file and check it against the Chrome trace_event
+    schema: a top-level object with a [traceEvents] array whose entries
+    carry string [name]/[ph], and — for complete events ([ph = "X"]) —
+    numeric [ts], [dur], [pid] and [tid]. Returns the number of events,
+    or the list of schema violations. *)

@@ -12,10 +12,13 @@ type measurement = {
   satisfied : bool;
   seconds : float;
   stats : Core.Dcsat.stats;
+  obs_worlds : int;
+  cache_hit_ratio : float;
+  worker_util : float;
 }
 
-let run ?(repeats = 3) ?(warmup = 0) ?(summary = `Mean) ?(jobs = 1) ~session
-    ~label ~algo ~variant q =
+let run ?(repeats = 3) ?(warmup = 0) ?(summary = `Mean) ?(jobs = 1)
+    ?(obs_sinks = []) ~session ~label ~algo ~variant q =
   let solve () =
     let result =
       match algo with
@@ -47,6 +50,33 @@ let run ?(repeats = 3) ?(warmup = 0) ?(summary = `Mean) ?(jobs = 1) ~session
     | `Min -> List.fold_left min infinity times
   in
   let last = List.nth outcomes (List.length outcomes - 1) in
+  (* The headline counters come from one extra, untimed solve under a
+     fresh recorder: the timed loop above stays uninstrumented (null
+     recorder — within noise of the pre-observability harness), and the
+     engine's determinism contract makes the world/clique counters of
+     the extra run equal to the timed runs'. *)
+  let obs = Core.Obs.create ~sinks:obs_sinks () in
+  let saved = Core.Session.obs session in
+  Core.Session.set_obs session obs;
+  let instrumented = solve () in
+  Core.Session.set_obs session saved;
+  Core.Obs.flush obs;
+  let obs_worlds = Core.Obs.counter obs "dcsat.worlds" in
+  let hit = Core.Obs.counter obs "store.vis_hit" in
+  let miss = Core.Obs.counter obs "store.vis_miss" in
+  let cache_hit_ratio =
+    if hit + miss = 0 then 0.0
+    else float_of_int hit /. float_of_int (hit + miss)
+  in
+  let busy =
+    match Core.Obs.hist_of obs "engine.busy_s" with
+    | Some h -> h.Core.Obs.sum
+    | None -> 0.0
+  in
+  let irt = instrumented.Core.Dcsat.stats.Core.Dcsat.runtime in
+  let worker_util =
+    if irt <= 0.0 then 0.0 else busy /. (float_of_int (max 1 jobs) *. irt)
+  in
   {
     label;
     algo;
@@ -55,6 +85,9 @@ let run ?(repeats = 3) ?(warmup = 0) ?(summary = `Mean) ?(jobs = 1) ~session
     satisfied = last.Core.Dcsat.satisfied;
     seconds;
     stats = last.Core.Dcsat.stats;
+    obs_worlds;
+    cache_hit_ratio;
+    worker_util;
   }
 
 let session_of db =

@@ -14,6 +14,16 @@ type measurement = {
   satisfied : bool;
   seconds : float;  (** Mean (or min) over [repeats] runs. *)
   stats : Bccore.Dcsat.stats;  (** From the last run. *)
+  obs_worlds : int;
+      (** Worlds evaluated, from the instrumented run's merged
+          ["dcsat.worlds"] counter (deterministic across backends). *)
+  cache_hit_ratio : float;
+      (** Visibility-cache hits / (hits + misses) in the tagged store;
+          0 when the run never probed the cache. *)
+  worker_util : float;
+      (** Σ per-item evaluation time / (jobs × runtime) of the
+          instrumented run — the fraction of worker-domain capacity
+          spent evaluating worlds. *)
 }
 
 val run :
@@ -21,6 +31,7 @@ val run :
   ?warmup:int ->
   ?summary:[ `Mean | `Min ] ->
   ?jobs:int ->
+  ?obs_sinks:Bccore.Obs.sink list ->
   session:Bccore.Session.t ->
   label:string ->
   algo:algo ->
@@ -34,7 +45,14 @@ val run :
     difference is smaller than scheduler noise). Times are read from the
     solver's monotonic-clock stats. [jobs] (default 1) selects the
     engine backend. Raises [Invalid_argument] if the solver refuses the
-    query (e.g. OptDCSat on a disconnected query). *)
+    query (e.g. OptDCSat on a disconnected query).
+
+    The timed runs execute with the session's existing recorder
+    untouched (normally {!Bccore.Obs.null}, so they are not perturbed);
+    one extra {e untimed} run under a fresh recorder supplies the
+    [obs_worlds]/[cache_hit_ratio]/[worker_util] fields and pushes its
+    summary through [obs_sinks] (default none — e.g. a trace collector
+    accumulating one Chrome trace for the whole bench run). *)
 
 val session_of : Bccore.Bcdb.t -> Bccore.Session.t
 (** Fresh session with the steady-state structures prebuilt (warm), so

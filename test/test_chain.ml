@@ -197,6 +197,107 @@ let test_mempool_chaining_and_eviction () =
   Alcotest.(check int) "descendant evicted too" 0
     (C.Mempool.size (C.Node.mempool node))
 
+let test_rbf_evicts_descendants () =
+  (* A replacement conflicts only with the parent, but eviction drags the
+     parent's whole pool subtree out — fee accounting included: the bump
+     is computed against the direct conflicts, the removal is
+     transitive. *)
+  let node, alice, bob = small_node () in
+  let pool = C.Node.mempool node in
+  let effective = C.Utxo.copy (C.Node.utxo node) in
+  let pay_eff wallet to_ amount fee =
+    match C.Wallet.pay wallet ~utxo:effective ~to_ ~amount ~fee with
+    | Ok tx -> (
+        match C.Node.submit node tx with
+        | Ok () ->
+            (match C.Utxo.apply_tx effective tx with
+            | Ok () -> ()
+            | Error msg -> Alcotest.fail msg);
+            tx
+        | Error r -> Alcotest.failf "submit: %a" C.Mempool.pp_reject r)
+    | Error msg -> Alcotest.fail msg
+  in
+  let tx1 = pay_eff alice (C.Wallet.address bob) 40_000 200 in
+  let tx2 = pay_eff bob (C.Wallet.address alice) 15_000 200 in
+  Alcotest.(check int) "parent and child pending" 2 (C.Mempool.size pool);
+  Alcotest.(check int) "descendant set covers both" 2
+    (List.length (C.Mempool.descendants pool tx1.C.Tx.txid));
+  (* Replace the parent from the same coins; tx2 never conflicts with the
+     replacement directly, yet it cannot survive its parent. *)
+  let tx3 =
+    match
+      C.Wallet.pay alice ~utxo:(C.Node.utxo node) ~to_:(C.Wallet.address bob)
+        ~amount:40_000 ~fee:500
+    with
+    | Ok tx -> tx
+    | Error msg -> Alcotest.fail msg
+  in
+  Alcotest.(check bool) "replacement conflicts with parent" true
+    (C.Tx.conflicts tx1 tx3);
+  Alcotest.(check bool) "replacement independent of child" false
+    (C.Tx.conflicts tx2 tx3);
+  (match C.Node.submit node tx3 with
+  | Ok () -> ()
+  | Error r -> Alcotest.failf "rbf: %a" C.Mempool.pp_reject r);
+  Alcotest.(check int) "only the replacement remains" 1 (C.Mempool.size pool);
+  Alcotest.(check bool) "parent evicted" false (C.Mempool.mem pool tx1.C.Tx.txid);
+  Alcotest.(check bool) "orphaned child evicted" false
+    (C.Mempool.mem pool tx2.C.Tx.txid);
+  Alcotest.(check bool) "replacement admitted" true
+    (C.Mempool.mem pool tx3.C.Tx.txid)
+
+let test_confirm_block_evicts_conflict () =
+  (* A block confirming a conflicting transaction (mined elsewhere, not
+     from our pool) invalidates the pool entry spending the same coins:
+     confirm_block must drop it even though the block never contained
+     it. *)
+  let node, alice, bob = small_node () in
+  let pool = C.Node.mempool node in
+  let utxo = C.Node.utxo node in
+  let tx =
+    match
+      C.Wallet.pay alice ~utxo ~to_:(C.Wallet.address bob) ~amount:10_000
+        ~fee:100
+    with
+    | Ok tx -> tx
+    | Error msg -> Alcotest.fail msg
+  in
+  let cancel =
+    match C.Wallet.cancel alice ~utxo ~original:tx ~fee:600 with
+    | Ok c -> c
+    | Error msg -> Alcotest.fail msg
+  in
+  (match C.Node.submit node tx with
+  | Ok () -> ()
+  | Error r -> Alcotest.failf "submit: %a" C.Mempool.pp_reject r);
+  Alcotest.(check bool) "payment pending" true (C.Mempool.mem pool tx.C.Tx.txid);
+  let chain = C.Node.chain node in
+  let coinbase =
+    C.Tx.coinbase ~reward:C.Miner.block_reward
+      ~script:(C.Script.Pay_to_key "PKrival") ~tag:"rival"
+  in
+  let block =
+    match
+      C.Block.create ~height:1 ~prev_hash:(C.Chain_state.tip_hash chain)
+        ~timestamp:7 ~txs:[ coinbase; cancel ]
+    with
+    | Ok b -> b
+    | Error msg -> Alcotest.fail msg
+  in
+  (match C.Chain_state.connect_block chain block with
+  | Ok C.Chain_state.Extended -> ()
+  | Ok _ -> Alcotest.fail "expected a tip extension"
+  | Error msg -> Alcotest.fail msg);
+  C.Mempool.confirm_block pool block;
+  Alcotest.(check bool) "conflicting pool tx evicted" false
+    (C.Mempool.mem pool tx.C.Tx.txid);
+  Alcotest.(check int) "pool empty" 0 (C.Mempool.size pool);
+  (* The cancel returned the coins to Alice (minus its fee). *)
+  Alcotest.(check int) "bob never paid" 0
+    (C.Wallet.balance bob (C.Node.utxo node));
+  Alcotest.(check int) "alice holds the change" 99_400
+    (C.Wallet.balance alice (C.Node.utxo node))
+
 let test_wallet_cancel_conflicts () =
   let node, alice, bob = small_node () in
   let utxo = C.Node.utxo node in
@@ -477,6 +578,110 @@ let test_encoding_double_spend_conflict () =
     "conflict detected" [ (0, 1) ] fd.Bccore.Fd_graph.conflicts;
   Alcotest.(check int) "poss: R, R+tx, R+cancel" 3 (Bccore.Poss.count store)
 
+let test_reorg_invalidates_pending_check () =
+  (* The event the paper's uncertainty model is really about: a pending
+     transaction passes a DCSat check, then a reorg disconnects the
+     confirmed output it spends. The old session keeps answering from
+     its snapshot; a fresh encoding of the node shows the pending
+     transaction is no longer appendable in any possible world. *)
+  let alice = C.Wallet.create ~seed:"alice" in
+  let bob = C.Wallet.create ~seed:"bob" in
+  let node = C.Node.create ~initial:[ (C.Wallet.address alice, 100_000) ] in
+  let chain = C.Node.chain node in
+  let genesis_hash = C.Block.hash (List.hd (C.Chain_state.blocks chain)) in
+  (* Block A1 confirms Alice's payment; Bob then spends his new coin, and
+     that spend sits in the mempool. *)
+  (match
+     C.Wallet.pay alice ~utxo:(C.Node.utxo node) ~to_:(C.Wallet.address bob)
+       ~amount:30_000 ~fee:500
+   with
+  | Ok tx -> (
+      match C.Node.submit node tx with
+      | Ok () -> ()
+      | Error r -> Alcotest.failf "%a" C.Mempool.pp_reject r)
+  | Error msg -> Alcotest.fail msg);
+  (match C.Node.mine node ~coinbase_script:(C.Wallet.address alice) () with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  let tx_b =
+    match
+      C.Wallet.pay bob ~utxo:(C.Node.utxo node) ~to_:(C.Wallet.address alice)
+        ~amount:5_000 ~fee:100
+    with
+    | Ok tx -> tx
+    | Error msg -> Alcotest.fail msg
+  in
+  (match C.Node.submit node tx_b with
+  | Ok () -> ()
+  | Error r -> Alcotest.failf "%a" C.Mempool.pp_reject r);
+  (* DCSat check against the pre-reorg state: the double-spend denial
+     constraint is satisfiable-forever, and Bob's pending transaction is
+     a possible world. *)
+  let pre_db =
+    match C.Encode.bcdb_of_node node with
+    | Ok db -> db
+    | Error msg -> Alcotest.fail msg
+  in
+  let world0 = Bcgraph.Bitset.of_list 1 [ 0 ] in
+  let pre_store = Bccore.Tagged_store.create pre_db in
+  Alcotest.(check bool) "pending appendable before reorg" true
+    (Bccore.Poss.is_possible_world pre_store world0);
+  let q =
+    Bcquery.Parser.parse_exn ~catalog:C.Encode.catalog
+      "q() :- TxIn(p, s, k1, a1, n1, g1), TxIn(p, s, k2, a2, n2, g2), n1 != n2."
+  in
+  let session = Bccore.Session.create pre_db in
+  (match Bccore.Dcsat.opt ~jobs:2 session q with
+  | Ok outcome ->
+      Alcotest.(check bool) "no double spend reachable" true
+        outcome.Bccore.Dcsat.satisfied
+  | Error _ -> Alcotest.fail "opt refused the double-spend query");
+  (* Mid-check, the chain reorganizes under the node: an empty rival
+     branch of length 2 from genesis orphans block A1 — and with it the
+     output tx_b spends. The mempool itself is untouched. *)
+  let mk_block height prev tag =
+    let coinbase =
+      C.Tx.coinbase ~reward:C.Miner.block_reward
+        ~script:(C.Script.Pay_to_key ("PKrival" ^ tag))
+        ~tag
+    in
+    match
+      C.Block.create ~height ~prev_hash:prev ~timestamp:99 ~txs:[ coinbase ]
+    with
+    | Ok b -> b
+    | Error msg -> Alcotest.fail msg
+  in
+  let b1 = mk_block 1 genesis_hash "r1" in
+  (match C.Chain_state.connect_block chain b1 with
+  | Ok C.Chain_state.Side_branch -> ()
+  | Ok _ -> Alcotest.fail "rival must start as a side branch"
+  | Error msg -> Alcotest.fail msg);
+  let b2 = mk_block 2 (C.Block.hash b1) "r2" in
+  (match C.Chain_state.connect_block chain b2 with
+  | Ok (C.Chain_state.Reorg _) -> ()
+  | Ok _ -> Alcotest.fail "expected a reorg"
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.(check bool) "tx_b still pending in the pool" true
+    (C.Mempool.mem (C.Node.mempool node) tx_b.C.Tx.txid);
+  (* The pre-reorg session answers from its snapshot, unperturbed. *)
+  Alcotest.(check bool) "old snapshot still consistent" true
+    (Bccore.Poss.is_possible_world pre_store world0);
+  (* A fresh encoding sees the truth: tx_b's TxIn references a TxOut no
+     confirmed transaction provides, so the inclusion dependency fails
+     in every world containing it — Poss(D) collapses to {R}. *)
+  let post_db =
+    match C.Encode.bcdb_of_node node with
+    | Ok db -> db
+    | Error msg -> Alcotest.fail msg
+  in
+  Alcotest.(check int) "still one pending tx encoded" 1
+    (Bccore.Bcdb.pending_count post_db);
+  let post_store = Bccore.Tagged_store.create post_db in
+  Alcotest.(check bool) "pending no longer appendable" false
+    (Bccore.Poss.is_possible_world post_store world0);
+  Alcotest.(check int) "possible worlds collapse to {R}" 1
+    (Bccore.Poss.count post_store)
+
 let () =
   Alcotest.run "chain"
     [
@@ -493,6 +698,10 @@ let () =
           Alcotest.test_case "insufficient" `Quick test_insufficient_funds;
           Alcotest.test_case "rbf" `Quick test_conflict_rejected_then_rbf;
           Alcotest.test_case "chained mempool" `Quick test_mempool_chaining_and_eviction;
+          Alcotest.test_case "rbf evicts descendants" `Quick
+            test_rbf_evicts_descendants;
+          Alcotest.test_case "confirm evicts conflict" `Quick
+            test_confirm_block_evicts_conflict;
           Alcotest.test_case "cancel/bump" `Quick test_wallet_cancel_conflicts;
         ] );
       ( "blocks",
@@ -507,5 +716,7 @@ let () =
           Alcotest.test_case "constraints hold" `Quick test_encoding_paper_constraints;
           Alcotest.test_case "double spend = fd conflict" `Quick
             test_encoding_double_spend_conflict;
+          Alcotest.test_case "reorg invalidates pending check" `Quick
+            test_reorg_invalidates_pending_check;
         ] );
     ]
