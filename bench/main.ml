@@ -136,10 +136,14 @@ let write_bench_json path =
       |> List.iteri (fun i (figure, x, (m : E.measurement)) ->
              if i > 0 then Buffer.add_string buf ",\n";
              Buffer.add_string buf
+               (* "unknown" records a budget-truncated run. Kept out of
+                  [required_keys]: older committed series predate it and
+                  must keep validating. *)
                (Printf.sprintf
                   "    {\"figure\": %S, \"label\": %S, \"algo\": %S, \
                    \"variant\": %S, \"jobs\": %d, \"x\": %g, \
-                   \"satisfied\": %b, \"seconds\": %.6f, \"worlds\": %d, \
+                   \"satisfied\": %b, \"unknown\": %b, \"seconds\": %.6f, \
+                   \"worlds\": %d, \
                    \"cliques\": %d, \"components\": %d, \
                    \"components_covered\": %d, \"precheck\": %b, \
                    \"obs_worlds\": %d, \"cache_hit_ratio\": %.6f, \
@@ -147,7 +151,7 @@ let write_bench_json path =
                   figure m.E.label
                   (E.algo_name m.E.algo)
                   (variant_name m.E.variant)
-                  m.E.jobs x m.E.satisfied m.E.seconds
+                  m.E.jobs x m.E.satisfied m.E.unknown m.E.seconds
                   m.E.stats.Core.Dcsat.worlds_checked
                   m.E.stats.Core.Dcsat.cliques_enumerated
                   m.E.stats.Core.Dcsat.components_total

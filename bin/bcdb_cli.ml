@@ -74,6 +74,32 @@ let jobs =
            sequential engine backend, larger values fan candidate worlds \
            out over N parallel domains with identical results.")
 
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget for the solve. When it expires before the \
+           enumeration completes (and no violation was found first) the \
+           result is UNKNOWN and the exit code is 3.")
+
+let max_worlds_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-worlds" ] ~docv:"N"
+        ~doc:
+          "Evaluate at most $(docv) candidate worlds. Exceeding the bound \
+           without a verdict yields UNKNOWN (exit code 3).")
+
+(* A fresh budget per invocation: deadlines are absolute, so the budget
+   must be created right before the solve it bounds. *)
+let budget_of_flags ~timeout ~max_worlds =
+  match (timeout, max_worlds) with
+  | None, None -> Core.Engine.Budget.unlimited
+  | _ -> Core.Engine.Budget.create ?timeout_s:timeout ?max_worlds ()
+
 let trace_arg =
   Arg.(
     value
@@ -255,9 +281,15 @@ let query_arg =
 
 let report db (o : Core.Dcsat.outcome) strategy =
   Format.printf "%s@."
-    (if o.Core.Dcsat.satisfied then
-       "SATISFIED: the constraint holds in every possible world"
-     else "UNSATISFIED: some possible world violates the constraint");
+    (match o.Core.Dcsat.verdict with
+    | Core.Dcsat.Satisfied ->
+        "SATISFIED: the constraint holds in every possible world"
+    | Core.Dcsat.Violated _ ->
+        "UNSATISFIED: some possible world violates the constraint"
+    | Core.Dcsat.Unknown reason ->
+        Printf.sprintf
+          "UNKNOWN: budget exhausted (%s) before the enumeration completed"
+          (Core.Engine.Budget.reason_name reason));
   Format.printf "strategy: %s@." strategy;
   Format.printf
     "stats: worlds=%d cliques=%d components=%d/%d precheck=%b time=%.4fs@."
@@ -283,9 +315,14 @@ let report db (o : Core.Dcsat.outcome) strategy =
               bindings))
   | None -> ()
 
+let exit_of_verdict = function
+  | Core.Dcsat.Satisfied -> 0
+  | Core.Dcsat.Violated _ -> 2
+  | Core.Dcsat.Unknown _ -> 3
+
 let check_cmd =
-  let run file paper preset contradictions seed algo jobs trace metrics summary
-      query =
+  let run file paper preset contradictions seed algo jobs timeout max_worlds
+      trace metrics summary query =
     match load_db ?file ~paper ~preset ~contradictions ~seed () with
     | Error msg ->
         Printf.eprintf "error: %s\n" msg;
@@ -298,6 +335,7 @@ let check_cmd =
         | Ok q -> (
             let obs = obs_of_flags ~trace ~metrics ~summary in
             let session = Core.Session.create ~obs db in
+            let budget = budget_of_flags ~timeout ~max_worlds in
             let result =
               match algo with
               | `Naive ->
@@ -305,27 +343,27 @@ let check_cmd =
                     (fun o -> (o, "NaiveDCSat"))
                     (Result.map_error
                        (Format.asprintf "%a" Core.Dcsat.pp_refusal)
-                       (Core.Dcsat.naive ~jobs session q))
+                       (Core.Dcsat.naive ~jobs ~budget session q))
               | `Opt ->
                   Result.map
                     (fun o -> (o, "OptDCSat"))
                     (Result.map_error
                        (Format.asprintf "%a" Core.Dcsat.pp_refusal)
-                       (Core.Dcsat.opt ~jobs session q))
+                       (Core.Dcsat.opt ~jobs ~budget session q))
               | `Brute -> (
-                  match Core.Dcsat.brute_force ~jobs session q with
+                  match Core.Dcsat.brute_force ~jobs ~budget session q with
                   | o -> Ok (o, "brute force")
                   | exception Invalid_argument msg -> Error msg)
               | `Auto ->
                   Result.map
                     (fun (o, s) -> (o, Core.Solver.strategy_name s))
-                    (Core.Solver.solve ~jobs session q)
+                    (Core.Solver.solve ~jobs ~budget session q)
             in
             Core.Obs.flush obs;
             match result with
             | Ok (o, strategy) ->
                 report db o strategy;
-                if o.Core.Dcsat.satisfied then 0 else 2
+                exit_of_verdict o.Core.Dcsat.verdict
             | Error msg ->
                 Printf.eprintf "error: %s\n" msg;
                 1))
@@ -334,10 +372,12 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:
          "Decide whether a denial constraint is satisfied (holds in every \
-          possible world). Exit code 0: satisfied, 2: unsatisfied.")
+          possible world). Exit code 0: satisfied, 2: unsatisfied, 3: \
+          unknown (budget exhausted before a verdict).")
     Term.(
       const run $ file $ paper $ preset $ contradictions $ seed $ algo $ jobs
-      $ trace_arg $ metrics_arg $ obs_flag $ query_arg)
+      $ timeout_arg $ max_worlds_arg $ trace_arg $ metrics_arg $ obs_flag
+      $ query_arg)
 
 (* ------------------------------------------------------------------ *)
 (* likelihood *)
@@ -393,8 +433,8 @@ let likelihood_cmd =
 (* explain *)
 
 let explain_cmd =
-  let run file paper preset contradictions seed jobs trace metrics summary query
-      =
+  let run file paper preset contradictions seed jobs timeout max_worlds trace
+      metrics summary query =
     match load_db ?file ~paper ~preset ~contradictions ~seed () with
     | Error msg ->
         Printf.eprintf "error: %s\n" msg;
@@ -407,12 +447,14 @@ let explain_cmd =
         | Ok q -> (
             let obs = obs_of_flags ~trace ~metrics ~summary in
             let session = Core.Session.create ~obs db in
-            let result = Core.Explain.run ~jobs session q in
+            let budget = budget_of_flags ~timeout ~max_worlds in
+            let result = Core.Explain.run ~jobs ~budget session q in
             Core.Obs.flush obs;
             match result with
             | Ok report ->
                 print_endline (Core.Explain.to_string db report);
-                if report.Core.Explain.outcome.Core.Dcsat.satisfied then 0 else 2
+                exit_of_verdict
+                  report.Core.Explain.outcome.Core.Dcsat.verdict
             | Error msg ->
                 Printf.eprintf "error: %s\n" msg;
                 1))
@@ -422,10 +464,12 @@ let explain_cmd =
        ~doc:
          "Decide a denial constraint and print the reasoning: query \
           properties, complexity class (Theorems 1-2), chosen strategy, \
-          and a trace of components, cliques and worlds.")
+          and a trace of components, cliques and worlds. Exit codes as \
+          for check.")
     Term.(
       const run $ file $ paper $ preset $ contradictions $ seed $ jobs
-      $ trace_arg $ metrics_arg $ obs_flag $ query_arg)
+      $ timeout_arg $ max_worlds_arg $ trace_arg $ metrics_arg $ obs_flag
+      $ query_arg)
 
 (* ------------------------------------------------------------------ *)
 (* answers *)

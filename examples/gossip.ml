@@ -21,6 +21,7 @@ let () =
   let net =
     C.Network.create ~peers:4
       ~initial:(List.init 4 (fun _ -> (C.Wallet.address alice, 100_000)))
+      ()
   in
   let ask peer_index =
     let db =

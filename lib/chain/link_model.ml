@@ -1,0 +1,67 @@
+(* Per-message fault model for the gossip links. One shared PRNG drives
+   every draw, so a whole network run is reproducible from its seed: the
+   same seed, the same submit/mine/deliver script, the same fault
+   schedule. Fates are drawn lazily — one uniform sample per message
+   send — so adding a peer or a message changes only the draws after it. *)
+
+type fate = Deliver | Drop | Duplicate | Delay of int | Reorder
+
+type t = {
+  rng : Random.State.t;
+  drop : float;
+  duplicate : float;
+  reorder : float;
+  delay : float;
+  max_delay : int;
+}
+
+let reliable =
+  {
+    (* Never consulted: [fate] short-circuits when every probability is
+       zero, so the shared state stays untouched. *)
+    rng = Random.State.make [| 0 |];
+    drop = 0.0;
+    duplicate = 0.0;
+    reorder = 0.0;
+    delay = 0.0;
+    max_delay = 1;
+  }
+
+let is_reliable t =
+  t.drop = 0.0 && t.duplicate = 0.0 && t.reorder = 0.0 && t.delay = 0.0
+
+let check_prob name p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Printf.sprintf "Link_model.create: %s not in [0, 1]" name)
+
+let create ?(drop = 0.0) ?(duplicate = 0.0) ?(reorder = 0.0) ?(delay = 0.0)
+    ?(max_delay = 3) ~seed () =
+  check_prob "drop" drop;
+  check_prob "duplicate" duplicate;
+  check_prob "reorder" reorder;
+  check_prob "delay" delay;
+  if drop +. duplicate +. reorder +. delay > 1.0 then
+    invalid_arg "Link_model.create: fault probabilities sum past 1";
+  if max_delay < 1 then invalid_arg "Link_model.create: max_delay < 1";
+  {
+    rng = Random.State.make [| seed |];
+    drop;
+    duplicate;
+    reorder;
+    delay;
+    max_delay;
+  }
+
+let fate t =
+  if is_reliable t then Deliver
+  else begin
+    let u = Random.State.float t.rng 1.0 in
+    if u < t.drop then Drop
+    else if u < t.drop +. t.duplicate then Duplicate
+    else if u < t.drop +. t.duplicate +. t.reorder then Reorder
+    else if u < t.drop +. t.duplicate +. t.reorder +. t.delay then
+      Delay (1 + Random.State.int t.rng t.max_delay)
+    else Deliver
+  end
+
+let pick t n = if n <= 1 then 0 else Random.State.int t.rng n

@@ -1,0 +1,44 @@
+(** Seeded per-message fault injection for the gossip network's links.
+
+    Each message send draws one {!fate} from a shared PRNG: delivered
+    intact, silently dropped, duplicated, delayed a few delivery rounds,
+    or pushed out of FIFO order. All draws come from a single
+    [Random.State] seeded at creation, so a network run is reproducible
+    from (seed, event script) alone — the property the convergence
+    qcheck tests and the CI fault matrix rely on. *)
+
+type fate =
+  | Deliver
+  | Drop  (** The message never reaches this neighbour. *)
+  | Duplicate  (** Enqueued twice; receiver-side dedup must cope. *)
+  | Delay of int  (** Held back for this many delivery rounds (≥ 1). *)
+  | Reorder  (** Inserted at a random queue position instead of the tail. *)
+
+type t
+
+val reliable : t
+(** Every fate is [Deliver]; never touches a PRNG. The default. *)
+
+val create :
+  ?drop:float ->
+  ?duplicate:float ->
+  ?reorder:float ->
+  ?delay:float ->
+  ?max_delay:int ->
+  seed:int ->
+  unit ->
+  t
+(** Per-message fault probabilities, all defaulting to 0. Raises
+    [Invalid_argument] if any is outside [0, 1], if they sum past 1, or
+    if [max_delay] (default 3, the upper bound of each drawn delay) is
+    below 1. *)
+
+val is_reliable : t -> bool
+(** All probabilities zero — the model can be bypassed entirely. *)
+
+val fate : t -> fate
+(** Draw the fate of one message send. *)
+
+val pick : t -> int -> int
+(** [pick t n] draws a queue position in [0, n-1] ([0] when [n <= 1]) —
+    the insertion point of a reordered message. *)

@@ -1,19 +1,31 @@
 type message = Mtx of Tx.t | Mblock of Block.t
 
+(* Envelopes tag every queued message with its sender, so a partition
+   can drop exactly the in-flight traffic that crosses the cut. *)
+type envelope = { from : int; msg : message }
+
 type peer_state = {
   node : Node.t;
-  queue : message Queue.t;
+  queue : envelope Queue.t;
   orphans : (Crypto.digest, Block.t) Hashtbl.t;
-      (** Blocks ahead of the tip, keyed by their parent hash. *)
+      (** Blocks ahead of the tip, keyed by their parent hash. A parent
+          may have several stashed children (competing fork blocks), so
+          the table is multi-binding: [Hashtbl.add]/[find_all], never
+          [replace]. *)
   seen_blocks : (Crypto.digest, unit) Hashtbl.t;
 }
 
 type t = {
   peers : peer_state array;
   linked : bool array array;
+  faults : Link_model.t;
+  mutable delayed : (int * envelope * int) list;
+      (** (target, envelope, rounds left) — newest first. Ticked once
+          per [deliver] round; at zero the envelope joins the target's
+          queue. *)
 }
 
-let create ~peers ~initial =
+let create ?(faults = Link_model.reliable) ~peers ~initial () =
   if peers < 1 then invalid_arg "Network.create: need at least one peer";
   let mk () =
     {
@@ -26,14 +38,41 @@ let create ~peers ~initial =
   {
     peers = Array.init peers (fun _ -> mk ());
     linked = Array.init peers (fun i -> Array.init peers (fun j -> i <> j));
+    faults;
+    delayed = [];
   }
 
 let peer_count t = Array.length t.peers
 let peer t i = t.peers.(i).node
 
+(* Rebuild the queue with [env] at a random position — the Reorder
+   fate. Queues are small (one simulated network's in-flight traffic),
+   so the linear rebuild is fine. *)
+let enqueue_reordered t p env =
+  let n = Queue.length p.queue in
+  let pos = Link_model.pick t.faults (n + 1) in
+  let buf = Queue.create () in
+  Queue.transfer p.queue buf;
+  for i = 0 to n do
+    if i = pos then Queue.add env p.queue;
+    if not (Queue.is_empty buf) then Queue.add (Queue.pop buf) p.queue
+  done
+
 let gossip t ~from msg =
   Array.iteri
-    (fun j p -> if t.linked.(from).(j) then Queue.add msg p.queue)
+    (fun j p ->
+      if t.linked.(from).(j) then begin
+        let env = { from; msg } in
+        match Link_model.fate t.faults with
+        | Link_model.Deliver -> Queue.add env p.queue
+        | Link_model.Drop -> ()
+        | Link_model.Duplicate ->
+            Queue.add env p.queue;
+            Queue.add env p.queue
+        | Link_model.Delay rounds ->
+            t.delayed <- (j, env, rounds) :: t.delayed
+        | Link_model.Reorder -> enqueue_reordered t p env
+      end)
     t.peers
 
 let submit t ~at tx =
@@ -68,15 +107,29 @@ let try_connect t ~at block =
                            ~height:next_height tx))
                   b.Block.txs)
               disconnected);
-        (* A stashed child may now fit. *)
-        (match Hashtbl.find_opt p.orphans (Block.hash block) with
-        | Some child ->
-            Hashtbl.remove p.orphans (Block.hash block);
-            connect child
-        | None -> ())
+        (* Every stashed child may now fit — two fork blocks can share
+           the parent that just arrived, and each must be offered to the
+           chain (one extends, the other becomes a side branch). *)
+        let h = Block.hash block in
+        (match Hashtbl.find_all p.orphans h with
+        | [] -> ()
+        | children ->
+            List.iter (fun _ -> Hashtbl.remove p.orphans h) children;
+            (* [find_all] lists newest binding first; connect in arrival
+               order. *)
+            List.iter connect (List.rev children))
     | Error "unknown parent" ->
-        (* Ahead of us: stash until the parent arrives. *)
-        Hashtbl.replace p.orphans block.Block.header.Block.prev_hash block
+        (* Ahead of us: stash until the parent arrives. Duplicate fates
+           can offer the same block twice before the parent shows up, so
+           never stash the same child twice. *)
+        let parent = block.Block.header.Block.prev_hash in
+        let already =
+          List.exists
+            (fun (b : Block.t) ->
+              String.equal (Block.hash b) (Block.hash block))
+            (Hashtbl.find_all p.orphans parent)
+        in
+        if not already then Hashtbl.add p.orphans parent block
     | Error _ -> ()
   in
   connect block
@@ -89,9 +142,13 @@ let mine_at t ~at ~coinbase_script ?min_feerate () =
       Ok block
   | Error _ as e -> e
 
-let handle t ~at msg =
+let inject_block t ~at block =
+  Hashtbl.replace t.peers.(at).seen_blocks (Block.hash block) ();
+  try_connect t ~at block
+
+let handle t ~at env =
   let p = t.peers.(at) in
-  match msg with
+  match env.msg with
   | Mtx tx ->
       if not (Mempool.mem (Node.mempool p.node) tx.Tx.txid) then begin
         match Node.submit p.node tx with
@@ -107,7 +164,18 @@ let handle t ~at msg =
         gossip t ~from:at (Mblock block)
       end
 
+(* One round boundary: envelopes whose delay has elapsed join their
+   target queues, the rest tick down by one. *)
+let release_delayed t =
+  let due, later =
+    List.partition (fun (_, _, rounds) -> rounds <= 1) t.delayed
+  in
+  t.delayed <- List.map (fun (j, env, rounds) -> (j, env, rounds - 1)) later;
+  (* The list is newest-first; release in send order. *)
+  List.iter (fun (j, env, _) -> Queue.add env t.peers.(j).queue) (List.rev due)
+
 let deliver t ?max_messages () =
+  release_delayed t;
   let processed = ref 0 in
   let budget = Option.value max_messages ~default:max_int in
   let progress = ref true in
@@ -116,10 +184,10 @@ let deliver t ?max_messages () =
     Array.iteri
       (fun at p ->
         if !processed < budget && not (Queue.is_empty p.queue) then begin
-          let msg = Queue.pop p.queue in
+          let env = Queue.pop p.queue in
           incr processed;
           progress := true;
-          handle t ~at msg
+          handle t ~at env
         end)
       t.peers
   done;
@@ -130,16 +198,39 @@ let partition t group =
   List.iter (fun i -> in_group.(i) <- true) group;
   for i = 0 to peer_count t - 1 do
     for j = 0 to peer_count t - 1 do
-      if i <> j && in_group.(i) <> in_group.(j) then begin
-        t.linked.(i).(j) <- false;
-        (* Drop in-flight traffic on severed links: queues are per-peer,
-           so this is approximated by clearing both queues' messages that
-           came from across the cut - we conservatively keep them; new
-           traffic stops flowing. *)
-        ()
-      end
+      if i <> j && in_group.(i) <> in_group.(j) then t.linked.(i).(j) <- false
     done
-  done
+  done;
+  (* Sever the links *and* the traffic already on them: queued and
+     delayed envelopes whose sender sits across the cut are dropped, as
+     a real partition would lose them. [heal]'s re-announcement is what
+     repairs the resulting gaps. *)
+  Array.iteri
+    (fun j p ->
+      let buf = Queue.create () in
+      Queue.transfer p.queue buf;
+      Queue.iter
+        (fun env ->
+          if in_group.(env.from) = in_group.(j) then Queue.add env p.queue)
+        buf)
+    t.peers;
+  t.delayed <-
+    List.filter
+      (fun (j, env, _) -> in_group.(env.from) = in_group.(j))
+      t.delayed
+
+(* Every peer re-gossips its mempool and chain to its current
+   neighbours — the simulation's stand-in for a real node's periodic
+   inventory re-broadcast. Announcements travel the faulty links like
+   any other traffic. *)
+let announce_all t =
+  Array.iteri
+    (fun i p ->
+      List.iter (fun tx -> gossip t ~from:i (Mtx tx)) (Node.pending_txs p.node);
+      List.iter
+        (fun b -> gossip t ~from:i (Mblock b))
+        (Chain_state.blocks (Node.chain p.node)))
+    t.peers
 
 let heal t =
   for i = 0 to peer_count t - 1 do
@@ -148,13 +239,7 @@ let heal t =
     done
   done;
   (* Re-announce local state so the other side can catch up. *)
-  Array.iteri
-    (fun i p ->
-      List.iter (fun tx -> gossip t ~from:i (Mtx tx)) (Node.pending_txs p.node);
-      List.iter
-        (fun b -> gossip t ~from:i (Mblock b))
-        (Chain_state.blocks (Node.chain p.node)))
-    t.peers
+  announce_all t
 
 let mempool_view t i =
   Node.pending_txs t.peers.(i).node
@@ -164,7 +249,10 @@ let mempool_view t i =
 let in_sync t =
   let tip i = Chain_state.tip_hash (Node.chain t.peers.(i).node) in
   let view0 = mempool_view t 0 and tip0 = tip 0 in
-  Array.for_all (fun p -> Queue.is_empty p.queue) t.peers
+  (match t.delayed with [] -> true | _ :: _ -> false)
+  && Array.for_all
+       (fun p -> Queue.is_empty p.queue && Hashtbl.length p.orphans = 0)
+       t.peers
   &&
   let rec go i =
     i >= peer_count t
@@ -173,3 +261,29 @@ let in_sync t =
        && go (i + 1))
   in
   go 1
+
+let converge ?until ?(max_rounds = 200) t =
+  let settled () = match until with Some f -> f t | None -> in_sync t in
+  let gap = ref 1 in
+  let next_announce = ref 0 in
+  let rec go round =
+    if settled () then Some round
+    else if round >= max_rounds then None
+    else begin
+      let processed = deliver t () in
+      (* Stalled — queues empty, nothing delayed, still not settled:
+         dropped messages ate the traffic. Re-announce, backing off
+         exponentially so a stubbornly lossy run doesn't flood itself
+         with redundant inventory. *)
+      (match t.delayed with
+      | [] when processed = 0 && not (settled ()) ->
+          if round >= !next_announce then begin
+            announce_all t;
+            next_announce := round + !gap;
+            gap := min (!gap * 2) 16
+          end
+      | _ -> ());
+      go (round + 1)
+    end
+  in
+  go 0

@@ -8,18 +8,27 @@
     the same denial constraint at the same instant. The tests and the
     gossip example exercise exactly that divergence.
 
-    Simplifications (documented in DESIGN.md): links are reliable FIFO
-    queues drained on demand ([deliver]); topology is a full mesh with
-    optional partitions. Fork races resolve by the longest-chain rule of
-    {!Chain_state}: a competing branch that overtakes a peer's tip
-    triggers a reorg, returning the abandoned blocks' transactions to
-    that peer's mempool; blocks arriving ahead of a missing parent are
-    stashed and connected once the gap fills. *)
+    Links are FIFO queues drained on demand ([deliver]); topology is a
+    full mesh with optional partitions. By default links are reliable;
+    a {!Link_model} makes each message send independently drop,
+    duplicate, delay, or reorder, from a seeded PRNG — the fault
+    schedule of a run is reproducible from its seed. Fork races resolve
+    by the longest-chain rule of {!Chain_state}: a competing branch that
+    overtakes a peer's tip triggers a reorg, returning the abandoned
+    blocks' transactions to that peer's mempool; blocks arriving ahead
+    of a missing parent are stashed (several children per missing
+    parent) and connected once the gap fills. *)
 
 type t
 
-val create : peers:int -> initial:(Script.t * int) list -> t
-(** [peers >= 1] nodes, all starting from the same genesis. *)
+val create :
+  ?faults:Link_model.t ->
+  peers:int ->
+  initial:(Script.t * int) list ->
+  unit ->
+  t
+(** [peers >= 1] nodes, all starting from the same genesis. [faults]
+    (default {!Link_model.reliable}) injects per-message link faults. *)
 
 val peer_count : t -> int
 val peer : t -> int -> Node.t
@@ -27,30 +36,55 @@ val peer : t -> int -> Node.t
 
 val submit : t -> at:int -> Tx.t -> (unit, Mempool.reject) result
 (** Submit to one peer's mempool; on acceptance the transaction is queued
-    to the peer's current neighbours. *)
+    to the peer's current neighbours (each send subject to the fault
+    model). *)
 
 val mine_at :
   t -> at:int -> coinbase_script:Script.t -> ?min_feerate:float -> unit ->
   (Block.t, string) result
 (** Mine from the peer's mempool, connect locally, gossip the block. *)
 
+val inject_block : t -> at:int -> Block.t -> unit
+(** Hand a block straight to one peer — marked seen and connected (or
+    stashed as an orphan) without any gossip. A test hook: it simulates
+    a block arriving from outside the simulated mesh, in any order. *)
+
 val deliver : t -> ?max_messages:int -> unit -> int
-(** Drain queued messages (transactions and blocks), re-gossiping
-    anything new; returns the number of messages processed. Without
-    [max_messages], runs until every queue is empty. *)
+(** One delivery round: messages whose injected delay has elapsed join
+    their target queues (others tick down one round), then queued
+    messages are drained, re-gossiping anything new; returns the number
+    of messages processed. Without [max_messages], runs until every
+    queue is empty — on reliable links that is full convergence, under
+    faults some traffic may be dropped or still delayed. *)
+
+val converge :
+  ?until:(t -> bool) -> ?max_rounds:int -> t -> int option
+(** Run delivery rounds until [until] (default {!in_sync}) holds,
+    returning [Some rounds_used], or [None] after [max_rounds] (default
+    200). When a round goes idle without converging — lossy links ate
+    the traffic — peers re-announce their state, with exponentially
+    backed-off gaps (1, 2, 4, … capped at 16 rounds) between retries. *)
 
 val partition : t -> int list -> unit
-(** Cut every link between the listed peers and the rest. Messages
-    already sitting in a peer's queue are still processed; no new traffic
-    crosses the cut. *)
+(** Cut every link between the listed peers and the rest, dropping the
+    in-flight traffic (queued or delayed) that crosses the cut — as a
+    real partition would lose it. Traffic between peers on the same
+    side is untouched. [heal]'s re-announcement repairs the gaps. *)
 
 val heal : t -> unit
 (** Restore the full mesh and let peers re-announce their mempools and
-    chain tips to everyone. [deliver] then converges the views. *)
+    chain tips to everyone. [deliver] (or [converge], under faults) then
+    converges the views. *)
+
+val announce_all : t -> unit
+(** Every peer re-gossips its mempool and chain to its current
+    neighbours — the periodic inventory re-broadcast of a real node.
+    [converge] uses it to recover from dropped messages. *)
 
 val mempool_view : t -> int -> Crypto.digest list
 (** Sorted txids in a peer's mempool. *)
 
 val in_sync : t -> bool
-(** All peers have equal chain tips and equal mempool views and no
-    messages are in flight. *)
+(** All peers have equal chain tips and equal mempool views, no
+    messages are in flight (queued or delayed), and no peer is holding
+    orphan blocks it could not yet connect. *)

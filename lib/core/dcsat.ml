@@ -12,10 +12,19 @@ type stats = {
   runtime : float;
 }
 
+type verdict =
+  | Satisfied
+  | Violated of {
+      world : int list;
+      witness : (string * R.Value.t) list option;
+    }
+  | Unknown of Engine.Budget.reason
+
 type outcome = {
   satisfied : bool;
   witness_world : int list option;
   witness : (string * R.Value.t) list option;
+  verdict : verdict;
   stats : stats;
 }
 
@@ -33,10 +42,16 @@ let pp_refusal ppf = function
   | `Not_monotone reason -> Format.fprintf ppf "not monotone: %s" reason
   | `Not_connected -> Format.pp_print_string ppf "not a connected conjunctive query"
 
+let verdict_name = function
+  | Satisfied -> "SATISFIED"
+  | Violated _ -> "UNSATISFIED"
+  | Unknown reason ->
+      Printf.sprintf "UNKNOWN (budget exhausted: %s)"
+        (Engine.Budget.reason_name reason)
+
 let pp_outcome ppf o =
   Format.fprintf ppf "%s (worlds=%d cliques=%d comps=%d/%d precheck=%b %.4fs)"
-    (if o.satisfied then "SATISFIED" else "UNSATISFIED")
-    o.stats.worlds_checked o.stats.cliques_enumerated
+    (verdict_name o.verdict) o.stats.worlds_checked o.stats.cliques_enumerated
     o.stats.components_covered o.stats.components_total
     o.stats.precheck_decided o.stats.runtime
 
@@ -50,11 +65,29 @@ type counters = {
 
 let fresh_counters () = { worlds = 0; cliques = 0; comps = 0; covered = 0 }
 
-let finish ~t0 ~precheck counters satisfied witness_world witness =
+(* The verdict of one enumeration: a violation found before any budget
+   exhaustion is a sound counterexample (Violated wins); a clean, fully
+   enumerated run is Satisfied; a budget-cut run without a witness is
+   Unknown — the unexplored suffix could hide a violation. *)
+let verdict_of ~violation ~exhausted =
+  match (violation, exhausted) with
+  | Some (world, witness), _ -> Violated { world; witness }
+  | None, Some reason -> Unknown reason
+  | None, None -> Satisfied
+
+let finish ~t0 ~precheck counters verdict =
+  let witness_world, witness =
+    match verdict with
+    | Violated v -> (Some v.world, v.witness)
+    | Satisfied | Unknown _ -> (None, None)
+  in
   {
-    satisfied;
+    (* [satisfied] means "known to hold in every world": false for both
+       Violated and Unknown — consult [verdict] to tell them apart. *)
+    satisfied = (verdict = Satisfied);
     witness_world;
     witness;
+    verdict;
     stats =
       {
         worlds_checked = counters.worlds;
@@ -115,12 +148,14 @@ let precheck session q =
   decided
 
 (* Fan the items of [source] out over the engine and fold the report
-   back into the run's counters. Returns a violation or None. *)
-let run_worlds ~jobs ~on_event ~count_cliques session counters q ~eval source =
+   back into the run's counters. Returns the run's violation (if any)
+   and the budget-exhaustion reason (if the budget tripped). *)
+let run_worlds ~jobs ~budget ~on_event ~count_cliques session counters q ~eval
+    source =
   let store = Session.store session in
   let obs = Session.obs session in
   let report =
-    Engine.run ~obs ~jobs ~store
+    Engine.run ~obs ~budget ~jobs ~store
       ~replicate:(fun () -> Session.borrow_replica session)
       ~release:(Session.return_replica session)
       ~restrict:(Tagged_store.restrict store)
@@ -141,18 +176,26 @@ let run_worlds ~jobs ~on_event ~count_cliques session counters q ~eval source =
     if count_cliques then Obs.add obs "dcsat.cliques" report.Engine.pulled;
     Obs.add obs "dcsat.worlds" report.Engine.evaluated
   end;
-  Option.map
-    (fun (v : Engine.violation) -> (v.Engine.world, v.witness))
-    report.Engine.hit
+  ( Option.map
+      (fun (v : Engine.violation) -> (v.Engine.world, v.witness))
+      report.Engine.hit,
+    report.Engine.exhausted )
 
 (* Work source: the maximal cliques of the fd graph restricted to
    [nodes], as candidate sets in original transaction ids. When [scope]
-   is given, items are tagged with that component-scoped store view. *)
-let clique_source ?scope session nodes =
+   is given, items are tagged with that component-scoped store view. A
+   budgeted run threads its deadline hook into the clique generator, so
+   a long inter-yield search is still cut promptly; source pulls happen
+   under the engine lock, so the budget's sticky trip never races. *)
+let clique_source ?scope ~budget session nodes =
   let obs = Session.obs session in
   let fd = Session.fd_graph session in
   let sub, back = Undirected.induced fd.Fd_graph.graph nodes in
-  let next = Engine.Work_source.of_cliques ?scope sub ~back in
+  let interrupt =
+    if Engine.Budget.is_unlimited budget then None
+    else Some (Engine.Budget.interrupt budget)
+  in
+  let next = Engine.Work_source.of_cliques ?interrupt ?scope sub ~back in
   if not (Obs.enabled obs) then next
   else fun () -> Obs.span obs ~cat:"dcsat" "bk_yield" next
 
@@ -168,7 +211,7 @@ let clique_source ?scope session nodes =
    (= its engine claim index), and [covered] later counts only those
    within the claimed-and-counted prefix — making the stat identical
    to the sequential run's. *)
-let component_source ~use_covers ~on_event session q components =
+let component_source ~use_covers ~budget ~on_event session q components =
   let store = Session.store session in
   let remaining = ref components in
   let current = ref Engine.Work_source.empty in
@@ -196,7 +239,7 @@ let component_source ~use_covers ~on_event session q components =
                  it closes into — lives inside [component], so its items
                  are scoped to it: workers evaluate on component-sized
                  store views (tens of tuples, not the whole store). *)
-              current := clique_source ~scope:component session component;
+              current := clique_source ~scope:component ~budget session component;
               pull ()
             end
             else begin
@@ -209,7 +252,7 @@ let component_source ~use_covers ~on_event session q components =
   in
   (pull, covered)
 
-let brute_force ?(jobs = 1) session q =
+let brute_force ?(jobs = 1) ?(budget = Engine.Budget.unlimited) session q =
   let t0 = Monotime.now () in
   let store = Session.store session in
   let saved = Tagged_store.world store in
@@ -222,14 +265,11 @@ let brute_force ?(jobs = 1) session q =
       (fun w -> Engine.Work_source.plain (Bitset.to_list w))
       (next ())
   in
-  let violation =
-    run_worlds ~jobs ~on_event:ignore ~count_cliques:false session counters q
-      ~eval:eval_txs source
+  let violation, exhausted =
+    run_worlds ~jobs ~budget ~on_event:ignore ~count_cliques:false session
+      counters q ~eval:eval_txs source
   in
-  match violation with
-  | Some (txs, witness) ->
-      finish ~t0 ~precheck:false counters false (Some txs) witness
-  | None -> finish ~t0 ~precheck:false counters true None None
+  finish ~t0 ~precheck:false counters (verdict_of ~violation ~exhausted)
 
 let require_monotone q k =
   match Q.Monotone.analyze q with
@@ -254,33 +294,32 @@ let with_world_restored session k =
   let saved = Tagged_store.world store in
   Fun.protect ~finally:(fun () -> Tagged_store.set_world store saved) k
 
-let naive ?(jobs = 1) ?(use_precheck = true) ?(on_event = ignore) session q =
+let naive ?(jobs = 1) ?(budget = Engine.Budget.unlimited) ?(use_precheck = true)
+    ?(on_event = ignore) session q =
   require_monotone q @@ fun () ->
   with_world_restored session @@ fun () ->
   let t0 = Monotime.now () in
   let counters = fresh_counters () in
   if use_precheck && precheck session q then begin
     on_event Precheck_decided;
-    Ok (finish ~t0 ~precheck:true counters true None None)
+    Ok (finish ~t0 ~precheck:true counters Satisfied)
   end
   else begin
     let store = Session.store session in
     let k = Tagged_store.tx_count store in
     let all = List.init k Fun.id in
-    let violation =
-      if k = 0 then base_world_check session counters q
+    let violation, exhausted =
+      if k = 0 then (base_world_check session counters q, None)
       else
-        run_worlds ~jobs ~on_event ~count_cliques:true session counters q
-          ~eval:eval_clique (clique_source session all)
+        run_worlds ~jobs ~budget ~on_event ~count_cliques:true session counters
+          q ~eval:eval_clique
+          (clique_source ~budget session all)
     in
-    match violation with
-    | Some (txs, witness) ->
-        Ok (finish ~t0 ~precheck:false counters false (Some txs) witness)
-    | None -> Ok (finish ~t0 ~precheck:false counters true None None)
+    Ok (finish ~t0 ~precheck:false counters (verdict_of ~violation ~exhausted))
   end
 
-let opt ?(jobs = 1) ?(use_precheck = true) ?(use_covers = true)
-    ?(on_event = ignore) session q =
+let opt ?(jobs = 1) ?(budget = Engine.Budget.unlimited) ?(use_precheck = true)
+    ?(use_covers = true) ?(on_event = ignore) session q =
   require_monotone q @@ fun () ->
   match q with
   | Q.Query.Aggregate _ -> Error `Not_connected
@@ -292,13 +331,13 @@ let opt ?(jobs = 1) ?(use_precheck = true) ?(use_covers = true)
         let counters = fresh_counters () in
         if use_precheck && precheck session q then begin
           on_event Precheck_decided;
-          Ok (finish ~t0 ~precheck:true counters true None None)
+          Ok (finish ~t0 ~precheck:true counters Satisfied)
         end
         else begin
           let store = Session.store session in
           let k = Tagged_store.tx_count store in
-          let violation =
-            if k = 0 then base_world_check session counters q
+          let violation, exhausted =
+            if k = 0 then (base_world_check session counters q, None)
             else begin
               let obs = Session.obs session in
               let components =
@@ -313,18 +352,18 @@ let opt ?(jobs = 1) ?(use_precheck = true) ?(use_covers = true)
                 Obs.add obs "dcsat.components" (List.length components);
               on_event (Components_found (List.length components));
               let source, covered =
-                component_source ~use_covers ~on_event session q components
+                component_source ~use_covers ~budget ~on_event session q
+                  components
               in
-              let violation =
-                run_worlds ~jobs ~on_event ~count_cliques:true session
+              let result =
+                run_worlds ~jobs ~budget ~on_event ~count_cliques:true session
                   counters q ~eval:eval_clique source
               in
               counters.covered <- covered ~pulled:counters.cliques;
-              violation
+              result
             end
           in
-          match violation with
-          | Some (txs, witness) ->
-              Ok (finish ~t0 ~precheck:false counters false (Some txs) witness)
-          | None -> Ok (finish ~t0 ~precheck:false counters true None None)
+          Ok
+            (finish ~t0 ~precheck:false counters
+               (verdict_of ~violation ~exhausted))
         end

@@ -29,7 +29,14 @@
     per-world work out over [n] OCaml domains, each on a private store
     replica, with identical results and work counts (see the engine's
     determinism contract). Every solver restores the session store's
-    active world on exit, whatever the outcome. *)
+    active world on exit, whatever the outcome.
+
+    Every solver accepts an {!Engine.Budget.t}: when the budget trips
+    before the enumeration completes — and no violation was found first —
+    the outcome's {!type-verdict} is [Unknown] rather than a claim either
+    way. A violation found before exhaustion is always reported as
+    [Violated]: a counterexample from an incomplete enumeration is still
+    sound. Budgets are single-run; create a fresh one per solve. *)
 
 type stats = {
   worlds_checked : int;  (** Maximal worlds materialized and evaluated. *)
@@ -40,12 +47,28 @@ type stats = {
   runtime : float;  (** Wall-clock seconds. *)
 }
 
+type verdict =
+  | Satisfied  (** Every possible world was covered; [D |= ¬q]. *)
+  | Violated of {
+      world : int list;  (** Transactions of a violating possible world. *)
+      witness : (string * Relational.Value.t) list option;
+          (** A satisfying assignment over that world (Boolean queries). *)
+    }
+  | Unknown of Engine.Budget.reason
+      (** The budget tripped before the enumeration completed and no
+          violation had been found: the unexplored suffix could hide
+          one, so neither [Satisfied] nor [Violated] would be sound. *)
+
 type outcome = {
-  satisfied : bool;  (** [D |= ¬q]. *)
+  satisfied : bool;
+      (** [D |= ¬q] is {e known} to hold: [verdict = Satisfied]. False
+          for both [Violated] and [Unknown] — consult [verdict] to tell
+          a refuted constraint from an exhausted budget. *)
   witness_world : int list option;
       (** Transactions of a violating possible world, when unsatisfied. *)
   witness : (string * Relational.Value.t) list option;
       (** A satisfying assignment over that world (Boolean queries). *)
+  verdict : verdict;
   stats : stats;
 }
 
@@ -67,11 +90,16 @@ type event =
 
 val pp_refusal : Format.formatter -> refusal -> unit
 
-val brute_force : ?jobs:int -> Session.t -> Bcquery.Query.t -> outcome
+val verdict_name : verdict -> string
+(** ["SATISFIED"], ["UNSATISFIED"], or ["UNKNOWN (budget exhausted: …)"]. *)
+
+val brute_force :
+  ?jobs:int -> ?budget:Engine.Budget.t -> Session.t -> Bcquery.Query.t -> outcome
 (** Raises [Invalid_argument] beyond 24 pending transactions. *)
 
 val naive :
   ?jobs:int ->
+  ?budget:Engine.Budget.t ->
   ?use_precheck:bool ->
   ?on_event:(event -> unit) ->
   Session.t ->
@@ -80,10 +108,13 @@ val naive :
 (** [use_precheck] (default true) disables the [R ∪ T] pre-check for
     ablation measurements. [jobs] (default 1) selects the engine
     backend; with [jobs > 1], [on_event] callbacks are serialized but
-    their order is nondeterministic. *)
+    their order is nondeterministic. [budget] (default
+    {!Engine.Budget.unlimited}) bounds the enumeration; the pre-check is
+    never budgeted (it is a single query evaluation). *)
 
 val opt :
   ?jobs:int ->
+  ?budget:Engine.Budget.t ->
   ?use_precheck:bool ->
   ?use_covers:bool ->
   ?on_event:(event -> unit) ->
@@ -91,6 +122,7 @@ val opt :
   Bcquery.Query.t ->
   (outcome, refusal) result
 (** [use_covers] (default true) disables the constant-coverage component
-    filter for ablation measurements. [jobs] as in {!naive}. *)
+    filter for ablation measurements. [jobs] and [budget] as in
+    {!naive}. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -21,12 +21,80 @@ module Work_source = struct
           remaining := tl;
           Some (plain x)
 
-  let of_cliques ?scope graph ~back =
-    let next = Bcgraph.Bron_kerbosch.generator graph in
+  let of_cliques ?interrupt ?scope graph ~back =
+    let next = Bcgraph.Bron_kerbosch.generator ?interrupt graph in
     fun () ->
       Option.map
         (fun c -> { members = List.map (fun i -> back.(i)) c; scope })
         (next ())
+end
+
+(* Cooperative cancellation: a budget is checked on the claim path (the
+   single point every backend funnels work through) and, via
+   {!Budget.interrupt}, inside Bron–Kerbosch branching steps. A budget
+   never interrupts an evaluation in flight — limits are enforced at
+   work-item granularity, so [max_worlds] may be overshot by up to
+   [jobs - 1] in-flight items. Tripping is sticky: the first reason
+   observed is the one reported. All mutation happens on the claim path
+   (under the engine lock in the parallel backend) or inside source
+   pulls, which run under that same lock. *)
+module Budget = struct
+  type reason = Deadline | Max_worlds | Max_pulled
+
+  type t = {
+    deadline : float option;  (* absolute Monotime.now target *)
+    max_worlds : int;
+    max_pulled : int;
+    mutable tripped : reason option;
+  }
+
+  let unlimited =
+    { deadline = None; max_worlds = max_int; max_pulled = max_int; tripped = None }
+
+  let create ?timeout_s ?max_worlds ?max_pulled () =
+    (match timeout_s with
+    | Some s when s < 0.0 -> invalid_arg "Engine.Budget.create: negative timeout"
+    | _ -> ());
+    {
+      deadline = Option.map (fun s -> Monotime.now () +. s) timeout_s;
+      max_worlds = Option.value max_worlds ~default:max_int;
+      max_pulled = Option.value max_pulled ~default:max_int;
+      tripped = None;
+    }
+
+  let is_unlimited t =
+    t.deadline = None && t.max_worlds = max_int && t.max_pulled = max_int
+
+  let tripped t = t.tripped
+  let trip t reason = if t.tripped = None then t.tripped <- Some reason
+
+  let deadline_passed t =
+    match t.deadline with Some d -> Monotime.now () > d | None -> false
+
+  let check t ~pulled ~evaluated =
+    (if t.tripped = None then
+       if evaluated >= t.max_worlds then trip t Max_worlds
+       else if pulled >= t.max_pulled then trip t Max_pulled
+       else if deadline_passed t then trip t Deadline);
+    t.tripped
+
+  (* The hook handed to Bron_kerbosch.generator: only the deadline can
+     fire between yields (world/pull limits are claim-path properties). *)
+  let interrupt t () =
+    t.tripped <> None
+    ||
+    if deadline_passed t then begin
+      trip t Deadline;
+      true
+    end
+    else false
+
+  let reason_name = function
+    | Deadline -> "deadline"
+    | Max_worlds -> "max-worlds"
+    | Max_pulled -> "max-pulled"
+
+  let pp_reason ppf r = Format.pp_print_string ppf (reason_name r)
 end
 
 type violation = {
@@ -36,7 +104,12 @@ type violation = {
 
 type evaluation = { world : int list; violation : violation option }
 
-type report = { hit : violation option; pulled : int; evaluated : int }
+type report = {
+  hit : violation option;
+  pulled : int;
+  evaluated : int;
+  exhausted : Budget.reason option;
+}
 
 type backend = Sequential | Parallel of int
 
@@ -55,7 +128,8 @@ let eval_timed obs eval store members =
   end
   else eval store members
 
-let run_sequential ~obs ~store ~restrict ~source ~eval ~on_item ~on_evaluated =
+let run_sequential ~obs ~budget ~store ~restrict ~source ~eval ~on_item
+    ~on_evaluated =
   let pulled = ref 0 and evaluated = ref 0 in
   (* One scoped view per component, rebuilt when the scope list changes
      (sources reuse one list instance per component, so consecutive
@@ -73,18 +147,21 @@ let run_sequential ~obs ~store ~restrict ~source ~eval ~on_item ~on_evaluated =
             view)
   in
   let rec go () =
-    match source () with
-    | None -> None
-    | Some item ->
-        incr pulled;
-        on_item item.Work_source.members;
-        let ev = eval_timed obs eval (store_for item) item.Work_source.members in
-        incr evaluated;
-        on_evaluated ev;
-        (match ev.violation with Some _ as hit -> hit | None -> go ())
+    if Budget.check budget ~pulled:!pulled ~evaluated:!evaluated <> None then
+      None
+    else
+      match source () with
+      | None -> None
+      | Some item ->
+          incr pulled;
+          on_item item.Work_source.members;
+          let ev = eval_timed obs eval (store_for item) item.Work_source.members in
+          incr evaluated;
+          on_evaluated ev;
+          (match ev.violation with Some _ as hit -> hit | None -> go ())
   in
   let hit = go () in
-  { hit; pulled = !pulled; evaluated = !evaluated }
+  { hit; pulled = !pulled; evaluated = !evaluated; exhausted = Budget.tripped budget }
 
 (* A pool of parked helper domains, reused across engine runs.
    [Domain.spawn] costs milliseconds — often more than an entire small
@@ -109,6 +186,11 @@ module Pool = struct
     done;
     let job = match slot.job with Some j -> j | None -> assert false in
     Mutex.unlock slot.m;
+    (* Backstop only: submitted jobs are exception-safe wrappers (see
+       [guarded] in [run_parallel]) that record failures and signal
+       completion themselves. Swallowing here merely keeps a buggy future
+       caller from killing a parked domain; it must never be the place a
+       worker failure is "handled", or the submitter's join deadlocks. *)
     (try job () with _ -> ());
     Mutex.lock slot.m;
     slot.job <- None;
@@ -163,8 +245,8 @@ end
    wins. That makes the returned witness — and, after clamping the work
    counters to the winning index, the reported stats — deterministic and
    equal to the sequential backend's. *)
-let run_parallel ~obs ~jobs ~replicate ~release ~restrict ~source ~eval ~on_item
-    ~on_evaluated =
+let run_parallel ~obs ~jobs ~budget ~replicate ~release ~restrict ~source ~eval
+    ~on_item ~on_evaluated =
   let lock = Mutex.create () in
   let locked f =
     Mutex.lock lock;
@@ -173,10 +255,16 @@ let run_parallel ~obs ~jobs ~replicate ~release ~restrict ~source ~eval ~on_item
   let stop = Atomic.make false in
   let best = ref None in
   let next_index = ref 0 in
+  let eval_count = Atomic.make 0 in
   let borrowed = ref [] in
   let claim_raw () =
     locked (fun () ->
         if Atomic.get stop then None
+        else if
+          Budget.check budget ~pulled:!next_index
+            ~evaluated:(Atomic.get eval_count)
+          <> None
+        then None
         else
           match source () with
           | None -> None
@@ -233,6 +321,7 @@ let run_parallel ~obs ~jobs ~replicate ~release ~restrict ~source ~eval ~on_item
       | None -> ()
       | Some (i, item) ->
           let ev = eval_timed obs eval (store_for item) item.Work_source.members in
+          Atomic.incr eval_count;
           claimed := i :: !claimed;
           locked (fun () -> on_evaluated ev);
           (match ev.violation with Some v -> record i v | None -> ());
@@ -241,20 +330,39 @@ let run_parallel ~obs ~jobs ~replicate ~release ~restrict ~source ~eval ~on_item
     Obs.span obs ~cat:"engine" "worker" go;
     !claimed
   in
+  (* Exception safety. A worker body may raise (a broken [eval], an
+     interrupted replica clone): the raise must not strand [finished] —
+     that deadlocks the join — and must not leak borrowed replicas. Each
+     worker runs under a catch-all that records the first failure (with
+     its backtrace), flips [stop] so the other workers drain quickly, and
+     still counts itself finished; after the join, every borrowed replica
+     is released and the recorded exception is re-raised to the caller.
+     The pool's parked domains never see the exception, so the pool stays
+     reusable for the next run. *)
+  let failure = ref None in
+  let guarded w =
+    match w () with
+    | claimed -> claimed
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        locked (fun () -> if !failure = None then failure := Some (e, bt));
+        Atomic.set stop true;
+        []
+  in
   let done_m = Mutex.create () and done_cv = Condition.create () in
   let helpers = jobs - 1 in
   let finished = ref 0 in
   let helper_claims = ref [] in
   for _ = 1 to helpers do
     Pool.submit (Pool.take ()) (fun () ->
-        let claimed = worker () in
+        let claimed = guarded worker in
         Mutex.lock done_m;
         helper_claims := claimed @ !helper_claims;
         incr finished;
         Condition.signal done_cv;
         Mutex.unlock done_m)
   done;
-  let mine = worker () in
+  let mine = guarded worker in
   Obs.span obs ~cat:"engine" "join" (fun () ->
       Mutex.lock done_m;
       while !finished < helpers do
@@ -263,17 +371,21 @@ let run_parallel ~obs ~jobs ~replicate ~release ~restrict ~source ~eval ~on_item
       Mutex.unlock done_m);
   let claimed = mine @ !helper_claims in
   List.iter release !borrowed;
+  (match !failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
   let win, hit =
     match !best with None -> (max_int, None) | Some (i, v) -> (i, Some v)
   in
   let counted = List.length (List.filter (fun i -> i <= win) claimed) in
-  { hit; pulled = counted; evaluated = counted }
+  { hit; pulled = counted; evaluated = counted; exhausted = Budget.tripped budget }
 
-let run ?(obs = Obs.null) ~jobs ~store ~replicate ?(release = ignore) ?restrict
-    ~source ~eval ~on_item ~on_evaluated () =
+let run ?(obs = Obs.null) ?(budget = Budget.unlimited) ~jobs ~store ~replicate
+    ?(release = ignore) ?restrict ~source ~eval ~on_item ~on_evaluated () =
   match backend_of_jobs jobs with
   | Sequential ->
-      run_sequential ~obs ~store ~restrict ~source ~eval ~on_item ~on_evaluated
+      run_sequential ~obs ~budget ~store ~restrict ~source ~eval ~on_item
+        ~on_evaluated
   | Parallel jobs ->
-      run_parallel ~obs ~jobs ~replicate ~release ~restrict ~source ~eval
-        ~on_item ~on_evaluated
+      run_parallel ~obs ~jobs ~budget ~replicate ~release ~restrict ~source
+        ~eval ~on_item ~on_evaluated

@@ -51,10 +51,60 @@ module Work_source : sig
   val empty : t
   val of_list : int list list -> t
 
-  val of_cliques : ?scope:int list -> Bcgraph.Undirected.t -> back:int array -> t
+  val of_cliques :
+    ?interrupt:(unit -> bool) ->
+    ?scope:int list ->
+    Bcgraph.Undirected.t ->
+    back:int array ->
+    t
   (** Stream the graph's maximal cliques ({!Bcgraph.Bron_kerbosch.generator}),
       mapping node ids through [back] (as produced by
-      {!Bcgraph.Undirected.induced}), each tagged with [scope]. *)
+      {!Bcgraph.Undirected.induced}), each tagged with [scope].
+      [interrupt] is forwarded to the generator: when it fires (e.g. a
+      {!Budget} deadline between yields), the stream ends early. *)
+end
+
+(** Cooperative cancellation and resource budgets. A budget bounds one
+    engine run by wall-clock deadline ({!Monotime}), worlds evaluated,
+    and/or work items pulled. It is checked on the claim path — the
+    single point both backends funnel work through — and its
+    {!Budget.interrupt} hook is polled inside
+    {!Bcgraph.Bron_kerbosch.generator} branching steps, so a deadline
+    also cuts an exponentially long gap between two clique yields.
+    Enforcement is cooperative and item-granular: an evaluation in
+    flight is never interrupted, so [max_worlds] can be overshot by up
+    to [jobs - 1] in-flight items. A budget is single-run: tripping is
+    sticky (the first reason wins) and is reported in
+    {!type-report.exhausted}. {!Budget.unlimited} never trips and may be
+    shared freely. *)
+module Budget : sig
+  type reason = Deadline | Max_worlds | Max_pulled
+
+  type t
+
+  val unlimited : t
+
+  val create :
+    ?timeout_s:float -> ?max_worlds:int -> ?max_pulled:int -> unit -> t
+  (** [timeout_s] is a wall-clock allowance relative to {e now}
+      (monotonic clock), converted to an absolute deadline immediately —
+      create the budget right before the run it bounds. Raises
+      [Invalid_argument] on a negative timeout. *)
+
+  val is_unlimited : t -> bool
+
+  val check : t -> pulled:int -> evaluated:int -> reason option
+  (** Trip (sticky) if a limit is hit; return the tripped reason. Called
+      by the engine on the claim path, under the engine lock in the
+      parallel backend. *)
+
+  val interrupt : t -> unit -> bool
+  (** The between-yields cancellation hook for clique generators: [true]
+      once the budget has tripped (only the deadline can trip here). *)
+
+  val tripped : t -> reason option
+  val reason_name : reason -> string
+  val pp_reason : Format.formatter -> reason -> unit
 end
 
 type violation = {
@@ -68,6 +118,12 @@ type report = {
   hit : violation option;  (** Lowest-index violation, if any. *)
   pulled : int;  (** Work items handed out (≤ winning index + 1). *)
   evaluated : int;  (** Worlds evaluated (counted up to the winner). *)
+  exhausted : Budget.reason option;
+      (** The run stopped early because its budget tripped. [hit] takes
+          precedence: a violation found before exhaustion is a sound
+          counterexample; absence of a violation with
+          [exhausted = Some _] means the enumeration was incomplete and
+          the question is {e unknown}. *)
 }
 
 type backend = Sequential | Parallel of int
@@ -81,6 +137,7 @@ val default_jobs : unit -> int
 
 val run :
   ?obs:Obs.t ->
+  ?budget:Budget.t ->
   jobs:int ->
   store:Tagged_store.t ->
   replicate:(unit -> Tagged_store.t) ->
@@ -105,4 +162,15 @@ val run :
     [replicate] returns is passed to [release] after the workers have
     joined (the default [release] drops it). When [restrict] is absent,
     scoped items fall back to the unscoped path. [on_item] fires when an
-    item is claimed, [on_evaluated] after it is evaluated. *)
+    item is claimed, [on_evaluated] after it is evaluated.
+
+    [budget] (default {!Budget.unlimited}) bounds the run; when it trips,
+    no further items are claimed, in-flight items finish, and the report
+    carries [exhausted = Some reason].
+
+    {b Exception safety.} If [eval] (or [replicate]/[restrict]) raises in
+    any backend, the exception propagates to the caller: the parallel
+    backend records the first failure, stops claiming, waits for every
+    worker to finish, releases all borrowed replicas through [release],
+    and re-raises with the original backtrace after the join — the
+    helper-domain pool stays reusable for subsequent runs. *)

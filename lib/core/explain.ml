@@ -12,7 +12,7 @@ type report = {
   trace_truncated : bool;
 }
 
-let run ?jobs ?(max_events = 50) session q =
+let run ?jobs ?budget ?(max_events = 50) session q =
   let monotone, monotone_reason =
     match Q.Monotone.analyze q with
     | Q.Monotone.Monotone -> (true, None)
@@ -38,10 +38,10 @@ let run ?jobs ?(max_events = 50) session q =
     | Some (outcome, case) ->
         Ok (outcome, "tractable: " ^ Tractable.case_name case)
     | None -> (
-        match Dcsat.opt ?jobs ~on_event session q with
+        match Dcsat.opt ?jobs ?budget ~on_event session q with
         | Ok outcome -> Ok (outcome, "OptDCSat")
         | Error `Not_connected -> (
-            match Dcsat.naive ?jobs ~on_event session q with
+            match Dcsat.naive ?jobs ?budget ~on_event session q with
             | Ok outcome -> Ok (outcome, "NaiveDCSat")
             | Error refusal ->
                 Error (Format.asprintf "%a" Dcsat.pp_refusal refusal))
@@ -49,7 +49,7 @@ let run ?jobs ?(max_events = 50) session q =
             if Tagged_store.tx_count (Session.store session) > 24 then
               Error
                 "not monotone and too many pending transactions to enumerate"
-            else Ok (Dcsat.brute_force ?jobs session q, "brute force"))
+            else Ok (Dcsat.brute_force ?jobs ?budget session q, "brute force"))
   in
   Result.map
     (fun (outcome, strategy) ->
@@ -92,8 +92,13 @@ let pp ~labels ppf r =
   Format.fprintf ppf "complexity class: %a@ " Complexity.pp r.complexity;
   Format.fprintf ppf "strategy: %s@ " r.strategy;
   Format.fprintf ppf "result: %s@ "
-    (if r.outcome.Dcsat.satisfied then "SATISFIED (holds in every world)"
-     else "UNSATISFIED (violated in some world)");
+    (match r.outcome.Dcsat.verdict with
+    | Dcsat.Satisfied -> "SATISFIED (holds in every world)"
+    | Dcsat.Violated _ -> "UNSATISFIED (violated in some world)"
+    | Dcsat.Unknown reason ->
+        Printf.sprintf
+          "UNKNOWN (budget exhausted: %s; enumeration incomplete)"
+          (Engine.Budget.reason_name reason));
   if r.trace <> [] then begin
     Format.fprintf ppf "trace:@ ";
     List.iter (fun e -> Format.fprintf ppf "  %a@ " (pp_event ~labels) e) r.trace;

@@ -17,6 +17,7 @@ type report = {
 
 val run :
   ?jobs:int ->
+  ?budget:Engine.Budget.t ->
   ?max_events:int ->
   Session.t ->
   Bcquery.Query.t ->
@@ -25,7 +26,8 @@ val run :
     the Naive/Opt paths; tractable and brute-force runs yield an empty
     trace). [max_events] defaults to 50. [jobs] selects the engine
     backend (default 1); with [jobs > 1] the trace's event order is
-    nondeterministic. *)
+    nondeterministic. [budget] bounds the enumerating solvers as in
+    {!Solver.solve}; an exhausted budget reports an UNKNOWN result. *)
 
 val pp_event : labels:(int -> string) -> Format.formatter -> Dcsat.event -> unit
 val pp : labels:(int -> string) -> Format.formatter -> report -> unit

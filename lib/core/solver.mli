@@ -17,6 +17,7 @@ val strategy_name : strategy -> string
 
 val solve :
   ?jobs:int ->
+  ?budget:Engine.Budget.t ->
   ?sum_args_nonnegative:bool ->
   Session.t ->
   Bcquery.Query.t ->
@@ -27,11 +28,14 @@ val solve :
     paths (default 1, sequential — bit-identical to the pre-engine
     solvers); [jobs > 1] runs the calling domain plus pooled helper
     domains, evaluating on session-pooled replicas or component-scoped
-    store views (see {!Engine}). The tractable procedures are PTIME and
-    always run inline. *)
+    store views (see {!Engine}). [budget] bounds those enumerating
+    paths; an exhausted budget yields [verdict = Unknown] in the
+    outcome. The tractable procedures are PTIME and always run inline,
+    unbudgeted — they terminate promptly by construction. *)
 
 val solve_exn :
   ?jobs:int ->
+  ?budget:Engine.Budget.t ->
   ?sum_args_nonnegative:bool ->
   Session.t ->
   Bcquery.Query.t ->

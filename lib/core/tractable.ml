@@ -57,10 +57,18 @@ type run = {
 }
 
 let outcome run satisfied witness_world witness : Dcsat.outcome =
+  (* Tractable solvers always decide: the verdict is never [Unknown]. *)
+  let verdict =
+    if satisfied then Dcsat.Satisfied
+    else
+      Dcsat.Violated
+        { world = Option.value witness_world ~default:[]; witness }
+  in
   {
     Dcsat.satisfied;
     witness_world;
     witness;
+    verdict;
     stats =
       {
         Dcsat.worlds_checked = run.worlds;

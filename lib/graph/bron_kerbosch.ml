@@ -32,10 +32,29 @@ type frame = {
   mutable todo : int list;  (* P \ N(pivot), ascending, not yet branched *)
 }
 
-let generator g =
+let generator ?interrupt g =
   let n = Undirected.node_count g in
   if n = 0 then fun () -> None
   else begin
+    (* [interrupt] is polled once per branching step, not once per yield:
+       on adversarial graphs the search can expand exponentially many
+       frames between two maximal cliques, and a deadline must be able to
+       cut the enumeration inside that gap. Once it fires the generator
+       is exhausted for good. *)
+    let interrupted =
+      match interrupt with
+      | None -> fun () -> false
+      | Some stop ->
+          let dead = ref false in
+          fun () ->
+            !dead
+            ||
+            if stop () then begin
+              dead := true;
+              true
+            end
+            else false
+    in
     let neigh =
       Array.init n (fun i ->
           let b = Bitset.create n in
@@ -86,6 +105,8 @@ let generator g =
     in
     let stack = ref [ frame [] (Bitset.full n) (Bitset.create n) ] in
     let rec next () =
+      if interrupted () then None
+      else
       match !stack with
       | [] -> None
       | f :: rest -> (

@@ -7,13 +7,20 @@
     a resumable step-wise generator that hands cliques out one at a time,
     so that a scheduler can distribute them as work items. *)
 
-val generator : Undirected.t -> unit -> int list option
+val generator : ?interrupt:(unit -> bool) -> Undirected.t -> unit -> int list option
 (** [generator g] is a stateful puller: each call produces the next
     maximal clique (ascending node list; isolated nodes yield singleton
     cliques) or [None] once the enumeration is exhausted. The traversal
     state lives in the returned closure, so several generators over the
     same graph are independent. Enumeration order is identical to
-    {!iter_maximal_cliques}. *)
+    {!iter_maximal_cliques}.
+
+    [interrupt] is a cooperative cancellation hook, polled once per
+    branching step of the search — i.e. {e between} yields too, so a
+    caller's deadline cuts even an exponentially long gap separating two
+    consecutive maximal cliques. Once it returns [true] the generator
+    permanently answers [None]; the enumeration prefix already produced
+    is unaffected. *)
 
 val iter_maximal_cliques : Undirected.t -> (int list -> [ `Continue | `Stop ]) -> unit
 (** Calls the function once per maximal clique (ascending node list,

@@ -10,6 +10,7 @@ type measurement = {
   variant : Queries.variant;
   jobs : int;
   satisfied : bool;
+  unknown : bool;
   seconds : float;
   stats : Core.Dcsat.stats;
   obs_worlds : int;
@@ -18,12 +19,19 @@ type measurement = {
 }
 
 let run ?(repeats = 3) ?(warmup = 0) ?(summary = `Mean) ?(jobs = 1)
-    ?(obs_sinks = []) ~session ~label ~algo ~variant q =
+    ?timeout_s ?max_worlds ?(obs_sinks = []) ~session ~label ~algo ~variant q =
   let solve () =
+    (* Budgets are single-run (the deadline is absolute): each solve gets
+       a fresh one, so every repeat has the full allowance. *)
+    let budget =
+      match (timeout_s, max_worlds) with
+      | None, None -> Core.Engine.Budget.unlimited
+      | _ -> Core.Engine.Budget.create ?timeout_s ?max_worlds ()
+    in
     let result =
       match algo with
-      | Naive -> Core.Dcsat.naive ~jobs session q
-      | Opt -> Core.Dcsat.opt ~jobs session q
+      | Naive -> Core.Dcsat.naive ~jobs ~budget session q
+      | Opt -> Core.Dcsat.opt ~jobs ~budget session q
     in
     match result with
     | Ok outcome -> outcome
@@ -83,6 +91,10 @@ let run ?(repeats = 3) ?(warmup = 0) ?(summary = `Mean) ?(jobs = 1)
     variant;
     jobs;
     satisfied = last.Core.Dcsat.satisfied;
+    unknown =
+      (match last.Core.Dcsat.verdict with
+      | Core.Dcsat.Unknown _ -> true
+      | Core.Dcsat.Satisfied | Core.Dcsat.Violated _ -> false);
     seconds;
     stats = last.Core.Dcsat.stats;
     obs_worlds;

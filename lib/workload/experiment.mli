@@ -12,6 +12,10 @@ type measurement = {
   variant : Queries.variant;
   jobs : int;  (** Engine worker count used for the run. *)
   satisfied : bool;
+  unknown : bool;
+      (** The last run's budget tripped before the enumeration finished
+          (verdict [Unknown]): [satisfied] is then vacuous and [seconds]
+          measures a truncated run, not a solve. *)
   seconds : float;  (** Mean (or min) over [repeats] runs. *)
   stats : Bccore.Dcsat.stats;  (** From the last run. *)
   obs_worlds : int;
@@ -31,6 +35,8 @@ val run :
   ?warmup:int ->
   ?summary:[ `Mean | `Min ] ->
   ?jobs:int ->
+  ?timeout_s:float ->
+  ?max_worlds:int ->
   ?obs_sinks:Bccore.Obs.sink list ->
   session:Bccore.Session.t ->
   label:string ->
@@ -44,8 +50,11 @@ val run :
     [~summary:`Min] (the right statistic when comparing backends whose
     difference is smaller than scheduler noise). Times are read from the
     solver's monotonic-clock stats. [jobs] (default 1) selects the
-    engine backend. Raises [Invalid_argument] if the solver refuses the
-    query (e.g. OptDCSat on a disconnected query).
+    engine backend. [timeout_s]/[max_worlds] bound each individual solve
+    (a fresh {!Bccore.Engine.Budget} per run, so repeats don't share one
+    allowance); a tripped budget surfaces as [unknown = true]. Raises
+    [Invalid_argument] if the solver refuses the query (e.g. OptDCSat on
+    a disconnected query).
 
     The timed runs execute with the session's existing recorder
     untouched (normally {!Bccore.Obs.null}, so they are not perturbed);

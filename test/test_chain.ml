@@ -435,7 +435,7 @@ let test_network_fork_race () =
   let alice = C.Wallet.create ~seed:"alice" in
   let bob = C.Wallet.create ~seed:"bob" in
   let net =
-    C.Network.create ~peers:2 ~initial:[ (C.Wallet.address alice, 100_000) ]
+    C.Network.create ~peers:2 ~initial:[ (C.Wallet.address alice, 100_000) ] ()
   in
   C.Network.partition net [ 1 ];
   (* Peer 0 mines a block with a payment. *)

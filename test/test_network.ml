@@ -15,7 +15,7 @@ let make_network peers =
     |> List.concat_map (fun w ->
            List.init 4 (fun _ -> (C.Wallet.address w, 100_000)))
   in
-  (C.Network.create ~peers ~initial, ws)
+  (C.Network.create ~peers ~initial (), ws)
 
 let pay net ws ~at ~from ~to_ ~amount ~fee =
   let utxo = C.Node.utxo (C.Network.peer net at) in
@@ -149,6 +149,149 @@ let test_conflict_resolution_per_peer () =
       ((has_a || has_b) && not (has_a && has_b))
   done
 
+(* Two fork blocks share a missing parent: the orphan stash must hold
+   both children (a single-slot stash silently loses one) and connect
+   both once the parent arrives — one extends the chain, the other
+   becomes a side branch. *)
+let test_two_orphans_same_parent () =
+  let net, ws = make_network 3 in
+  (* Isolate peer 2 for the whole scenario. *)
+  C.Network.partition net [ 2 ];
+  let mine at script =
+    match C.Network.mine_at net ~at ~coinbase_script:script () with
+    | Ok b -> b
+    | Error msg -> Alcotest.fail msg
+  in
+  ignore (pay net ws ~at:0 ~from:0 ~to_:1 ~amount:4_000 ~fee:100);
+  ignore (C.Network.deliver net ());
+  let parent = mine 0 (C.Wallet.address ws.(0)) in
+  ignore (C.Network.deliver net ());
+  (* Now split peers 0 and 1; each mines its own child of [parent]. *)
+  C.Network.partition net [ 1 ];
+  ignore (pay net ws ~at:0 ~from:0 ~to_:2 ~amount:2_000 ~fee:100);
+  let child_a = mine 0 (C.Wallet.address ws.(0)) in
+  ignore (pay net ws ~at:1 ~from:1 ~to_:0 ~amount:1_500 ~fee:100);
+  let child_b = mine 1 (C.Wallet.address ws.(1)) in
+  Alcotest.(check bool) "forks differ" false
+    (String.equal (C.Block.hash child_a) (C.Block.hash child_b));
+  (* Peer 2 hears about both children before their parent. *)
+  C.Network.inject_block net ~at:2 child_a;
+  C.Network.inject_block net ~at:2 child_b;
+  Alcotest.(check int) "children stashed, chain unmoved" 0
+    (C.Chain_state.height (C.Node.chain (C.Network.peer net 2)));
+  C.Network.inject_block net ~at:2 parent;
+  let chain2 = C.Node.chain (C.Network.peer net 2) in
+  Alcotest.(check int) "parent plus one child extend" 2
+    (C.Chain_state.height chain2);
+  (* genesis + parent + both fork children: losing a stashed child
+     would leave only 3. *)
+  Alcotest.(check int) "both children connected" 4
+    (C.Chain_state.block_count chain2)
+
+(* A stashed orphan is in-flight state: a network holding one must not
+   report itself in sync even while every tip and mempool agrees. *)
+let test_in_sync_sees_orphans () =
+  let net, _ = make_network 1 in
+  Alcotest.(check bool) "fresh net in sync" true (C.Network.in_sync net);
+  (* A second network with the same initial allocation shares the
+     deterministic genesis, so its blocks connect over here. *)
+  let donor, dws = make_network 1 in
+  let mine () =
+    match
+      C.Network.mine_at donor ~at:0 ~coinbase_script:(C.Wallet.address dws.(0))
+        ()
+    with
+    | Ok b -> b
+    | Error msg -> Alcotest.fail msg
+  in
+  let x1 = mine () in
+  let x2 = mine () in
+  C.Network.inject_block net ~at:0 x2;
+  Alcotest.(check int) "x2 is an orphan" 0
+    (C.Chain_state.height (C.Node.chain (C.Network.peer net 0)));
+  Alcotest.(check bool) "orphan blocks sync" false (C.Network.in_sync net);
+  C.Network.inject_block net ~at:0 x1;
+  Alcotest.(check int) "both connected" 2
+    (C.Chain_state.height (C.Node.chain (C.Network.peer net 0)));
+  Alcotest.(check bool) "in sync again" true (C.Network.in_sync net)
+
+(* Partitioning drops the traffic already crossing the cut — it must
+   not be delivered when links are restored, only re-announcement can
+   repair the gap. *)
+let test_partition_drops_in_flight () =
+  let net, ws = make_network 2 in
+  let tx = pay net ws ~at:0 ~from:0 ~to_:1 ~amount:5_000 ~fee:100 in
+  (* The tx is queued toward peer 1 but not yet delivered. *)
+  C.Network.partition net [ 1 ];
+  ignore (C.Network.deliver net ());
+  Alcotest.(check bool) "queued tx was dropped by the cut" false
+    (C.Mempool.mem (C.Node.mempool (C.Network.peer net 1)) tx.C.Tx.txid);
+  Alcotest.(check bool) "views diverged" false (C.Network.in_sync net);
+  C.Network.heal net;
+  ignore (C.Network.deliver net ());
+  Alcotest.(check bool) "re-announcement repairs the gap" true
+    (C.Mempool.mem (C.Node.mempool (C.Network.peer net 1)) tx.C.Tx.txid);
+  Alcotest.(check bool) "in sync after heal" true (C.Network.in_sync net)
+
+(* --- lossy links: seeded fault schedules still converge --- *)
+
+(* CI pins BCDB_FAULT_SEED to run the same schedule matrix on every
+   push; locally the qcheck generator explores fresh seeds. *)
+let fault_seed_base =
+  match Sys.getenv_opt "BCDB_FAULT_SEED" with
+  | Some s -> ( try int_of_string s with _ -> 0)
+  | None -> 0
+
+let lossy_network seed =
+  let ws = wallets 3 in
+  let initial =
+    Array.to_list ws
+    |> List.concat_map (fun w ->
+           List.init 4 (fun _ -> (C.Wallet.address w, 100_000)))
+  in
+  let faults =
+    C.Link_model.create ~drop:0.15 ~duplicate:0.1 ~reorder:0.1 ~delay:0.1
+      ~max_delay:2 ~seed ()
+  in
+  (C.Network.create ~faults ~peers:3 ~initial (), ws)
+
+(* Sends, mines, and a partition/heal cycle under per-message faults:
+   every honest peer must reach the same tip and mempool once the
+   convergence driver's re-announcements push the lost traffic
+   through. *)
+let lossy_schedule_converges seed =
+  let net, ws = lossy_network seed in
+  let converged () =
+    match C.Network.converge ~max_rounds:500 net with
+    | Some _ -> C.Network.in_sync net
+    | None -> false
+  in
+  ignore (pay net ws ~at:0 ~from:0 ~to_:1 ~amount:5_000 ~fee:100);
+  if not (converged ()) then Alcotest.failf "seed %d: tx gossip stalled" seed;
+  (match C.Network.mine_at net ~at:0 ~coinbase_script:(C.Wallet.address ws.(0)) () with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  if not (converged ()) then Alcotest.failf "seed %d: block gossip stalled" seed;
+  ignore (pay net ws ~at:1 ~from:1 ~to_:2 ~amount:2_500 ~fee:100);
+  C.Network.partition net [ 2 ];
+  (match C.Network.mine_at net ~at:1 ~coinbase_script:(C.Wallet.address ws.(1)) () with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  C.Network.heal net;
+  if not (converged ()) then
+    Alcotest.failf "seed %d: post-heal convergence stalled" seed;
+  true
+
+let test_lossy_convergence_qcheck =
+  QCheck.Test.make ~count:8 ~name:"seeded lossy schedules converge"
+    QCheck.small_nat
+    (fun n -> lossy_schedule_converges (fault_seed_base + (n * 7919)))
+
+let test_lossy_convergence_pinned () =
+  (* The exact seed CI pins, exercised deterministically. *)
+  Alcotest.(check bool) "pinned seed converges" true
+    (lossy_schedule_converges fault_seed_base)
+
 let () =
   Alcotest.run "network"
     [
@@ -158,6 +301,12 @@ let () =
           Alcotest.test_case "block confirmation" `Quick
             test_block_gossip_and_confirmation;
           Alcotest.test_case "orphan catch-up" `Quick test_orphan_catchup;
+          Alcotest.test_case "two orphans, one parent" `Quick
+            test_two_orphans_same_parent;
+          Alcotest.test_case "in_sync sees orphans" `Quick
+            test_in_sync_sees_orphans;
+          Alcotest.test_case "partition drops in-flight traffic" `Quick
+            test_partition_drops_in_flight;
         ] );
       ( "divergence",
         [
@@ -165,5 +314,11 @@ let () =
             test_divergent_dcsat;
           Alcotest.test_case "conflicting spends" `Quick
             test_conflict_resolution_per_peer;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "pinned fault seed converges" `Quick
+            test_lossy_convergence_pinned;
+          QCheck_alcotest.to_alcotest test_lossy_convergence_qcheck;
         ] );
     ]
