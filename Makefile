@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check bench bench-smoke clean
+.PHONY: all build test fmt check bench bench-smoke bench-eval clean
 
 all: build
 
@@ -26,6 +26,12 @@ bench:
 # drift or an invalid trace.
 bench-smoke:
 	dune exec bench/main.exe -- --smoke --trace BENCH_trace.smoke.json
+
+# Incremental-evaluation micro-benchmark: full re-evaluation vs the
+# Inc_eval layer (replay + delta-seeded search) on warm repeated
+# solves. Exits non-zero if the incremental side never engages.
+bench-eval:
+	dune exec bench/main.exe -- evalbench
 
 clean:
 	dune clean

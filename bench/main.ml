@@ -147,7 +147,9 @@ let write_bench_json path =
                    \"cliques\": %d, \"components\": %d, \
                    \"components_covered\": %d, \"precheck\": %b, \
                    \"obs_worlds\": %d, \"cache_hit_ratio\": %.6f, \
-                   \"worker_util\": %.6f}"
+                   \"worker_util\": %.6f, \"eval_full\": %d, \
+                   \"eval_delta\": %d, \"eval_delta_tuples\": %d, \
+                   \"eval_delta_ratio\": %.6f}"
                   figure m.E.label
                   (E.algo_name m.E.algo)
                   (variant_name m.E.variant)
@@ -157,7 +159,8 @@ let write_bench_json path =
                   m.E.stats.Core.Dcsat.components_total
                   m.E.stats.Core.Dcsat.components_covered
                   m.E.stats.Core.Dcsat.precheck_decided m.E.obs_worlds
-                  m.E.cache_hit_ratio m.E.worker_util));
+                  m.E.cache_hit_ratio m.E.worker_util m.E.eval_full
+                  m.E.eval_delta m.E.eval_delta_tuples m.E.eval_delta_ratio));
       Buffer.add_string buf "\n  ]\n}\n";
       let oc = open_out path in
       output_string oc (Buffer.contents buf);
@@ -179,6 +182,7 @@ let required_keys =
     "\"x\":"; "\"satisfied\":"; "\"seconds\":"; "\"worlds\":"; "\"cliques\":";
     "\"components\":"; "\"components_covered\":"; "\"precheck\":";
     "\"obs_worlds\":"; "\"cache_hit_ratio\":"; "\"worker_util\":";
+    "\"eval_delta_ratio\":";
   ]
 
 let validate_bench_json path =
@@ -213,10 +217,10 @@ let validate_bench_json path =
 (* Fig 6a/6b: query types. *)
 
 let run_measure ?(figure = "adhoc") ?(x = 0.0) ?repeats ?warmup ?summary ?jobs
-    ~session ~label ~algo ~variant q =
+    ?use_delta ~session ~label ~algo ~variant q =
   record ~figure ~x
-    (E.run ?repeats ?warmup ?summary ?jobs ~obs_sinks:(obs_sinks ()) ~session
-       ~label ~algo ~variant q)
+    (E.run ?repeats ?warmup ?summary ?jobs ?use_delta
+       ~obs_sinks:(obs_sinks ()) ~session ~label ~algo ~variant q)
 
 let query_types variant =
   let figure = match variant with Q.Satisfied -> "fig6a" | Q.Unsatisfied -> "fig6b" in
@@ -434,9 +438,13 @@ let fig6h () =
 let jobs_attempts = 6
 
 let paired_jobs ~figure ~label ~session ~algo q =
+  (* use_delta:false — the pair compares engine backends on full
+     evaluations. With the incremental layer on, whichever side runs
+     second replays the first side's cached worlds and the comparison
+     measures cache luck, not backend overhead. *)
   let measure jobs =
-    E.run ~repeats:5 ~warmup:1 ~summary:`Min ~jobs ~obs_sinks:(obs_sinks ())
-      ~session ~label ~algo ~variant:Q.Unsatisfied q
+    E.run ~repeats:5 ~warmup:1 ~summary:`Min ~jobs ~use_delta:false
+      ~obs_sinks:(obs_sinks ()) ~session ~label ~algo ~variant:Q.Unsatisfied q
   in
   let rec attempt n best =
     let seq = measure 1 in
@@ -478,9 +486,10 @@ let jobs_sweep () =
     List.map
       (fun jobs ->
         let m =
+          (* use_delta:false for the same reason as [paired_jobs]. *)
           run_measure ~figure:"jobs_sweep" ~x:(float_of_int jobs) ~repeats:5
-            ~warmup:1 ~summary:`Min ~jobs ~session:sess ~label:"qp3"
-            ~algo:E.Opt ~variant:Q.Unsatisfied q
+            ~warmup:1 ~summary:`Min ~jobs ~use_delta:false ~session:sess
+            ~label:"qp3" ~algo:E.Opt ~variant:Q.Unsatisfied q
         in
         (jobs, m.E.seconds))
       candidates
@@ -530,6 +539,61 @@ let parallel () =
     ~columns:[ "workload"; "algo"; "jobs=1"; "jobs=2"; "speedup" ]
     ~rows;
   jobs_sweep ()
+
+(* ------------------------------------------------------------------ *)
+(* Eval layer micro-benchmark (`make bench-eval`): the incremental
+   evaluation layer (Inc_eval — per-store world caches, replay,
+   delta-seeded search) against the full-evaluation baseline on the
+   same workloads. Warm repeated solves are the layer's target setting:
+   a validator re-checks the same denial constraints as pending
+   transactions trickle in. *)
+
+let evalbench () =
+  let s = sim Sweep in
+  let sess = session Sweep ~pending_take:50 ~contradictions:default_c () in
+  let s_mid = sim (Preset W.Datasets.Mid) in
+  let mid_sess = session (Preset W.Datasets.Mid) ~contradictions:default_c () in
+  let row ~label ~sim:s ~session:sess ~algo ~variant family =
+    let q = Q.instantiate s family variant in
+    let measure use_delta x =
+      run_measure ~figure:"evalbench" ~x ~repeats:5 ~warmup:1 ~summary:`Min
+        ~use_delta ~session:sess ~label ~algo ~variant q
+    in
+    (* Baseline first so the incremental side cannot inherit its cached
+       worlds — each measure's warmup run warms its own caches. *)
+    let full = measure false 0.0 in
+    let inc = measure true 1.0 in
+    if inc.E.eval_delta = 0 then
+      fail "evalbench/%s (%s): incremental run recorded no eval.delta" label
+        (E.algo_name algo);
+    [
+      label;
+      E.algo_name algo;
+      E.ms full.E.seconds;
+      E.ms inc.E.seconds;
+      Printf.sprintf "%.1fx" (full.E.seconds /. max 1e-9 inc.E.seconds);
+      Printf.sprintf "%d/%d" inc.E.eval_delta
+        (inc.E.eval_full + inc.E.eval_delta);
+    ]
+  in
+  let rows =
+    [
+      row ~label:"qp3-unsat-50blk" ~sim:s ~session:sess ~algo:E.Naive
+        ~variant:Q.Unsatisfied (Q.Qp 3);
+      row ~label:"qp3-unsat-50blk" ~sim:s ~session:sess ~algo:E.Opt
+        ~variant:Q.Unsatisfied (Q.Qp 3);
+      row ~label:"qp3-sat-mid" ~sim:s_mid ~session:mid_sess ~algo:E.Opt
+        ~variant:Q.Satisfied (Q.Qp 3);
+      row ~label:"qa-sat-mid" ~sim:s_mid ~session:mid_sess ~algo:E.Naive
+        ~variant:Q.Satisfied Q.Qa;
+    ]
+  in
+  E.print_table
+    ~title:
+      "Eval layer: full re-evaluation vs incremental (warm, min of 5 runs)"
+    ~columns:
+      [ "workload"; "algo"; "full"; "incremental"; "speedup"; "delta/evals" ]
+    ~rows
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: the design choices DESIGN.md calls out, each toggled
@@ -751,6 +815,15 @@ let smoke () =
   m "fig6d" E.Opt;
   m ~jobs:1 ~x:1.0 ~summary:`Min "fig6d-jobs" E.Opt;
   m ~jobs:2 ~x:2.0 ~summary:`Min "fig6d-jobs" E.Opt;
+  (* The incremental layer must actually engage: this session is warm
+     from the measurements above, so a re-solve replays cached worlds
+     and the instrumented run must report eval.delta > 0. *)
+  let warm =
+    run_measure ~figure:"evalbench" ~x ~repeats:2 ~session:sess ~label:"qp3"
+      ~algo:E.Opt ~variant:Q.Unsatisfied q
+  in
+  if warm.E.eval_delta = 0 then
+    fail "smoke: warm re-solve recorded no eval.delta (incremental layer inert)";
   Printf.printf "[smoke] ran %d measurements\n%!" (List.length !recorded)
 
 let sections =
@@ -765,6 +838,7 @@ let sections =
     ("fig6g", fig6g);
     ("fig6h", fig6h);
     ("parallel", parallel);
+    ("evalbench", evalbench);
     ("ablation", ablation);
     ("bechamel", bechamel);
   ]

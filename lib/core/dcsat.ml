@@ -99,58 +99,58 @@ let finish ~t0 ~precheck counters verdict =
       };
   }
 
-(* Evaluate q over the world whose included transactions are [txs], on
-   the given store (the session's primary one, or a worker replica). *)
-let eval_txs_raw q store txs =
-  Tagged_store.set_world_list store txs;
-  let src = Tagged_store.source store in
-  let violation =
-    match q with
-    | Q.Query.Boolean body ->
-        Option.map
-          (fun assignment ->
-            { Engine.world = txs; witness = Some assignment })
-          (Q.Eval.find_witness src body)
-    | Q.Query.Aggregate _ ->
-        if Q.Eval.eval src q then Some { Engine.world = txs; witness = None }
-        else None
-  in
-  { Engine.world = txs; violation }
+(* Engine eval factories: each worker instantiates one {!Inc_eval}
+   evaluator over the session's compiled plan, so its incremental world
+   caches are worker-private (the caches themselves live with the store
+   being evaluated on, which is also worker-private).
 
-(* [obs] records the span — it runs on whatever domain evaluates, and
-   per-domain buffering keeps concurrent evaluations from interleaving.
-   This runs once per world: the span closure must only be built when
-   recording, or its allocation taxes the uninstrumented hot path. *)
-let eval_txs obs q store txs =
+   [obs] records the eval span — it runs on whatever domain evaluates,
+   and per-domain buffering keeps concurrent evaluations from
+   interleaving. This runs once per world: the span closure must only be
+   built when recording, or its allocation taxes the uninstrumented hot
+   path. *)
+let eval_txs_with ev obs store txs =
   if Obs.enabled obs then
-    Obs.span obs ~cat:"dcsat" "eval" (fun () -> eval_txs_raw q store txs)
-  else eval_txs_raw q store txs
+    Obs.span obs ~cat:"dcsat" "eval" (fun () -> Inc_eval.eval_world ev store txs)
+  else Inc_eval.eval_world ev store txs
 
-(* A clique work item: materialize its maximal world, then evaluate. *)
-let eval_clique obs q store members =
-  let world =
-    if Obs.enabled obs then
-      Obs.span obs ~cat:"dcsat" "get_maximal" (fun () ->
-          Get_maximal.run_list store members)
-    else Get_maximal.run_list store members
-  in
-  eval_txs obs q store (Bitset.to_list world)
+let eval_txs_factory ~use_delta obs plan () =
+  let ev = Inc_eval.evaluator ~use_delta ~obs plan in
+  fun store txs -> eval_txs_with ev obs store txs
+
+(* A clique work item: materialize its maximal world (memoized with the
+   evaluator's world cache — the closure is world-independent), then
+   evaluate. *)
+let eval_clique_factory ~use_delta obs plan () =
+  let ev = Inc_eval.evaluator ~use_delta ~obs plan in
+  fun store members ->
+    let world =
+      if Obs.enabled obs then
+        Obs.span obs ~cat:"dcsat" "get_maximal" (fun () ->
+            Inc_eval.maximal_world ev store members)
+      else Inc_eval.maximal_world ev store members
+    in
+    eval_txs_with ev obs store (Bitset.to_list world)
 
 (* The monotone pre-check: q false over R ∪ T implies satisfied. The
-   previously active world is restored afterwards. *)
-let precheck session q =
-  Obs.span (Session.obs session) ~cat:"dcsat" "precheck" @@ fun () ->
+   previously active world is restored afterwards. The full-visibility
+   world goes through the incremental evaluator too: on repeated solves
+   of one constraint it is a pure replay. *)
+let precheck ~use_delta session plan =
+  let obs = Session.obs session in
+  Obs.span obs ~cat:"dcsat" "precheck" @@ fun () ->
   let store = Session.store session in
   let saved = Tagged_store.world store in
   Tagged_store.all_visible store;
-  let decided = not (Q.Eval.eval (Tagged_store.source store) q) in
+  let ev = Inc_eval.evaluator ~use_delta ~obs plan in
+  let decided = not (Inc_eval.eval_bool ev store) in
   Tagged_store.set_world store saved;
   decided
 
 (* Fan the items of [source] out over the engine and fold the report
    back into the run's counters. Returns the run's violation (if any)
    and the budget-exhaustion reason (if the budget tripped). *)
-let run_worlds ~jobs ~budget ~on_event ~count_cliques session counters q ~eval
+let run_worlds ~jobs ~budget ~on_event ~count_cliques session counters ~eval
     source =
   let store = Session.store session in
   let obs = Session.obs session in
@@ -159,7 +159,7 @@ let run_worlds ~jobs ~budget ~on_event ~count_cliques session counters q ~eval
       ~replicate:(fun () -> Session.borrow_replica session)
       ~release:(Session.return_replica session)
       ~restrict:(Tagged_store.restrict store)
-      ~source ~eval:(eval obs q)
+      ~source ~eval
       ~on_item:(fun members ->
         if count_cliques then on_event (Clique_found members))
       ~on_evaluated:(fun ev ->
@@ -252,13 +252,15 @@ let component_source ~use_covers ~budget ~on_event session q components =
   in
   (pull, covered)
 
-let brute_force ?(jobs = 1) ?(budget = Engine.Budget.unlimited) session q =
+let brute_force ?(jobs = 1) ?(budget = Engine.Budget.unlimited)
+    ?(use_delta = true) session q =
   let t0 = Monotime.now () in
   let store = Session.store session in
   let saved = Tagged_store.world store in
   Fun.protect ~finally:(fun () -> Tagged_store.set_world store saved)
   @@ fun () ->
   let counters = fresh_counters () in
+  let plan = Session.plan session q in
   let next = Poss.generator store in
   let source () =
     Option.map
@@ -267,7 +269,9 @@ let brute_force ?(jobs = 1) ?(budget = Engine.Budget.unlimited) session q =
   in
   let violation, exhausted =
     run_worlds ~jobs ~budget ~on_event:ignore ~count_cliques:false session
-      counters q ~eval:eval_txs source
+      counters
+      ~eval:(eval_txs_factory ~use_delta (Session.obs session) plan)
+      source
   in
   finish ~t0 ~precheck:false counters (verdict_of ~violation ~exhausted)
 
@@ -276,12 +280,12 @@ let require_monotone q k =
   | Q.Monotone.Monotone -> k ()
   | Q.Monotone.Not_monotone reason -> Error (`Not_monotone reason)
 
-let base_world_check session counters q =
+let base_world_check ~use_delta session counters plan =
   let store = Session.store session in
   let obs = Session.obs session in
   counters.worlds <- counters.worlds + 1;
   if Obs.enabled obs then Obs.add obs "dcsat.worlds" 1;
-  let ev = eval_txs obs q store [] in
+  let ev = eval_txs_factory ~use_delta obs plan () store [] in
   Option.map
     (fun (v : Engine.violation) -> (v.Engine.world, v.witness))
     ev.Engine.violation
@@ -295,12 +299,13 @@ let with_world_restored session k =
   Fun.protect ~finally:(fun () -> Tagged_store.set_world store saved) k
 
 let naive ?(jobs = 1) ?(budget = Engine.Budget.unlimited) ?(use_precheck = true)
-    ?(on_event = ignore) session q =
+    ?(use_delta = true) ?(on_event = ignore) session q =
   require_monotone q @@ fun () ->
   with_world_restored session @@ fun () ->
   let t0 = Monotime.now () in
   let counters = fresh_counters () in
-  if use_precheck && precheck session q then begin
+  let plan = Session.plan session q in
+  if use_precheck && precheck ~use_delta session plan then begin
     on_event Precheck_decided;
     Ok (finish ~t0 ~precheck:true counters Satisfied)
   end
@@ -309,17 +314,17 @@ let naive ?(jobs = 1) ?(budget = Engine.Budget.unlimited) ?(use_precheck = true)
     let k = Tagged_store.tx_count store in
     let all = List.init k Fun.id in
     let violation, exhausted =
-      if k = 0 then (base_world_check session counters q, None)
+      if k = 0 then (base_world_check ~use_delta session counters plan, None)
       else
         run_worlds ~jobs ~budget ~on_event ~count_cliques:true session counters
-          q ~eval:eval_clique
+          ~eval:(eval_clique_factory ~use_delta (Session.obs session) plan)
           (clique_source ~budget session all)
     in
     Ok (finish ~t0 ~precheck:false counters (verdict_of ~violation ~exhausted))
   end
 
 let opt ?(jobs = 1) ?(budget = Engine.Budget.unlimited) ?(use_precheck = true)
-    ?(use_covers = true) ?(on_event = ignore) session q =
+    ?(use_covers = true) ?(use_delta = true) ?(on_event = ignore) session q =
   require_monotone q @@ fun () ->
   match q with
   | Q.Query.Aggregate _ -> Error `Not_connected
@@ -329,7 +334,8 @@ let opt ?(jobs = 1) ?(budget = Engine.Budget.unlimited) ?(use_precheck = true)
         with_world_restored session @@ fun () ->
         let t0 = Monotime.now () in
         let counters = fresh_counters () in
-        if use_precheck && precheck session q then begin
+        let plan = Session.plan session q in
+        if use_precheck && precheck ~use_delta session plan then begin
           on_event Precheck_decided;
           Ok (finish ~t0 ~precheck:true counters Satisfied)
         end
@@ -337,15 +343,17 @@ let opt ?(jobs = 1) ?(budget = Engine.Budget.unlimited) ?(use_precheck = true)
           let store = Session.store session in
           let k = Tagged_store.tx_count store in
           let violation, exhausted =
-            if k = 0 then (base_world_check session counters q, None)
+            if k = 0 then (base_world_check ~use_delta session counters plan, None)
             else begin
               let obs = Session.obs session in
               let components =
                 Obs.span obs ~cat:"dcsat" "ind_graph" (fun () ->
-                    let graph =
-                      Ind_graph.build store q (Session.ind_base_edges session)
-                    in
-                    Bcgraph.Components.of_graph graph)
+                    if use_delta then Session.ind_components session q
+                    else
+                      let graph =
+                        Ind_graph.build store q (Session.ind_base_edges session)
+                      in
+                      Bcgraph.Components.of_graph graph)
               in
               counters.comps <- List.length components;
               if Obs.enabled obs then
@@ -357,7 +365,9 @@ let opt ?(jobs = 1) ?(budget = Engine.Budget.unlimited) ?(use_precheck = true)
               in
               let result =
                 run_worlds ~jobs ~budget ~on_event ~count_cliques:true session
-                  counters q ~eval:eval_clique source
+                  counters
+                  ~eval:(eval_clique_factory ~use_delta (Session.obs session) plan)
+                  source
               in
               counters.covered <- covered ~pulled:counters.cliques;
               result

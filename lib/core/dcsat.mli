@@ -94,35 +94,46 @@ val verdict_name : verdict -> string
 (** ["SATISFIED"], ["UNSATISFIED"], or ["UNKNOWN (budget exhausted: …)"]. *)
 
 val brute_force :
-  ?jobs:int -> ?budget:Engine.Budget.t -> Session.t -> Bcquery.Query.t -> outcome
+  ?jobs:int ->
+  ?budget:Engine.Budget.t ->
+  ?use_delta:bool ->
+  Session.t ->
+  Bcquery.Query.t ->
+  outcome
 (** Raises [Invalid_argument] beyond 24 pending transactions. *)
 
 val naive :
   ?jobs:int ->
   ?budget:Engine.Budget.t ->
   ?use_precheck:bool ->
+  ?use_delta:bool ->
   ?on_event:(event -> unit) ->
   Session.t ->
   Bcquery.Query.t ->
   (outcome, refusal) result
 (** [use_precheck] (default true) disables the [R ∪ T] pre-check for
-    ablation measurements. [jobs] (default 1) selects the engine
-    backend; with [jobs > 1], [on_event] callbacks are serialized but
-    their order is nondeterministic. [budget] (default
-    {!Engine.Budget.unlimited}) bounds the enumeration; the pre-check is
-    never budgeted (it is a single query evaluation). *)
+    ablation measurements. [use_delta] (default true) turns off the
+    incremental evaluation layer ({!Inc_eval}: per-store world caches,
+    replay, delta-seeded search) — every world then pays a full
+    backtracking join; answers and witnesses are identical either way.
+    [jobs] (default 1) selects the engine backend; with [jobs > 1],
+    [on_event] callbacks are serialized but their order is
+    nondeterministic. [budget] (default {!Engine.Budget.unlimited})
+    bounds the enumeration; the pre-check is never budgeted (it is a
+    single query evaluation). *)
 
 val opt :
   ?jobs:int ->
   ?budget:Engine.Budget.t ->
   ?use_precheck:bool ->
   ?use_covers:bool ->
+  ?use_delta:bool ->
   ?on_event:(event -> unit) ->
   Session.t ->
   Bcquery.Query.t ->
   (outcome, refusal) result
 (** [use_covers] (default true) disables the constant-coverage component
-    filter for ablation measurements. [jobs] and [budget] as in
-    {!naive}. *)
+    filter for ablation measurements. [jobs], [budget] and [use_delta]
+    as in {!naive}. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -130,6 +130,10 @@ let eval_timed obs eval store members =
 
 let run_sequential ~obs ~budget ~store ~restrict ~source ~eval ~on_item
     ~on_evaluated =
+  (* [eval] is a factory: one evaluator instance per worker, so stateful
+     evaluators (incremental world caches) are never shared between
+     domains. The sequential backend is its own single worker. *)
+  let eval = eval () in
   let pulled = ref 0 and evaluated = ref 0 in
   (* One scoped view per component, rebuilt when the scope list changes
      (sources reuse one list instance per component, so consecutive
@@ -289,6 +293,7 @@ let run_parallel ~obs ~jobs ~budget ~replicate ~release ~restrict ~source ~eval
         Atomic.set stop true)
   in
   let worker () =
+    let eval = eval () in
     let replica = ref None in
     let scoped = ref None in
     let full_replica () =

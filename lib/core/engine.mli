@@ -144,7 +144,7 @@ val run :
   ?release:(Tagged_store.t -> unit) ->
   ?restrict:(int list -> Tagged_store.t) ->
   source:Work_source.t ->
-  eval:(Tagged_store.t -> int list -> evaluation) ->
+  eval:(unit -> Tagged_store.t -> int list -> evaluation) ->
   on_item:(int list -> unit) ->
   on_evaluated:(evaluation -> unit) ->
   unit ->
@@ -152,7 +152,13 @@ val run :
 (** Drain [source], evaluating each item with [eval] on [store] (or a
     per-component [restrict] view) sequentially, or on worker
     replicas/views in parallel, stopping at the first violation per the
-    determinism contract. [eval] must use only the store it is handed.
+    determinism contract. [eval] is a {e factory}: each worker calls it
+    once at start-up and evaluates every item it claims with the
+    returned function, so an evaluator may carry per-worker mutable
+    state (e.g. {!Inc_eval}'s world caches) without cross-domain
+    sharing; the factory itself must be safe to call from any worker
+    domain. The returned evaluator must use only the store it is
+    handed.
     [obs] (default {!Obs.null}) records per-worker spans ([worker],
     [claim], [join], cat ["engine"]) and per-item evaluation times (the
     ["engine.busy_s"] histogram) — each worker domain writes to its own

@@ -11,6 +11,12 @@ type t = {
   includable : bool array Lazy.t;
   pool : Tagged_store.t list ref;  (* idle full replicas, guarded by pool_lock *)
   pool_lock : Mutex.t;
+  plans : (Bcquery.Query.t * Inc_eval.plan) list ref;
+      (* compiled-plan cache, guarded by plans_lock *)
+  plans_lock : Mutex.t;
+  components : (Bcdb.t * Bcquery.Query.t * int list list) list ref;
+      (* ind-q-graph component cache, db-guarded, under components_lock *)
+  components_lock : Mutex.t;
 }
 
 let create ?(obs = Obs.null) db =
@@ -23,6 +29,10 @@ let create ?(obs = Obs.null) db =
     obs;
     pool = ref [];
     pool_lock = Mutex.create ();
+    plans = ref [];
+    plans_lock = Mutex.create ();
+    components = ref [];
+    components_lock = Mutex.create ();
     fd_graph = lazy (Obs.span !obs ~cat:"session" "fd_graph" (fun () -> Fd_graph.build store));
     ind_base_edges =
       lazy (Obs.span !obs ~cat:"session" "ind_base_edges" (fun () -> Ind_graph.base_edges store));
@@ -49,8 +59,51 @@ let set_obs t obs =
   t.obs := obs;
   Tagged_store.set_obs t.store obs
 
+(* One compiled plan per distinct query text per session: repeated
+   solves (and every world of one solve) reuse it. Physical equality is
+   the fast path — callers usually pass the same query value; the
+   structural fallback catches re-parsed but identical constraints. *)
+let plan t q =
+  Mutex.lock t.plans_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.plans_lock) @@ fun () ->
+  match
+    List.find_opt (fun (q', _) -> q' == q || Stdlib.compare q' q = 0) !(t.plans)
+  with
+  | Some (_, p) -> p
+  | None ->
+      let p = Inc_eval.plan q in
+      t.plans := (q, p) :: !(t.plans);
+      p
+
 let fd_graph t = Lazy.force t.fd_graph
 let ind_base_edges t = Lazy.force t.ind_base_edges
+
+(* Connected components of the ind-q-transaction graph, cached per
+   query: the graph depends only on the pending set (Θq edges are found
+   by hashing pending rows with full projections, never through the
+   store's active world) and on the query body, so repeated solves of
+   one constraint reuse it. Entries are guarded by the database value
+   they were computed against — a dry-run append/undo replaces it, and
+   stale entries are pruned on the next insert. *)
+let ind_components t q =
+  let db_now = Tagged_store.db t.store in
+  Mutex.lock t.components_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.components_lock) @@ fun () ->
+  match
+    List.find_opt
+      (fun (db', q', _) ->
+        db' == db_now && (q' == q || Stdlib.compare q' q = 0))
+      !(t.components)
+  with
+  | Some (_, _, comps) -> comps
+  | None ->
+      let graph = Ind_graph.build t.store q (ind_base_edges t) in
+      let comps = Bcgraph.Components.of_graph graph in
+      let live =
+        List.filter (fun (db', _, _) -> db' == db_now) !(t.components)
+      in
+      t.components := (db_now, q, comps) :: live;
+      comps
 let includable t = Lazy.force t.includable
 
 let warm t =
@@ -104,6 +157,14 @@ let replica t =
     obs = t.obs;
     pool = ref [];
     pool_lock = Mutex.create ();
+    (* Plans are immutable and query-keyed: share the parent's cache
+       value-wise at replication time; the replica then grows its own.
+       Component caches are db-guarded and the replica shares the same
+       database value, so its snapshot stays valid too. *)
+    plans = ref !(t.plans);
+    plans_lock = Mutex.create ();
+    components = ref !(t.components);
+    components_lock = Mutex.create ();
     fd_graph = share t.fd_graph (lazy (Fd_graph.build store));
     ind_base_edges = share t.ind_base_edges (lazy (Ind_graph.base_edges store));
     includable =
@@ -172,6 +233,12 @@ let extended t =
     obs = t.obs;
     pool = ref [];
     pool_lock = Mutex.create ();
+    plans = ref !(t.plans);
+    plans_lock = Mutex.create ();
+    (* The hypothetical transaction changes the ind-q graph: start
+       empty (entries are keyed by the pre-extension database anyway). *)
+    components = ref [];
+    components_lock = Mutex.create ();
     fd_graph;
     ind_base_edges;
     includable;

@@ -22,10 +22,28 @@ val set_obs : t -> Obs.t -> unit
     as they are next borrowed, and future solver runs all pick up the
     new recorder; {!replica} sessions share it. *)
 
+val plan : t -> Bcquery.Query.t -> Inc_eval.plan
+(** The session's compiled plan for [q], compiling on first use and
+    cached for the session's lifetime (physical query equality is the
+    fast path, structural equality the fallback). Thread-safe; plans
+    are immutable and may be evaluated concurrently. *)
+
 val fd_graph : t -> Fd_graph.t
 (** Computed on first use, then cached. *)
 
 val ind_base_edges : t -> (int * int) list
+(** The ΘI edges of the ind-transaction graph; computed on first use,
+    then cached. *)
+
+val ind_components : t -> Bcquery.Query.t -> int list list
+(** Connected components of the ind-q-transaction graph
+    [G^{q,ind}_T] for [q] (OptDCSat's partition, Proposition 2),
+    computed on first use and cached per query for the session's
+    lifetime — the graph depends only on the pending set and the query
+    body, never on the store's active world. Entries are invalidated
+    when the store's database value changes (dry-run extensions).
+    Thread-safe. *)
+
 val includable : t -> bool array
 (** [includable.(i)] iff [R ∪ {T_i} |= I] — the transaction could be
     appended right now. *)

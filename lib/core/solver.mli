@@ -18,6 +18,7 @@ val strategy_name : strategy -> string
 val solve :
   ?jobs:int ->
   ?budget:Engine.Budget.t ->
+  ?use_delta:bool ->
   ?sum_args_nonnegative:bool ->
   Session.t ->
   Bcquery.Query.t ->
@@ -36,6 +37,7 @@ val solve :
 val solve_exn :
   ?jobs:int ->
   ?budget:Engine.Budget.t ->
+  ?use_delta:bool ->
   ?sum_args_nonnegative:bool ->
   Session.t ->
   Bcquery.Query.t ->

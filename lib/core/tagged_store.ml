@@ -85,6 +85,7 @@ type rel_store = {
 module Smap = Map.Make (String)
 
 type t = {
+  uid : int;  (* unique per store value; hash key for weak registries *)
   mutable db : Bcdb.t;
   rels : rel_store Smap.t;
   mutable k : int;
@@ -92,6 +93,12 @@ type t = {
   mutable epoch : int;
   mutable obs : Obs.t;
 }
+
+(* Every store — created, cloned or restricted — gets a fresh uid, so a
+   weak table keyed by physical store identity can hash without walking
+   the (deep, mutable) structure. *)
+let uid_counter = Atomic.make 0
+let fresh_uid () = Atomic.fetch_and_add uid_counter 1
 
 let base_origin = -1
 
@@ -200,7 +207,15 @@ let create (db : Bcdb.t) =
       Smap.empty (R.Schema.relations catalog)
   in
   let k = Array.length db.Bcdb.pending in
-  { db; rels; k; visible = Bitset.create k; epoch = 0; obs = Obs.null }
+  {
+    uid = fresh_uid ();
+    db;
+    rels;
+    k;
+    visible = Bitset.create k;
+    epoch = 0;
+    obs = Obs.null;
+  }
 
 let clone_rel rs =
   let copy_postings tbl =
@@ -261,6 +276,7 @@ let clone_rel rs =
 
 let clone t =
   {
+    uid = fresh_uid ();
     db = t.db;
     rels = Smap.map clone_rel t.rels;
     k = t.k;
@@ -304,6 +320,7 @@ let restrict t members =
     sub
   in
   {
+    uid = fresh_uid ();
     db = t.db;
     rels = Smap.map restrict_rel t.rels;
     k = t.k;
@@ -313,6 +330,7 @@ let restrict t members =
   }
 
 let db t = t.db
+let uid t = t.uid
 let tx_count t = t.k
 let set_obs t obs = t.obs <- obs
 let world t = Bitset.copy t.visible
@@ -354,6 +372,63 @@ let rel_store t name =
   match Smap.find_opt name t.rels with
   | Some rs -> rs
   | None -> invalid_arg ("Tagged_store: unknown relation " ^ name)
+
+(* --- world deltas (incremental evaluation support) --- *)
+
+type world_delta = {
+  added_txs : int;
+  removed_txs : int;
+  added : (string -> R.Tuple.t list) Lazy.t;
+}
+
+let world_delta t ~prev =
+  if Bitset.capacity prev <> t.k then
+    invalid_arg "Tagged_store.world_delta: capacity mismatch";
+  let cur = t.visible in
+  let added_ids = ref [] and added_txs = ref 0 and removed_txs = ref 0 in
+  Bitset.iter_diff
+    (fun id ->
+      added_ids := id :: !added_ids;
+      incr added_txs)
+    cur prev;
+  Bitset.iter_diff (fun _ -> incr removed_txs) prev cur;
+  let added_ids = !added_ids in
+  let added =
+    lazy
+      ((* A pending tuple is {e newly visible} iff some added transaction
+          contributes it and none of its origins was in [prev] (base rows
+          never reach the pending segment, so base contributions don't
+          mask anything here). Positions contributed by two added
+          transactions are deduplicated per relation. *)
+       let per_rel = Hashtbl.create 8 in
+       Smap.iter
+         (fun name rs ->
+           let seen = Hashtbl.create 16 in
+           let acc = ref [] in
+           List.iter
+             (fun id ->
+               match Hashtbl.find_opt rs.by_origin id with
+               | None -> ()
+               | Some ps ->
+                   List.iter
+                     (fun p ->
+                       if not (Hashtbl.mem seen p) then begin
+                         Hashtbl.replace seen p ();
+                         let e = rs.entries.(p) in
+                         if
+                           not
+                             (Array.exists
+                                (fun o -> o >= 0 && Bitset.mem prev o)
+                                e.origins)
+                         then acc := e.tuple :: !acc
+                       end)
+                     ps)
+             added_ids;
+           if !acc <> [] then Hashtbl.replace per_rel name !acc)
+         t.rels;
+       fun name -> Option.value (Hashtbl.find_opt per_rel name) ~default:[])
+  in
+  { added_txs = !added_txs; removed_txs = !removed_txs; added }
 
 (* --- base-segment indexes: built once under the segment lock,
    published immutable, memoized per store --- *)
@@ -491,8 +566,37 @@ let probe rs binds =
       ( R.Tuple.Tbl.find_opt (ensure_composite rs cols) key,
         R.Tuple.Tbl.find_opt (base_composite rs cols) key,
         [] )
-  | (col, v) :: rest ->
-      (Vtbl.find_opt (ensure_index rs col) v, Vtbl.find_opt (base_index rs col) v, rest)
+  | _ ->
+      (* Over-wide probe (no exact composite): use the single-column
+         index of the {e most selective} bound column — the one whose
+         posting (pending + base) is shortest — and filter the rest as
+         residual binds. Any bound column yields the same matching
+         position set in the same (descending) order, so the choice
+         changes only how many candidates the residual filter touches,
+         never the results. *)
+      let count (col, v) =
+        (match Vtbl.find_opt (ensure_index rs col) v with
+        | Some p -> p.count
+        | None -> 0)
+        +
+        match Vtbl.find_opt (base_index rs col) v with
+        | Some b -> b.b_count
+        | None -> 0
+      in
+      let best =
+        List.fold_left
+          (fun (bbind, bcost) bind ->
+            let cost = count bind in
+            if cost < bcost then (bind, cost) else (bbind, bcost))
+          (List.hd binds, count (List.hd binds))
+          (List.tl binds)
+        |> fst
+      in
+      let col, v = best in
+      let residual = List.filter (fun b -> b != best) binds in
+      ( Vtbl.find_opt (ensure_index rs col) v,
+        Vtbl.find_opt (base_index rs col) v,
+        residual )
 
 let lookup t name binds =
   match binds with

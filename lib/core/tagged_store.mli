@@ -47,6 +47,12 @@ val restrict : t -> int list -> t
 
 val tx_count : t -> int
 
+val uid : t -> int
+(** A process-unique id minted at creation ({!create}/{!clone}/
+    {!restrict} each get a fresh one). Lets weak tables keyed by
+    physical store identity hash in O(1) instead of walking the deep
+    mutable structure. *)
+
 val set_obs : t -> Obs.t -> unit
 (** Attach a recorder; the store bumps visibility-cache hit/miss and
     world-epoch-switch counters on it (defaults to {!Obs.null}, whose
@@ -70,6 +76,25 @@ val base_only : t -> unit
 
 val source : t -> Relational.Source.t
 (** A live view: reflects subsequent [set_world] calls. *)
+
+type world_delta = {
+  added_txs : int;  (** Transactions visible now but not in [prev]. *)
+  removed_txs : int;  (** Transactions visible in [prev] but not now. *)
+  added : (string -> Relational.Tuple.t list) Lazy.t;
+      (** Per-relation tuples visible in the {e current} world but not
+          in [prev] — exact (origin sets are consulted, so a tuple also
+          contributed by a surviving transaction is not reported) and
+          deduplicated. Materialized on first force over the added
+          transactions only, O(|Δ| rows); force it before the store's
+          pending segment changes ({!append_tx}/{!undo}). *)
+}
+
+val world_delta : t -> prev:Bcgraph.Bitset.t -> world_delta
+(** Compare the active world against a saved [prev] bitset (as returned
+    by {!world}, possibly many switches ago — this is {e not} tied to
+    the last switch). Transaction-level counts are computed eagerly in
+    O(k / word_size); the added-tuple sets are lazy. Capacity of [prev]
+    must equal {!tx_count}. *)
 
 val tx_rows : t -> int -> (string * Relational.Tuple.t list) list
 (** Rows of one pending transaction, grouped by relation. *)

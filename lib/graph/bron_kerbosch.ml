@@ -55,12 +55,8 @@ let generator ?interrupt g =
             end
             else false
     in
-    let neigh =
-      Array.init n (fun i ->
-          let b = Bitset.create n in
-          Undirected.iter_neighbours g i (Bitset.add b);
-          b)
-    in
+    (* Borrowed adjacency rows — read-only here (only intersected). *)
+    let neigh = Array.init n (Undirected.neighbours_bitset g) in
     let all = Bitset.full n in
     let comp =
       (* complement adjacency as ascending int arrays, self excluded *)

@@ -1,63 +1,59 @@
-(* Adjacency is a packed bit matrix: row i holds the neighbour bitset of
-   node i. Rows share one Bytes buffer of n*stride bytes. *)
+(* Adjacency is one Bitset row per node. The clique enumerator borrows
+   rows directly ({!neighbours_bitset}) and intersects neighbourhoods
+   word-at-a-time, so building its per-node tables costs nothing — the
+   rows *are* the tables. *)
 
-type t = { n : int; stride : int; bits : Bytes.t }
+type t = { n : int; rows : Bitset.t array }
 
 let create n =
   if n < 0 then invalid_arg "Undirected.create: negative size";
-  let stride = (n + 7) / 8 in
-  { n; stride; bits = Bytes.make (n * stride) '\000' }
+  { n; rows = Array.init n (fun _ -> Bitset.create n) }
 
 let node_count g = g.n
-let copy g = { g with bits = Bytes.copy g.bits }
+let copy g = { g with rows = Array.map Bitset.copy g.rows }
 
 let extend g extra =
   if extra < 0 then invalid_arg "Undirected.extend: negative extra";
   let out = create (g.n + extra) in
-  (* Row widths differ, so copy row by row. *)
+  (* Row capacities differ, so re-add bit by bit. *)
   for i = 0 to g.n - 1 do
-    Bytes.blit g.bits (i * g.stride) out.bits (i * out.stride) g.stride
+    Bitset.iter (Bitset.add out.rows.(i)) g.rows.(i)
   done;
   out
 
 let check g i =
   if i < 0 || i >= g.n then invalid_arg "Undirected: node out of range"
 
-let get g i j =
-  let byte = Char.code (Bytes.get g.bits ((i * g.stride) + (j lsr 3))) in
-  byte land (1 lsl (j land 7)) <> 0
-
-let set g i j v =
-  let pos = (i * g.stride) + (j lsr 3) in
-  let byte = Char.code (Bytes.get g.bits pos) in
-  let mask = 1 lsl (j land 7) in
-  let byte = if v then byte lor mask else byte land lnot mask in
-  Bytes.set g.bits pos (Char.chr byte)
+let get g i j = Bitset.mem g.rows.(i) j
 
 let add_edge g i j =
   check g i;
   check g j;
   if i <> j then begin
-    set g i j true;
-    set g j i true
+    Bitset.add g.rows.(i) j;
+    Bitset.add g.rows.(j) i
   end
 
 let remove_edge g i j =
   check g i;
   check g j;
-  set g i j false;
-  set g j i false
+  if i <> j then begin
+    Bitset.remove g.rows.(i) j;
+    Bitset.remove g.rows.(j) i
+  end
 
 let connected g i j =
   check g i;
   check g j;
   get g i j
 
+let neighbours_bitset g i =
+  check g i;
+  g.rows.(i)
+
 let iter_neighbours g i f =
   check g i;
-  for j = 0 to g.n - 1 do
-    if get g i j then f j
-  done
+  Bitset.iter f g.rows.(i)
 
 let neighbours g i =
   let acc = ref [] in
@@ -65,18 +61,15 @@ let neighbours g i =
   List.rev !acc
 
 let degree g i =
-  let d = ref 0 in
-  iter_neighbours g i (fun _ -> incr d);
-  !d
+  check g i;
+  Bitset.cardinal g.rows.(i)
 
 let edge_count g =
   let total = ref 0 in
   for i = 0 to g.n - 1 do
-    for j = i + 1 to g.n - 1 do
-      if get g i j then incr total
-    done
+    total := !total + degree g i
   done;
-  !total
+  !total / 2
 
 let fold_nodes g f acc =
   let acc = ref acc in
@@ -97,13 +90,27 @@ let complement g =
 let induced g nodes =
   let nodes = Array.of_list nodes in
   Array.iter (check g) nodes;
-  let sub = create (Array.length nodes) in
-  for a = 0 to Array.length nodes - 1 do
-    for b = a + 1 to Array.length nodes - 1 do
-      if get g nodes.(a) nodes.(b) then add_edge sub a b
-    done
-  done;
-  (sub, nodes)
+  let n = Array.length nodes in
+  let identity =
+    n = g.n
+    &&
+    let rec id i = i = n || (nodes.(i) = i && id (i + 1)) in
+    id 0
+  in
+  if identity then
+    (* Whole-graph induction (NaiveDCSat passes every node, each solve):
+       the subgraph is the graph itself — copy the rows instead of
+       running the O(n²) pair loop below. *)
+    (copy g, nodes)
+  else begin
+    let sub = create n in
+    for a = 0 to n - 1 do
+      for b = a + 1 to n - 1 do
+        if get g nodes.(a) nodes.(b) then add_edge sub a b
+      done
+    done;
+    (sub, nodes)
+  end
 
 let pp ppf g =
   Format.fprintf ppf "@[<v>graph on %d nodes:" g.n;

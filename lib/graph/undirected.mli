@@ -27,6 +27,12 @@ val edge_count : t -> int
 val neighbours : t -> int -> int list
 (** Ascending order. *)
 
+val neighbours_bitset : t -> int -> Bitset.t
+(** The node's adjacency row itself — shared with the graph, not a
+    copy. Treat as read-only; mutating it corrupts the graph. Lets the
+    clique enumerator use rows as its neighbour tables without an
+    O(n²) rebuild. *)
+
 val iter_neighbours : t -> int -> (int -> unit) -> unit
 val fold_nodes : t -> ('a -> int -> 'a) -> 'a -> 'a
 val complement : t -> t

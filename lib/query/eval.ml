@@ -37,6 +37,10 @@ let compile (q : Cq.t) =
            q.Cq.comparisons);
   }
 
+let has_negation c = Array.length c.neg > 0
+let var_names c = c.var_names
+let positive_relations c = Array.to_list (Array.map (fun a -> a.rel) c.pos)
+
 (* Binding environment: None = unbound. *)
 
 let arg_value env = function
@@ -115,12 +119,12 @@ let unify env (a : catom) (tuple : Tuple.t) =
 
 exception Stop
 
-let run (src : Source.t) (q : Cq.t) on_match =
-  let c = compile q in
-  let env = Array.make c.nvars None in
+(* The backtracking join over [c.pos], resumable from any [depth]: the
+   caller may have pre-bound some atoms (marking them in [used] and
+   filling their [support] slot) — that is how {!run_delta} seeds the
+   search with a Δ-tuple. *)
+let search (src : Source.t) (c : compiled) env used support ~depth on_match =
   let natoms = Array.length c.pos in
-  let used = Array.make natoms false in
-  let support = Array.make natoms ("", ([||] : Tuple.t)) in
   (* Pick the cheapest remaining atom: smallest estimated match count,
      using the source's per-index selectivity. A zero-cost atom cannot
      be beaten, and — since only a strictly smaller estimate displaces
@@ -179,61 +183,104 @@ let run (src : Source.t) (q : Cq.t) on_match =
       used.(i) <- false
     end
   in
-  try go 0 with Stop -> ()
+  go depth
+
+let run_compiled (src : Source.t) (c : compiled) on_match =
+  let env = Array.make c.nvars None in
+  let natoms = Array.length c.pos in
+  let used = Array.make natoms false in
+  let support = Array.make natoms ("", ([||] : Tuple.t)) in
+  try search src c env used support ~depth:0 on_match with Stop -> ()
+
+let run (src : Source.t) (q : Cq.t) on_match = run_compiled src (compile q) on_match
+
+(* Semi-naive seeding: every new match over W ∪ Δ that did not exist over
+   W must map at least one positive atom to a Δ-tuple. Seed the join once
+   per (positive atom, Δ-tuple) pair and search only the remaining atoms.
+   An assignment mapping several atoms to Δ-tuples is reported once per
+   such atom, so callers that count must deduplicate. *)
+let run_delta (src : Source.t) (c : compiled) ~delta on_match =
+  let env = Array.make c.nvars None in
+  let natoms = Array.length c.pos in
+  let used = Array.make natoms false in
+  let support = Array.make natoms ("", ([||] : Tuple.t)) in
+  try
+    for s = 0 to natoms - 1 do
+      let atom = c.pos.(s) in
+      List.iter
+        (fun tuple ->
+          match unify env atom tuple with
+          | None -> ()
+          | Some newly_bound ->
+              if guards_ok src env c then begin
+                support.(s) <- (atom.rel, tuple);
+                used.(s) <- true;
+                search src c env used support ~depth:1 on_match;
+                used.(s) <- false
+              end;
+              List.iter (fun id -> env.(id) <- None) newly_bound)
+        (delta atom.rel)
+    done
+  with Stop -> ()
 
 let iter_matches src q f = run src q f
+let iter_matches_compiled src c f = run_compiled src c f
 
-let eval_boolean src q =
+let eval_boolean_compiled src c =
   let found = ref false in
-  run src q (fun _ _ ->
+  run_compiled src c (fun _ _ ->
       found := true;
       `Stop);
   !found
 
-let find_witness src q =
+let eval_boolean src q = eval_boolean_compiled src (compile q)
+
+let find_witness_compiled src c =
   let witness = ref None in
-  run src q (fun values _ ->
+  run_compiled src c (fun values _ ->
       witness := Some values;
       `Stop);
   Option.map
-    (fun values -> List.combine q.Cq.vars (Array.to_list values))
+    (fun values -> List.combine (Array.to_list c.var_names) (Array.to_list values))
     !witness
 
-let project_args (q : Cq.t) (agg_args : Term.t array) values =
+let find_witness src q = find_witness_compiled src (compile q)
+
+let project_compiled (c : compiled) (agg_args : Term.t array) values =
   let index v =
-    let rec go i = function
-      | [] -> assert false
-      | v' :: _ when String.equal v v' -> i
-      | _ :: rest -> go (i + 1) rest
+    let n = Array.length c.var_names in
+    let rec go i =
+      if i >= n then assert false
+      else if String.equal c.var_names.(i) v then i
+      else go (i + 1)
     in
-    go 0 q.Cq.vars
+    go 0
   in
   Array.map
     (function
       | Term.Var v -> values.(index v)
-      | Term.Const c -> c)
+      | Term.Const k -> k)
     agg_args
 
-let aggregate_value src (a : Query.aggregate) =
-  let q = a.Query.body in
+let aggregate_value_compiled src (c : compiled) (a : Query.aggregate) =
   match a.Query.agg with
   | Query.Count ->
       let n = ref 0 in
-      run src q (fun _ _ ->
+      run_compiled src c (fun _ _ ->
           incr n;
           `Continue);
       if !n = 0 then None else Some (Value.Int !n)
   | Query.Cntd ->
       let seen = Tuple.Tbl.create 64 in
-      run src q (fun values _ ->
-          Tuple.Tbl.replace seen (project_args q a.Query.agg_args values) ();
+      run_compiled src c (fun values _ ->
+          Tuple.Tbl.replace seen (project_compiled c a.Query.agg_args values) ();
           `Continue);
       let n = Tuple.Tbl.length seen in
       if n = 0 then None else Some (Value.Int n)
   | Query.Sum ->
       let total = ref Value.zero and any = ref false in
-      run src q (fun values _ ->
-          let projected = project_args q a.Query.agg_args values in
+      run_compiled src c (fun values _ ->
+          let projected = project_compiled c a.Query.agg_args values in
           total := Value.add !total projected.(0);
           any := true;
           `Continue);
@@ -246,11 +293,14 @@ let aggregate_value src (a : Query.aggregate) =
         | Query.Count | Query.Cntd | Query.Sum -> assert false
       in
       let acc = ref None in
-      run src q (fun values _ ->
-          let v = (project_args q a.Query.agg_args values).(0) in
+      run_compiled src c (fun values _ ->
+          let v = (project_compiled c a.Query.agg_args values).(0) in
           acc := Some (match !acc with None -> v | Some w -> combine v w);
           `Continue);
       !acc
+
+let aggregate_value src (a : Query.aggregate) =
+  aggregate_value_compiled src (compile a.Query.body) a
 
 let theta_holds theta value threshold =
   match theta with
@@ -258,12 +308,19 @@ let theta_holds theta value threshold =
   | Query.Gt -> Value.lt threshold value
   | Query.Eq -> Value.equal value threshold
 
-let eval src = function
-  | Query.Boolean q -> eval_boolean src q
+let eval_compiled src (q : Query.t) (c : compiled) =
+  match q with
+  | Query.Boolean _ -> eval_boolean_compiled src c
   | Query.Aggregate a -> (
-      match aggregate_value src a with
+      match aggregate_value_compiled src c a with
       | None -> false (* empty bag: comparison is false (footnote 9) *)
       | Some v -> theta_holds a.Query.theta v a.Query.threshold)
+
+let body_of = function
+  | Query.Boolean q -> q
+  | Query.Aggregate a -> a.Query.body
+
+let eval src q = eval_compiled src q (compile (body_of q))
 
 let count_matches src q =
   let n = ref 0 in

@@ -9,14 +9,43 @@
     An assignment [h] maps each body variable to a value; because every
     variable occurs in a positive atom, assignments correspond one-to-one
     to the tuple combinations the join enumerates, which gives exactly the
-    bag semantics of Section 5 for aggregates. *)
+    bag semantics of Section 5 for aggregates.
+
+    Compilation (variable numbering, atom/comparison lowering) is split
+    from execution so a solver session can compile each constraint once
+    and evaluate the plan over thousands of worlds; the [*_compiled]
+    variants below take the reusable plan, and the plain ones remain as
+    compile-and-run wrappers. *)
+
+type compiled
+(** A compiled conjunctive-query body: variables numbered, atoms and
+    comparisons lowered to array form. Immutable — safe to share across
+    domains and evaluate concurrently (each evaluation owns its own
+    binding environment). *)
+
+val compile : Cq.t -> compiled
+
+val has_negation : compiled -> bool
+(** The body contains negated atoms — evaluating it is not monotone in
+    the source, so delta seeding ({!run_delta}) is unsound for it. *)
+
+val var_names : compiled -> string array
+(** The body's variables, in [q.vars] order. *)
+
+val positive_relations : compiled -> string list
+(** Relation of each positive atom, in atom order (with duplicates). *)
 
 val eval_boolean : Relational.Source.t -> Cq.t -> bool
 (** True when at least one satisfying assignment exists (early exit). *)
 
+val eval_boolean_compiled : Relational.Source.t -> compiled -> bool
+
 val find_witness :
   Relational.Source.t -> Cq.t -> (string * Relational.Value.t) list option
 (** A satisfying assignment, as variable bindings in [q.vars] order. *)
+
+val find_witness_compiled :
+  Relational.Source.t -> compiled -> (string * Relational.Value.t) list option
 
 val iter_matches :
   Relational.Source.t ->
@@ -30,13 +59,67 @@ val iter_matches :
     each positive atom was mapped to, in atom order. Duplicate assignments
     never occur. Return [`Stop] to abort. *)
 
+val iter_matches_compiled :
+  Relational.Source.t ->
+  compiled ->
+  (Relational.Value.t array ->
+  (string * Relational.Tuple.t) list ->
+  [ `Continue | `Stop ]) ->
+  unit
+
+val run_delta :
+  Relational.Source.t ->
+  compiled ->
+  delta:(string -> Relational.Tuple.t list) ->
+  (Relational.Value.t array ->
+  (string * Relational.Tuple.t) list ->
+  [ `Continue | `Stop ]) ->
+  unit
+(** Semi-naive delta evaluation: enumerate exactly the satisfying
+    assignments that map {e at least one} positive atom to a tuple of
+    [delta rel] (the tuples of [rel] visible in the current source but
+    not in the previously evaluated one). For each positive atom the
+    search is seeded with each Δ-tuple and completed over the remaining
+    atoms through the source's (current) indexes.
+
+    Soundness: if the body is negation-free ({!has_negation} = false),
+    its match set is monotone in the visible tuples, so every match
+    present now but absent before uses ≥ 1 added tuple — [run_delta]
+    misses none of them. It never reports a match not satisfied by the
+    current source. An assignment mapping [k > 1] atoms to Δ-tuples is
+    reported up to [k] times (once per seed); callers that count or sum
+    must deduplicate assignments. *)
+
 val aggregate_value :
   Relational.Source.t -> Query.aggregate -> Relational.Value.t option
 (** [α(B)] where [B] is the bag of [h(x̄)] over all satisfying
     assignments; [None] when the bag is empty. *)
 
+val aggregate_value_compiled :
+  Relational.Source.t -> compiled -> Query.aggregate -> Relational.Value.t option
+(** Same, over the precompiled body ([compile a.body]). *)
+
+val project_compiled :
+  compiled ->
+  Term.t array ->
+  Relational.Value.t array ->
+  Relational.Value.t array
+(** [h(x̄)]: the aggregate's argument terms under an assignment (values
+    of the body variables in [var_names] order). *)
+
+val theta_holds :
+  Query.theta -> Relational.Value.t -> Relational.Value.t -> bool
+(** [theta_holds θ v threshold] — the aggregate comparison [v θ t]. *)
+
 val eval : Relational.Source.t -> Query.t -> bool
 (** Full denial-constraint body evaluation over one world. For aggregates
     an empty bag makes the comparison false (footnote 9 semantics). *)
+
+val eval_compiled : Relational.Source.t -> Query.t -> compiled -> bool
+(** Same, over the precompiled body of [q] (its CQ part: the boolean body
+    or the aggregate's body). *)
+
+val body_of : Query.t -> Cq.t
+(** The CQ body of a query (boolean body, or the aggregate's body). *)
 
 val count_matches : Relational.Source.t -> Cq.t -> int

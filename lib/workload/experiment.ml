@@ -16,10 +16,15 @@ type measurement = {
   obs_worlds : int;
   cache_hit_ratio : float;
   worker_util : float;
+  eval_full : int;
+  eval_delta : int;
+  eval_delta_tuples : int;
+  eval_delta_ratio : float;
 }
 
 let run ?(repeats = 3) ?(warmup = 0) ?(summary = `Mean) ?(jobs = 1)
-    ?timeout_s ?max_worlds ?(obs_sinks = []) ~session ~label ~algo ~variant q =
+    ?(use_delta = true) ?timeout_s ?max_worlds ?(obs_sinks = []) ~session
+    ~label ~algo ~variant q =
   let solve () =
     (* Budgets are single-run (the deadline is absolute): each solve gets
        a fresh one, so every repeat has the full allowance. *)
@@ -30,8 +35,8 @@ let run ?(repeats = 3) ?(warmup = 0) ?(summary = `Mean) ?(jobs = 1)
     in
     let result =
       match algo with
-      | Naive -> Core.Dcsat.naive ~jobs ~budget session q
-      | Opt -> Core.Dcsat.opt ~jobs ~budget session q
+      | Naive -> Core.Dcsat.naive ~jobs ~budget ~use_delta session q
+      | Opt -> Core.Dcsat.opt ~jobs ~budget ~use_delta session q
     in
     match result with
     | Ok outcome -> outcome
@@ -70,6 +75,13 @@ let run ?(repeats = 3) ?(warmup = 0) ?(summary = `Mean) ?(jobs = 1)
   Core.Session.set_obs session saved;
   Core.Obs.flush obs;
   let obs_worlds = Core.Obs.counter obs "dcsat.worlds" in
+  let eval_full = Core.Obs.counter obs "eval.full" in
+  let eval_delta = Core.Obs.counter obs "eval.delta" in
+  let eval_delta_tuples = Core.Obs.counter obs "eval.delta_tuples" in
+  let eval_delta_ratio =
+    let total = eval_full + eval_delta in
+    if total = 0 then 0.0 else float_of_int eval_delta /. float_of_int total
+  in
   let hit = Core.Obs.counter obs "store.vis_hit" in
   let miss = Core.Obs.counter obs "store.vis_miss" in
   let cache_hit_ratio =
@@ -100,6 +112,10 @@ let run ?(repeats = 3) ?(warmup = 0) ?(summary = `Mean) ?(jobs = 1)
     obs_worlds;
     cache_hit_ratio;
     worker_util;
+    eval_full;
+    eval_delta;
+    eval_delta_tuples;
+    eval_delta_ratio;
   }
 
 let session_of db =

@@ -28,6 +28,18 @@ type measurement = {
       (** Σ per-item evaluation time / (jobs × runtime) of the
           instrumented run — the fraction of worker-domain capacity
           spent evaluating worlds. *)
+  eval_full : int;
+      (** Worlds evaluated by a full backtracking join in the
+          instrumented run (["eval.full"]). *)
+  eval_delta : int;
+      (** Worlds answered incrementally — replayed from a cached world
+          or decided by a delta-seeded search (["eval.delta"]). *)
+  eval_delta_tuples : int;
+      (** Δ-tuples the delta-seeded searches iterated
+          (["eval.delta_tuples"]). *)
+  eval_delta_ratio : float;
+      (** [eval_delta / (eval_full + eval_delta)]; 0 when no worlds were
+          evaluated. *)
 }
 
 val run :
@@ -35,6 +47,7 @@ val run :
   ?warmup:int ->
   ?summary:[ `Mean | `Min ] ->
   ?jobs:int ->
+  ?use_delta:bool ->
   ?timeout_s:float ->
   ?max_worlds:int ->
   ?obs_sinks:Bccore.Obs.sink list ->
@@ -50,7 +63,10 @@ val run :
     [~summary:`Min] (the right statistic when comparing backends whose
     difference is smaller than scheduler noise). Times are read from the
     solver's monotonic-clock stats. [jobs] (default 1) selects the
-    engine backend. [timeout_s]/[max_worlds] bound each individual solve
+    engine backend. [use_delta] (default true) toggles the incremental
+    evaluation layer ({!Bccore.Inc_eval}); pass [false] to measure the
+    full-evaluation baseline, or when comparing backends whose runs
+    would otherwise replay each other's cached worlds. [timeout_s]/[max_worlds] bound each individual solve
     (a fresh {!Bccore.Engine.Budget} per run, so repeats don't share one
     allowance); a tripped budget surfaces as [unknown = true]. Raises
     [Invalid_argument] if the solver refuses the query (e.g. OptDCSat on

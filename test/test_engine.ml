@@ -151,7 +151,7 @@ exception Boom
 let run_with_failing_eval ~jobs ~store ~replicate ~release items ~fail_on =
   Engine.run ~jobs ~store ~replicate ~release
     ~source:(Engine.Work_source.of_list items)
-    ~eval:(fun _store members ->
+    ~eval:(fun () _store members ->
       if members = fail_on then raise Boom
       else { Engine.world = members; violation = None })
     ~on_item:ignore ~on_evaluated:ignore ()
@@ -177,7 +177,7 @@ let test_eval_raise_propagates jobs () =
   let report =
     Engine.run ~jobs ~store ~replicate ~release
       ~source:(Engine.Work_source.of_list items)
-      ~eval:(fun _store members -> { Engine.world = members; violation = None })
+      ~eval:(fun () _store members -> { Engine.world = members; violation = None })
       ~on_item:ignore ~on_evaluated:ignore ()
   in
   Alcotest.(check int) "clean rerun evaluates everything" 5

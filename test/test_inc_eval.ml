@@ -1,0 +1,211 @@
+(* Differential suite for the incremental evaluation layer: on random
+   databases and random monotone denial constraints, the delta-seeded
+   evaluator must be *indistinguishable* from from-scratch evaluation —
+   identical verdicts, identical canonical witnesses — over arbitrary
+   world sequences (including revisits, which exercise the replay path)
+   and across repeated solver runs on one session (which exercise the
+   per-store world cache, the maximal-world memo, and the ind-component
+   cache). CI runs the suite with BCDB_TEST_JOBS=1 and =4. *)
+
+module R = Relational
+module V = R.Value
+module Q = Bcquery
+module Core = Bccore
+
+let par_jobs =
+  match Sys.getenv_opt "BCDB_TEST_JOBS" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> 4)
+  | None -> 4
+
+(* Same mixed-constraint generator family as test_agreement: keys and
+   inclusion dependencies over Node/Edge give the solver real clique and
+   component structure to cache across. *)
+
+let node = R.Schema.relation "Node" [ "id"; "colour" ]
+let edge = R.Schema.relation "Edge" [ "src"; "dst" ]
+let cat = R.Schema.of_list [ node; edge ]
+
+let constraints =
+  [
+    R.Constr.key node [ "id" ];
+    R.Constr.ind ~sub:edge [ "src" ] ~sup:node [ "id" ];
+    R.Constr.ind ~sub:edge [ "dst" ] ~sup:node [ "id" ];
+  ]
+
+let node_row id colour = ("Node", R.Tuple.make [ V.Int id; V.Str colour ])
+let edge_row s d = ("Edge", R.Tuple.make [ V.Int s; V.Int d ])
+let colours = [| "red"; "green"; "blue" |]
+
+let random_db rng =
+  let state = R.Database.create cat in
+  R.Database.insert_all state
+    [ node_row 0 "red"; node_row 1 "red"; node_row 2 "red"; edge_row 0 1 ];
+  let k = 2 + Random.State.int rng 5 in
+  let random_tx () =
+    let rows = 1 + Random.State.int rng 2 in
+    List.init rows (fun _ ->
+        if Random.State.bool rng then
+          node_row
+            (3 + Random.State.int rng 4)
+            colours.(Random.State.int rng 3)
+        else edge_row (Random.State.int rng 7) (Random.State.int rng 7))
+  in
+  Core.Bcdb.create_exn ~state ~constraints
+    ~pending:(List.init k (fun _ -> random_tx ()))
+    ()
+
+(* Monotone bodies only — the delta path's territory. Aggregates ride
+   along to exercise the incremental accumulators (count/sum/max/min)
+   and their fallback rules. *)
+let queries =
+  [
+    {| q() :- Node(i, "green"). |};
+    {| q() :- Edge(s, d), Node(s, "red"), Node(d, c). |};
+    {| q() :- Edge(s, d), Edge(d, e), s != e. |};
+    {| q() :- Node(4, c). |};
+    {| q() :- Edge(s, d), Node(d, "blue"). |};
+    "q(count()) :- Edge(s, d) | > 2.";
+    {| q(sum(s)) :- Edge(s, d) | > 6. |};
+    {| q(max(i)) :- Node(i, c) | > 5. |};
+    {| q(min(d)) :- Edge(s, d) | < 1. |};
+    {| q(cntd(c)) :- Node(i, c) | > 2. |};
+  ]
+
+let parse qi = Q.Parser.parse_exn ~catalog:cat (List.nth queries qi)
+
+(* --- Direct differential: eval_world over random world sequences --- *)
+
+(* Both evaluators see the same store and the same world sequence; the
+   delta one may answer from its cache (replay / delta-seeded search),
+   the baseline always runs the full join. Every answer — verdict and
+   canonical witness — must be identical. Worlds repeat with high
+   probability (draws from a small pool), so the replay path fires. *)
+let eval_world_differential =
+  QCheck.Test.make
+    ~name:"eval_world: delta-seeded = from-scratch over world sequences"
+    ~count:150
+    QCheck.(pair (int_bound 100_000) (int_bound (List.length queries - 1)))
+    (fun (seed, qi) ->
+      let rng = Random.State.make [| seed |] in
+      let db = random_db rng in
+      let session = Core.Session.create db in
+      let store = Core.Session.store session in
+      let n = Core.Tagged_store.tx_count store in
+      let q = parse qi in
+      let plan = Core.Session.plan session q in
+      let inc = Core.Inc_eval.evaluator ~use_delta:true plan in
+      let full = Core.Inc_eval.evaluator ~use_delta:false plan in
+      (* A small pool of random worlds, then a longer sequence drawn
+         from it with repetition. *)
+      let pool =
+        Array.init 6 (fun _ ->
+            List.filter (fun _ -> Random.State.bool rng) (List.init n Fun.id))
+      in
+      let steps =
+        List.init 25 (fun _ -> pool.(Random.State.int rng (Array.length pool)))
+      in
+      List.for_all
+        (fun world ->
+          let a = Core.Inc_eval.eval_world inc store world in
+          let b = Core.Inc_eval.eval_world full store world in
+          a = b)
+        steps)
+
+(* --- Maximal-world memo: cached closure = direct closure --- *)
+
+let maximal_world_memo =
+  QCheck.Test.make ~name:"maximal_world memo = Get_maximal.run_list"
+    ~count:100
+    QCheck.(pair (int_bound 100_000) (int_bound (List.length queries - 1)))
+    (fun (seed, qi) ->
+      let rng = Random.State.make [| seed |] in
+      let db = random_db rng in
+      let session = Core.Session.create db in
+      let store = Core.Session.store session in
+      let n = Core.Tagged_store.tx_count store in
+      let plan = Core.Session.plan session (parse qi) in
+      let inc = Core.Inc_eval.evaluator ~use_delta:true plan in
+      let members =
+        List.filter (fun _ -> Random.State.bool rng) (List.init n Fun.id)
+      in
+      let direct = Core.Get_maximal.run_list store members in
+      (* Twice: a miss that populates the memo, then the hit. *)
+      let first = Core.Inc_eval.maximal_world inc store members in
+      let second = Core.Inc_eval.maximal_world inc store members in
+      Bcgraph.Bitset.equal direct first && Bcgraph.Bitset.equal direct second)
+
+(* --- Solver-level differential: use_delta on = off, across repeats --- *)
+
+(* One session solves the same constraint three times with the delta
+   machinery on (run 2 and 3 hit the world cache, the maximal-world
+   memo, and — for Opt — the ind-component cache); a fresh session
+   solves once with everything off. All four outcomes must agree on the
+   verdict and the witness world. *)
+let solver_differential =
+  QCheck.Test.make
+    ~name:"solve: use_delta:true (repeated) = use_delta:false (fresh)"
+    ~count:80
+    QCheck.(pair (int_bound 100_000) (int_bound (List.length queries - 1)))
+    (fun (seed, qi) ->
+      let rng = Random.State.make [| seed |] in
+      let db = random_db rng in
+      let q = parse qi in
+      let baseline_session = Core.Session.create db in
+      let baseline =
+        Core.Solver.solve ~jobs:par_jobs ~use_delta:false baseline_session q
+      in
+      let session = Core.Session.create db in
+      let agree run =
+        match (baseline, run) with
+        | Ok (b, _), Ok (o, _) ->
+            b.Core.Dcsat.satisfied = o.Core.Dcsat.satisfied
+            && b.Core.Dcsat.witness_world = o.Core.Dcsat.witness_world
+        | Error _, Error _ -> true
+        | _ -> false
+      in
+      List.for_all
+        (fun () -> agree (Core.Solver.solve ~jobs:par_jobs session q))
+        [ (); (); () ])
+
+(* --- Algorithm-level differential with the pre-check off --- *)
+
+(* With use_precheck:false the clique walk actually runs even when
+   R ∪ T already refutes q, driving many more worlds through the
+   incremental evaluator; Naive and Opt must still match their own
+   delta-off runs exactly (stats aside). *)
+let algo_differential =
+  QCheck.Test.make
+    ~name:"naive/opt: delta on = off with pre-check disabled" ~count:60
+    QCheck.(pair (int_bound 100_000) (int_bound (List.length queries - 1)))
+    (fun (seed, qi) ->
+      let rng = Random.State.make [| seed |] in
+      let db = random_db rng in
+      let q = parse qi in
+      let outcome_eq (a : Core.Dcsat.outcome) (b : Core.Dcsat.outcome) =
+        a.Core.Dcsat.satisfied = b.Core.Dcsat.satisfied
+        && a.Core.Dcsat.witness_world = b.Core.Dcsat.witness_world
+      in
+      let agree run =
+        let fresh () = Core.Session.create db in
+        match (run ~use_delta:false (fresh ()), run ~use_delta:true (fresh ()))
+        with
+        | Ok a, Ok b -> outcome_eq a b
+        | Error _, Error _ -> true
+        | _ -> false
+      in
+      agree (fun ~use_delta s ->
+          Core.Dcsat.naive ~use_precheck:false ~use_delta ~jobs:par_jobs s q)
+      && agree (fun ~use_delta s ->
+             Core.Dcsat.opt ~use_precheck:false ~use_delta ~jobs:par_jobs s q))
+
+let () =
+  Alcotest.run "inc_eval"
+    [
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest eval_world_differential;
+          QCheck_alcotest.to_alcotest maximal_world_memo;
+          QCheck_alcotest.to_alcotest solver_differential;
+          QCheck_alcotest.to_alcotest algo_differential;
+        ] );
+    ]
