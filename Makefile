@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check bench bench-smoke bench-eval clean
+.PHONY: all build test fmt check bench bench-smoke bench-data bench-eval clean
 
 all: build
 
@@ -26,6 +26,14 @@ bench:
 # drift or an invalid trace.
 bench-smoke:
 	dune exec bench/main.exe -- --smoke --trace BENCH_trace.smoke.json
+
+# Data-size sweep on a scaled-down Huge preset: streaming columnar
+# build, DCSat solve, binary snapshot save/load, and a warm-restore
+# re-solve that must agree with the cold build (non-zero exit if it
+# doesn't). Full-scale sweep (1M/10M rows, >=10x restore-speedup
+# bound): dune exec bench/main.exe -- datasize
+bench-data:
+	dune exec bench/main.exe -- --smoke datasize
 
 # Incremental-evaluation micro-benchmark: full re-evaluation vs the
 # Inc_eval layer (replay + delta-seeded search) on warm repeated

@@ -7,6 +7,8 @@
                   example, with a chosen algorithm
      likelihood - probability that a constraint is violated, under a
                   uniform per-transaction inclusion probability
+     snapshot   - write a database as a binary snapshot, restorable with
+                  check --snapshot FILE
 
    Datasets are synthesized deterministically from a seed, so commands
    are reproducible without any on-disk state. *)
@@ -64,6 +66,26 @@ let file =
     & info [ "file" ] ~docv:"FILE"
         ~doc:"Load the blockchain database from a .bcdb text file (see \
               'bcdb dump' for the format).")
+
+let snapshot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot" ] ~docv:"FILE"
+        ~doc:
+          "Load the blockchain database from a binary snapshot written by \
+           'bcdb snapshot'. The columnar state is restored directly — no \
+           row parsing, no semantic re-validation (pass --validate-snapshot \
+           to re-run it).")
+
+let validate_snapshot_arg =
+  Arg.(
+    value & flag
+    & info [ "validate-snapshot" ]
+        ~doc:
+          "With --snapshot, re-run the full R |= I validation pass after \
+           restoring (a whole-state scan; snapshots written by this tool \
+           already satisfied it when saved).")
 
 let jobs =
   Arg.(
@@ -172,7 +194,11 @@ let paper_db () =
     ~labels:[ "T1"; "T2"; "T3"; "T4"; "T5" ]
     ()
 
-let load_db ?file ~paper ~preset ~contradictions ~seed () =
+let load_db ?file ?snapshot ?(validate_snapshot = false) ~paper ~preset
+    ~contradictions ~seed () =
+  match snapshot with
+  | Some path -> Core.Bcdb_file.load_binary ~validate:validate_snapshot path
+  | None ->
   match file with
   | Some path -> Core.Bcdb_file.load path
   | None ->
@@ -321,9 +347,12 @@ let exit_of_verdict = function
   | Core.Dcsat.Unknown _ -> 3
 
 let check_cmd =
-  let run file paper preset contradictions seed algo jobs timeout max_worlds
-      trace metrics summary query =
-    match load_db ?file ~paper ~preset ~contradictions ~seed () with
+  let run file snapshot validate_snapshot paper preset contradictions seed algo
+      jobs timeout max_worlds trace metrics summary query =
+    match
+      load_db ?file ?snapshot ~validate_snapshot ~paper ~preset ~contradictions
+        ~seed ()
+    with
     | Error msg ->
         Printf.eprintf "error: %s\n" msg;
         1
@@ -375,9 +404,9 @@ let check_cmd =
           possible world). Exit code 0: satisfied, 2: unsatisfied, 3: \
           unknown (budget exhausted before a verdict).")
     Term.(
-      const run $ file $ paper $ preset $ contradictions $ seed $ algo $ jobs
-      $ timeout_arg $ max_worlds_arg $ trace_arg $ metrics_arg $ obs_flag
-      $ query_arg)
+      const run $ file $ snapshot_arg $ validate_snapshot_arg $ paper $ preset
+      $ contradictions $ seed $ algo $ jobs $ timeout_arg $ max_worlds_arg
+      $ trace_arg $ metrics_arg $ obs_flag $ query_arg)
 
 (* ------------------------------------------------------------------ *)
 (* likelihood *)
@@ -563,6 +592,44 @@ let dump_cmd =
     Term.(const run $ paper $ preset $ contradictions $ seed $ out)
 
 (* ------------------------------------------------------------------ *)
+(* snapshot *)
+
+let snapshot_cmd =
+  let out =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Output path for the binary snapshot.")
+  in
+  let run file paper preset contradictions seed out =
+    match load_db ?file ~paper ~preset ~contradictions ~seed () with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok db -> (
+        match Core.Bcdb_file.save_binary out db with
+        | Ok () ->
+            let bytes =
+              In_channel.with_open_bin out (fun ic ->
+                  Int64.to_int (In_channel.length ic))
+            in
+            Printf.printf "wrote %s (%d bytes, %d pending txs)\n" out bytes
+              (Core.Bcdb.pending_count db);
+            0
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:
+         "Write a blockchain database (a .bcdb text file, the paper example \
+          or a generated dataset) as a versioned binary snapshot: the \
+          columnar state plus pending transactions, restorable with \
+          --snapshot in a fraction of the build time.")
+    Term.(const run $ file $ paper $ preset $ contradictions $ seed $ out)
+
+(* ------------------------------------------------------------------ *)
 (* validate-trace *)
 
 let validate_trace_cmd =
@@ -607,5 +674,6 @@ let () =
             answers_cmd;
             likelihood_cmd;
             dump_cmd;
+            snapshot_cmd;
             validate_trace_cmd;
           ]))

@@ -30,6 +30,25 @@ let create_exn ~state ~constraints ~pending ?labels () =
   | Ok db -> db
   | Error msg -> invalid_arg ("Bcdb.create: " ^ msg)
 
+(* For trusted inputs where re-validating [R |= I] would cost a full
+   pass over the state (snapshots written by us, generators correct by
+   construction): same shape as [create], no [Check.satisfies]. *)
+let create_unchecked ~state ~constraints ~pending ?labels () =
+  let label_of =
+    match labels with
+    | None -> fun _ -> None
+    | Some ls ->
+        if List.length ls <> List.length pending then
+          invalid_arg "Bcdb.create_unchecked: labels length mismatch";
+        let arr = Array.of_list ls in
+        fun i -> Some arr.(i)
+  in
+  let pending =
+    Array.of_list
+      (List.mapi (fun i rows -> Pending.make ~id:i ?label:(label_of i) rows) pending)
+  in
+  { state; constraints; pending }
+
 let catalog t = R.Database.catalog t.state
 let pending_count t = Array.length t.pending
 let fds t = R.Constr.fds t.constraints

@@ -33,6 +33,18 @@ val create_exn :
   unit ->
   t
 
+val create_unchecked :
+  state:Relational.Database.t ->
+  constraints:Relational.Constr.t list ->
+  pending:(string * Relational.Tuple.t) list list ->
+  ?labels:string list ->
+  unit ->
+  t
+(** Like {!create_exn} but skips the [R |= I] validation pass — a full
+    scan of the state, prohibitive at paper-scale row counts. Only for
+    trusted inputs: snapshots this process wrote, or generators whose
+    output satisfies the constraints by construction. *)
+
 val catalog : t -> Relational.Schema.t
 val pending_count : t -> int
 val fds : t -> Relational.Constr.fd list

@@ -340,10 +340,8 @@ let to_string (db : Bcdb.t) =
   in
   List.iter
     (fun schema ->
-      let rel = R.Database.relation db.Bcdb.state schema.R.Schema.name in
-      R.Relation.iter
-        (fun tuple -> pr "state %s\n" (pr_tuple schema.R.Schema.name tuple))
-        rel)
+      R.Database.iter_tuples db.Bcdb.state schema.R.Schema.name (fun tuple ->
+          pr "state %s\n" (pr_tuple schema.R.Schema.name tuple)))
     (R.Schema.relations catalog);
   Array.iter
     (fun (tx : Pending.t) ->
@@ -377,5 +375,241 @@ let load path =
 
 let save path db =
   match Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_string db)) with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Binary snapshots.
+
+   Layout (all integers little-endian):
+
+     "BCDBSNP1"                                  8-byte magic
+     u32 version (= 1)
+     i64 nrels; per relation: str name, i64 nattrs, str attr...
+     i64 nconstraints; per constraint:
+       u8 0 (fd):  str frel, intlist lhs, intlist rhs
+       u8 1 (ind): str sub_rel, intlist sub_attrs,
+                   str sup_rel, intlist sup_attrs
+     per relation (catalog order): column blobs (Segment.serialize:
+       row count, column count, then per column the kind tag,
+       dictionary and payload)
+     i64 npending; per transaction: str label, i64 nrows;
+       per row: i64 relation-index, then one Value per attribute
+     "BCDBEND1"                                  8-byte end marker
+
+   where str = i64 length + bytes and intlist = i64 count + i64 each.
+   The state is always written columnar (dictionaries + payload blobs),
+   so loading reconstructs the segments directly — no row parsing, no
+   re-indexing, no constraint re-check (the snapshot was written from a
+   validated database). *)
+
+let binary_magic = "BCDBSNP1"
+let binary_end = "BCDBEND1"
+let binary_version = 1
+
+let add_str buf s =
+  Relational.Column.add_i64 buf (String.length s);
+  Buffer.add_string buf s
+
+let add_int_list buf l =
+  Relational.Column.add_i64 buf (List.length l);
+  List.iter (Relational.Column.add_i64 buf) l
+
+let to_binary_string (db : Bcdb.t) =
+  (* Pre-size near the payload size (the segments dominate): at
+     paper-scale states, letting the buffer double its way up would copy
+     hundreds of MB and leave as much garbage behind. *)
+  let size_hint =
+    R.Schema.relations (Bcdb.catalog db)
+    |> List.fold_left
+         (fun acc schema ->
+           match R.Database.segment db.Bcdb.state schema.R.Schema.name with
+           | Some seg -> acc + R.Segment.bytes seg
+           | None -> acc)
+         (1 lsl 16)
+  in
+  let buf = Buffer.create size_hint in
+  Buffer.add_string buf binary_magic;
+  Buffer.add_int32_le buf (Int32.of_int binary_version);
+  let catalog = Bcdb.catalog db in
+  let rels = R.Schema.relations catalog in
+  Relational.Column.add_i64 buf (List.length rels);
+  List.iter
+    (fun schema ->
+      add_str buf schema.R.Schema.name;
+      Relational.Column.add_i64 buf (Array.length schema.R.Schema.attrs);
+      Array.iter (add_str buf) schema.R.Schema.attrs)
+    rels;
+  Relational.Column.add_i64 buf (List.length db.Bcdb.constraints);
+  List.iter
+    (function
+      | R.Constr.Fd f ->
+          Buffer.add_uint8 buf 0;
+          add_str buf f.R.Constr.frel;
+          add_int_list buf f.R.Constr.lhs;
+          add_int_list buf f.R.Constr.rhs
+      | R.Constr.Ind i ->
+          Buffer.add_uint8 buf 1;
+          add_str buf i.R.Constr.sub_rel;
+          add_int_list buf i.R.Constr.sub_attrs;
+          add_str buf i.R.Constr.sup_rel;
+          add_int_list buf i.R.Constr.sup_attrs)
+    db.Bcdb.constraints;
+  List.iter
+    (fun schema ->
+      R.Segment.serialize buf
+        (R.Database.to_segment db.Bcdb.state schema.R.Schema.name))
+    rels;
+  let rel_index = Hashtbl.create 8 in
+  List.iteri (fun i schema -> Hashtbl.replace rel_index schema.R.Schema.name i) rels;
+  Relational.Column.add_i64 buf (Array.length db.Bcdb.pending);
+  Array.iter
+    (fun (tx : Pending.t) ->
+      add_str buf tx.Pending.label;
+      Relational.Column.add_i64 buf (List.length tx.Pending.rows);
+      List.iter
+        (fun (rel, tuple) ->
+          Relational.Column.add_i64 buf (Hashtbl.find rel_index rel);
+          Array.iter (V.write_binary buf) tuple)
+        tx.Pending.rows)
+    db.Bcdb.pending;
+  Buffer.add_string buf binary_end;
+  Buffer.contents buf
+
+let of_binary_string ?(validate = false) s =
+  let corrupt msg = raise (Relational.Column.Corrupt msg) in
+  let read_str pos =
+    let n = Relational.Column.read_i64 s pos in
+    if n < 0 || !pos + n > String.length s then corrupt "truncated string";
+    let v = String.sub s !pos n in
+    pos := !pos + n;
+    v
+  in
+  let read_int_list pos =
+    let n = Relational.Column.read_i64 s pos in
+    if n < 0 || n > 4096 then corrupt "bad int list length";
+    List.init n (fun _ -> Relational.Column.read_i64 s pos)
+  in
+  match
+    if String.length s < 12 || String.sub s 0 8 <> binary_magic then
+      corrupt "bad magic (not a binary snapshot)";
+    let pos = ref 8 in
+    let version = Int32.to_int (String.get_int32_le s !pos) in
+    pos := !pos + 4;
+    if version <> binary_version then
+      corrupt (Printf.sprintf "unsupported snapshot version %d" version);
+    let nrels = Relational.Column.read_i64 s pos in
+    if nrels < 0 || nrels > 100_000 then corrupt "bad relation count";
+    let schemas =
+      List.init nrels (fun _ ->
+          let name = read_str pos in
+          let nattrs = Relational.Column.read_i64 s pos in
+          if nattrs < 0 || nattrs > 4096 then corrupt "bad attribute count";
+          let attrs = List.init nattrs (fun _ -> read_str pos) in
+          match R.Schema.relation name attrs with
+          | schema -> schema
+          | exception Invalid_argument msg -> corrupt msg)
+    in
+    let catalog = R.Schema.of_list schemas in
+    let check_rel name =
+      match R.Schema.find_opt catalog name with
+      | Some schema -> schema
+      | None -> corrupt (Printf.sprintf "constraint on unknown relation %s" name)
+    in
+    let check_attrs schema l =
+      List.iter
+        (fun i ->
+          if i < 0 || i >= R.Schema.arity schema then
+            corrupt "constraint attribute out of range")
+        l;
+      l
+    in
+    let nconstr = Relational.Column.read_i64 s pos in
+    if nconstr < 0 || nconstr > 100_000 then corrupt "bad constraint count";
+    let constraints =
+      List.init nconstr (fun _ ->
+          if !pos >= String.length s then corrupt "truncated constraint";
+          let tag = Char.code s.[!pos] in
+          incr pos;
+          match tag with
+          | 0 ->
+              let frel = read_str pos in
+              let schema = check_rel frel in
+              let lhs = check_attrs schema (read_int_list pos) in
+              let rhs = check_attrs schema (read_int_list pos) in
+              if lhs = [] || rhs = [] then corrupt "empty fd attribute list";
+              R.Constr.Fd { R.Constr.frel; lhs; rhs }
+          | 1 ->
+              let sub_rel = read_str pos in
+              let sub = check_rel sub_rel in
+              let sub_attrs = check_attrs sub (read_int_list pos) in
+              let sup_rel = read_str pos in
+              let sup = check_rel sup_rel in
+              let sup_attrs = check_attrs sup (read_int_list pos) in
+              if
+                sub_attrs = []
+                || List.length sub_attrs <> List.length sup_attrs
+              then corrupt "bad ind attribute lists";
+              R.Constr.Ind { R.Constr.sub_rel; sub_attrs; sup_rel; sup_attrs }
+          | _ -> corrupt "bad constraint tag")
+    in
+    let segs =
+      List.map
+        (fun schema ->
+          let seg = R.Segment.deserialize s pos in
+          if R.Segment.arity seg <> R.Schema.arity schema then
+            corrupt
+              (Printf.sprintf "segment arity mismatch for %s"
+                 schema.R.Schema.name);
+          (schema.R.Schema.name, seg))
+        schemas
+    in
+    let state = R.Database.of_segments catalog segs in
+    let by_index = Array.of_list schemas in
+    let npend = Relational.Column.read_i64 s pos in
+    if npend < 0 || npend > 1_000_000 then corrupt "bad pending count";
+    let txs =
+      List.init npend (fun _ ->
+          let label = read_str pos in
+          let nrows = Relational.Column.read_i64 s pos in
+          if nrows < 0 || nrows > 10_000_000 then corrupt "bad row count";
+          let rows =
+            List.init nrows (fun _ ->
+                let ri = Relational.Column.read_i64 s pos in
+                if ri < 0 || ri >= Array.length by_index then
+                  corrupt "bad relation index in pending row";
+                let schema = by_index.(ri) in
+                let tuple =
+                  Array.init (R.Schema.arity schema) (fun _ ->
+                      match V.read_binary s pos with
+                      | Some v -> v
+                      | None -> corrupt "bad value in pending row")
+                in
+                (schema.R.Schema.name, tuple))
+          in
+          (label, rows))
+    in
+    if
+      !pos + String.length binary_end <> String.length s
+      || String.sub s !pos (String.length binary_end) <> binary_end
+    then corrupt "missing end marker";
+    let labels = List.map fst txs in
+    let pending = List.map snd txs in
+    if validate then Bcdb.create ~state ~constraints ~pending ~labels ()
+    else Ok (Bcdb.create_unchecked ~state ~constraints ~pending ~labels ())
+  with
+  | result -> result
+  | exception Relational.Column.Corrupt msg -> Error ("binary snapshot: " ^ msg)
+
+let load_binary ?validate path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> of_binary_string ?validate contents
+  | exception Sys_error msg -> Error msg
+
+let save_binary path db =
+  match
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc (to_binary_string db))
+  with
   | () -> Ok ()
   | exception Sys_error msg -> Error msg

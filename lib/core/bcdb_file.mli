@@ -39,6 +39,28 @@ val load : string -> (Bcdb.t, string) result
 
 val save : string -> Bcdb.t -> (unit, string) result
 
+(** {2 Binary snapshots}
+
+    A versioned, magic-tagged binary format (["BCDBSNP1"], version 1):
+    header, catalog, constraints, then per relation the column blobs of
+    a {!Relational.Segment.t} (dictionaries + unboxed payloads), then
+    pending transactions, then an end marker. The state is written
+    columnar, so a restore rebuilds the segments directly — no row
+    parsing, no re-indexing — and a service restart is a load, not a
+    rebuild. *)
+
+val to_binary_string : Bcdb.t -> string
+
+val of_binary_string : ?validate:bool -> string -> (Bcdb.t, string) result
+(** Structural integrity (magic, version, bounds, arities, constraint
+    attribute ranges) is always checked; the semantic [R |= I]
+    validation — a full pass over the state — runs only with
+    [~validate:true], since snapshots are normally written by this
+    process from an already validated database. *)
+
+val load_binary : ?validate:bool -> string -> (Bcdb.t, string) result
+val save_binary : string -> Bcdb.t -> (unit, string) result
+
 val parse_row :
   Relational.Schema.t -> string -> (string * Relational.Tuple.t, string) result
 (** Parse a single ["Name(v1, v2, ...)"] row against a catalog — the

@@ -13,12 +13,14 @@ type entry = { tuple : R.Tuple.t; origins : int array }
 (* The store is segmented per relation:
 
    - the {e base segment} holds every tuple contributed by the base
-     state. Base tuples are visible in *every* world, so the segment —
-     entries, tuple table and hash indexes — is immutable and shared
-     across clones and component-scoped views. Its indexes are built on
-     demand under a mutex and published as immutable postings; each
-     store keeps a lock-free memo of the postings it has already
-     fetched, so steady-state probes never touch the lock.
+     state, as one immutable columnar {!R.Segment.t}. Base tuples are
+     visible in *every* world, so the segment — column payloads and
+     hash indexes alike — is shared zero-copy across clones and
+     component-scoped views; cloning a store never touches base data.
+     Indexes are built on demand under the segment's own lock and
+     memoized per store, so steady-state probes never touch the lock.
+     The rare base tuple that is *also* written by pending transactions
+     carries its merged origin set in the sparse [b_extra] side table.
 
    - the {e pending segment} holds tuples contributed only by pending
      transactions; their visibility depends on the active world. It is
@@ -30,15 +32,12 @@ type entry = { tuple : R.Tuple.t; origins : int array }
      per-posting filtered-visibility caches are valid only for the epoch
      they were computed at, which is the entire invalidation rule. *)
 
-type base_posting = { b_positions : int list; b_count : int }
-(* positions descending; immutable once published *)
-
-type base_seg = {
-  b_entries : entry array;
-  b_by_tuple : int R.Tuple.Tbl.t;
-  b_lock : Mutex.t;
-  b_indexes : (int, base_posting Vtbl.t) Hashtbl.t;  (* guarded by b_lock *)
-  b_composite : (int list, base_posting R.Tuple.Tbl.t) Hashtbl.t;  (* idem *)
+type base = {
+  b_seg : R.Segment.t;  (* shared: immutable columns + lock-guarded index cache *)
+  b_extra : (int, int array) Hashtbl.t;
+      (* base position -> merged origins [|-1; tx...|]; only positions
+         some pending transaction also contributes. Immutable after
+         [create], hence shared. *)
 }
 
 type posting = {
@@ -63,10 +62,10 @@ type snapshot = {
 type stats_src = Own | Snapshot of snapshot
 
 type rel_store = {
-  base : base_seg;  (* shared with clones and scoped views *)
+  base : base;  (* shared with clones and scoped views *)
   stats : stats_src;
-  bmemo_idx : (int, base_posting Vtbl.t) Hashtbl.t;
-  bmemo_comp : (int list, base_posting R.Tuple.Tbl.t) Hashtbl.t;
+  bmemo : (int list, R.Segment.index) Hashtbl.t;
+      (* per-store memo of base indexes already fetched: lock-free *)
   mutable entries : entry array;  (* pending segment, valid up to [len] *)
   mutable len : int;
   by_tuple : int R.Tuple.Tbl.t;  (* pending tuples only *)
@@ -102,6 +101,13 @@ let fresh_uid () = Atomic.fetch_and_add uid_counter 1
 
 let base_origin = -1
 
+let seq_first seq = match seq () with Seq.Nil -> None | Seq.Cons (x, _) -> Some x
+
+(* Position of [tuple] in the base segment, if present. Base segments
+   are duplicate-free by construction, so the first (highest) position
+   is the only one. *)
+let base_find bs tuple = seq_first (R.Segment.find bs.b_seg tuple)
+
 let fresh_rel ?(stats = Own) base entries =
   let np = Array.length entries in
   let by_tuple = R.Tuple.Tbl.create (max 16 np) in
@@ -119,8 +125,7 @@ let fresh_rel ?(stats = Own) base entries =
   {
     base;
     stats;
-    bmemo_idx = Hashtbl.create 4;
-    bmemo_comp = Hashtbl.create 4;
+    bmemo = Hashtbl.create 4;
     entries;
     len = np;
     by_tuple;
@@ -131,52 +136,45 @@ let fresh_rel ?(stats = Own) base entries =
     overlay = Hashtbl.create 4;
   }
 
-let build_rel rows =
-  (* rows: (origin, tuple) in insertion order, origins non-decreasing
-     (base first, then transactions in id order). Distinct tuples are
-     stored once; repeated insertions only extend the origin set — and
-     because rows of one origin arrive together, deduplication is a
-     head check, not a membership scan. *)
+let build_rel seg rows =
+  (* [seg]: the relation's base state, already columnar. [rows]:
+     (origin, tuple) pending contributions in transaction order.
+     Pending tuples that also sit in the base merge their origins into
+     the sparse [b_extra] table (the base row is visible everywhere
+     anyway); the rest are deduplicated into pending entries — rows of
+     one origin arrive together, so deduplication is a head check. *)
+  let b_extra = Hashtbl.create 4 in
   let scratch = R.Tuple.Tbl.create (max 64 (List.length rows)) in
   let order = ref [] in
+  let bs = { b_seg = seg; b_extra } in
   List.iter
     (fun (origin, tuple) ->
-      match R.Tuple.Tbl.find_opt scratch tuple with
-      | Some origins -> (
-          match !origins with
-          | last :: _ when last = origin -> ()
-          | _ -> origins := origin :: !origins)
-      | None ->
-          R.Tuple.Tbl.replace scratch tuple (ref [ origin ]);
-          order := tuple :: !order)
+      match base_find bs tuple with
+      | Some bpos ->
+          let prev =
+            Option.value (Hashtbl.find_opt b_extra bpos) ~default:[| base_origin |]
+          in
+          if not (Array.exists (fun o -> o = origin) prev) then
+            Hashtbl.replace b_extra bpos (Array.append prev [| origin |])
+      | None -> (
+          match R.Tuple.Tbl.find_opt scratch tuple with
+          | Some origins -> (
+              match !origins with
+              | last :: _ when last = origin -> ()
+              | _ -> origins := origin :: !origins)
+          | None ->
+              R.Tuple.Tbl.replace scratch tuple (ref [ origin ]);
+              order := tuple :: !order))
     rows;
-  let entries =
-    List.rev_map
-      (fun tuple ->
-        let origins = !(R.Tuple.Tbl.find scratch tuple) in
-        { tuple; origins = Array.of_list (List.sort_uniq Int.compare origins) })
-      !order
+  let pending =
+    Array.of_list
+      (List.rev_map
+         (fun tuple ->
+           let origins = !(R.Tuple.Tbl.find scratch tuple) in
+           { tuple; origins = Array.of_list (List.sort_uniq Int.compare origins) })
+         !order)
   in
-  (* Base-contributed tuples (always visible) go to the shared base
-     segment; the order within each segment is first-seen order, and all
-     base tuples were seen before any pending-only tuple. *)
-  let is_base (e : entry) = Array.length e.origins > 0 && e.origins.(0) = base_origin in
-  let base_entries = Array.of_list (List.filter is_base entries) in
-  let pending = Array.of_list (List.filter (fun e -> not (is_base e)) entries) in
-  let b_by_tuple = R.Tuple.Tbl.create (max 16 (Array.length base_entries)) in
-  Array.iteri
-    (fun i (e : entry) -> R.Tuple.Tbl.replace b_by_tuple e.tuple i)
-    base_entries;
-  let base =
-    {
-      b_entries = base_entries;
-      b_by_tuple;
-      b_lock = Mutex.create ();
-      b_indexes = Hashtbl.create 4;
-      b_composite = Hashtbl.create 4;
-    }
-  in
-  fresh_rel base pending
+  fresh_rel bs pending
 
 let create (db : Bcdb.t) =
   let catalog = R.Database.catalog db.Bcdb.state in
@@ -185,13 +183,6 @@ let create (db : Bcdb.t) =
     let prev = Option.value (Hashtbl.find_opt rows_by_rel rel) ~default:[] in
     Hashtbl.replace rows_by_rel rel (row :: prev)
   in
-  List.iter
-    (fun schema ->
-      let rel = schema.R.Schema.name in
-      R.Relation.iter
-        (fun tuple -> push rel (base_origin, tuple))
-        (R.Database.relation db.Bcdb.state rel))
-    (R.Schema.relations catalog);
   Array.iter
     (fun (tx : Pending.t) ->
       List.iter (fun (rel, tuple) -> push rel (tx.Pending.id, tuple)) tx.Pending.rows)
@@ -200,10 +191,14 @@ let create (db : Bcdb.t) =
     List.fold_left
       (fun acc schema ->
         let rel = schema.R.Schema.name in
+        (* The base state reaches the store columnar: zero-cost when the
+           database was restored from a binary snapshot (all segment),
+           one streaming encode when it was built row by row. *)
+        let seg = R.Database.to_segment db.Bcdb.state rel in
         let rows =
           List.rev (Option.value (Hashtbl.find_opt rows_by_rel rel) ~default:[])
         in
-        Smap.add rel (build_rel rows) acc)
+        Smap.add rel (build_rel seg rows) acc)
       Smap.empty (R.Schema.relations catalog)
   in
   let k = Array.length db.Bcdb.pending in
@@ -260,10 +255,9 @@ let clone_rel rs =
           }
   in
   {
-    base = rs.base;  (* shared: immutable entries, lock-guarded indexes *)
+    base = rs.base;  (* shared: immutable segment, immutable b_extra *)
     stats;
-    bmemo_idx = Hashtbl.copy rs.bmemo_idx;
-    bmemo_comp = Hashtbl.copy rs.bmemo_comp;
+    bmemo = Hashtbl.copy rs.bmemo;
     entries = Array.copy rs.entries;
     len = rs.len;
     by_tuple = R.Tuple.Tbl.copy rs.by_tuple;
@@ -314,9 +308,8 @@ let restrict t members =
     let sub = fresh_rel ~stats rs.base (Array.of_list !keep) in
     Hashtbl.iter (fun key o -> Hashtbl.replace sub.overlay key o) rs.overlay;
     (* Seed the base-index memo from the parent so a fresh scoped view
-       starts lock-free for every column the parent already probed. *)
-    Hashtbl.iter (fun c tbl -> Hashtbl.replace sub.bmemo_idx c tbl) rs.bmemo_idx;
-    Hashtbl.iter (fun c tbl -> Hashtbl.replace sub.bmemo_comp c tbl) rs.bmemo_comp;
+       starts lock-free for every column set the parent already probed. *)
+    Hashtbl.iter (fun c idx -> Hashtbl.replace sub.bmemo c idx) rs.bmemo;
     sub
   in
   {
@@ -334,6 +327,9 @@ let uid t = t.uid
 let tx_count t = t.k
 let set_obs t obs = t.obs <- obs
 let world t = Bitset.copy t.visible
+
+let base_bytes t =
+  Smap.fold (fun _ rs acc -> acc + R.Segment.bytes rs.base.b_seg) t.rels 0
 
 (* Switch to [vis] (a fresh bitset owned by the store) by flipping only
    the transactions whose membership changed. A no-op switch keeps the
@@ -430,63 +426,25 @@ let world_delta t ~prev =
   in
   { added_txs = !added_txs; removed_txs = !removed_txs; added }
 
-(* --- base-segment indexes: built once under the segment lock,
+(* --- base-segment indexes: built once under the segment's lock,
    published immutable, memoized per store --- *)
 
-let base_index rs col =
-  match Hashtbl.find_opt rs.bmemo_idx col with
-  | Some tbl -> tbl
+let base_index rs cols =
+  match Hashtbl.find_opt rs.bmemo cols with
+  | Some idx -> idx
   | None ->
-      let seg = rs.base in
-      Mutex.lock seg.b_lock;
-      let tbl =
-        Fun.protect ~finally:(fun () -> Mutex.unlock seg.b_lock) @@ fun () ->
-        match Hashtbl.find_opt seg.b_indexes col with
-        | Some tbl -> tbl
-        | None ->
-            let tbl = Vtbl.create (max 16 (Array.length seg.b_entries)) in
-            Array.iteri
-              (fun i (e : entry) ->
-                let v = e.tuple.(col) in
-                match Vtbl.find_opt tbl v with
-                | Some p ->
-                    Vtbl.replace tbl v
-                      { b_positions = i :: p.b_positions; b_count = p.b_count + 1 }
-                | None -> Vtbl.replace tbl v { b_positions = [ i ]; b_count = 1 })
-              seg.b_entries;
-            Hashtbl.replace seg.b_indexes col tbl;
-            tbl
-      in
-      Hashtbl.replace rs.bmemo_idx col tbl;
-      tbl
+      let idx = R.Segment.index rs.base.b_seg cols in
+      Hashtbl.replace rs.bmemo cols idx;
+      idx
 
-let base_composite rs cols =
-  match Hashtbl.find_opt rs.bmemo_comp cols with
-  | Some tbl -> tbl
-  | None ->
-      let seg = rs.base in
-      Mutex.lock seg.b_lock;
-      let tbl =
-        Fun.protect ~finally:(fun () -> Mutex.unlock seg.b_lock) @@ fun () ->
-        match Hashtbl.find_opt seg.b_composite cols with
-        | Some tbl -> tbl
-        | None ->
-            let tbl = R.Tuple.Tbl.create (max 16 (Array.length seg.b_entries)) in
-            Array.iteri
-              (fun i (e : entry) ->
-                let key = R.Tuple.project e.tuple cols in
-                match R.Tuple.Tbl.find_opt tbl key with
-                | Some p ->
-                    R.Tuple.Tbl.replace tbl key
-                      { b_positions = i :: p.b_positions; b_count = p.b_count + 1 }
-                | None ->
-                    R.Tuple.Tbl.replace tbl key { b_positions = [ i ]; b_count = 1 })
-              seg.b_entries;
-            Hashtbl.replace seg.b_composite cols tbl;
-            tbl
-      in
-      Hashtbl.replace rs.bmemo_comp cols tbl;
-      tbl
+(* Exact matches for [binds] in the base segment (collision-filtered
+   positions, descending). *)
+let base_slice rs binds =
+  let cols = List.sort_uniq Int.compare (List.map fst binds) in
+  let idx = base_index rs cols in
+  R.Segment.slice rs.base.b_seg idx (R.Segment.compile rs.base.b_seg binds)
+
+let base_count rs binds = R.Segment.slice_count (base_slice rs binds)
 
 (* --- pending-segment indexes (private, incremental) --- *)
 
@@ -538,34 +496,28 @@ let matches binds (tuple : R.Tuple.t) =
 
 let scan t name =
   let rs = rel_store t name in
-  let be = rs.base.b_entries in
-  let nb = Array.length be in
   let np = rs.len in
   let rec pend i () =
     if i >= np then Seq.Nil
     else if rs.viscount.(i) > 0 then Seq.Cons (rs.entries.(i).tuple, pend (i + 1))
     else pend (i + 1) ()
   in
-  let rec base i () =
-    if i >= nb then pend 0 () else Seq.Cons (be.(i).tuple, base (i + 1))
-  in
-  base 0
+  Seq.append (R.Segment.tuple_seq rs.base.b_seg) (pend 0)
 
-(* Probe both segments for [binds]: pending posting, base posting, and
-   the residual binds an over-wide probe still has to filter by. *)
+(* Probe the pending segment for [binds]: the posting to walk and the
+   residual binds an over-wide probe still has to filter by. The base
+   segment always answers with an exact multi-column slice, so only the
+   pending side ever needs residual filtering. *)
 let probe rs binds =
   match binds with
   | [] -> invalid_arg "probe: no binds"
-  | [ (col, v) ] ->
-      (Vtbl.find_opt (ensure_index rs col) v, Vtbl.find_opt (base_index rs col) v, [])
+  | [ (col, v) ] -> (Vtbl.find_opt (ensure_index rs col) v, [])
   | _ when List.length binds <= 3 ->
       (* Exact composite index: no residual filtering needed. *)
       let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) binds in
       let cols = List.map fst sorted in
       let key = Array.of_list (List.map snd sorted) in
-      ( R.Tuple.Tbl.find_opt (ensure_composite rs cols) key,
-        R.Tuple.Tbl.find_opt (base_composite rs cols) key,
-        [] )
+      (R.Tuple.Tbl.find_opt (ensure_composite rs cols) key, [])
   | _ ->
       (* Over-wide probe (no exact composite): use the single-column
          index of the {e most selective} bound column — the one whose
@@ -574,14 +526,11 @@ let probe rs binds =
          position set in the same (descending) order, so the choice
          changes only how many candidates the residual filter touches,
          never the results. *)
-      let count (col, v) =
+      let count ((col, v) as bind) =
         (match Vtbl.find_opt (ensure_index rs col) v with
         | Some p -> p.count
         | None -> 0)
-        +
-        match Vtbl.find_opt (base_index rs col) v with
-        | Some b -> b.b_count
-        | None -> 0
+        + base_count rs [ bind ]
       in
       let best =
         List.fold_left
@@ -594,16 +543,14 @@ let probe rs binds =
       in
       let col, v = best in
       let residual = List.filter (fun b -> b != best) binds in
-      ( Vtbl.find_opt (ensure_index rs col) v,
-        Vtbl.find_opt (base_index rs col) v,
-        residual )
+      (Vtbl.find_opt (ensure_index rs col) v, residual)
 
 let lookup t name binds =
   match binds with
   | [] -> scan t name
   | _ ->
       let rs = rel_store t name in
-      let pend_p, base_p, residual = probe rs binds in
+      let pend_p, residual = probe rs binds in
       (* Pending matches first (descending position), then base matches
          (descending position): the same order the unsegmented store
          produced, since pending entries sat above the base prefix. *)
@@ -619,19 +566,23 @@ let lookup t name binds =
                 ()
       in
       let base =
-        match base_p with
-        | None -> Seq.empty
-        | Some b ->
-            List.to_seq b.b_positions
-            |> Seq.filter_map (fun i ->
-                   let tuple = rs.base.b_entries.(i).tuple in
-                   if matches residual tuple then Some tuple else None)
+        fun () ->
+          let sl = base_slice rs binds in
+          (if Obs.enabled t.obs then begin
+             let hits, misses = R.Segment.dict_hits sl in
+             if hits > 0 then Obs.add t.obs "segment.dict_hits" hits;
+             if misses > 0 then Obs.add t.obs "segment.dict_miss" misses
+           end);
+          (Seq.map
+             (R.Segment.tuple rs.base.b_seg)
+             (R.Segment.slice_rows rs.base.b_seg sl))
+            ()
       in
       Seq.append pend base
 
 let mem t name tuple =
   let rs = rel_store t name in
-  if R.Tuple.Tbl.mem rs.base.b_by_tuple tuple then true
+  if R.Segment.mem rs.base.b_seg tuple then true
   else
     match R.Tuple.Tbl.find_opt rs.by_tuple tuple with
     | None -> false
@@ -677,21 +628,18 @@ let cardinality t name =
   let pend =
     match rs.stats with Own -> rs.len | Snapshot s -> Array.length s.s_entries
   in
-  Array.length rs.base.b_entries + pend
+  R.Segment.length rs.base.b_seg + pend
 
 (* World-independent by design (and by the pre-segmentation semantics):
-   memoized counts, no list walk, no filtering. A scoped view reports
-   its parent's counts so the planner behaves identically. *)
+   memoized pending counts plus the base hash-range width (an upper
+   bound — collisions are not filtered out, which is fine for a cost
+   estimate and identical across every store sharing the segment, so
+   scoped and unscoped evaluations still pick the same join orders). *)
 let selectivity t name binds =
   match binds with
   | [] -> cardinality t name
   | _ -> (
       let rs = rel_store t name in
-      let base_count_1 col v =
-        match Vtbl.find_opt (base_index rs col) v with
-        | Some b -> b.b_count
-        | None -> 0
-      in
       let pend_count_1 col v =
         match rs.stats with
         | Own -> (
@@ -702,7 +650,7 @@ let selectivity t name binds =
       in
       match binds with
       | [] -> assert false
-      | [ (col, v) ] -> pend_count_1 col v + base_count_1 col v
+      | [ (col, v) ] -> pend_count_1 col v + base_count rs binds
       | _ when List.length binds <= 3 ->
           let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) binds in
           let cols = List.map fst sorted in
@@ -715,13 +663,8 @@ let selectivity t name binds =
                 | None -> 0)
             | Snapshot s -> snapshot_count_n s cols key
           in
-          let base =
-            match R.Tuple.Tbl.find_opt (base_composite rs cols) key with
-            | Some b -> b.b_count
-            | None -> 0
-          in
-          pend + base
-      | (col, v) :: _ -> pend_count_1 col v + base_count_1 col v)
+          pend + base_count rs sorted
+      | (col, v) :: _ -> pend_count_1 col v + base_count rs [ (col, v) ])
 
 let source t =
   {
@@ -741,11 +684,14 @@ let tx_rows t id =
 
 let origins t name tuple =
   let rs = rel_store t name in
-  match R.Tuple.Tbl.find_opt rs.base.b_by_tuple tuple with
-  | Some i -> (
-      match Hashtbl.find_opt rs.overlay i with
+  match base_find rs.base tuple with
+  | Some bpos -> (
+      match Hashtbl.find_opt rs.overlay bpos with
       | Some o -> Array.to_list o
-      | None -> Array.to_list rs.base.b_entries.(i).origins)
+      | None -> (
+          match Hashtbl.find_opt rs.base.b_extra bpos with
+          | Some o -> Array.to_list o
+          | None -> [ base_origin ]))
   | None -> (
       match R.Tuple.Tbl.find_opt rs.by_tuple tuple with
       | Some i -> Array.to_list rs.entries.(i).origins
@@ -755,9 +701,9 @@ let to_database t =
   let out = R.Database.create (R.Database.catalog t.db.Bcdb.state) in
   Smap.iter
     (fun name rs ->
-      Array.iter
-        (fun (e : entry) -> ignore (R.Database.insert out name e.tuple))
-        rs.base.b_entries;
+      Seq.iter
+        (fun tuple -> ignore (R.Database.insert out name tuple))
+        (R.Segment.tuple_seq rs.base.b_seg);
       for i = 0 to rs.len - 1 do
         if rs.viscount.(i) > 0 then
           ignore (R.Database.insert out name rs.entries.(i).tuple)
@@ -811,7 +757,7 @@ let append_tx t (db' : Bcdb.t) =
         List.map
           (fun (rel, tuple) ->
             let rs = rel_store t rel in
-            match R.Tuple.Tbl.find_opt rs.base.b_by_tuple tuple with
+            match base_find rs.base tuple with
             | Some bpos ->
                 (* Base rows are always visible; the new origin only has
                    to show up in [origins], via the overlay. *)
@@ -819,7 +765,10 @@ let append_tx t (db' : Bcdb.t) =
                 let before =
                   match prev with
                   | Some o -> o
-                  | None -> rs.base.b_entries.(bpos).origins
+                  | None -> (
+                      match Hashtbl.find_opt rs.base.b_extra bpos with
+                      | Some o -> o
+                      | None -> [| base_origin |])
                 in
                 Hashtbl.replace rs.overlay bpos (Array.append before [| id |]);
                 Overlay_set (rel, bpos, prev)

@@ -13,7 +13,12 @@
     A tuple may be contributed both by the base state and by pending
     transactions (or by several transactions); it is stored once with the
     set of its origins, so that worlds are genuine {e sets} of tuples and
-    aggregate queries never double-count. *)
+    aggregate queries never double-count.
+
+    The base state lives in an immutable columnar {!Relational.Segment.t}
+    per relation (unboxed [Int]/[Float] columns, dictionary-encoded
+    otherwise): off-heap, invisible to the GC, and shared zero-copy by
+    every replica. Only the pending tail is per-store mutable state. *)
 
 type t
 
@@ -21,13 +26,14 @@ val create : Bcdb.t -> t
 val db : t -> Bcdb.t
 
 val clone : t -> t
-(** An independent replica over the same database: the loaded tuples and
-    origin sets are shared (they are never mutated in place), while the
-    visibility bitset, entry arrays and every index table are copied.
-    Switching worlds or building indexes on the clone never affects the
-    parent and vice versa — this is what lets one worker per replica
-    evaluate worlds concurrently ({!Engine}). Clone while no
-    {!append_tx} journal is outstanding. *)
+(** An independent replica over the same database: the base segments
+    (and their indexes) are shared zero-copy — cloning costs O(pending),
+    {e independent of base size} — while the visibility bitset, pending
+    entry arrays and pending index tables are copied. Switching worlds
+    or building indexes on the clone never affects the parent and vice
+    versa — this is what lets one worker per replica evaluate worlds
+    concurrently ({!Engine}). Clone while no {!append_tx} journal is
+    outstanding. *)
 
 val restrict : t -> int list -> t
 (** [restrict t members] is a component-scoped view: the (shared,
@@ -54,10 +60,16 @@ val uid : t -> int
     mutable structure. *)
 
 val set_obs : t -> Obs.t -> unit
-(** Attach a recorder; the store bumps visibility-cache hit/miss and
-    world-epoch-switch counters on it (defaults to {!Obs.null}, whose
-    per-call cost is one branch). {!clone} and {!restrict} inherit the
-    parent's recorder. *)
+(** Attach a recorder; the store bumps visibility-cache hit/miss,
+    world-epoch-switch and base-probe dictionary hit/miss
+    (["segment.dict_hits"]/["segment.dict_miss"]) counters on it
+    (defaults to {!Obs.null}, whose per-call cost is one branch).
+    {!clone} and {!restrict} inherit the parent's recorder. *)
+
+val base_bytes : t -> int
+(** Estimated resident bytes of the base segments (column payloads).
+    Replicas made by {!clone}/{!restrict} share these bytes — sum the
+    figure across replicas and you count the same memory repeatedly. *)
 
 val world : t -> Bcgraph.Bitset.t
 (** The active visibility (a copy; mutating it does not affect the

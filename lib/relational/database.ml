@@ -1,45 +1,145 @@
 module Smap = Map.Make (String)
 
-type t = { catalog : Schema.t; relations : Relation.t Smap.t }
+(* Hybrid storage: each relation is an optional immutable columnar
+   [Segment.t] (the bulk, shared structurally by [copy]) plus a mutable
+   [Relation.t] tail for rows inserted afterwards. Databases built row
+   by row simply have empty segments. *)
+type t = {
+  catalog : Schema.t;
+  segs : Segment.t Smap.t;
+  relations : Relation.t Smap.t;
+}
 
-let create catalog =
-  let relations =
+let fresh_tails catalog =
+  List.fold_left
+    (fun acc r -> Smap.add r.Schema.name (Relation.create r) acc)
+    Smap.empty (Schema.relations catalog)
+
+let create catalog = { catalog; segs = Smap.empty; relations = fresh_tails catalog }
+
+let of_segments catalog segs =
+  let segs =
     List.fold_left
-      (fun acc r -> Smap.add r.Schema.name (Relation.create r) acc)
-      Smap.empty (Schema.relations catalog)
+      (fun acc (name, seg) ->
+        let schema =
+          match Schema.find_opt catalog name with
+          | Some s -> s
+          | None -> invalid_arg ("Database.of_segments: unknown relation " ^ name)
+        in
+        if Schema.arity schema <> Segment.arity seg then
+          invalid_arg ("Database.of_segments: arity mismatch for " ^ name);
+        Smap.add name seg acc)
+      Smap.empty segs
   in
-  { catalog; relations }
+  { catalog; segs; relations = fresh_tails catalog }
 
 let catalog t = t.catalog
 let relation t name = Smap.find name t.relations
 let relation_opt t name = Smap.find_opt name t.relations
-let insert t name tuple = Relation.insert (relation t name) tuple
+let segment t name = Smap.find_opt name t.segs
+
+let seg_len t name =
+  match Smap.find_opt name t.segs with Some s -> Segment.length s | None -> 0
+
+let insert t name tuple =
+  (match Smap.find_opt name t.segs with
+  | Some seg when Segment.mem seg tuple -> false
+  | _ -> true)
+  && Relation.insert (relation t name) tuple
 
 let insert_all t rows =
   List.iter (fun (name, tuple) -> ignore (insert t name tuple)) rows
 
 let total_cardinality t =
-  Smap.fold (fun _ r acc -> acc + Relation.cardinality r) t.relations 0
+  Smap.fold
+    (fun name r acc -> acc + Relation.cardinality r + seg_len t name)
+    t.relations 0
+
+let iter_tuples t name f =
+  (match Smap.find_opt name t.segs with
+  | Some seg -> Seq.iter f (Segment.tuple_seq seg)
+  | None -> ());
+  Relation.iter f (relation t name)
+
+(* Columnar view of one relation: the segment itself when the tail is
+   empty (zero cost — this is how a freshly loaded snapshot reaches the
+   tagged store without a rebuild), otherwise segment + tail re-encoded. *)
+let to_segment t name =
+  let tail = relation t name in
+  match Smap.find_opt name t.segs with
+  | Some seg when Relation.cardinality tail = 0 -> seg
+  | seg ->
+      let arity = Schema.arity (Relation.schema tail) in
+      let b = Segment.Builder.create ~arity in
+      (match seg with
+      | Some s -> Seq.iter (Segment.Builder.add b) (Segment.tuple_seq s)
+      | None -> ());
+      Relation.iter (Segment.Builder.add b) tail;
+      Segment.Builder.finish b
 
 let copy t =
-  let fresh = create t.catalog in
+  (* Segments are immutable: share them; deep-copy only the tails. *)
+  let fresh = { t with relations = fresh_tails t.catalog } in
   Smap.iter
-    (fun name r -> Relation.iter (fun tu -> ignore (insert fresh name tu)) r)
+    (fun name r ->
+      Relation.iter
+        (fun tu -> ignore (Relation.insert (relation fresh name) tu))
+        r)
     t.relations;
   fresh
+
+let scan t name =
+  match Smap.find_opt name t.segs with
+  | Some seg -> Seq.append (Segment.tuple_seq seg) (Relation.scan (relation t name))
+  | None -> Relation.scan (relation t name)
+
+let lookup t name binds =
+  match binds with
+  | [] -> scan t name
+  | _ ->
+      let tail = Relation.lookup (relation t name) binds in
+      (match Smap.find_opt name t.segs with
+      | Some seg ->
+          let sl = Segment.lookup seg (List.map fst binds) binds in
+          Seq.append
+            (Seq.map (Segment.tuple seg) (Segment.slice_rows seg sl))
+            tail
+      | None -> tail)
+
+let mem t name tu =
+  (match Smap.find_opt name t.segs with
+  | Some seg -> Segment.mem seg tu
+  | None -> false)
+  || Relation.mem (relation t name) tu
+
+let cardinality t name = seg_len t name + Relation.cardinality (relation t name)
+
+let selectivity t name binds =
+  let tail = Relation.lookup_count_estimate (relation t name) binds in
+  match (binds, Smap.find_opt name t.segs) with
+  | [], Some seg -> Segment.length seg + tail
+  | _ :: _, Some seg ->
+      let sl = Segment.lookup seg (List.map fst binds) binds in
+      Segment.slice_count sl + tail
+  | _, None -> tail
 
 let source t =
   {
     Source.catalog = t.catalog;
-    scan = (fun name -> Relation.scan (relation t name));
-    lookup = (fun name binds -> Relation.lookup (relation t name) binds);
-    mem = (fun name tu -> Relation.mem (relation t name) tu);
-    cardinality = (fun name -> Relation.cardinality (relation t name));
-    selectivity =
-      (fun name binds -> Relation.lookup_count_estimate (relation t name) binds);
+    scan = scan t;
+    lookup = lookup t;
+    mem = mem t;
+    cardinality = cardinality t;
+    selectivity = selectivity t;
   }
 
 let pp ppf t =
+  let pp_rel ppf (name, r) =
+    let tuples = List.of_seq (scan t name) in
+    Format.fprintf ppf "@[<v 2>%a:@ %a@]" Schema.pp_relation (Relation.schema r)
+      (Format.pp_print_list Tuple.pp)
+      tuples
+  in
   Format.fprintf ppf "@[<v>%a@]"
-    (Format.pp_print_list Relation.pp)
-    (List.map snd (Smap.bindings t.relations))
+    (Format.pp_print_list pp_rel)
+    (Smap.bindings t.relations)

@@ -1,28 +1,57 @@
-(** A database: a catalog of schemas together with one {!Relation.t}
-    instance per relation name. Used for the current state [R] of a
-    blockchain database and for scratch materializations in tests. *)
+(** A database: a catalog of schemas together with one relation instance
+    per name. Used for the current state [R] of a blockchain database
+    and for scratch materializations in tests.
+
+    Storage is hybrid: each relation is an optional immutable columnar
+    {!Segment.t} (the bulk — shared structurally by {!copy}) plus a
+    mutable {!Relation.t} tail holding rows inserted afterwards.
+    Databases built row by row simply have empty segments; databases
+    restored from a binary snapshot are all segment. *)
 
 type t
 
 val create : Schema.t -> t
 (** Fresh empty instance for every relation of the catalog. *)
 
+val of_segments : Schema.t -> (string * Segment.t) list -> t
+(** Database whose listed relations start as the given segments (tails
+    empty). Raises [Invalid_argument] on unknown names or arity
+    mismatches. *)
+
 val catalog : t -> Schema.t
+
 val relation : t -> string -> Relation.t
-(** Raises [Not_found] for an unknown relation name. *)
+(** The {e mutable tail} of a relation — rows inserted after the
+    segment; excludes segment rows. Prefer {!iter_tuples} / {!source}
+    for whole-relation reads. Raises [Not_found] for an unknown name. *)
 
 val relation_opt : t -> string -> Relation.t option
 
+val segment : t -> string -> Segment.t option
+(** The immutable base segment, when the relation has one. *)
+
 val insert : t -> string -> Tuple.t -> bool
-(** Insert into a named relation; see {!Relation.insert}. *)
+(** Insert into a named relation's tail; duplicates of segment or tail
+    rows are rejected (returns [false]), as in {!Relation.insert}. *)
 
 val insert_all : t -> (string * Tuple.t) list -> unit
 
+val iter_tuples : t -> string -> (Tuple.t -> unit) -> unit
+(** All rows of one relation: segment rows in position order, then tail
+    rows in insertion order. *)
+
+val to_segment : t -> string -> Segment.t
+(** Columnar view of one whole relation. When the tail is empty this is
+    the stored segment itself (zero cost); otherwise segment and tail
+    are re-encoded into a fresh segment. *)
+
 val total_cardinality : t -> int
+
 val copy : t -> t
-(** Deep copy (fresh relations holding the same tuples). *)
+(** Copy sharing the immutable segments and deep-copying the tails. *)
 
 val source : t -> Source.t
-(** Read-only view for the query evaluator. *)
+(** Read-only view for the query evaluator, merging segment and tail
+    (segment matches first, then tail). *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,282 @@
+(* An immutable columnar segment: one Column per attribute plus lazily
+   built hash indexes. Every index — single-column, composite, or whole-
+   tuple membership — has the same shape: a permutation of row positions
+   sorted by the hash of the indexed projection. The hash reproduces
+   [Tuple.hash]'s scheme (fold [acc*31 + Value.hash v] from 17 over the
+   indexed columns in ascending order), so a probe key computed from
+   boxed values lands in the same bucket as rows hashed positionally.
+
+   The permutation is built by an LSD radix sort (16-bit digits) seeded
+   with rows in descending order; the sort is stable, so rows with equal
+   hashes stay in descending position order — the ordering contract
+   [Tagged_store.lookup] exposes. Lookups binary-search the sorted hash
+   array; the resulting range is an upper bound (hash collisions), and
+   [slice_rows] filters collisions out by positional comparison. *)
+
+type int_ba = Column.int_ba
+
+type index = { icols : int array; hashes : int_ba; perm : int_ba }
+
+type t = {
+  cols : Column.t array;
+  n : int;
+  icache : (int list, index) Hashtbl.t;  (* shared by all referents *)
+  ilock : Mutex.t;  (* guards [icache]; indexes themselves are immutable *)
+}
+
+let make cols n = { cols; n; icache = Hashtbl.create 8; ilock = Mutex.create () }
+
+let length s = s.n
+let arity s = Array.length s.cols
+let get s row c = Column.get s.cols.(c) row
+let tuple s row = Array.init (arity s) (fun c -> Column.get s.cols.(c) row)
+
+let tuple_seq s =
+  let rec go i () =
+    if i >= s.n then Seq.Nil else Seq.Cons (tuple s i, go (i + 1))
+  in
+  go 0
+
+let bytes s = Array.fold_left (fun acc c -> acc + Column.bytes c) 0 s.cols
+let dict_size s = Array.fold_left (fun acc c -> acc + Column.dict_size c) 0 s.cols
+
+(* ------------------------------------------------------------------ *)
+(* Probe keys *)
+
+(* Binds compiled against this segment's columns: kept in ascending
+   column order, with dictionary hit/miss counts from the encoding. *)
+type keys = {
+  kcols : int array;
+  kkeys : Column.key array;
+  khash : int;  (* projection hash; meaningless if [kempty] *)
+  kempty : bool;  (* some key is [Knone]: no row can match *)
+  dhits : int;
+  dmisses : int;
+}
+
+let compile s binds =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) binds in
+  (* Collapse duplicate columns. Two different values bound to the same
+     column can never both hold, so the probe is empty. *)
+  let conflict = ref false in
+  let rec uniq = function
+    | (c1, v1) :: ((c2, v2) :: _ as rest) when c1 = c2 ->
+        if not (Value.equal v1 v2) then conflict := true;
+        uniq rest
+    | b :: rest -> b :: uniq rest
+    | [] -> []
+  in
+  let binds = uniq sorted in
+  let kcols = Array.of_list (List.map fst binds) in
+  let vals = Array.of_list (List.map snd binds) in
+  let kkeys = Array.map2 (fun c v -> Column.key s.cols.(c) v) kcols vals in
+  let kempty = !conflict || Array.exists (fun k -> k = Column.Knone) kkeys in
+  let dhits = ref 0 and dmisses = ref 0 in
+  Array.iteri
+    (fun i c ->
+      if Column.is_dict s.cols.(c) then
+        match kkeys.(i) with
+        | Column.Knone -> incr dmisses
+        | _ -> incr dhits)
+    kcols;
+  let khash =
+    Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 vals land max_int
+  in
+  { kcols; kkeys; khash; kempty; dhits = !dhits; dmisses = !dmisses }
+
+let keys_match s k row =
+  let rec go i =
+    i >= Array.length k.kcols
+    || (Column.matches s.cols.(k.kcols.(i)) row k.kkeys.(i) && go (i + 1))
+  in
+  (not k.kempty) && go 0
+
+(* ------------------------------------------------------------------ *)
+(* Hash-permutation indexes *)
+
+let row_hash s icols row =
+  let acc = ref 17 in
+  Array.iter
+    (fun c -> acc := (!acc * 31) + Column.hash_at s.cols.(c) row)
+    icols;
+  !acc land max_int
+
+let build_index s icols =
+  let n = s.n in
+  let h = Array.init n (fun row -> row_hash s icols row) in
+  (* Descending seed + stable LSD radix sort keeps equal-hash rows in
+     descending position order. *)
+  let perm = ref (Array.init n (fun k -> n - 1 - k)) in
+  let scratch = ref (Array.make n 0) in
+  let hmax = Array.fold_left max 0 (if n = 0 then [| 0 |] else h) in
+  let count = Array.make 0x10000 0 in
+  let shift = ref 0 in
+  while !shift < 63 && hmax lsr !shift > 0 do
+    Array.fill count 0 0x10000 0;
+    let src = !perm and dst = !scratch in
+    for k = 0 to n - 1 do
+      let d = (h.(src.(k)) lsr !shift) land 0xffff in
+      count.(d) <- count.(d) + 1
+    done;
+    let acc = ref 0 in
+    for d = 0 to 0xffff do
+      let c = count.(d) in
+      count.(d) <- !acc;
+      acc := !acc + c
+    done;
+    for k = 0 to n - 1 do
+      let row = src.(k) in
+      let d = (h.(row) lsr !shift) land 0xffff in
+      dst.(count.(d)) <- row;
+      count.(d) <- count.(d) + 1
+    done;
+    perm := dst;
+    scratch := src;
+    shift := !shift + 16
+  done;
+  let perm = !perm in
+  let hashes_ba = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+  let perm_ba = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+  for k = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set perm_ba k perm.(k);
+    Bigarray.Array1.unsafe_set hashes_ba k h.(perm.(k))
+  done;
+  { icols; hashes = hashes_ba; perm = perm_ba }
+
+let index s cols =
+  let cols = List.sort_uniq compare cols in
+  Mutex.lock s.ilock;
+  match Hashtbl.find_opt s.icache cols with
+  | Some idx ->
+      Mutex.unlock s.ilock;
+      idx
+  | None ->
+      (* Builds are rare and the segment is shared across replicas, so
+         hold the lock and build once rather than racing duplicates.
+         Callers memoize the returned index per store, making the
+         steady state lock-free. *)
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock s.ilock)
+        (fun () ->
+          let idx = build_index s (Array.of_list cols) in
+          Hashtbl.replace s.icache cols idx;
+          idx)
+
+(* ------------------------------------------------------------------ *)
+(* Lookups *)
+
+type slice = { slo : int; shi : int; sidx : index; skeys : keys }
+
+let empty_slice idx k = { slo = 0; shi = 0; sidx = idx; skeys = k }
+
+let slice s idx (k : keys) =
+  if k.kempty then empty_slice idx k
+  else begin
+    let hashes = idx.hashes in
+    let n = Bigarray.Array1.dim hashes in
+    let target = k.khash in
+    (* lower bound: first k with hashes.(k) >= target *)
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Bigarray.Array1.unsafe_get hashes mid < target then lo := mid + 1
+      else hi := mid
+    done;
+    let first = !lo in
+    let lo = ref first and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Bigarray.Array1.unsafe_get hashes mid <= target then lo := mid + 1
+      else hi := mid
+    done;
+    ignore s;
+    { slo = first; shi = !lo; sidx = idx; skeys = k }
+  end
+
+(* Upper bound: range width counts hash collisions too. Callers use it
+   as a selectivity estimate, never as an exact cardinality. *)
+let slice_count sl = sl.shi - sl.slo
+
+let slice_rows s sl =
+  let perm = sl.sidx.perm in
+  let k = sl.skeys in
+  let rec go i () =
+    if i >= sl.shi then Seq.Nil
+    else
+      let row = Bigarray.Array1.unsafe_get perm i in
+      if keys_match s k row then Seq.Cons (row, go (i + 1)) else go (i + 1) ()
+  in
+  go sl.slo
+
+let dict_hits sl = (sl.skeys.dhits, sl.skeys.dmisses)
+
+let lookup s cols binds =
+  let idx = index s cols in
+  slice s idx (compile s binds)
+
+(* Whole-tuple membership via the all-columns index. *)
+let all_cols s = List.init (arity s) Fun.id
+
+let find s t =
+  if Array.length t <> arity s then Seq.empty
+  else
+    let binds = Array.to_list (Array.mapi (fun c v -> (c, v)) t) in
+    let sl = lookup s (all_cols s) binds in
+    slice_rows s sl
+
+let mem s t = not (Seq.is_empty (find s t))
+
+(* ------------------------------------------------------------------ *)
+(* Building and bridging *)
+
+module Builder = struct
+  type seg = t
+  type t = { builders : Column.Builder.t array; mutable bn : int }
+
+  let create ~arity =
+    { builders = Array.init arity (fun _ -> Column.Builder.create ()); bn = 0 }
+
+  let add b (t : Tuple.t) =
+    if Array.length t <> Array.length b.builders then
+      invalid_arg "Segment.Builder.add: arity mismatch";
+    Array.iteri (fun c bld -> Column.Builder.add bld t.(c)) b.builders;
+    b.bn <- b.bn + 1
+
+  let length b = b.bn
+  let finish b = make (Array.map Column.Builder.finish b.builders) b.bn
+end
+
+let of_relation r =
+  let b = Builder.create ~arity:(Schema.arity (Relation.schema r)) in
+  Relation.iter (Builder.add b) r;
+  Builder.finish b
+
+let to_relation schema s =
+  if Schema.arity schema <> arity s then
+    invalid_arg "Segment.to_relation: arity mismatch";
+  let r = Relation.create schema in
+  for row = 0 to s.n - 1 do
+    ignore (Relation.insert r (tuple s row))
+  done;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Binary blobs (indexes are rebuilt on demand, never serialized). *)
+
+let serialize buf s =
+  Column.add_i64 buf s.n;
+  Column.add_i64 buf (Array.length s.cols);
+  Array.iter (Column.serialize buf) s.cols
+
+let deserialize str pos =
+  let n = Column.read_i64 str pos in
+  let ncols = Column.read_i64 str pos in
+  if n < 0 || ncols < 0 || ncols > 4096 then
+    raise (Column.Corrupt "bad segment header");
+  let cols = Array.init ncols (fun _ -> Column.deserialize str pos) in
+  Array.iter
+    (fun c ->
+      if Column.length c <> n then
+        raise (Column.Corrupt "column length mismatch"))
+    cols;
+  make cols n

@@ -1,0 +1,94 @@
+(** An immutable columnar segment: one {!Column} per attribute plus
+    lazily built hash indexes shared by every referent.
+
+    Indexes are uniform: a permutation of row positions sorted by the
+    hash of the indexed projection (the hash reproduces {!Tuple.hash}'s
+    scheme over the indexed columns in ascending order). The sort is a
+    stable LSD radix sort seeded with rows in descending order, so rows
+    with equal hashes stay in {e descending} position order — the
+    ordering contract the tagged store's [lookup] exposes. Probes
+    binary-search the hash array; ranges over-approximate (collisions)
+    and {!slice_rows} filters the false positives out positionally. *)
+
+type t
+
+val length : t -> int
+val arity : t -> int
+val get : t -> int -> int -> Value.t
+(** [get s row col]. *)
+
+val tuple : t -> int -> Tuple.t
+(** Materializes one row as a boxed tuple. *)
+
+val tuple_seq : t -> Tuple.t Seq.t
+(** All rows in position order, materialized lazily. *)
+
+val bytes : t -> int
+(** Estimated resident bytes of the column payloads (indexes excluded,
+    so the figure is stable regardless of probe history). *)
+
+val dict_size : t -> int
+(** Total interned dictionary values across columns. *)
+
+(** {2 Probing} *)
+
+type keys
+(** Binds compiled against this segment's columns. *)
+
+val compile : t -> (int * Value.t) list -> keys
+val keys_match : t -> keys -> int -> bool
+(** [keys_match s k row] — positional equality on every bound column. *)
+
+type index
+
+val index : t -> int list -> index
+(** Cached; built on first use under the segment's lock. The returned
+    index is immutable — memoize it per store for lock-free probing. *)
+
+type slice
+
+val slice : t -> index -> keys -> slice
+
+val slice_count : slice -> int
+(** Upper bound on matching rows (hash-range width, collisions
+    included). Use as a selectivity estimate only. *)
+
+val slice_rows : t -> slice -> int Seq.t
+(** Exactly the matching row positions, descending. *)
+
+val dict_hits : slice -> int * int
+(** [(hits, misses)] of dictionary-encoded probe columns — a miss means
+    the probe value is absent from the column's dictionary. *)
+
+val lookup : t -> int list -> (int * Value.t) list -> slice
+(** [slice] over [index s cols] with [compile s binds]. *)
+
+val find : t -> Tuple.t -> int Seq.t
+(** Positions holding exactly this tuple (via the all-columns index),
+    descending. *)
+
+val mem : t -> Tuple.t -> bool
+
+(** {2 Building and bridging} *)
+
+module Builder : sig
+  type seg = t
+  type t
+
+  val create : arity:int -> t
+  val add : t -> Tuple.t -> unit
+  val length : t -> int
+  val finish : t -> seg
+end
+
+val of_relation : Relation.t -> t
+(** Positions follow the relation's insertion order. *)
+
+val to_relation : Schema.relation -> t -> Relation.t
+
+(** {2 Binary blobs} — indexes are rebuilt on demand, never stored. *)
+
+val serialize : Buffer.t -> t -> unit
+
+val deserialize : string -> int ref -> t
+(** Raises {!Column.Corrupt} on malformed input. *)

@@ -6,11 +6,20 @@ let get t i = t.(i)
 
 let project t positions =
   let n = Array.length t in
-  let pick i =
-    if i < 0 || i >= n then invalid_arg "Tuple.project: position out of range"
-    else t.(i)
+  (* Identity projection is common (whole-tuple keys, single-attribute
+     relations): return the input unchanged instead of allocating a
+     copy. Tuples are immutable by contract, so sharing is safe. *)
+  let rec is_identity i = function
+    | [] -> i = n
+    | p :: rest -> p = i && is_identity (i + 1) rest
   in
-  Array.of_list (List.map pick positions)
+  if is_identity 0 positions then t
+  else
+    let pick i =
+      if i < 0 || i >= n then invalid_arg "Tuple.project: position out of range"
+      else t.(i)
+    in
+    Array.of_list (List.map pick positions)
 
 let equal a b =
   Array.length a = Array.length b

@@ -12,7 +12,9 @@ val get : t -> int -> Value.t
 
 val project : t -> int list -> t
 (** [project t positions] extracts the listed attribute positions, in
-    order. Raises [Invalid_argument] on an out-of-range position. *)
+    order. The identity projection [[0; ...; arity-1]] returns the
+    input array itself (no allocation); callers must not mutate the
+    result. Raises [Invalid_argument] on an out-of-range position. *)
 
 val equal : t -> t -> bool
 val compare : t -> t -> int

@@ -69,11 +69,68 @@ let pp ppf = function
       if Float.is_integer f && Float.abs f < 1e15 then
         Format.fprintf ppf "%.1f" f
       else begin
-        (* Shortest representation that parses back to the same float. *)
-        let short = Printf.sprintf "%.12g" f in
-        if float_of_string short = f then Format.pp_print_string ppf short
-        else Format.fprintf ppf "%.17g" f
+        (* Shortest representation that parses back to the same float
+           (bit-exact, nan included): try ascending precision and stop
+           at the first fixpoint. 17 significant digits always suffice
+           for a binary64, so the loop terminates. *)
+        let rec shortest p =
+          let s = Printf.sprintf "%.*g" p f in
+          if p >= 17 || Float.equal (float_of_string s) f then s
+          else shortest (p + 1)
+        in
+        Format.pp_print_string ppf (shortest 1)
       end
   | Str s -> Format.fprintf ppf "%S" s
 
 let to_string v = Format.asprintf "%a" pp v
+
+(* Binary encoding (little-endian), used by the snapshot format. *)
+
+let write_binary buf = function
+  | Null -> Buffer.add_uint8 buf 0
+  | Bool false -> Buffer.add_uint8 buf 1
+  | Bool true -> Buffer.add_uint8 buf 2
+  | Int i ->
+      Buffer.add_uint8 buf 3;
+      Buffer.add_int64_le buf (Int64.of_int i)
+  | Float f ->
+      Buffer.add_uint8 buf 4;
+      Buffer.add_int64_le buf (Int64.bits_of_float f)
+  | Str s ->
+      Buffer.add_uint8 buf 5;
+      Buffer.add_int64_le buf (Int64.of_int (String.length s));
+      Buffer.add_string buf s
+
+let read_binary s pos =
+  let len = String.length s in
+  if !pos >= len then None
+  else begin
+    let tag = Char.code s.[!pos] in
+    incr pos;
+    let i64 () =
+      if !pos + 8 > len then None
+      else begin
+        let v = String.get_int64_le s !pos in
+        pos := !pos + 8;
+        Some v
+      end
+    in
+    match tag with
+    | 0 -> Some Null
+    | 1 -> Some (Bool false)
+    | 2 -> Some (Bool true)
+    | 3 -> Option.map (fun v -> Int (Int64.to_int v)) (i64 ())
+    | 4 -> Option.map (fun v -> Float (Int64.float_of_bits v)) (i64 ())
+    | 5 -> (
+        match i64 () with
+        | Some n ->
+            let n = Int64.to_int n in
+            if n < 0 || !pos + n > len then None
+            else begin
+              let v = Str (String.sub s !pos n) in
+              pos := !pos + n;
+              Some v
+            end
+        | None -> None)
+    | _ -> None
+  end

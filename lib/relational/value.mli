@@ -48,7 +48,18 @@ val max_v : t -> t -> t
 val min_v : t -> t -> t
 
 val pp : Format.formatter -> t -> unit
-(** Prints values in the syntax accepted by the query parser: strings are
-    double-quoted with escapes, floats always carry a decimal point. *)
+(** Prints values in the syntax accepted by the query parser: strings
+    are double-quoted with escapes; floats print either with a decimal
+    point (integer-valued) or as the shortest decimal string that
+    parses back to the identical bits, so printing never loses
+    precision. *)
 
 val to_string : t -> string
+
+val write_binary : Buffer.t -> t -> unit
+(** Tagged little-endian binary encoding, used by the snapshot format. *)
+
+val read_binary : string -> int ref -> t option
+(** Reads one {!write_binary}-encoded value at [!pos], advancing [pos].
+    [None] on a malformed or truncated encoding (never reads out of
+    bounds). *)

@@ -20,6 +20,8 @@ type measurement = {
   eval_delta : int;
   eval_delta_tuples : int;
   eval_delta_ratio : float;
+  base_bytes : int;
+  dict_hits : int;
 }
 
 let run ?(repeats = 3) ?(warmup = 0) ?(summary = `Mean) ?(jobs = 1)
@@ -116,6 +118,8 @@ let run ?(repeats = 3) ?(warmup = 0) ?(summary = `Mean) ?(jobs = 1)
     eval_delta;
     eval_delta_tuples;
     eval_delta_ratio;
+    base_bytes = Core.Tagged_store.base_bytes (Core.Session.store session);
+    dict_hits = Core.Obs.counter obs "segment.dict_hits";
   }
 
 let session_of db =

@@ -40,6 +40,13 @@ type measurement = {
   eval_delta_ratio : float;
       (** [eval_delta / (eval_full + eval_delta)]; 0 when no worlds were
           evaluated. *)
+  base_bytes : int;
+      (** Estimated bytes of the session store's shared columnar base
+          segments ({!Bccore.Tagged_store.base_bytes}) — a data-size
+          axis for the measurement, independent of the run. *)
+  dict_hits : int;
+      (** Base-segment dictionary probes that found their string/bool
+          key, from the instrumented run (["segment.dict_hits"]). *)
 }
 
 val run :

@@ -1,0 +1,120 @@
+module R = Relational
+module V = R.Value
+module Q = Bcquery
+module C = Chain
+
+(* Paper-scale datasets (Section 7 runs denial constraints over up to
+   ~99M base rows). The generator streams rows straight into columnar
+   segment builders — the row form of the base state never exists as a
+   whole — and skips the [R |= I] validation pass: the layout below
+   satisfies the UTXO constraints by construction.
+
+   Base state: a spend chain over [Chain.Encode]'s catalog.
+     TxOut(i, 0, pk(i), amt(i))                         for i < nout
+     TxIn(i, 0, pk(i), amt(i), i+1, i)                  for i < nin
+   with nin = rows/3 and nout = rows - nin, so every TxIn consumes an
+   existing output (key and inclusion constraints hold row by row).
+   Transaction ids are [Int]s (fully unboxed columns); only the public
+   keys go through a dictionary, of [users] distinct strings.
+
+   Pending transaction j spends the unspent output nin+j and pays into
+   a fresh transaction nout+j; conflict transaction c double-spends the
+   same output as pending transaction c, so each (j=c, conflict c) pair
+   is mutually exclusive — the dependency-graph shape the solvers
+   enumerate. Pending transaction 0 pays a marked public key that
+   appears nowhere in the base state. *)
+
+type params = { rows : int; users : int; pending : int; conflicts : int }
+
+let default = { rows = 10_000_000; users = 5_000; pending = 6; conflicts = 3 }
+let smoke = { default with rows = 150_000; users = 1_000 }
+
+let name p =
+  if p.rows >= 1_000_000 then Printf.sprintf "D-huge-%dM" (p.rows / 1_000_000)
+  else Printf.sprintf "D-huge-%dk" (p.rows / 1_000)
+
+let mark_pk = "PKMARK"
+
+let split p =
+  let nin = p.rows / 3 in
+  (nin, p.rows - nin)
+
+let generate p =
+  if p.conflicts > p.pending then
+    invalid_arg "Huge.generate: conflicts must not exceed pending";
+  let nin, nout = split p in
+  if p.users < 1 || nin <= p.pending + 1 then
+    invalid_arg "Huge.generate: rows too small for the pending set";
+  let pks = Array.init p.users (fun u -> V.Str (Printf.sprintf "PK%d" u)) in
+  let pk i = pks.(i mod p.users) in
+  let amt i = V.Int (1 + ((i * 7919) mod 9973)) in
+  let bout = R.Segment.Builder.create ~arity:4 in
+  for i = 0 to nout - 1 do
+    R.Segment.Builder.add bout [| V.Int i; V.Int 0; pk i; amt i |]
+  done;
+  let bin = R.Segment.Builder.create ~arity:6 in
+  for i = 0 to nin - 1 do
+    R.Segment.Builder.add bin
+      [| V.Int i; V.Int 0; pk i; amt i; V.Int (i + 1); V.Int i |]
+  done;
+  let state =
+    R.Database.of_segments C.Encode.catalog
+      [
+        ("TxOut", R.Segment.Builder.finish bout);
+        ("TxIn", R.Segment.Builder.finish bin);
+      ]
+  in
+  let spend_tx ~spend ~newid ~out_pk ~sig_ =
+    [
+      ( "TxIn",
+        [| V.Int spend; V.Int 0; pk spend; amt spend; V.Int newid; V.Int sig_ |]
+      );
+      ("TxOut", [| V.Int newid; V.Int 0; out_pk; amt newid |]);
+    ]
+  in
+  let pending_txs =
+    List.init p.pending (fun j ->
+        let spend = nin + j in
+        spend_tx ~spend ~newid:(nout + j)
+          ~out_pk:(if j = 0 then V.Str mark_pk else pk spend)
+          ~sig_:(1_000_000_000 + j))
+  in
+  let conflict_txs =
+    List.init p.conflicts (fun c ->
+        let spend = nin + c in
+        spend_tx ~spend
+          ~newid:(nout + p.pending + c)
+          ~out_pk:(pk spend)
+          ~sig_:(2_000_000_000 + c))
+  in
+  let labels =
+    List.init p.pending (Printf.sprintf "H%d")
+    @ List.init p.conflicts (Printf.sprintf "C%d")
+  in
+  Bccore.Bcdb.create_unchecked ~state
+    ~constraints:C.Encode.constraints
+    ~pending:(pending_txs @ conflict_txs)
+    ~labels ()
+
+(* Queries over the marked key. [query_hit] matches exactly in worlds
+   containing pending transaction 0 (whose output pays [mark_pk]), so
+   as a denial constraint it is unsatisfied — those worlds violate it;
+   probing the base segment for the mark is a dictionary miss, so the
+   per-world base probes show up in the ["segment.dict_miss"] counter.
+   [query_miss] asks for a key no transaction ever pays — it matches
+   nowhere, the denial constraint holds in every world. *)
+
+let var v = Q.Term.Var v
+let str s = Q.Term.Const (V.Str s)
+let boolean positive = Q.Query.boolean (Q.Cq.make_exn ~positive ())
+
+let query_hit () =
+  boolean
+    [
+      Q.Atom.make "TxIn"
+        [ var "p"; var "s"; var "k"; var "a"; var "n"; var "g" ];
+      Q.Atom.make "TxOut" [ var "n"; var "s2"; str mark_pk; var "a2" ];
+    ]
+
+let query_miss () =
+  boolean [ Q.Atom.make "TxOut" [ var "t"; var "s"; str "PK-none-such"; var "a" ] ]

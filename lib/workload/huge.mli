@@ -1,0 +1,38 @@
+(** Paper-scale base states (tens of millions of rows), generated
+    streaming into columnar segments — the row form never materializes
+    as a whole — over {!Chain.Encode}'s UTXO catalog. The layout
+    satisfies the constraints by construction, so generation skips the
+    [R |= I] validation pass ({!Bccore.Bcdb.create_unchecked}). *)
+
+type params = {
+  rows : int;  (** Total base rows (TxOut + TxIn), split 2:1. *)
+  users : int;  (** Distinct public keys — the dictionary size. *)
+  pending : int;  (** Pending spend transactions. *)
+  conflicts : int;
+      (** Double-spend transactions; conflict [c] is mutually exclusive
+          with pending transaction [c]. Must not exceed [pending]. *)
+}
+
+val default : params
+(** 10M base rows, 5000 keys, 6 pending + 3 conflicts. *)
+
+val smoke : params
+(** 150k rows — same shape, CI-sized. *)
+
+val name : params -> string
+
+val mark_pk : string
+(** The public key paid only by pending transaction 0. *)
+
+val generate : params -> Bccore.Bcdb.t
+(** Raises [Invalid_argument] on degenerate parameters. *)
+
+val query_hit : unit -> Bcquery.Query.t
+(** Boolean query matching exactly in worlds containing pending
+    transaction 0 (joins TxIn to the marked TxOut) — as a denial
+    constraint, unsatisfied. *)
+
+val query_miss : unit -> Bcquery.Query.t
+(** Boolean query matching in no world (a public key nobody pays), so
+    the denial constraint holds everywhere; every base probe for it is
+    a dictionary miss. *)

@@ -144,6 +144,77 @@ let test_save_load () =
   | Error msg -> Alcotest.fail msg);
   Sys.remove path
 
+let test_binary_save_load () =
+  let db = Fixtures.paper_db () in
+  let path = Filename.temp_file "bcdb" ".snap" in
+  (match Core.Bcdb_file.save_binary path db with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  (match Core.Bcdb_file.load_binary path with
+  | Ok db' ->
+      Alcotest.(check int) "pending restored" 5 (Core.Bcdb.pending_count db');
+      Alcotest.(check string) "labels restored" "T5"
+        db'.Core.Bcdb.pending.(4).Core.Pending.label;
+      Alcotest.(check string) "text render identical"
+        (Core.Bcdb_file.to_string db)
+        (Core.Bcdb_file.to_string db');
+      let store = Core.Tagged_store.create db' in
+      Alcotest.(check int) "nine worlds" 9 (Core.Poss.count store)
+  | Error msg -> Alcotest.fail msg);
+  Sys.remove path
+
+let test_binary_rejects_garbage () =
+  let reject label s =
+    match Core.Bcdb_file.of_binary_string s with
+    | Ok _ -> Alcotest.failf "%s: accepted" label
+    | Error _ -> ()
+  in
+  reject "empty" "";
+  reject "bad magic" "NOTASNAP";
+  let good = Core.Bcdb_file.to_binary_string (Fixtures.paper_db ()) in
+  reject "truncated" (String.sub good 0 (String.length good / 2));
+  reject "trailing bytes" (good ^ "x");
+  (* Flip a byte in the middle: must error, never crash. *)
+  let b = Bytes.of_string good in
+  Bytes.set b (Bytes.length b / 2) '\xff';
+  match Core.Bcdb_file.of_binary_string (Bytes.to_string b) with
+  | Ok _ | Error _ -> ()
+
+(* Floats print in their shortest exact form: awkward values (repeating
+   binary fractions, extremes, negative zero) must parse back to the
+   identical bits, and integer-valued floats must keep a decimal point
+   so reparsing cannot demote them to Int. *)
+let test_float_printing () =
+  let roundtrips f =
+    let s = V.to_string (V.Float f) in
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "%h prints as %s" f s)
+      f (float_of_string s)
+  in
+  List.iter roundtrips
+    [
+      0.1; -0.1; 1.0 /. 3.0; 0.2 +. 0.1; 1e15; 1.5e300; 4.9e-324;
+      Float.max_float; Float.min_float; -0.0; 1234567.25;
+    ];
+  List.iter
+    (fun f ->
+      let s = V.to_string (V.Float f) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%g keeps float syntax (%s)" f s)
+        true
+        (String.exists (fun c -> c = '.' || c = 'e') s))
+    [ 4.0; 0.0; -3.0; 1e15; 0.5 ]
+
+let float_shortest_roundtrip =
+  QCheck.Test.make ~name:"binary float encoding roundtrips" ~count:300
+    QCheck.float (fun f ->
+      let buf = Buffer.create 16 in
+      V.write_binary buf (V.Float f);
+      match V.read_binary (Buffer.contents buf) (ref 0) with
+      | Some (V.Float f') ->
+          Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float f')
+      | _ -> false)
+
 (* Fuzz: random databases (awkward values included: commas, quotes,
    floats, booleans) survive a print/parse round-trip with identical
    possible-world structure. *)
@@ -215,6 +286,11 @@ let () =
           Alcotest.test_case "errors" `Quick test_errors;
           Alcotest.test_case "values" `Quick test_values;
           Alcotest.test_case "save/load" `Quick test_save_load;
+          Alcotest.test_case "binary save/load" `Quick test_binary_save_load;
+          Alcotest.test_case "binary rejects garbage" `Quick
+            test_binary_rejects_garbage;
+          Alcotest.test_case "float printing" `Quick test_float_printing;
+          QCheck_alcotest.to_alcotest float_shortest_roundtrip;
           QCheck_alcotest.to_alcotest fuzz_roundtrip;
         ] );
     ]

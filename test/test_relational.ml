@@ -57,6 +57,11 @@ let test_tuple_project () =
   let p = R.Tuple.project t [ 2; 0 ] in
   Alcotest.check v "projected order" (V.Int 3) (R.Tuple.get p 0);
   Alcotest.check v "projected order" (V.Int 1) (R.Tuple.get p 1);
+  (* The identity projection returns the tuple itself, no copy. *)
+  Alcotest.(check bool) "identity projection is physical" true
+    (R.Tuple.project t [ 0; 1; 2 ] == t);
+  Alcotest.(check bool) "prefix projection still copies" false
+    (R.Tuple.project t [ 0; 1 ] == t);
   Alcotest.(check_raises) "out of range"
     (Invalid_argument "Tuple.project: position out of range") (fun () ->
       ignore (R.Tuple.project t [ 3 ]))
