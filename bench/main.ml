@@ -4,9 +4,9 @@
 
    Usage: main.exe [--smoke] [section ...] where a section is one of
    table1 fig6a fig6b fig6c fig6d fig6e fig6f fig6g fig6h datasize
-   parallel evalbench ablation bechamel. With no arguments, everything
-   runs; `--smoke` alone runs the fixed CI subset, `--smoke SECTION...`
-   runs the named sections scaled down. *)
+   parallel dense evalbench ablation bechamel. With no arguments,
+   everything runs; `--smoke` alone runs the fixed CI subset,
+   `--smoke SECTION...` runs the named sections scaled down. *)
 
 module Core = Bccore
 module W = Workload
@@ -152,7 +152,8 @@ let write_bench_json path =
                    \"worker_util\": %.6f, \"eval_full\": %d, \
                    \"eval_delta\": %d, \"eval_delta_tuples\": %d, \
                    \"eval_delta_ratio\": %.6f, \"base_bytes\": %d, \
-                   \"dict_hits\": %d}"
+                   \"dict_hits\": %d, \"bk_steals\": %d, \
+                   \"bk_subtrees\": %d, \"eval_native\": %d}"
                   figure m.E.label
                   (E.algo_name m.E.algo)
                   (variant_name m.E.variant)
@@ -164,7 +165,8 @@ let write_bench_json path =
                   m.E.stats.Core.Dcsat.precheck_decided m.E.obs_worlds
                   m.E.cache_hit_ratio m.E.worker_util m.E.eval_full
                   m.E.eval_delta m.E.eval_delta_tuples m.E.eval_delta_ratio
-                  m.E.base_bytes m.E.dict_hits));
+                  m.E.base_bytes m.E.dict_hits m.E.bk_steals m.E.bk_subtrees
+                  m.E.eval_native));
       Buffer.add_string buf "\n  ]\n}\n";
       let oc = open_out path in
       output_string oc (Buffer.contents buf);
@@ -187,8 +189,9 @@ let required_keys =
     "\"components\":"; "\"components_covered\":"; "\"precheck\":";
     "\"obs_worlds\":"; "\"cache_hit_ratio\":"; "\"worker_util\":";
     "\"eval_delta_ratio\":";
-    (* base_bytes/dict_hits are written but deliberately NOT required:
-       committed series predate them and must keep validating. *)
+    (* base_bytes/dict_hits/bk_steals/bk_subtrees/eval_native are
+       written but deliberately NOT required: committed series predate
+       them and must keep validating. *)
   ]
 
 let validate_bench_json path =
@@ -223,9 +226,9 @@ let validate_bench_json path =
 (* Fig 6a/6b: query types. *)
 
 let run_measure ?(figure = "adhoc") ?(x = 0.0) ?repeats ?warmup ?summary ?jobs
-    ?use_delta ~session ~label ~algo ~variant q =
+    ?use_delta ?use_native ?use_steal ~session ~label ~algo ~variant q =
   record ~figure ~x
-    (E.run ?repeats ?warmup ?summary ?jobs ?use_delta
+    (E.run ?repeats ?warmup ?summary ?jobs ?use_delta ?use_native ?use_steal
        ~obs_sinks:(obs_sinks ()) ~session ~label ~algo ~variant q)
 
 let query_types variant =
@@ -671,6 +674,138 @@ let parallel () =
   jobs_sweep ()
 
 (* ------------------------------------------------------------------ *)
+(* Dense-component worst case: one cocktail-party compatibility graph
+   K_{pairs x 2} whose 2^pairs maximal worlds all live in a single
+   component — the regime where the clique stream used to serialize
+   behind one enumerator. NaiveDCSat must grind through every world
+   (the query is true over R ∪ T but false in each world), so the jobs
+   sweep here measures the work-stealing backend end to end;
+   bk.steal / bk.subtree and worker_util are recorded per row.
+
+   OptDCSat dissolves this workload outright — its component split
+   yields one 2-clique component per pair, 2·pairs worlds instead of
+   2^pairs — so one Opt row is recorded as the contrast, not raced.
+
+   Gates: jobs=2 must not be slower than jobs=1, and jobs=4 must be
+   >= 2x faster, but only on hosts with enough cores to make the bound
+   physically meaningful (a single-core host cannot exhibit parallel
+   speedup, only scheduler interleaving); on such hosts the sweep is
+   recorded and the gate logged as vacuous. The closure-compiled
+   evaluation gate (native <= interpreted at jobs=1) is single-threaded
+   and enforced on every full run. *)
+
+let dense_pairs () = if !smoke_flag then 12 else 20
+let dense_native_pairs () = if !smoke_flag then 10 else 16
+
+let dense_session pairs = E.session_of (W.Dense.db ~pairs)
+
+let dense_measure ?(repeats = 1) ?use_native ~session ~figure ~x ~jobs
+    ~use_steal label =
+  run_measure ~figure ~x ~repeats ~summary:`Min ~jobs ~use_delta:false
+    ?use_native ~use_steal ~session ~label ~algo:E.Naive ~variant:Q.Satisfied
+    (W.Dense.query ())
+
+let dense () =
+  let pairs = dense_pairs () in
+  let worlds = W.Dense.worlds ~pairs in
+  let label = Printf.sprintf "dense-%dp" pairs in
+  let sess = dense_session pairs in
+  let check_exhaustive (m : E.measurement) =
+    if (not m.E.satisfied) || m.E.stats.Core.Dcsat.worlds_checked <> worlds
+    then
+      fail "dense/%s (jobs=%d): expected SATISFIED over %d worlds, got %s/%d"
+        label m.E.jobs worlds
+        (if m.E.satisfied then "SATISFIED" else "not-satisfied")
+        m.E.stats.Core.Dcsat.worlds_checked;
+    m
+  in
+  (* jobs=1 is the canonical sequential claim-lock producer; jobs>1
+     runs the work-stealing enumeration. *)
+  let measure jobs =
+    check_exhaustive
+      (dense_measure ~session:sess ~figure:"dense-jobs" ~x:(float_of_int jobs)
+         ~jobs ~use_steal:(jobs > 1) label)
+  in
+  let m1 = measure 1 in
+  let m2 = measure 2 in
+  let m4 = measure 4 in
+  let cores = Domain.recommended_domain_count () in
+  if !smoke_flag then begin
+    if m4.E.bk_subtrees = 0 then
+      fail "dense/%s: stealing run claimed no root subtrees" label
+  end
+  else if cores < 2 then
+    Printf.printf
+      "[dense] single-core host (%d): jobs gates vacuous (jobs=1 %s, jobs=2 \
+       %s, jobs=4 %s)\n\
+       %!"
+      cores (E.ms m1.E.seconds) (E.ms m2.E.seconds) (E.ms m4.E.seconds)
+  else begin
+    if m2.E.seconds > m1.E.seconds then
+      fail "dense/%s: jobs=2 slower than jobs=1 (%.4fs vs %.4fs)" label
+        m2.E.seconds m1.E.seconds;
+    if cores >= 4 && m4.E.seconds > m1.E.seconds /. 2.0 then
+      fail "dense/%s: jobs=4 not >=2x faster than jobs=1 (%.4fs vs %.4fs)"
+        label m4.E.seconds m1.E.seconds
+  end;
+  (* Closure-compiled vs interpreted evaluation, solver end to end on a
+     smaller instance of the same shape (single-threaded, so the bound
+     holds on any host). *)
+  let npairs = dense_native_pairs () in
+  let nworlds = W.Dense.worlds ~pairs:npairs in
+  let nlabel = Printf.sprintf "dense-%dp" npairs in
+  let nsess = dense_session npairs in
+  let nmeasure use_native x =
+    dense_measure ~repeats:3 ~use_native ~session:nsess ~figure:"dense-native"
+      ~x ~jobs:1 ~use_steal:false nlabel
+  in
+  let interp = nmeasure false 0.0 in
+  let native = nmeasure true 1.0 in
+  if native.E.eval_native = 0 then
+    fail "dense/%s: native run took the closure-compiled path 0 times" nlabel;
+  if (not !smoke_flag) && native.E.seconds > interp.E.seconds then
+    fail "dense/%s: closure-compiled eval slower than interpreted (%.4fs vs \
+          %.4fs)"
+      nlabel native.E.seconds interp.E.seconds;
+  (* The Opt contrast: component decomposition collapses the instance. *)
+  let opt =
+    run_measure ~figure:"dense" ~x:(float_of_int worlds) ~repeats:1
+      ~summary:`Min ~use_delta:false ~session:sess ~label ~algo:E.Opt
+      ~variant:Q.Satisfied (W.Dense.query ())
+  in
+  E.print_table
+    ~title:
+      (Printf.sprintf
+         "Dense component (K_{%dx2}, %d maximal worlds, NaiveDCSat, \
+          use_delta off)"
+         pairs worlds)
+    ~columns:
+      [ "run"; "jobs"; "seconds"; "worlds"; "steals"; "subtrees"; "util" ]
+    ~rows:
+      (List.map
+         (fun (name, (m : E.measurement)) ->
+           [
+             name;
+             string_of_int m.E.jobs;
+             E.ms m.E.seconds;
+             string_of_int m.E.stats.Core.Dcsat.worlds_checked;
+             string_of_int m.E.bk_steals;
+             string_of_int m.E.bk_subtrees;
+             Printf.sprintf "%.2f" m.E.worker_util;
+           ])
+         [
+           ("claim-lock", m1);
+           ("steal", m2);
+           ("steal", m4);
+           (nlabel ^ "-interp", interp);
+           (nlabel ^ "-native", native);
+           ("opt-contrast", opt);
+         ]);
+  if nworlds <> native.E.stats.Core.Dcsat.worlds_checked then
+    fail "dense/%s: native run visited %d worlds, expected %d" nlabel
+      native.E.stats.Core.Dcsat.worlds_checked nworlds
+
+(* ------------------------------------------------------------------ *)
 (* Eval layer micro-benchmark (`make bench-eval`): the incremental
    evaluation layer (Inc_eval — per-store world caches, replay,
    delta-seeded search) against the full-evaluation baseline on the
@@ -723,7 +858,82 @@ let evalbench () =
       "Eval layer: full re-evaluation vs incremental (warm, min of 5 runs)"
     ~columns:
       [ "workload"; "algo"; "full"; "incremental"; "speedup"; "delta/evals" ]
-    ~rows
+    ~rows;
+  (* Closure-compiled plan vs the interpreter on the plan itself: a
+     micro-loop over the warm store's current world (R ∪ T), outside
+     the solver, isolating the two evaluation tiers on qp3-style
+     plans. Per-eval time is the min over batches; the compiled
+     closure must not lose to the interpreted backtracking join. The
+     recorded rows derive from a template solver measurement so every
+     schema key is present; their [seconds] is the time of one
+     [per]-eval batch — per-eval times are sub-microsecond and would
+     vanish in the JSON's %.6f seconds field. *)
+  let src = Core.Tagged_store.source (Core.Session.store sess) in
+  let batches = 5 and per = 2000 in
+  let batch_min run =
+    run ();
+    let ts =
+      List.init batches (fun _ ->
+          let t0 = Core.Monotime.now () in
+          run ();
+          Core.Monotime.elapsed ~since:t0)
+    in
+    List.fold_left min infinity ts
+  in
+  let micro_rows =
+    List.map
+      (fun (name, variant) ->
+        let q = Q.instantiate s (Q.Qp 3) variant in
+        let compiled = Bcquery.Eval.compile (Bcquery.Eval.body_of q) in
+        match Bcquery.Eval.compile_native compiled with
+        | None ->
+            fail "evalbench/%s: qp3 plan fell out of the closure tier" name;
+            [ name; "n/a"; "n/a"; "n/a" ]
+        | Some native ->
+            let interp_b =
+              batch_min (fun () ->
+                  for _ = 1 to per do
+                    ignore (Bcquery.Eval.eval_boolean_compiled src compiled)
+                  done)
+            in
+            let native_b =
+              batch_min (fun () ->
+                  for _ = 1 to per do
+                    ignore (Bcquery.Eval.native_exists native src)
+                  done)
+            in
+            let interp_s = interp_b /. float_of_int per
+            and native_s = native_b /. float_of_int per in
+            if native_s > interp_s then
+              fail
+                "evalbench/%s: closure-compiled eval slower than interpreted \
+                 (%.2fus vs %.2fus per eval)"
+                name (native_s *. 1e6) (interp_s *. 1e6);
+            let template =
+              E.run ~repeats:1 ~obs_sinks:(obs_sinks ()) ~session:sess
+                ~label:name ~algo:E.Naive ~variant q
+            in
+            let x_of = function Q.Satisfied -> 1.0 | Q.Unsatisfied -> 2.0 in
+            ignore
+              (record ~figure:"evalbench-native" ~x:(x_of variant)
+                 { template with E.label = name ^ "-interp"; seconds = interp_b });
+            ignore
+              (record ~figure:"evalbench-native" ~x:(x_of variant)
+                 { template with E.label = name ^ "-native"; seconds = native_b });
+            [
+              name;
+              Printf.sprintf "%.2f us" (interp_s *. 1e6);
+              Printf.sprintf "%.2f us" (native_s *. 1e6);
+              Printf.sprintf "%.2fx" (interp_s /. Float.max 1e-9 native_s);
+            ])
+      [ ("qp3-sat", Q.Satisfied); ("qp3-unsat", Q.Unsatisfied) ]
+  in
+  E.print_table
+    ~title:
+      "Eval tiers: interpreted join vs closure-compiled plan (per eval, R+T \
+       world)"
+    ~columns:[ "plan"; "interpreted"; "native"; "speedup" ]
+    ~rows:micro_rows
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: the design choices DESIGN.md calls out, each toggled
@@ -954,6 +1164,26 @@ let smoke () =
   in
   if warm.E.eval_delta = 0 then
     fail "smoke: warm re-solve recorded no eval.delta (incremental layer inert)";
+  (* Dense steal + closure-compiled smoke: the work-stealing clique
+     backend and the native evaluation tier must both actually engage
+     at CI scale — an inert fast path would otherwise pass silently. *)
+  let dpairs = 12 in
+  let dm =
+    dense_measure
+      ~session:(dense_session dpairs)
+      ~figure:"dense-jobs" ~x:2.0 ~jobs:2 ~use_steal:true
+      (Printf.sprintf "dense-%dp" dpairs)
+  in
+  if dm.E.eval_native = 0 then
+    fail "smoke: closure-compiled path never taken (eval.compiled_native = 0)";
+  if dm.E.bk_subtrees = 0 then
+    fail "smoke: stealing backend claimed no root subtrees (bk.subtree = 0)";
+  if
+    (not dm.E.satisfied)
+    || dm.E.stats.Core.Dcsat.worlds_checked <> W.Dense.worlds ~pairs:dpairs
+  then
+    fail "smoke: dense component not exhaustively enumerated (%d worlds)"
+      dm.E.stats.Core.Dcsat.worlds_checked;
   Printf.printf "[smoke] ran %d measurements\n%!" (List.length !recorded)
 
 let sections =
@@ -969,6 +1199,7 @@ let sections =
     ("fig6h", fig6h);
     ("datasize", datasize);
     ("parallel", parallel);
+    ("dense", dense);
     ("evalbench", evalbench);
     ("ablation", ablation);
     ("bechamel", bechamel);

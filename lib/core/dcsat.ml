@@ -114,15 +114,15 @@ let eval_txs_with ev obs store txs =
     Obs.span obs ~cat:"dcsat" "eval" (fun () -> Inc_eval.eval_world ev store txs)
   else Inc_eval.eval_world ev store txs
 
-let eval_txs_factory ~use_delta obs plan () =
-  let ev = Inc_eval.evaluator ~use_delta ~obs plan in
+let eval_txs_factory ~use_delta ~use_native obs plan () =
+  let ev = Inc_eval.evaluator ~use_delta ~use_native ~obs plan in
   fun store txs -> eval_txs_with ev obs store txs
 
 (* A clique work item: materialize its maximal world (memoized with the
    evaluator's world cache — the closure is world-independent), then
    evaluate. *)
-let eval_clique_factory ~use_delta obs plan () =
-  let ev = Inc_eval.evaluator ~use_delta ~obs plan in
+let eval_clique_factory ~use_delta ~use_native obs plan () =
+  let ev = Inc_eval.evaluator ~use_delta ~use_native ~obs plan in
   fun store members ->
     let world =
       if Obs.enabled obs then
@@ -132,17 +132,35 @@ let eval_clique_factory ~use_delta obs plan () =
     in
     eval_txs_with ev obs store (Bitset.to_list world)
 
+(* Work-stealing toggle. BCDB_BK_STEAL=0 forces the claim-lock clique
+   pipeline, =1 forces the work-stealing enumerator at any jobs count
+   (the CI matrix crosses both with BCDB_TEST_JOBS); unset is Auto:
+   steal only when there are several workers to feed and the node set is
+   large enough that one sequential producer could become the
+   bottleneck. An explicit [?use_steal] argument beats the env var. *)
+let steal_env = lazy (Sys.getenv_opt "BCDB_BK_STEAL")
+let auto_steal_threshold = 32
+
+let steal_enabled ~use_steal ~jobs n =
+  match use_steal with
+  | Some b -> b
+  | None -> (
+      match Lazy.force steal_env with
+      | Some "0" -> false
+      | Some "1" -> true
+      | _ -> jobs > 1 && n >= auto_steal_threshold)
+
 (* The monotone pre-check: q false over R ∪ T implies satisfied. The
    previously active world is restored afterwards. The full-visibility
    world goes through the incremental evaluator too: on repeated solves
    of one constraint it is a pure replay. *)
-let precheck ~use_delta session plan =
+let precheck ~use_delta ~use_native session plan =
   let obs = Session.obs session in
   Obs.span obs ~cat:"dcsat" "precheck" @@ fun () ->
   let store = Session.store session in
   let saved = Tagged_store.world store in
   Tagged_store.all_visible store;
-  let ev = Inc_eval.evaluator ~use_delta ~obs plan in
+  let ev = Inc_eval.evaluator ~use_delta ~use_native ~obs plan in
   let decided = not (Inc_eval.eval_bool ev store) in
   Tagged_store.set_world store saved;
   decided
@@ -155,7 +173,9 @@ let run_worlds ~jobs ~budget ~on_event ~count_cliques session counters ~eval
   let store = Session.store session in
   let obs = Session.obs session in
   let report =
-    Engine.run ~obs ~budget ~jobs ~store
+    Engine.run ~obs ~budget
+      ~counted:(counters.cliques, counters.worlds)
+      ~jobs ~store
       ~replicate:(fun () -> Session.borrow_replica session)
       ~release:(Session.return_replica session)
       ~restrict:(Tagged_store.restrict store)
@@ -174,6 +194,40 @@ let run_worlds ~jobs ~budget ~on_event ~count_cliques session counters ~eval
      counters are deterministic across backends and job counts. *)
   if Obs.enabled obs then begin
     if count_cliques then Obs.add obs "dcsat.cliques" report.Engine.pulled;
+    Obs.add obs "dcsat.worlds" report.Engine.evaluated
+  end;
+  ( Option.map
+      (fun (v : Engine.violation) -> (v.Engine.world, v.witness))
+      report.Engine.hit,
+    report.Engine.exhausted )
+
+(* Work-stealing counterpart of {!run_worlds} over {!clique_source}:
+   the cliques of the fd graph restricted to [nodes] are enumerated by
+   the engine's steal backend itself (no single producer), evaluated on
+   [scope] views or full replicas, and the report is folded into the
+   run's counters the same way. *)
+let run_steal ~jobs ~budget ~on_event ?scope session counters ~eval nodes =
+  let store = Session.store session in
+  let obs = Session.obs session in
+  let fd = Session.fd_graph session in
+  let sub, back = Undirected.induced fd.Fd_graph.graph nodes in
+  let report =
+    Engine.run_cliques_steal ~obs ~budget
+      ~counted:(counters.cliques, counters.worlds)
+      ~jobs
+      ~replicate:(fun () -> Session.borrow_replica session)
+      ~release:(Session.return_replica session)
+      ~restrict:(Tagged_store.restrict store) ?scope ~graph:sub ~back ~eval
+      ~on_item:(fun members -> on_event (Clique_found members))
+      ~on_evaluated:(fun ev ->
+        on_event
+          (World_evaluated (ev.Engine.world, ev.Engine.violation <> None)))
+      ()
+  in
+  counters.cliques <- counters.cliques + report.Engine.pulled;
+  counters.worlds <- counters.worlds + report.Engine.evaluated;
+  if Obs.enabled obs then begin
+    Obs.add obs "dcsat.cliques" report.Engine.pulled;
     Obs.add obs "dcsat.worlds" report.Engine.evaluated
   end;
   ( Option.map
@@ -253,7 +307,7 @@ let component_source ~use_covers ~budget ~on_event session q components =
   (pull, covered)
 
 let brute_force ?(jobs = 1) ?(budget = Engine.Budget.unlimited)
-    ?(use_delta = true) session q =
+    ?(use_delta = true) ?(use_native = true) session q =
   let t0 = Monotime.now () in
   let store = Session.store session in
   let saved = Tagged_store.world store in
@@ -270,7 +324,7 @@ let brute_force ?(jobs = 1) ?(budget = Engine.Budget.unlimited)
   let violation, exhausted =
     run_worlds ~jobs ~budget ~on_event:ignore ~count_cliques:false session
       counters
-      ~eval:(eval_txs_factory ~use_delta (Session.obs session) plan)
+      ~eval:(eval_txs_factory ~use_delta ~use_native (Session.obs session) plan)
       source
   in
   finish ~t0 ~precheck:false counters (verdict_of ~violation ~exhausted)
@@ -280,12 +334,12 @@ let require_monotone q k =
   | Q.Monotone.Monotone -> k ()
   | Q.Monotone.Not_monotone reason -> Error (`Not_monotone reason)
 
-let base_world_check ~use_delta session counters plan =
+let base_world_check ~use_delta ~use_native session counters plan =
   let store = Session.store session in
   let obs = Session.obs session in
   counters.worlds <- counters.worlds + 1;
   if Obs.enabled obs then Obs.add obs "dcsat.worlds" 1;
-  let ev = eval_txs_factory ~use_delta obs plan () store [] in
+  let ev = eval_txs_factory ~use_delta ~use_native obs plan () store [] in
   Option.map
     (fun (v : Engine.violation) -> (v.Engine.world, v.witness))
     ev.Engine.violation
@@ -299,13 +353,14 @@ let with_world_restored session k =
   Fun.protect ~finally:(fun () -> Tagged_store.set_world store saved) k
 
 let naive ?(jobs = 1) ?(budget = Engine.Budget.unlimited) ?(use_precheck = true)
-    ?(use_delta = true) ?(on_event = ignore) session q =
+    ?(use_delta = true) ?(use_native = true) ?use_steal ?(on_event = ignore)
+    session q =
   require_monotone q @@ fun () ->
   with_world_restored session @@ fun () ->
   let t0 = Monotime.now () in
   let counters = fresh_counters () in
   let plan = Session.plan session q in
-  if use_precheck && precheck ~use_delta session plan then begin
+  if use_precheck && precheck ~use_delta ~use_native session plan then begin
     on_event Precheck_decided;
     Ok (finish ~t0 ~precheck:true counters Satisfied)
   end
@@ -313,18 +368,25 @@ let naive ?(jobs = 1) ?(budget = Engine.Budget.unlimited) ?(use_precheck = true)
     let store = Session.store session in
     let k = Tagged_store.tx_count store in
     let all = List.init k Fun.id in
+    let eval =
+      eval_clique_factory ~use_delta ~use_native (Session.obs session) plan
+    in
     let violation, exhausted =
-      if k = 0 then (base_world_check ~use_delta session counters plan, None)
+      if k = 0 then
+        (base_world_check ~use_delta ~use_native session counters plan, None)
+      else if steal_enabled ~use_steal ~jobs k then
+        run_steal ~jobs ~budget ~on_event session counters ~eval all
       else
         run_worlds ~jobs ~budget ~on_event ~count_cliques:true session counters
-          ~eval:(eval_clique_factory ~use_delta (Session.obs session) plan)
+          ~eval
           (clique_source ~budget session all)
     in
     Ok (finish ~t0 ~precheck:false counters (verdict_of ~violation ~exhausted))
   end
 
 let opt ?(jobs = 1) ?(budget = Engine.Budget.unlimited) ?(use_precheck = true)
-    ?(use_covers = true) ?(use_delta = true) ?(on_event = ignore) session q =
+    ?(use_covers = true) ?(use_delta = true) ?(use_native = true) ?use_steal
+    ?(on_event = ignore) session q =
   require_monotone q @@ fun () ->
   match q with
   | Q.Query.Aggregate _ -> Error `Not_connected
@@ -335,7 +397,7 @@ let opt ?(jobs = 1) ?(budget = Engine.Budget.unlimited) ?(use_precheck = true)
         let t0 = Monotime.now () in
         let counters = fresh_counters () in
         let plan = Session.plan session q in
-        if use_precheck && precheck ~use_delta session plan then begin
+        if use_precheck && precheck ~use_delta ~use_native session plan then begin
           on_event Precheck_decided;
           Ok (finish ~t0 ~precheck:true counters Satisfied)
         end
@@ -343,7 +405,8 @@ let opt ?(jobs = 1) ?(budget = Engine.Budget.unlimited) ?(use_precheck = true)
           let store = Session.store session in
           let k = Tagged_store.tx_count store in
           let violation, exhausted =
-            if k = 0 then (base_world_check ~use_delta session counters plan, None)
+            if k = 0 then
+              (base_world_check ~use_delta ~use_native session counters plan, None)
             else begin
               let obs = Session.obs session in
               let components =
@@ -359,18 +422,81 @@ let opt ?(jobs = 1) ?(budget = Engine.Budget.unlimited) ?(use_precheck = true)
               if Obs.enabled obs then
                 Obs.add obs "dcsat.components" (List.length components);
               on_event (Components_found (List.length components));
-              let source, covered =
-                component_source ~use_covers ~budget ~on_event session q
-                  components
+              let eval =
+                eval_clique_factory ~use_delta ~use_native
+                  (Session.obs session) plan
               in
-              let result =
-                run_worlds ~jobs ~budget ~on_event ~count_cliques:true session
-                  counters
-                  ~eval:(eval_clique_factory ~use_delta (Session.obs session) plan)
-                  source
+              (* Components are processed in order, but big ones leave
+                 the claim-lock pipeline for the work-stealing backend.
+                 Runs of consecutive small components are batched through
+                 one chained {!component_source} (per-component engine
+                 joins would tax the many-tiny-components workloads), big
+                 components each get a dedicated steal run; cumulative
+                 counts feed every run's budget checks via [~counted],
+                 so the budget sees one logical enumeration. *)
+              let steal_comp c =
+                steal_enabled ~use_steal ~jobs (List.length c)
               in
-              counters.covered <- covered ~pulled:counters.cliques;
-              result
+              let rec group = function
+                | [] -> []
+                | c :: rest when steal_comp c -> `Big c :: group rest
+                | rest ->
+                    let rec take acc = function
+                      | c :: tl when not (steal_comp c) -> take (c :: acc) tl
+                      | tl -> (List.rev acc, tl)
+                    in
+                    let small, tl = take [] rest in
+                    `Batch small :: group tl
+              in
+              let run_group = function
+                | `Batch comps ->
+                    let before = counters.cliques in
+                    let source, covered =
+                      component_source ~use_covers ~budget ~on_event session q
+                        comps
+                    in
+                    let result =
+                      run_worlds ~jobs ~budget ~on_event ~count_cliques:true
+                        session counters ~eval source
+                    in
+                    counters.covered <-
+                      counters.covered
+                      + covered ~pulled:(counters.cliques - before);
+                    result
+                | `Big comp ->
+                    let covers =
+                      (not use_covers)
+                      || Obs.span obs ~cat:"dcsat" "covers" (fun () ->
+                             Covers.covers store comp q)
+                    in
+                    if not covers then begin
+                      on_event (Component_skipped comp);
+                      (None, None)
+                    end
+                    else begin
+                      on_event (Component_entered comp);
+                      let before = counters.cliques in
+                      let result =
+                        run_steal ~jobs ~budget ~on_event ~scope:comp session
+                          counters ~eval comp
+                      in
+                      if counters.cliques > before then
+                        counters.covered <- counters.covered + 1;
+                      result
+                    end
+              in
+              let rec go = function
+                | [] -> (None, Engine.Budget.tripped budget)
+                | g :: rest -> (
+                    match Engine.Budget.tripped budget with
+                    | Some _ as ex -> (None, ex)
+                    | None -> (
+                        match run_group g with
+                        | (Some _, _) as hit -> hit
+                        | (None, Some _) as ex -> ex
+                        | None, None -> go rest))
+              in
+              go (group components)
             end
           in
           Ok

@@ -97,6 +97,7 @@ val brute_force :
   ?jobs:int ->
   ?budget:Engine.Budget.t ->
   ?use_delta:bool ->
+  ?use_native:bool ->
   Session.t ->
   Bcquery.Query.t ->
   outcome
@@ -107,6 +108,8 @@ val naive :
   ?budget:Engine.Budget.t ->
   ?use_precheck:bool ->
   ?use_delta:bool ->
+  ?use_native:bool ->
+  ?use_steal:bool ->
   ?on_event:(event -> unit) ->
   Session.t ->
   Bcquery.Query.t ->
@@ -120,7 +123,21 @@ val naive :
     [on_event] callbacks are serialized but their order is
     nondeterministic. [budget] (default {!Engine.Budget.unlimited})
     bounds the enumeration; the pre-check is never budgeted (it is a
-    single query evaluation). *)
+    single query evaluation).
+
+    [use_native] (default true) turns off the closure-compiled
+    evaluation tier ({!Bcquery.Eval.compile_native} via {!Inc_eval}) —
+    full evaluations then run the interpreted backtracking join;
+    answers, witnesses and counts are identical either way.
+
+    [use_steal] selects the work-stealing clique backend
+    ({!Engine.run_cliques_steal}): the enumeration itself is spread over
+    the workers instead of running behind the claim lock. Defaults to
+    the [BCDB_BK_STEAL] environment variable ([0] never, [1] always) or,
+    unset, to automatic (steal only when [jobs > 1] and the node set is
+    large). Verdicts, witnesses and — on violated or fully enumerated
+    runs — work counts are identical either way; only budget-tripped
+    counts may differ, as with the claim-lock parallel backend. *)
 
 val opt :
   ?jobs:int ->
@@ -128,12 +145,17 @@ val opt :
   ?use_precheck:bool ->
   ?use_covers:bool ->
   ?use_delta:bool ->
+  ?use_native:bool ->
+  ?use_steal:bool ->
   ?on_event:(event -> unit) ->
   Session.t ->
   Bcquery.Query.t ->
   (outcome, refusal) result
 (** [use_covers] (default true) disables the constant-coverage component
-    filter for ablation measurements. [jobs], [budget] and [use_delta]
-    as in {!naive}. *)
+    filter for ablation measurements. [jobs], [budget], [use_delta],
+    [use_native] and [use_steal] as in {!naive}; with stealing enabled, big components
+    each get a dedicated work-stealing run while runs of consecutive
+    small components stay batched through one chained claim-lock source,
+    all under cumulative budget accounting. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

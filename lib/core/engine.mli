@@ -138,6 +138,7 @@ val default_jobs : unit -> int
 val run :
   ?obs:Obs.t ->
   ?budget:Budget.t ->
+  ?counted:int * int ->
   jobs:int ->
   store:Tagged_store.t ->
   replicate:(unit -> Tagged_store.t) ->
@@ -172,7 +173,11 @@ val run :
 
     [budget] (default {!Budget.unlimited}) bounds the run; when it trips,
     no further items are claimed, in-flight items finish, and the report
-    carries [exhausted = Some reason].
+    carries [exhausted = Some reason]. [counted] (default [(0, 0)]) is a
+    [(pulled, evaluated)] base added to this run's own counts in every
+    budget check, so a caller that splits one logical enumeration over
+    several consecutive engine runs (OptDCSat's per-component batches)
+    keeps cumulative budget accounting.
 
     {b Exception safety.} If [eval] (or [replicate]/[restrict]) raises in
     any backend, the exception propagates to the caller: the parallel
@@ -180,3 +185,50 @@ val run :
     worker to finish, releases all borrowed replicas through [release],
     and re-raises with the original backtrace after the join — the
     helper-domain pool stays reusable for subsequent runs. *)
+
+val run_cliques_steal :
+  ?obs:Obs.t ->
+  ?budget:Budget.t ->
+  ?counted:int * int ->
+  jobs:int ->
+  replicate:(unit -> Tagged_store.t) ->
+  ?release:(Tagged_store.t -> unit) ->
+  ?restrict:(int list -> Tagged_store.t) ->
+  ?scope:int list ->
+  graph:Bcgraph.Undirected.t ->
+  back:int array ->
+  eval:(unit -> Tagged_store.t -> int list -> evaluation) ->
+  on_item:(int list -> unit) ->
+  on_evaluated:(evaluation -> unit) ->
+  unit ->
+  report
+(** Work-stealing clique backend: evaluate the maximal cliques of
+    [graph] (node ids mapped through [back], as from
+    {!Bcgraph.Undirected.induced}) with the enumeration itself spread
+    over [jobs] workers via {!Bcgraph.Bron_kerbosch.Par} — no single
+    producer behind a claim lock, so one giant dense component no
+    longer serializes the solve. [jobs <= 1] still runs the pool with
+    one worker (exactly the sequential DFS).
+
+    Every item shares [scope]: workers evaluate on a private [restrict]
+    view of that component, or on borrowed full replicas ([replicate] /
+    [release]) when [scope] or [restrict] is absent — the primary store
+    is never evaluated on and never mutated during the run.
+
+    {b Determinism.} Claimed cliques carry their canonical search-tree
+    path; the winning violation is the path-minimum one (= the first in
+    sequential enumeration order), later subtrees are pruned via
+    {!Bcgraph.Bron_kerbosch.Par.prune}, and on a violated run the
+    pulled/evaluated counts are recovered exactly by
+    {!Bcgraph.Bron_kerbosch.count_upto} — so verdict, witness and stats
+    all match the sequential backend's. Counts of a budget-tripped run
+    without a violation are whatever the workers reached, as with the
+    claim-lock backend. [budget] is enforced on each worker's claim
+    path ([counted] bases included) and its deadline hook interrupts
+    the pool between yields.
+
+    [obs] records the same spans as {!run} plus ["bk.steal"] /
+    ["bk.subtree"] counters (steal operations, root subtrees claimed).
+    Exception safety matches {!run}: the first failure is re-raised
+    after the join, borrowed replicas are released, the pool of parked
+    domains stays reusable. *)

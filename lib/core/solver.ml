@@ -22,17 +22,21 @@ let strategy_counter = function
   | Naive -> "solver.strategy.naive"
   | Brute_force -> "solver.strategy.brute_force"
 
-let solve ?jobs ?budget ?use_delta ?sum_args_nonnegative session q =
+let solve ?jobs ?budget ?use_delta ?use_native ?use_steal ?sum_args_nonnegative
+    session q =
   let obs = Session.obs session in
   let result =
     Obs.span obs ~cat:"solver" "solve" @@ fun () ->
     match Tractable.solve ?sum_args_nonnegative session q with
     | Some (outcome, case) -> Ok (outcome, Tractable case)
     | None -> (
-        match Dcsat.opt ?jobs ?budget ?use_delta session q with
+        match Dcsat.opt ?jobs ?budget ?use_delta ?use_native ?use_steal session q with
         | Ok outcome -> Ok (outcome, Opt)
         | Error `Not_connected -> (
-            match Dcsat.naive ?jobs ?budget ?use_delta session q with
+            match
+              Dcsat.naive ?jobs ?budget ?use_delta ?use_native ?use_steal
+                session q
+            with
             | Ok outcome -> Ok (outcome, Naive)
             | Error refusal ->
                 Error (Format.asprintf "%a" Dcsat.pp_refusal refusal))
@@ -45,7 +49,9 @@ let solve ?jobs ?budget ?use_delta ?sum_args_nonnegative session q =
                     exceed the exhaustive-enumeration limit (%d)"
                    (Tagged_store.tx_count store) brute_limit)
             else
-              Ok (Dcsat.brute_force ?jobs ?budget ?use_delta session q, Brute_force))
+              Ok
+                ( Dcsat.brute_force ?jobs ?budget ?use_delta ?use_native session q,
+                  Brute_force ))
   in
   (match result with
   | Ok (_, strategy) when Obs.enabled obs ->
@@ -53,8 +59,12 @@ let solve ?jobs ?budget ?use_delta ?sum_args_nonnegative session q =
   | _ -> ());
   result
 
-let solve_exn ?jobs ?budget ?use_delta ?sum_args_nonnegative session q =
-  match solve ?jobs ?budget ?use_delta ?sum_args_nonnegative session q with
+let solve_exn ?jobs ?budget ?use_delta ?use_native ?use_steal
+    ?sum_args_nonnegative session q =
+  match
+    solve ?jobs ?budget ?use_delta ?use_native ?use_steal ?sum_args_nonnegative
+      session q
+  with
   | Ok result -> result
   | Error msg -> invalid_arg ("Solver.solve: " ^ msg)
 

@@ -19,6 +19,8 @@ val solve :
   ?jobs:int ->
   ?budget:Engine.Budget.t ->
   ?use_delta:bool ->
+  ?use_native:bool ->
+  ?use_steal:bool ->
   ?sum_args_nonnegative:bool ->
   Session.t ->
   Bcquery.Query.t ->
@@ -32,12 +34,19 @@ val solve :
     store views (see {!Engine}). [budget] bounds those enumerating
     paths; an exhausted budget yields [verdict = Unknown] in the
     outcome. The tractable procedures are PTIME and always run inline,
-    unbudgeted — they terminate promptly by construction. *)
+    unbudgeted — they terminate promptly by construction. [use_steal]
+    selects the work-stealing clique backend for the enumerating paths
+    (see {!Dcsat.naive}); it defaults to the [BCDB_BK_STEAL] environment
+    variable, or to automatic when unset. [use_native] (default true)
+    toggles the closure-compiled evaluation tier on the same paths (see
+    {!Dcsat.naive}); answers are identical either way. *)
 
 val solve_exn :
   ?jobs:int ->
   ?budget:Engine.Budget.t ->
   ?use_delta:bool ->
+  ?use_native:bool ->
+  ?use_steal:bool ->
   ?sum_args_nonnegative:bool ->
   Session.t ->
   Bcquery.Query.t ->

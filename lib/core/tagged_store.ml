@@ -580,6 +580,53 @@ let lookup t name binds =
       in
       Seq.append pend base
 
+(* Early-exit fold over exactly the tuples (and order) of [lookup],
+   but driving the pending posting list and the base segment slice
+   directly — no [Seq.t] nodes on the hot path. This is the entry point
+   the closure-compiled evaluator's fused join loops run through. *)
+let fold_lookup t name binds f =
+  match binds with
+  | [] ->
+      let rec go s =
+        match s () with
+        | Seq.Nil -> true
+        | Seq.Cons (tu, rest) -> if f tu then go rest else false
+      in
+      go (scan t name)
+  | _ ->
+      let rs = rel_store t name in
+      let pend_p, residual = probe rs binds in
+      let pend_ok =
+        match pend_p with
+        | None -> true
+        | Some p ->
+            let rec go = function
+              | [] -> true
+              | i :: rest ->
+                  let e = rs.entries.(i) in
+                  if matches residual e.tuple then
+                    if f e.tuple then go rest else false
+                  else go rest
+            in
+            go (posting_visible t rs p)
+      in
+      pend_ok
+      &&
+      let sl = base_slice rs binds in
+      (if Obs.enabled t.obs then begin
+         let hits, misses = R.Segment.dict_hits sl in
+         if hits > 0 then Obs.add t.obs "segment.dict_hits" hits;
+         if misses > 0 then Obs.add t.obs "segment.dict_miss" misses
+       end);
+      let seg = rs.base.b_seg in
+      let rec go s =
+        match s () with
+        | Seq.Nil -> true
+        | Seq.Cons (row, rest) ->
+            if f (R.Segment.tuple seg row) then go rest else false
+      in
+      go (R.Segment.slice_rows seg sl)
+
 let mem t name tuple =
   let rs = rel_store t name in
   if R.Segment.mem rs.base.b_seg tuple then true
@@ -671,6 +718,7 @@ let source t =
     R.Source.catalog = R.Database.catalog t.db.Bcdb.state;
     scan = scan t;
     lookup = lookup t;
+    fold_lookup = fold_lookup t;
     mem = mem t;
     cardinality = cardinality t;
     selectivity = selectivity t;

@@ -100,6 +100,29 @@ let iter_diff f a b =
     if x <> 0 then iter_word f (w lsl 5) x
   done
 
+(* Argmax of [inter_cardinal rows.(u) target] over the members [u] of
+   [cand], allocation-free: the score of each candidate is a direct
+   word-loop popcount, and only a strictly better score displaces the
+   current best, so ties resolve to the smallest member — the
+   deterministic pivot rule the clique enumerator relies on. *)
+let max_inter ~rows cand target =
+  let nw = Array.length target.words in
+  let best = ref (-1) and best_score = ref (-1) in
+  iter
+    (fun u ->
+      let ru = rows.(u) in
+      if ru.n <> target.n then invalid_arg "Bitset.max_inter: capacity mismatch";
+      let score = ref 0 in
+      for i = 0 to nw - 1 do
+        score := !score + popcount (ru.words.(i) land target.words.(i))
+      done;
+      if !score > !best_score then begin
+        best := u;
+        best_score := !score
+      end)
+    cand;
+  (!best, !best_score)
+
 let fold f t acc =
   let acc = ref acc in
   iter (fun i -> acc := f i !acc) t;

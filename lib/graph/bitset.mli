@@ -28,6 +28,15 @@ val inter_cardinal : t -> t -> int
 (** [inter_cardinal a b] is [cardinal (inter a b)] without the
     intermediate allocation. *)
 
+val max_inter : rows:t array -> t -> t -> int * int
+(** [max_inter ~rows cand target] is [(u, score)] where [u] is the
+    member of [cand] maximizing [inter_cardinal rows.(u) target] and
+    [score] that maximum — the Tomita pivot score |P ∩ N(u)| when
+    [target] is P and [rows] the adjacency rows. Ties resolve to the
+    smallest member; [(-1, -1)] when [cand] is empty. Allocation-free:
+    equivalent to the naive loop over {!inter_cardinal} but without any
+    intermediate bitsets. *)
+
 val iter : (int -> unit) -> t -> unit
 
 val iter_diff : (int -> unit) -> t -> t -> unit

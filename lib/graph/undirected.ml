@@ -112,6 +112,91 @@ let induced g nodes =
     (sub, nodes)
   end
 
+(* Degeneracy order via the classic bucket-queue peel: repeatedly remove
+   a node of minimum degree in the remaining graph (smallest id on
+   ties). Each removal only decrements the degrees of its surviving
+   neighbours, so total cost is O(n + m). The resulting order bounds
+   every node's later-neighbour count by the degeneracy d, which is what
+   keeps the clique enumerator's outer level to n subtrees of candidate
+   width <= d. *)
+let degeneracy_order g =
+  let n = g.n in
+  let order = Array.make n 0 in
+  if n > 0 then begin
+    let deg = Array.init n (degree g) in
+    let removed = Array.make n false in
+    (* Lazy-deletion binary min-heap of (degree, node) packed as
+       [deg * n + node] — one int, so the min is the smallest live
+       degree with ties to the smallest node id, exactly the documented
+       rule. Stale entries (node removed, or its degree since lowered)
+       are skipped on pop. Each edge causes at most one decrement and
+       hence one extra push: O((n + m) log n) total. *)
+    let cap = n + edge_count g in
+    let heap = Array.make cap 0 in
+    let hsize = ref 0 in
+    let push key =
+      let i = ref !hsize in
+      incr hsize;
+      heap.(!i) <- key;
+      while
+        !i > 0
+        &&
+        let p = (!i - 1) / 2 in
+        heap.(p) > heap.(!i)
+        &&
+        let tmp = heap.(p) in
+        heap.(p) <- heap.(!i);
+        heap.(!i) <- tmp;
+        i := p;
+        true
+      do
+        ()
+      done
+    in
+    let pop () =
+      let top = heap.(0) in
+      decr hsize;
+      heap.(0) <- heap.(!hsize);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let s = ref !i in
+        if l < !hsize && heap.(l) < heap.(!s) then s := l;
+        if r < !hsize && heap.(r) < heap.(!s) then s := r;
+        if !s = !i then continue := false
+        else begin
+          let tmp = heap.(!s) in
+          heap.(!s) <- heap.(!i);
+          heap.(!i) <- tmp;
+          i := !s
+        end
+      done;
+      top
+    in
+    for v = 0 to n - 1 do
+      push ((deg.(v) * n) + v)
+    done;
+    for k = 0 to n - 1 do
+      let rec take () =
+        let key = pop () in
+        let v = key mod n and d = key / n in
+        if removed.(v) || deg.(v) <> d then take () else v
+      in
+      let v = take () in
+      removed.(v) <- true;
+      order.(k) <- v;
+      Bitset.iter
+        (fun u ->
+          if not removed.(u) then begin
+            deg.(u) <- deg.(u) - 1;
+            push ((deg.(u) * n) + u)
+          end)
+        g.rows.(v)
+    done
+  end;
+  order
+
 let pp ppf g =
   Format.fprintf ppf "@[<v>graph on %d nodes:" g.n;
   for i = 0 to g.n - 1 do

@@ -41,4 +41,12 @@ val induced : t -> int list -> t * int array
     renumbered [0..]; the returned array maps new indices back to the
     original node ids. *)
 
+val degeneracy_order : t -> int array
+(** A degeneracy ordering of the nodes: repeatedly remove a node of
+    minimum degree in the remaining graph (smallest id on ties — fully
+    deterministic). Every node has at most [d] neighbours *later* in the
+    order, where [d] is the graph's degeneracy, so rooting a clique
+    search at each node with only its later neighbours as candidates
+    yields [n] subtrees of width at most [d]. O(n + m). *)
+
 val pp : Format.formatter -> t -> unit

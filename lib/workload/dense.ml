@@ -1,0 +1,33 @@
+module Core = Bccore
+module R = Relational
+module V = R.Value
+
+let acct = R.Schema.relation "Acct" [ "id"; "val" ]
+let catalog = R.Schema.of_list [ acct ]
+let acct_row id v = ("Acct", R.Tuple.make [ V.Int id; V.Str v ])
+
+let worlds ~pairs = 1 lsl pairs
+
+let db ~pairs =
+  if pairs < 1 || pairs > 30 then invalid_arg "Dense.db: pairs out of range";
+  let state = R.Database.create catalog in
+  (* Transactions 2j and 2j+1 both claim key id = j with different
+     values, so exactly one of each pair fits in any possible world and
+     every other combination is compatible: the compatibility graph is
+     the cocktail-party graph K_{pairs x 2} with 2^pairs maximal
+     cliques, all of them one dense component. *)
+  let pending =
+    List.concat_map
+      (fun j -> [ [ acct_row j "a" ]; [ acct_row j "b" ] ])
+      (List.init pairs Fun.id)
+  in
+  Core.Bcdb.create_exn ~state
+    ~constraints:[ R.Constr.key acct [ "id" ] ]
+    ~pending ()
+
+let query () =
+  (* True over R ∪ T (both values of every pair visible), so the
+     pre-check cannot decide; false over every individual world (no id
+     carries both values at once), so the solver must visit all 2^pairs
+     maximal worlds to conclude SATISFIED. *)
+  Bcquery.Parser.parse_exn ~catalog {| q() :- Acct(x, "a"), Acct(x, "b"). |}

@@ -22,11 +22,14 @@ type measurement = {
   eval_delta_ratio : float;
   base_bytes : int;
   dict_hits : int;
+  bk_steals : int;
+  bk_subtrees : int;
+  eval_native : int;
 }
 
 let run ?(repeats = 3) ?(warmup = 0) ?(summary = `Mean) ?(jobs = 1)
-    ?(use_delta = true) ?timeout_s ?max_worlds ?(obs_sinks = []) ~session
-    ~label ~algo ~variant q =
+    ?(use_delta = true) ?use_native ?use_steal ?timeout_s ?max_worlds
+    ?(obs_sinks = []) ~session ~label ~algo ~variant q =
   let solve () =
     (* Budgets are single-run (the deadline is absolute): each solve gets
        a fresh one, so every repeat has the full allowance. *)
@@ -37,8 +40,12 @@ let run ?(repeats = 3) ?(warmup = 0) ?(summary = `Mean) ?(jobs = 1)
     in
     let result =
       match algo with
-      | Naive -> Core.Dcsat.naive ~jobs ~budget ~use_delta session q
-      | Opt -> Core.Dcsat.opt ~jobs ~budget ~use_delta session q
+      | Naive ->
+          Core.Dcsat.naive ~jobs ~budget ~use_delta ?use_native ?use_steal
+            session q
+      | Opt ->
+          Core.Dcsat.opt ~jobs ~budget ~use_delta ?use_native ?use_steal
+            session q
     in
     match result with
     | Ok outcome -> outcome
@@ -120,6 +127,9 @@ let run ?(repeats = 3) ?(warmup = 0) ?(summary = `Mean) ?(jobs = 1)
     eval_delta_ratio;
     base_bytes = Core.Tagged_store.base_bytes (Core.Session.store session);
     dict_hits = Core.Obs.counter obs "segment.dict_hits";
+    bk_steals = Core.Obs.counter obs "bk.steal";
+    bk_subtrees = Core.Obs.counter obs "bk.subtree";
+    eval_native = Core.Obs.counter obs "eval.compiled_native";
   }
 
 let session_of db =

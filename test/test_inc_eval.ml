@@ -198,6 +198,114 @@ let algo_differential =
       && agree (fun ~use_delta s ->
              Core.Dcsat.opt ~use_precheck:false ~use_delta ~jobs:par_jobs s q))
 
+(* --- Closure-compiled tier: native = interpreted ------------------- *)
+
+(* Raw evaluator level: on a plain database source, the closure chain
+   must agree with the backtracking interpreter on existence AND on the
+   full match bag (as a multiset of assignments — join orders differ).
+   Every query in the pool is negation-free and safe, so all of them
+   must actually compile to the native tier. *)
+let native_matches_interpreted =
+  QCheck.Test.make
+    ~name:"compile_native: closure chain = interpreter (exists + bag)"
+    ~count:150
+    QCheck.(pair (int_bound 100_000) (int_bound (List.length queries - 1)))
+    (fun (seed, qi) ->
+      let rng = Random.State.make [| seed |] in
+      let state = R.Database.create cat in
+      R.Database.insert_all state
+        [ node_row 0 "red"; node_row 1 "green"; edge_row 0 1 ];
+      for _ = 1 to 3 + Random.State.int rng 12 do
+        R.Database.insert_all state
+          [
+            (if Random.State.bool rng then
+               node_row (Random.State.int rng 7)
+                 colours.(Random.State.int rng 3)
+             else edge_row (Random.State.int rng 7) (Random.State.int rng 7));
+          ]
+      done;
+      let src = R.Database.source state in
+      let body = Q.Eval.body_of (parse qi) in
+      let c = Q.Eval.compile body in
+      match Q.Eval.compile_native c with
+      | None -> false (* the whole pool is inside the tier *)
+      | Some nat ->
+          let interp = ref [] in
+          Q.Eval.iter_matches_compiled src c (fun values _ ->
+              interp := Array.copy values :: !interp;
+              `Continue);
+          let native = ref [] in
+          Q.Eval.native_iter nat src (fun values ->
+              native := Array.copy values :: !native);
+          Q.Eval.native_exists nat src = (!interp <> [])
+          && List.sort compare !native = List.sort compare !interp)
+
+(* Inc_eval level: cross use_native × use_delta over world sequences
+   with revisits, so the native tier is exercised both as the full
+   evaluator and as the fallback the delta/replay paths rest on. All
+   four evaluators must return identical entries everywhere. *)
+let native_world_differential =
+  QCheck.Test.make
+    ~name:"eval_world: native x delta cross-agreement over world sequences"
+    ~count:100
+    QCheck.(pair (int_bound 100_000) (int_bound (List.length queries - 1)))
+    (fun (seed, qi) ->
+      let rng = Random.State.make [| seed |] in
+      let db = random_db rng in
+      let session = Core.Session.create db in
+      let store = Core.Session.store session in
+      let n = Core.Tagged_store.tx_count store in
+      let plan = Core.Session.plan session (parse qi) in
+      let evs =
+        List.map
+          (fun (d, nt) -> Core.Inc_eval.evaluator ~use_delta:d ~use_native:nt plan)
+          [ (true, true); (true, false); (false, true); (false, false) ]
+      in
+      let pool =
+        Array.init 5 (fun _ ->
+            List.filter (fun _ -> Random.State.bool rng) (List.init n Fun.id))
+      in
+      let steps =
+        List.init 20 (fun _ -> pool.(Random.State.int rng (Array.length pool)))
+      in
+      List.for_all
+        (fun world ->
+          match
+            List.map (fun ev -> Core.Inc_eval.eval_world ev store world) evs
+          with
+          | a :: rest -> List.for_all (fun b -> a = b) rest
+          | [] -> assert false)
+        steps)
+
+(* Solver level: with the pre-check off (forcing the enumeration), the
+   native tier must not change verdicts, witness worlds, or witnesses. *)
+let native_solver_differential =
+  QCheck.Test.make
+    ~name:"naive/opt: use_native on = off with pre-check disabled" ~count:60
+    QCheck.(pair (int_bound 100_000) (int_bound (List.length queries - 1)))
+    (fun (seed, qi) ->
+      let rng = Random.State.make [| seed |] in
+      let db = random_db rng in
+      let q = parse qi in
+      let outcome_eq (a : Core.Dcsat.outcome) (b : Core.Dcsat.outcome) =
+        a.Core.Dcsat.satisfied = b.Core.Dcsat.satisfied
+        && a.Core.Dcsat.witness_world = b.Core.Dcsat.witness_world
+        && a.Core.Dcsat.witness = b.Core.Dcsat.witness
+      in
+      let agree run =
+        let fresh () = Core.Session.create db in
+        match
+          (run ~use_native:false (fresh ()), run ~use_native:true (fresh ()))
+        with
+        | Ok a, Ok b -> outcome_eq a b
+        | Error _, Error _ -> true
+        | _ -> false
+      in
+      agree (fun ~use_native s ->
+          Core.Dcsat.naive ~use_precheck:false ~use_native ~jobs:par_jobs s q)
+      && agree (fun ~use_native s ->
+             Core.Dcsat.opt ~use_precheck:false ~use_native ~jobs:par_jobs s q))
+
 let () =
   Alcotest.run "inc_eval"
     [
@@ -207,5 +315,11 @@ let () =
           QCheck_alcotest.to_alcotest maximal_world_memo;
           QCheck_alcotest.to_alcotest solver_differential;
           QCheck_alcotest.to_alcotest algo_differential;
+        ] );
+      ( "native",
+        [
+          QCheck_alcotest.to_alcotest native_matches_interpreted;
+          QCheck_alcotest.to_alcotest native_world_differential;
+          QCheck_alcotest.to_alcotest native_solver_differential;
         ] );
     ]
