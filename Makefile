@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check bench bench-smoke bench-data bench-eval clean
+.PHONY: all build test test-scenarios fmt check bench bench-smoke bench-data bench-eval clean
 
 all: build
 
@@ -7,6 +7,14 @@ build:
 
 test:
 	dune runtest
+
+# Scenario attack library: the differential verdict harness (honors
+# BCDB_TEST_JOBS / BCDB_BK_STEAL) plus the `bcdb scenario run`
+# exit-code contract.
+test-scenarios:
+	dune build test/test_scenario.exe bin/bcdb_cli.exe
+	dune exec test/test_scenario.exe
+	sh bin/scenario_contract.sh
 
 fmt:
 	dune build @fmt --auto-promote

@@ -4,7 +4,7 @@
 
    Usage: main.exe [--smoke] [section ...] where a section is one of
    table1 fig6a fig6b fig6c fig6d fig6e fig6f fig6g fig6h datasize
-   parallel dense evalbench ablation bechamel. With no arguments,
+   parallel dense evalbench ablation scenarios bechamel. With no arguments,
    everything runs; `--smoke` alone runs the fixed CI subset,
    `--smoke SECTION...` runs the named sections scaled down. *)
 
@@ -1130,6 +1130,123 @@ let bechamel () =
     ~rows
 
 (* ------------------------------------------------------------------ *)
+(* Scenario attack library (examples/scenarios): solve every named
+   instance, record solve times as a "scenarios" series, and check two
+   invariants per instance — the scripted expectation holds, and the
+   verdict survives a binary snapshot round-trip ({!Bccore.Bcdb_file}):
+   serialization must not change what the solver can prove about the
+   future. A fixed-seed round of the trace generator's differential
+   oracle rides along so the fuzz layer runs under bench-smoke too. *)
+
+module Sc = Scenario
+
+let scenario_verdict_class = function
+  | Core.Dcsat.Satisfied -> "satisfied"
+  | Core.Dcsat.Violated _ -> "violated"
+  | Core.Dcsat.Unknown _ -> "unknown"
+
+let scenario_snapshot_check (s : Sc.t) (solved : Sc.solved) =
+  let bin = Core.Bcdb_file.to_binary_string (Sc.Compile.db solved.Sc.compiled) in
+  match Core.Bcdb_file.of_binary_string ~validate:true bin with
+  | Error e -> fail "scenarios: %s: snapshot restore failed: %s" s.Sc.name e
+  | Ok restored -> (
+      let sess = Core.Session.create restored in
+      let budget =
+        match s.Sc.max_worlds with
+        | None -> Core.Engine.Budget.unlimited
+        | Some max_worlds -> Core.Engine.Budget.create ~max_worlds ()
+      in
+      match Core.Solver.solve ~budget sess solved.Sc.query with
+      | Error e ->
+          fail "scenarios: %s: post-snapshot solve refused: %s" s.Sc.name e
+      | Ok (outcome, _) ->
+          let before =
+            scenario_verdict_class solved.Sc.outcome.Core.Dcsat.verdict
+          in
+          let after = scenario_verdict_class outcome.Core.Dcsat.verdict in
+          if before <> after then
+            fail "scenarios: %s: verdict changed across snapshot (%s -> %s)"
+              s.Sc.name before after)
+
+let scenario_fuzz_seed = 42
+let scenario_fuzz_cases = 6
+
+let scenario_fuzz_round () =
+  let cell =
+    QCheck.Test.make_cell ~count:scenario_fuzz_cases
+      ~name:"bench trace differential" Sc.Trace_gen.arbitrary (fun script ->
+        match Sc.Trace_gen.differential script with
+        | Ok () -> true
+        | Error msg -> QCheck.Test.fail_report msg)
+  in
+  let rand = Random.State.make [| scenario_fuzz_seed |] in
+  match QCheck.TestResult.get_state (QCheck.Test.check_cell ~rand cell) with
+  | QCheck.TestResult.Success -> ()
+  | QCheck.TestResult.Failed { instances = c :: _ } ->
+      fail "scenarios: differential fuzz (seed %d) failed on:\n%s"
+        scenario_fuzz_seed
+        (Sc.Trace_gen.print c.QCheck.TestResult.instance)
+  | QCheck.TestResult.Failed { instances = [] } ->
+      fail "scenarios: differential fuzz (seed %d) failed without a witness"
+        scenario_fuzz_seed
+  | QCheck.TestResult.Failed_other { msg } ->
+      fail "scenarios: differential fuzz (seed %d): %s" scenario_fuzz_seed msg
+  | QCheck.TestResult.Error { exn; _ } ->
+      fail "scenarios: differential fuzz (seed %d) raised %s"
+        scenario_fuzz_seed (Printexc.to_string exn)
+
+let scenarios_section () =
+  let instances = Scenarios.Catalog.instances () in
+  let rows =
+    List.mapi
+      (fun i (s : Sc.t) ->
+        let x = float_of_int (i + 1) in
+        match Sc.compile s with
+        | Error e ->
+            fail "scenarios: %s: trace failed to run: %s" s.Sc.name e;
+            [ s.Sc.name; "trace error"; "-"; "-"; "-" ]
+        | Ok compiled -> (
+            match Sc.solve_compiled s compiled with
+            | Error e ->
+                fail "scenarios: %s: solve failed: %s" s.Sc.name e;
+                [ s.Sc.name; "solve error"; "-"; "-"; "-" ]
+            | Ok solved ->
+                (match solved.Sc.check with
+                | Ok () -> ()
+                | Error e ->
+                    fail "scenarios: %s: expectation: %s" s.Sc.name e);
+                scenario_snapshot_check s solved;
+                (* The timed series re-solves on a warm session; the
+                   variant slot records which side of the verdict the
+                   scenario scripts. *)
+                let variant =
+                  match s.Sc.expect with
+                  | Sc.Expect.Satisfied -> Q.Satisfied
+                  | Sc.Expect.Violated _ | Sc.Expect.Unknown -> Q.Unsatisfied
+                in
+                let m =
+                  record ~figure:"scenarios" ~x
+                    (E.run ~repeats:2 ~summary:`Min
+                       ?max_worlds:s.Sc.max_worlds ~obs_sinks:(obs_sinks ())
+                       ~session:(E.session_of (Sc.Compile.db compiled))
+                       ~label:s.Sc.name ~algo:E.Naive ~variant solved.Sc.query)
+                in
+                [
+                  s.Sc.name;
+                  scenario_verdict_class solved.Sc.outcome.Core.Dcsat.verdict;
+                  solved.Sc.strategy;
+                  E.ms m.E.seconds;
+                  (match solved.Sc.check with Ok () -> "ok" | Error _ -> "FAIL");
+                ]))
+      instances
+  in
+  E.print_table
+    ~title:"Scenario attack library (expected verdicts + snapshot round-trip)"
+    ~columns:[ "scenario"; "verdict"; "strategy"; "time"; "check" ]
+    ~rows;
+  scenario_fuzz_round ()
+
+(* ------------------------------------------------------------------ *)
 (* Smoke mode (--smoke): a minutes-scale subset that exercises the full
    record → JSON → validate pipeline. It writes to a scratch path (the
    committed BENCH_dcsat.json only comes from full runs) but
@@ -1184,6 +1301,10 @@ let smoke () =
   then
     fail "smoke: dense component not exhaustively enumerated (%d worlds)"
       dm.E.stats.Core.Dcsat.worlds_checked;
+  (* Scenario library: every named instance must meet its scripted
+     expectation and keep its verdict across a binary snapshot
+     round-trip; one fixed-seed differential fuzz round rides along. *)
+  scenarios_section ();
   Printf.printf "[smoke] ran %d measurements\n%!" (List.length !recorded)
 
 let sections =
@@ -1202,6 +1323,7 @@ let sections =
     ("dense", dense);
     ("evalbench", evalbench);
     ("ablation", ablation);
+    ("scenarios", scenarios_section);
     ("bechamel", bechamel);
   ]
 

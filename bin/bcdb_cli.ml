@@ -657,6 +657,135 @@ let validate_trace_cmd =
     Term.(const run $ trace_file)
 
 (* ------------------------------------------------------------------ *)
+(* scenario: the named protocol-trace catalog. *)
+
+let expect_conv =
+  let parse = function
+    | "satisfied" -> Ok Scenario.Expect.Satisfied
+    | "violated" ->
+        Ok (Scenario.Expect.Violated { class_ = "cli-override"; involves = [] })
+    | "unknown" -> Ok Scenario.Expect.Unknown
+    | s ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown verdict %S (satisfied|violated|unknown)" s))
+  in
+  let print ppf e = Format.pp_print_string ppf (Scenario.Expect.name e) in
+  Arg.conv (parse, print)
+
+let scenario_engine_conv =
+  let parse = function
+    | "auto" -> Ok Scenario.Auto
+    | "naive" -> Ok Scenario.Naive
+    | "opt" -> Ok Scenario.Opt
+    | "brute" -> Ok Scenario.Brute
+    | s ->
+        Error
+          (`Msg (Printf.sprintf "unknown engine %S (auto|naive|opt|brute)" s))
+  in
+  let print ppf e = Format.pp_print_string ppf (Scenario.engine_name e) in
+  Arg.conv (parse, print)
+
+let scenario_list_cmd =
+  let run () =
+    List.iter
+      (fun (s : Scenario.t) ->
+        Printf.printf "%-45s %-22s %s\n" s.Scenario.name
+          (Scenario.Expect.name s.Scenario.expect)
+          s.Scenario.description)
+      (Scenarios.Catalog.instances ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "list"
+       ~doc:
+         "List every named scenario instance (base traces and their tweak \
+          variants) with its expected verdict.")
+    Term.(const run $ const ())
+
+let scenario_run_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:"Scenario instance name, as printed by `bcdb scenario list'.")
+  in
+  let engine_arg =
+    Arg.(
+      value
+      & opt scenario_engine_conv Scenario.Auto
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"Solver to run: auto (default), naive, opt or brute.")
+  in
+  let expect_arg =
+    Arg.(
+      value
+      & opt (some expect_conv) None
+      & info [ "expect" ] ~docv:"VERDICT"
+          ~doc:
+            "Override the scripted expectation (satisfied|violated|unknown); \
+             the exit code reports the comparison against $(docv) instead.")
+  in
+  let run name engine jobs timeout max_worlds expect =
+    match Scenarios.Catalog.find name with
+    | None ->
+        Printf.eprintf "error: unknown scenario %S (try `bcdb scenario list')\n"
+          name;
+        1
+    | Some s -> (
+        let s =
+          match expect with
+          | None -> s
+          | Some e -> { s with Scenario.expect = e }
+        in
+        match
+          Scenario.solve ~engine ~jobs ?timeout_s:timeout ?max_worlds s
+        with
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1
+        | Ok solved -> (
+            Format.printf "scenario: %s@." s.Scenario.name;
+            Format.printf "  %s@." s.Scenario.description;
+            report (Scenario.Compile.db solved.Scenario.compiled)
+              solved.Scenario.outcome solved.Scenario.strategy;
+            match solved.Scenario.outcome.Core.Dcsat.verdict with
+            | Core.Dcsat.Unknown _ ->
+                Format.printf "expectation: undecided (expected %s)@."
+                  (Scenario.Expect.name s.Scenario.expect);
+                3
+            | _ -> (
+                match solved.Scenario.check with
+                | Ok () ->
+                    Format.printf "expectation: match (%s)@."
+                      (Scenario.Expect.name s.Scenario.expect);
+                    0
+                | Error msg ->
+                    Format.printf "expectation: MISMATCH - %s@." msg;
+                    1)))
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Replay a named scenario trace, compile it to an (R, I, T) instance, \
+          solve the scripted denial constraint and compare against the \
+          expected verdict. Exit 0 when the verdict matches, 1 on a \
+          mismatch, 3 when the solve exhausted its budget (UNKNOWN).")
+    Term.(
+      const run $ name_arg $ engine_arg $ jobs $ timeout_arg $ max_worlds_arg
+      $ expect_arg)
+
+let scenario_cmd =
+  Cmd.group
+    (Cmd.info "scenario"
+       ~doc:
+         "Scripted multi-party protocol traces (escrow, auction, \
+          crowdfunding, atomic swap, multisig treasury) compiled to DCSat \
+          instances with known verdicts.")
+    [ scenario_list_cmd; scenario_run_cmd ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let info =
@@ -676,4 +805,5 @@ let () =
             dump_cmd;
             snapshot_cmd;
             validate_trace_cmd;
+            scenario_cmd;
           ]))

@@ -1,0 +1,99 @@
+(** Auction outbid race. Three bidders send pending bids to the host;
+    the denial constraint caps what the host can ever collect at the
+    budget the auction announced. The honest book stays under the cap in
+    its single world. The race variant has a bidder replace their bid
+    with their whole coin behind a partition — a maximal world now blows
+    the cap. The churn variant only bumps fees (payments unchanged, so
+    every world is honest) but doubles the world count three times over;
+    with a two-world budget the solver must answer [Unknown]. *)
+
+open Scenario
+
+let bid ~label ~from_ ~amount =
+  Trace.pay ~label ~tag:label ~from_ ~to_:(Step.To_party "host") ~amount
+    ~fee:500 ()
+
+let base_trace =
+  Trace.make ~peers:2 ~observe:0
+    ~funding:
+      [
+        Trace.Fund_party ("bidder1", 60_000);
+        Trace.Fund_party ("bidder2", 60_000);
+        Trace.Fund_party ("bidder3", 60_000);
+      ]
+    [
+      bid ~label:"bid1" ~from_:"bidder1" ~amount:20_000;
+      bid ~label:"bid2" ~from_:"bidder2" ~amount:15_000;
+      bid ~label:"bid3" ~from_:"bidder3" ~amount:10_000;
+    ]
+
+let cap = 50_000
+
+let property compiled =
+  Compile.parse_property compiled
+    (Printf.sprintf {|q(sum(a)) :- TxOut(n, s, "%s", a) | > %d.|}
+       (Compile.pk compiled "host")
+       cap)
+
+let bump ~tag ~of_ ~by =
+  Trace.attempted (Trace.bump ~at:1 ~tag ~of_ ~by ~add_fee:300 ())
+
+let family =
+  {
+    base =
+      {
+        name = "auction-outbid-race";
+        description =
+          "three pending bids totalling 45k against a 50k collection cap";
+        trace = base_trace;
+        property;
+        expect = Expect.Satisfied;
+        max_worlds = None;
+      };
+    variants =
+      [
+        variant ~name:"all-in-race"
+          ~description:
+            "behind a partition bidder1 replaces the 20k bid with their \
+             entire coin; the world holding the replacement collects 84k"
+          ~expect:
+            (Expect.Violated
+               { class_ = "over-cap-collection"; involves = [ "allin" ] })
+          [
+            Tweak.append [ Trace.partition [ 1 ] ];
+            Tweak.append
+              [
+                Trace.attempted
+                  (Trace.double_spend ~at:1 ~tag:"allin" ~of_:"bid1"
+                     ~by:"bidder1" ~to_:(Step.To_party "host") ~fee:800 ());
+              ];
+          ];
+        variant ~name:"underbid-rejected"
+          ~description:
+            "a conflicting rebid that does not clear the replace-by-fee \
+             bump bounces off the mempool and changes nothing"
+          ~expect:Expect.Satisfied
+          [
+            Tweak.append
+              [
+                Trace.rejected
+                  (Trace.double_spend ~tag:"relow" ~of_:"bid1" ~by:"bidder1"
+                     ~to_:(Step.To_party "host") ~fee:505 ());
+              ];
+          ];
+        variant ~max_worlds:2 ~name:"churn-starved"
+          ~description:
+            "every bidder fee-bumps behind the partition: eight maximal \
+             worlds, all honest — a two-world budget must say unknown"
+          ~expect:Expect.Unknown
+          [
+            Tweak.append [ Trace.partition [ 1 ] ];
+            Tweak.append
+              [
+                bump ~tag:"bump1" ~of_:"bid1" ~by:"bidder1";
+                bump ~tag:"bump2" ~of_:"bid2" ~by:"bidder2";
+                bump ~tag:"bump3" ~of_:"bid3" ~by:"bidder3";
+              ];
+          ];
+      ];
+  }

@@ -1,0 +1,20 @@
+(** The named scenario catalog: every family the CLI, the differential
+    test harness and the bench `scenarios` section consume. *)
+
+let all : Scenario.family list =
+  [
+    Escrow.family;
+    Auction.family;
+    Crowdfund.family;
+    Swap.family;
+    Treasury.family;
+  ]
+
+let instances () = List.concat_map Scenario.instances all
+
+let find name =
+  List.find_opt
+    (fun (s : Scenario.t) -> String.equal s.Scenario.name name)
+    (instances ())
+
+let names () = List.map (fun (s : Scenario.t) -> s.Scenario.name) (instances ())

@@ -1,0 +1,63 @@
+(** Crowdfunding refund deadline. A backer pledges to the founder; the
+    denial constraint says the pledged coin never moves except into the
+    pledge. In the honest trace the pledge confirms in the next block.
+    If miners sit on it past the campaign deadline (empty slots), the
+    backer can still replace it with a refund to themselves — violated.
+    Once confirmed, the same refund attempt cannot even be built. *)
+
+open Scenario
+
+let base_trace =
+  Trace.make ~peers:2 ~observe:0
+    ~funding:[ Trace.Fund_party ("backer", 80_000) ]
+    [
+      Trace.pay ~label:"pledge" ~tag:"pledge" ~from_:"backer"
+        ~to_:(Step.To_party "founder") ~amount:50_000 ~fee:600 ();
+      Trace.mine ~label:"confirm" ();
+    ]
+
+let property compiled =
+  Compile.parse_property compiled
+    (Printf.sprintf {|q() :- TxIn(p, s, "%s", a, n, g), n != "%s".|}
+       (Compile.pk compiled "backer")
+       (Compile.txid compiled "pledge"))
+
+let refund =
+  Trace.attempted
+    (Trace.cancel ~tag:"refund" ~of_:"pledge" ~by:"backer" ~fee:2_000 ())
+
+let family =
+  {
+    base =
+      {
+        name = "crowdfund-refund-deadline";
+        description =
+          "a 50k pledge that confirms immediately; the pledge is the only \
+           permitted move of the backer's coins";
+        trace = base_trace;
+        property;
+        expect = Expect.Satisfied;
+        max_worlds = None;
+      };
+    variants =
+      [
+        variant ~name:"deadline-refund"
+          ~description:
+            "miners mine empty slots past the deadline instead of \
+             confirming; the backer replaces the still-pending pledge \
+             with a refund"
+          ~expect:
+            (Expect.Violated
+               { class_ = "refund-after-deadline"; involves = [ "refund" ] })
+          [
+            Tweak.replace "confirm" (Trace.slots 3);
+            Tweak.append [ refund ];
+          ];
+        variant ~name:"confirmed-in-time"
+          ~description:
+            "the pledge confirmed before the deadline; the refund cannot \
+             even be constructed any more"
+          ~expect:Expect.Satisfied
+          [ Tweak.append [ Trace.slots 2 ]; Tweak.append [ refund ] ];
+      ];
+  }

@@ -1,0 +1,79 @@
+(** Escrow double-spend. The buyer deposits the purchase price with the
+    seller; the denial constraint says the deposited coin never flows
+    anywhere but into the deposit transaction. Honest trace: satisfied.
+    Attack variants divert the coin — behind a partition (classic
+    double-spend, both spends pending somewhere) or in the open via a
+    replace-by-fee — and the constraint flips to violated with the
+    diverted spend in every witness world. *)
+
+open Scenario
+
+let base_trace =
+  Trace.make ~peers:2 ~observe:0
+    ~funding:[ Trace.Fund_party ("buyer", 100_000) ]
+    [
+      Trace.pay ~label:"deposit" ~tag:"deposit" ~from_:"buyer"
+        ~to_:(Step.To_party "seller") ~amount:60_000 ~fee:500 ();
+    ]
+
+(* "The buyer's coins only ever move in the deposit": any world where a
+   buyer-signed input feeds a transaction other than the deposit is a
+   diversion. *)
+let property compiled =
+  Compile.parse_property compiled
+    (Printf.sprintf {|q() :- TxIn(p, s, "%s", a, n, g), n != "%s".|}
+       (Compile.pk compiled "buyer")
+       (Compile.txid compiled "deposit"))
+
+let steal ~at ~fee =
+  Trace.attempted
+    (Trace.double_spend ~at ~tag:"steal" ~of_:"deposit" ~by:"buyer"
+       ~to_:(Step.To_party "mallory") ~fee ())
+
+let family =
+  {
+    base =
+      {
+        name = "escrow-double-spend";
+        description =
+          "buyer deposits 60k with the seller; the deposit is the only \
+           permitted move of the buyer's coins";
+        trace = base_trace;
+        property;
+        expect = Expect.Satisfied;
+        max_worlds = None;
+      };
+    variants =
+      [
+        variant ~name:"double-spend"
+          ~description:
+            "behind a partition the buyer re-spends the deposited coin to \
+             an accomplice; both spends are pending somewhere, so some \
+             maximal world diverts the coin"
+          ~expect:
+            (Expect.Violated
+               { class_ = "double-spend"; involves = [ "steal" ] })
+          [
+            Tweak.append [ Trace.partition [ 1 ] ];
+            Tweak.append [ steal ~at:1 ~fee:2_000 ];
+          ];
+        variant ~name:"rbf-steal"
+          ~description:
+            "no partition needed: a fee-bumped conflicting spend replaces \
+             the deposit in every mempool"
+          ~expect:
+            (Expect.Violated
+               { class_ = "rbf-replacement"; involves = [ "steal" ] })
+          [ Tweak.append [ steal ~at:0 ~fee:2_000 ] ];
+        variant ~name:"confirm-first"
+          ~description:
+            "the seller waits for a confirmation before shipping; the \
+             late double-spend bounces off every mempool"
+          ~expect:Expect.Satisfied
+          [
+            Tweak.insert_after "deposit" [ Trace.mine () ];
+            Tweak.append [ Trace.partition [ 1 ] ];
+            Tweak.append [ steal ~at:1 ~fee:2_000 ];
+          ];
+      ];
+  }

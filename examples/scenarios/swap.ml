@@ -1,0 +1,79 @@
+(** Exchange atomic-swap reorg. Alice and Bob swap coins; both legs
+    confirm in the settlement block and the denial constraint — Alice's
+    coins only ever move in her leg — holds over the whole (empty)
+    future. The attack variant forks behind a partition: Alice replaces
+    her leg with a self-spend, mines it plus one spare block, and the
+    heal reorgs the settlement away — the current state itself now
+    diverts the coin, so the constraint is violated with an empty
+    pending witness. A one-block fork loses the length race and changes
+    nothing. *)
+
+open Scenario
+
+let base_trace =
+  Trace.make ~peers:2 ~observe:0
+    ~funding:
+      [
+        Trace.Fund_party ("alice", 50_000); Trace.Fund_party ("bob", 50_000);
+      ]
+    [
+      Trace.pay ~label:"leg1" ~tag:"leg1" ~from_:"alice"
+        ~to_:(Step.To_party "bob") ~amount:30_000 ~fee:500 ();
+      Trace.pay ~label:"leg2" ~tag:"leg2" ~from_:"bob"
+        ~to_:(Step.To_party "alice") ~amount:30_000 ~fee:500 ();
+      Trace.mine ~label:"settle" ();
+    ]
+
+let property compiled =
+  Compile.parse_property compiled
+    (Printf.sprintf {|q() :- TxIn(p, s, "%s", a, n, g), n != "%s".|}
+       (Compile.pk compiled "alice")
+       (Compile.txid compiled "leg1"))
+
+let fork_prefix =
+  [
+    Tweak.insert_before "settle" [ Trace.partition [ 1 ] ];
+    Tweak.append
+      [
+        Trace.attempted
+          (Trace.double_spend ~at:1 ~tag:"takeback" ~of_:"leg1" ~by:"alice"
+             ~to_:(Step.To_party "alice") ~fee:2_000 ());
+        Trace.mine ~at:1 ();
+      ];
+  ]
+
+let family =
+  {
+    base =
+      {
+        name = "swap-reorg";
+        description =
+          "a two-leg atomic swap settled in one block; Alice's coins only \
+           ever move in her leg";
+        trace = base_trace;
+        property;
+        expect = Expect.Satisfied;
+        max_worlds = None;
+      };
+    variants =
+      [
+        variant ~name:"reorg-steal"
+          ~description:
+            "Alice forks pre-settlement, confirms a self-spend on a longer \
+             branch, and the heal reorgs the swap away — the diversion is \
+             on the active chain itself"
+          ~expect:
+            (Expect.Violated { class_ = "reorg-steal"; involves = [] })
+          (fork_prefix
+          @ [
+              Tweak.append [ Trace.mine ~at:1 () ];
+              Tweak.append [ Trace.heal (); Trace.deliver () ];
+            ]);
+        variant ~name:"short-fork"
+          ~description:
+            "the same fork one block short: the settlement branch wins the \
+             length race and the swap stands"
+          ~expect:Expect.Satisfied
+          (fork_prefix @ [ Tweak.append [ Trace.heal (); Trace.deliver () ] ]);
+      ];
+  }

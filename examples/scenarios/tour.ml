@@ -1,0 +1,36 @@
+(* Walk the whole scenario catalog: solve every instance with the
+   auto-dispatched engine and print the verdict, the strategy that ran
+   and whether the scripted expectation held. Exits non-zero on the
+   first infrastructure error or failed expectation, so the tour doubles
+   as a smoke check. *)
+
+let () =
+  let failures = ref 0 in
+  List.iter
+    (fun (s : Scenario.t) ->
+      match Scenario.solve s with
+      | Error msg ->
+          incr failures;
+          Printf.printf "%-40s ERROR %s\n" s.Scenario.name msg
+      | Ok solved ->
+          let verdict =
+            match solved.Scenario.outcome.Bccore.Dcsat.verdict with
+            | Bccore.Dcsat.Satisfied -> "satisfied"
+            | Bccore.Dcsat.Violated { world; _ } ->
+                Printf.sprintf "violated[%s]"
+                  (String.concat "," (List.map string_of_int world))
+            | Bccore.Dcsat.Unknown _ -> "unknown"
+          in
+          let status =
+            match solved.Scenario.check with
+            | Ok () -> "ok"
+            | Error msg ->
+                incr failures;
+                "MISMATCH " ^ msg
+          in
+          Printf.printf "%-40s %-12s %-10s %s\n" s.Scenario.name
+            solved.Scenario.strategy verdict status)
+    (Scenarios.Catalog.instances ());
+  if !failures > 0 then (
+    Printf.printf "%d scenario expectation(s) failed\n" !failures;
+    exit 1)

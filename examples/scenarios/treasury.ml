@@ -1,0 +1,81 @@
+(** Multisig treasury under partition. A 2-of-3 treasury coin is being
+    paid out to a vendor; the denial constraint says the raider address
+    is never paid in any world. With the network split, a rogue quorum
+    signs a conflicting payout to the raider on the other side — two
+    maximal worlds, one of them paying the raider. A sub-quorum attempt
+    is rejected by script validation no matter the fee. *)
+
+open Scenario
+
+let signer_names = [ "t-ops"; "t-fin"; "t-sec" ]
+let signers = List.map Party.make signer_names
+let treasury = Party.multisig 2 signers
+
+let payout ~at ~tag ~signers ~to_ ~fee =
+  Trace.multi_spend ~at ~tag ~script:treasury
+    ~source:(Step.Script_utxo treasury) ~signers ~to_:(Step.To_party to_)
+    ~fee ()
+
+let base_trace =
+  Trace.make ~peers:2 ~observe:0
+    ~funding:[ Trace.Fund_script (treasury, 90_000) ]
+    [
+      {
+        (payout ~at:0 ~tag:"payout" ~signers:[ "t-ops"; "t-fin" ]
+           ~to_:"vendor" ~fee:500)
+        with
+        Trace.label = Some "payout";
+      };
+    ]
+
+let property compiled =
+  Compile.parse_property compiled
+    (Printf.sprintf {|q() :- TxOut(n, s, "%s", a).|}
+       (Compile.pk compiled "raider"))
+
+let family =
+  {
+    base =
+      {
+        name = "multisig-partition";
+        description =
+          "a 2-of-3 treasury payout to the vendor; no world ever pays the \
+           raider";
+        trace = base_trace;
+        property;
+        expect = Expect.Satisfied;
+        max_worlds = None;
+      };
+    variants =
+      [
+        variant ~name:"rogue-quorum"
+          ~description:
+            "behind a partition a different 2-of-3 quorum signs the same \
+             coin over to the raider; one maximal world pays them"
+          ~expect:
+            (Expect.Violated
+               { class_ = "conflicting-payout"; involves = [ "raid" ] })
+          [
+            Tweak.append [ Trace.partition [ 1 ] ];
+            Tweak.append
+              [
+                Trace.attempted
+                  (payout ~at:1 ~tag:"raid" ~signers:[ "t-fin"; "t-sec" ]
+                     ~to_:"raider" ~fee:2_000);
+              ];
+          ];
+        variant ~name:"quorum-blocked"
+          ~description:
+            "one signature is not a quorum: the raid is rejected outright \
+             and the book stays clean"
+          ~expect:Expect.Satisfied
+          [
+            Tweak.append
+              [
+                Trace.rejected
+                  (payout ~at:0 ~tag:"raid" ~signers:[ "t-sec" ] ~to_:"raider"
+                     ~fee:2_000);
+              ];
+          ];
+      ];
+  }

@@ -1,0 +1,79 @@
+module C = Chain
+
+type t = { run : Interp.t; db : Bccore.Bcdb.t }
+
+(* The pending set T of the compiled instance is the union of every
+   peer's mempool, not just the observer's: a node reasoning about the
+   future accounts for every announced-but-unconfirmed transaction it
+   knows of, and the conflicting ones — the double-spend sitting in the
+   other side's pool, the RBF original still live on a slow peer — are
+   exactly what makes the maximal-world structure non-trivial. The
+   observer's own chain stays the sole source of the current state R. *)
+let encode run =
+  let net = Interp.net run in
+  let peers = (Interp.trace run).Trace.peers in
+  let observed = Interp.node run in
+  let chain = C.Node.chain observed in
+  let confirmed = C.Chain_state.all_txs chain in
+  let on_chain = Hashtbl.create 64 in
+  List.iter
+    (fun (tx : C.Tx.t) -> Hashtbl.replace on_chain tx.C.Tx.txid ())
+    confirmed;
+  let seen = Hashtbl.create 16 in
+  let pending = ref [] in
+  for i = 0 to peers - 1 do
+    List.iter
+      (fun (tx : C.Tx.t) ->
+        if
+          (not (Hashtbl.mem on_chain tx.C.Tx.txid))
+          && not (Hashtbl.mem seen tx.C.Tx.txid)
+        then (
+          Hashtbl.replace seen tx.C.Tx.txid ();
+          pending := tx :: !pending))
+      (C.Node.pending_txs (C.Network.peer net i))
+  done;
+  (* Inputs may reference outputs confirmed only on another peer's
+     branch; resolve against every chain, observer first. *)
+  let resolver outpoint =
+    let rec go i =
+      if i >= peers then None
+      else
+        match
+          C.Chain_state.find_output
+            (C.Node.chain (C.Network.peer net i))
+            outpoint
+        with
+        | Some _ as hit -> hit
+        | None -> go (i + 1)
+    in
+    go 0
+  in
+  C.Encode.bcdb_of_txs ~confirmed ~pending:(List.rev !pending) ~resolver
+
+let of_trace trace =
+  Result.bind (Interp.run trace) (fun run ->
+      Result.map (fun db -> { run; db }) (encode run))
+
+let db t = t.db
+let run t = t.run
+
+let txid t tag =
+  match Interp.find_tx t.run tag with
+  | Some tx -> tx.Chain.Tx.txid
+  | None -> invalid_arg (Printf.sprintf "Compile.txid: unknown tag %S" tag)
+
+let pk t name = Party.pk (Interp.party t.run name)
+
+let pending_index t tag =
+  let id = txid t tag in
+  let n = Array.length t.db.Bccore.Bcdb.pending in
+  let rec go i =
+    if i >= n then None
+    else if String.equal t.db.Bccore.Bcdb.pending.(i).Bccore.Pending.label id
+    then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let parse_property t text =
+  Bcquery.Parser.parse ~catalog:(Bccore.Bcdb.catalog t.db) text

@@ -1,0 +1,34 @@
+(** Trace → [(R, I, T)] compilation: run the trace, then encode the
+    observation peer's view relationally ({!Chain.Encode.bcdb_of_txs}) —
+    the peer's active chain becomes the current state [R] under the
+    standard TxOut/TxIn constraints [I], while the pending set [T] is
+    the union of {e every} peer's mempool (minus what the observer
+    already confirmed): announced-but-unconfirmed transactions are
+    known futures wherever they currently sit, and mutually conflicting
+    ones — double-spends across a partition, RBF originals still live
+    on slow peers — are what give the instance more than one maximal
+    world. The compiled value keeps the interpreter state around so
+    properties can quote realized txids and public keys as query
+    constants. *)
+
+type t
+
+val of_trace : Trace.t -> (t, string) result
+val db : t -> Bccore.Bcdb.t
+val run : t -> Interp.t
+
+val txid : t -> string -> string
+(** The txid a submission tag bound. Raises [Invalid_argument] on an
+    unknown tag. *)
+
+val pk : t -> string -> string
+(** A party's primary public key (usable before or after the run: keys
+    are deterministic in the name). *)
+
+val pending_index : t -> string -> int option
+(** The pending-set id of the tagged transaction in the compiled
+    database, when it ended the trace in the observation peer's
+    mempool. Pending transactions are labelled by txid. *)
+
+val parse_property : t -> string -> (Bcquery.Query.t, string) result
+(** Parse a denial constraint against the compiled catalog. *)

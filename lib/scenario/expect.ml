@@ -1,0 +1,46 @@
+module Core = Bccore
+
+type verdict =
+  | Satisfied
+  | Violated of { class_ : string; involves : string list }
+  | Unknown
+
+let name = function
+  | Satisfied -> "satisfied"
+  | Violated { class_; _ } -> "violated:" ^ class_
+  | Unknown -> "unknown"
+
+let actual_name = function
+  | Core.Dcsat.Satisfied -> "satisfied"
+  | Core.Dcsat.Violated _ -> "violated"
+  | Core.Dcsat.Unknown _ -> "unknown"
+
+let check compiled ~expected (actual : Core.Dcsat.verdict) =
+  match (expected, actual) with
+  | Satisfied, Core.Dcsat.Satisfied -> Ok ()
+  | Unknown, Core.Dcsat.Unknown _ -> Ok ()
+  | Violated { class_; involves }, Core.Dcsat.Violated { world; _ } ->
+      let missing =
+        List.filter_map
+          (fun tag ->
+            match Compile.pending_index compiled tag with
+            | None ->
+                Some
+                  (Printf.sprintf "%s (not pending in the compiled database)"
+                     tag)
+            | Some id ->
+                if List.mem id world then None
+                else Some (Printf.sprintf "%s (id %d not in witness world)" tag id))
+          involves
+      in
+      if missing = [] then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "violated as expected (%s), but the witness world misses: %s"
+             class_
+             (String.concat ", " missing))
+  | _ ->
+      Error
+        (Printf.sprintf "expected %s, solver says %s" (name expected)
+           (actual_name actual))

@@ -1,0 +1,23 @@
+(** Expected DCSat verdicts for compiled scenarios. A violation
+    expectation names a {e witness class}: a label for the attack
+    ("double-spend", "reorg", ...) plus the submission tags whose
+    transactions every violating world must contain — scenario authors
+    pick tags that are semantically necessary for the violation, so the
+    check holds for whichever witness world the solver reports. *)
+
+type verdict =
+  | Satisfied
+  | Violated of { class_ : string; involves : string list }
+      (** [involves]: tags that must be pending in the compiled
+          database and present in the reported witness world. *)
+  | Unknown
+      (** The solve is expected to exhaust its budget — only meaningful
+          for scenarios carrying one. *)
+
+val name : verdict -> string
+
+val check :
+  Compile.t -> expected:verdict -> Bccore.Dcsat.verdict -> (unit, string) result
+(** Does the solver's verdict match the expectation? For [Violated],
+    also checks the witness-class tags against the reported world. The
+    error string says what diverged. *)

@@ -1,0 +1,258 @@
+module C = Chain
+
+type outcome =
+  | Accepted
+  | Rejected of C.Mempool.reject
+  | Unbuildable of string
+
+type t = {
+  trace : Trace.t;
+  net : C.Network.t;
+  parties : (string, Party.t) Hashtbl.t;
+  miners : C.Wallet.t array;
+  mutable txs : (string * C.Tx.t) list;  (** Newest first. *)
+  mutable outcomes : (string * outcome) list;
+}
+
+exception Script_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Script_error s)) fmt
+
+let trace t = t.trace
+let net t = t.net
+let node t = C.Network.peer t.net t.trace.Trace.observe
+
+let party t name =
+  match Hashtbl.find_opt t.parties name with
+  | Some p -> p
+  | None ->
+      let p = Party.make name in
+      Hashtbl.replace t.parties name p;
+      p
+
+let find_tx t tag = List.assoc_opt tag t.txs
+let tx_exn t tag =
+  match find_tx t tag with
+  | Some tx -> tx
+  | None -> fail "unknown transaction tag %S" tag
+
+let outcome t tag = List.assoc_opt tag t.outcomes
+let accepted t tag = outcome t tag = Some Accepted
+let tags t = List.rev_map fst t.txs
+
+let dest_script t = function
+  | Step.To_party name -> Party.address (party t name)
+  | Step.To_script s -> s
+
+(* Resolve an outpoint against the peer's full chain history first
+   (covers confirmed and reorged-out outputs), then against every
+   transaction the script has built so far (covers chained pending
+   spends). *)
+let resolver t at outpoint =
+  let chain = C.Node.chain (C.Network.peer t.net at) in
+  match C.Chain_state.find_output chain outpoint with
+  | Some o -> Some o
+  | None ->
+      List.find_map
+        (fun (_, (tx : C.Tx.t)) ->
+          if String.equal tx.C.Tx.txid outpoint.C.Tx.txid then
+            List.nth_opt tx.C.Tx.outputs outpoint.C.Tx.vout
+          else None)
+        t.txs
+
+(* The wallet's coin-selection view at a peer: the confirmed UTXO set
+   with the peer's pending transactions applied, so a second payment
+   does not accidentally re-pick a coin already spent in the mempool. *)
+let wallet_view t at =
+  let node = C.Network.peer t.net at in
+  let view = C.Utxo.copy (C.Node.utxo node) in
+  List.iter
+    (fun tx -> ignore (C.Utxo.apply_tx view tx))
+    (C.Node.pending_txs node);
+  view
+
+let ok_or_fail what = function
+  | Ok v -> v
+  | Error msg -> fail "%s: %s" what msg
+
+let build_tx t ({ Step.tag; at; build } : Step.submit) =
+  match build with
+  | Step.Pay { from_; dest; amount; fee } ->
+      let p = party t from_ in
+      ok_or_fail (tag ^ ": pay")
+        (C.Wallet.pay p.Party.wallet ~utxo:(wallet_view t at)
+           ~to_:(dest_script t dest) ~amount ~fee)
+  | Step.Double_spend { of_; by; dest; fee } ->
+      let original = tx_exn t of_ in
+      let p = party t by in
+      let prevs =
+        List.filter_map
+          (fun (i : C.Tx.input) ->
+            match resolver t at i.C.Tx.prev with
+            | Some o when C.Wallet.owns p.Party.wallet o.C.Tx.script ->
+                Some (i.C.Tx.prev, o)
+            | _ -> None)
+          original.C.Tx.inputs
+      in
+      if prevs = [] then fail "%s: double-spend: %s owns no input of %s" tag by of_;
+      let total =
+        List.fold_left (fun acc (_, (o : C.Tx.output)) -> acc + o.C.Tx.amount) 0 prevs
+      in
+      if total <= fee then fail "%s: double-spend: inputs (%d) cannot pay fee %d" tag total fee;
+      let outputs =
+        [ { C.Tx.amount = total - fee; script = dest_script t dest } ]
+      in
+      let inputs =
+        ok_or_fail (tag ^ ": double-spend sign")
+          (C.Wallet.sign_inputs p.Party.wallet ~prevs ~outputs)
+      in
+      C.Tx.create ~inputs ~outputs
+  | Step.Bump { of_; by; add_fee } ->
+      let original = tx_exn t of_ in
+      let p = party t by in
+      ok_or_fail (tag ^ ": bump")
+        (C.Wallet.bump_fee p.Party.wallet ~original ~add_fee)
+  | Step.Cancel { of_; by; fee } ->
+      let original = tx_exn t of_ in
+      let p = party t by in
+      let node = C.Network.peer t.net at in
+      ok_or_fail (tag ^ ": cancel")
+        (C.Wallet.cancel p.Party.wallet ~utxo:(C.Node.utxo node) ~original ~fee)
+  | Step.Multi_spend { script; source; signers; dest; fee } ->
+      let outpoint, output =
+        match source with
+        | Step.Output_of (src_tag, vout) -> (
+            let src = tx_exn t src_tag in
+            let outpoint = { C.Tx.txid = src.C.Tx.txid; vout } in
+            match List.nth_opt src.C.Tx.outputs vout with
+            | Some o -> (outpoint, o)
+            | None -> fail "%s: multi-spend: %s has no output %d" tag src_tag vout)
+        | Step.Script_utxo s -> (
+            let node = C.Network.peer t.net at in
+            let hits =
+              C.Utxo.filter (C.Node.utxo node) (fun _ (o : C.Tx.output) ->
+                  o.C.Tx.script = s)
+              |> List.sort (fun (a, _) (b, _) -> compare a b)
+            in
+            match hits with
+            | hit :: _ -> hit
+            | [] -> fail "%s: multi-spend: no unspent output carries the script" tag)
+      in
+      if output.C.Tx.amount <= fee then
+        fail "%s: multi-spend: output (%d) cannot pay fee %d" tag
+          output.C.Tx.amount fee;
+      let outputs =
+        [ { C.Tx.amount = output.C.Tx.amount - fee; script = dest_script t dest } ]
+      in
+      let msg = C.Tx.signing_msg ~inputs:[ outpoint ] ~outputs in
+      let legs =
+        List.map
+          (fun name ->
+            let p = party t name in
+            ( p.Party.key.C.Crypto.public,
+              C.Crypto.sign p.Party.key ~msg ))
+          signers
+      in
+      (match script with
+      | C.Script.Multi_sig _ -> ()
+      | _ -> fail "%s: multi-spend: source script is not a multisig" tag);
+      let inputs =
+        [ { C.Tx.prev = outpoint; witness = C.Script.Sig_list legs } ]
+      in
+      C.Tx.create ~inputs ~outputs
+
+let submit_step t kind (s : Step.submit) =
+  let record o = t.outcomes <- (s.Step.tag, o) :: t.outcomes in
+  match
+    try Ok (build_tx t s) with
+    | Script_error msg -> Error msg
+    | Invalid_argument msg ->
+        Error (Printf.sprintf "%s: tx construction: %s" s.Step.tag msg)
+  with
+  | Error msg when kind = `Attempt ->
+      (* Best-effort submissions swallow construction failures too: a
+         tweak or a generated trace may have made the build impossible
+         (coins gone, original confirmed), and that is an observation,
+         not a script bug. *)
+      record (Unbuildable msg)
+  | Error msg -> raise (Script_error msg)
+  | Ok tx -> (
+      t.txs <- (s.Step.tag, tx) :: t.txs;
+      let result = C.Network.submit t.net ~at:s.Step.at tx in
+      match (kind, result) with
+      | `Attempt, Ok () | `Submit, Ok () -> record Accepted
+      | `Attempt, Error r -> record (Rejected r)
+      | `Submit, Error r ->
+          fail "%s: submission rejected: %s" s.Step.tag
+            (Format.asprintf "%a" C.Mempool.pp_reject r)
+      | `Reject, Error r -> record (Rejected r)
+      | `Reject, Ok () ->
+          fail "%s: submission was accepted but the script requires a reject"
+            s.Step.tag)
+
+let mine_step t ~at ?min_feerate () =
+  let script = C.Wallet.address t.miners.(at) in
+  match C.Network.mine_at t.net ~at ~coinbase_script:script ?min_feerate () with
+  | Ok _ -> ()
+  | Error msg -> fail "mine@peer%d: %s" at msg
+
+let exec_step t = function
+  | Step.Submit s -> submit_step t `Submit s
+  | Step.Reject s -> submit_step t `Reject s
+  | Step.Attempt s -> submit_step t `Attempt s
+  | Step.Mine { at; min_feerate } -> mine_step t ~at ?min_feerate ()
+  | Step.Slots { at; count } ->
+      (* Empty blocks: an infinite feerate floor keeps every pending
+         transaction out, so only the slot clock advances. *)
+      for _ = 1 to count do
+        mine_step t ~at ~min_feerate:infinity ()
+      done
+  | Step.Partition group -> C.Network.partition t.net group
+  | Step.Heal -> C.Network.heal t.net
+  | Step.Deliver -> ignore (C.Network.deliver t.net ())
+  | Step.Converge ->
+      if C.Network.converge t.net = None then
+        fail "converge: network failed to reach sync"
+
+let run (trace : Trace.t) =
+  let parties = Hashtbl.create 8 in
+  let party_of name =
+    match Hashtbl.find_opt parties name with
+    | Some p -> p
+    | None ->
+        let p = Party.make name in
+        Hashtbl.replace parties name p;
+        p
+  in
+  let initial =
+    List.map
+      (function
+        | Trace.Fund_party (name, amount) -> (Party.address (party_of name), amount)
+        | Trace.Fund_script (s, amount) -> (s, amount))
+      trace.Trace.funding
+  in
+  let faults = Option.map (fun mk -> mk ()) trace.Trace.faults in
+  let net = C.Network.create ?faults ~peers:trace.Trace.peers ~initial () in
+  let t =
+    {
+      trace;
+      net;
+      parties;
+      miners =
+        Array.init trace.Trace.peers (fun i ->
+            C.Wallet.create ~seed:(Printf.sprintf "miner:%d" i));
+      txs = [];
+      outcomes = [];
+    }
+  in
+  match
+    List.iter
+      (fun (e : Trace.entry) ->
+        exec_step t e.Trace.step;
+        (* Keep views converged within partition sides: drain the gossip
+           queues after every step. *)
+        ignore (C.Network.deliver t.net ()))
+      trace.Trace.entries
+  with
+  | () -> Ok t
+  | exception Script_error msg -> Error msg

@@ -1,0 +1,46 @@
+(** Trace interpreter: replays a {!Trace.t} over a fresh
+    {!Chain.Network} (one node per peer, genesis minting the trace's
+    funding), building, submitting, mining and partitioning exactly as
+    scripted. Deterministic: parties, keys and block contents are all
+    derived from names and script order, so the same trace always
+    produces the same chain state and mempools.
+
+    Submission steps assert their outcome ([Submit] must be accepted,
+    [Reject] must be refused, [Attempt] records either); a failed
+    assertion — or a step referencing an unknown tag or party — is a
+    {e script error} and aborts the run with [Error]. Gossip queues are
+    drained after every step, so within a partition side mempools stay
+    converged without explicit delivery steps. *)
+
+type outcome =
+  | Accepted
+  | Rejected of Chain.Mempool.reject
+  | Unbuildable of string
+      (** An [Attempt] submission whose transaction could not even be
+          constructed (coins already spent, nothing left to bump…) —
+          recorded, never fatal, so tweaked and generated traces stay
+          total. *)
+
+type t
+
+val run : Trace.t -> (t, string) result
+
+val trace : t -> Trace.t
+val net : t -> Chain.Network.t
+
+val node : t -> Chain.Node.t
+(** The observation peer's node ({!Trace.t.observe}). *)
+
+val party : t -> string -> Party.t
+(** Materialize (or recall) the named party. *)
+
+val find_tx : t -> string -> Chain.Tx.t option
+(** The transaction a submission tag bound, whatever its outcome. *)
+
+val tx_exn : t -> string -> Chain.Tx.t
+val outcome : t -> string -> outcome option
+val accepted : t -> string -> bool
+(** The tagged submission was accepted by its peer's mempool. *)
+
+val tags : t -> string list
+(** All bound tags, in script order. *)

@@ -1,0 +1,21 @@
+type t = {
+  name : string;
+  wallet : Chain.Wallet.t;
+  key : Chain.Crypto.keypair;
+}
+
+let make name =
+  {
+    name;
+    wallet = Chain.Wallet.create ~seed:("party:" ^ name);
+    key = Chain.Crypto.keypair ~seed:("msig:" ^ name);
+  }
+
+let address t = Chain.Wallet.address t.wallet
+let pk t = Chain.Wallet.public_key t.wallet
+let msig_pk t = t.key.Chain.Crypto.public
+
+let multisig m parties =
+  Chain.Script.Multi_sig (m, List.map msig_pk parties)
+
+let pp ppf t = Format.fprintf ppf "%s<%s>" t.name (pk t)

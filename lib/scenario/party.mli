@@ -1,0 +1,33 @@
+(** A named protocol participant: a deterministic wallet (payments,
+    fee bumps, cancels) plus a standalone keypair used when the party
+    signs as one leg of a multisig script. Everything is derived from
+    the name, so a party can be reconstructed anywhere — scripts refer
+    to parties by name and the interpreter materializes them on
+    demand. *)
+
+type t = private {
+  name : string;
+  wallet : Chain.Wallet.t;
+  key : Chain.Crypto.keypair;
+      (** Multisig leg, independent of the wallet's key chain. *)
+}
+
+val make : string -> t
+(** Deterministic in [name]: two [make "alice"] calls control the same
+    coins. *)
+
+val address : t -> Chain.Script.t
+(** The wallet's primary pay-to-key script. *)
+
+val pk : t -> string
+(** The primary public key — the value scenario properties quote in
+    [TxOut]/[TxIn] constants. *)
+
+val msig_pk : t -> string
+(** Public key of the multisig leg ({!field-key}). *)
+
+val multisig : int -> t list -> Chain.Script.t
+(** [multisig m parties]: an m-of-n script over the parties' multisig
+    legs. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+type dest = To_party of string | To_script of Chain.Script.t
+
+type build =
+  | Pay of { from_ : string; dest : dest; amount : int; fee : int }
+  | Double_spend of { of_ : string; by : string; dest : dest; fee : int }
+  | Bump of { of_ : string; by : string; add_fee : int }
+  | Cancel of { of_ : string; by : string; fee : int }
+  | Multi_spend of {
+      script : Chain.Script.t;
+      source : source;
+      signers : string list;
+      dest : dest;
+      fee : int;
+    }
+
+and source = Script_utxo of Chain.Script.t | Output_of of string * int
+
+type submit = { tag : string; at : int; build : build }
+
+type t =
+  | Submit of submit
+  | Reject of submit
+  | Attempt of submit
+  | Mine of { at : int; min_feerate : float option }
+  | Slots of { at : int; count : int }
+  | Partition of int list
+  | Heal
+  | Deliver
+  | Converge
+
+let submit_of = function
+  | Submit s | Reject s | Attempt s -> Some s
+  | Mine _ | Slots _ | Partition _ | Heal | Deliver | Converge -> None
+
+let pp_dest ppf = function
+  | To_party p -> Format.pp_print_string ppf p
+  | To_script s -> Chain.Script.pp ppf s
+
+let pp_source ppf = function
+  | Script_utxo s -> Format.fprintf ppf "utxo[%a]" Chain.Script.pp s
+  | Output_of (tag, i) -> Format.fprintf ppf "%s#%d" tag i
+
+let pp_build ppf = function
+  | Pay { from_; dest; amount; fee } ->
+      Format.fprintf ppf "pay %s -> %a amount=%d fee=%d" from_ pp_dest dest
+        amount fee
+  | Double_spend { of_; by; dest; fee } ->
+      Format.fprintf ppf "double-spend %s by %s -> %a fee=%d" of_ by pp_dest
+        dest fee
+  | Bump { of_; by; add_fee } ->
+      Format.fprintf ppf "bump %s by %s +fee=%d" of_ by add_fee
+  | Cancel { of_; by; fee } ->
+      Format.fprintf ppf "cancel %s by %s fee=%d" of_ by fee
+  | Multi_spend { source; signers; dest; fee; _ } ->
+      Format.fprintf ppf "multi-spend %a signers=[%s] -> %a fee=%d" pp_source
+        source (String.concat "," signers) pp_dest dest fee
+
+let pp_submit kind ppf { tag; at; build } =
+  Format.fprintf ppf "%s[%s@@peer%d] %a" kind tag at pp_build build
+
+let pp ppf = function
+  | Submit s -> pp_submit "submit" ppf s
+  | Reject s -> pp_submit "reject" ppf s
+  | Attempt s -> pp_submit "attempt" ppf s
+  | Mine { at; min_feerate } ->
+      Format.fprintf ppf "mine@@peer%d%s" at
+        (match min_feerate with
+        | None -> ""
+        | Some r -> Printf.sprintf " min_feerate=%g" r)
+  | Slots { at; count } -> Format.fprintf ppf "slots@@peer%d x%d" at count
+  | Partition group ->
+      Format.fprintf ppf "partition {%s}"
+        (String.concat "," (List.map string_of_int group))
+  | Heal -> Format.pp_print_string ppf "heal"
+  | Deliver -> Format.pp_print_string ppf "deliver"
+  | Converge -> Format.pp_print_string ppf "converge"

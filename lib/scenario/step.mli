@@ -1,0 +1,69 @@
+(** One action of a scripted multi-party trace. Steps are pure data —
+    parties are referred to by name, earlier transactions by tag — so a
+    step list can be transformed (see {!Tweak}) and replayed
+    deterministically by the interpreter ({!Interp}). *)
+
+type dest =
+  | To_party of string  (** The party's primary address. *)
+  | To_script of Chain.Script.t
+      (** An explicit script: timelock, multisig, hash lock. *)
+
+(** How a submitted transaction is built. Tags reference transactions
+    built by earlier submissions. *)
+type build =
+  | Pay of { from_ : string; dest : dest; amount : int; fee : int }
+      (** Wallet payment with change, coins selected against the peer's
+          chain + mempool view (pending spends are not double-picked). *)
+  | Double_spend of { of_ : string; by : string; dest : dest; fee : int }
+      (** Re-spend the inputs of the tagged transaction that [by] owns,
+          to [dest] — conflicts with [of_] by construction (the attack
+          primitive behind double-spends and races). *)
+  | Bump of { of_ : string; by : string; add_fee : int }
+      (** Replace-by-fee: the tagged transfer with [add_fee] more fee. *)
+  | Cancel of { of_ : string; by : string; fee : int }
+      (** Spend the tagged transaction's first owned input back to
+          [by] — retraction by conflict. *)
+  | Multi_spend of {
+      script : Chain.Script.t;  (** The multisig script being spent. *)
+      source : source;
+      signers : string list;  (** Parties providing multisig legs. *)
+      dest : dest;
+      fee : int;
+    }  (** Spend a multisig output wholesale (minus [fee]) to [dest]. *)
+
+and source =
+  | Script_utxo of Chain.Script.t
+      (** The unique unspent output carrying this script at the
+          submitting peer (e.g. a funded treasury). *)
+  | Output_of of string * int  (** (tag, 0-based output index). *)
+
+type submit = { tag : string; at : int; build : build }
+
+type t =
+  | Submit of submit  (** Must be accepted; a reject is a script error. *)
+  | Reject of submit
+      (** Must be rejected by the mempool; acceptance is a script
+          error. Documents the protocol's defense working. *)
+  | Attempt of submit
+      (** Accepted or rejected, either way; the outcome is recorded.
+          Tweaked and generated traces use this so perturbations cannot
+          crash the interpreter. *)
+  | Mine of { at : int; min_feerate : float option }
+      (** One block from the peer's mempool, gossiped. [min_feerate]
+          lets a miner skip underpaying transactions — the knob behind
+          "delay confirmation past the deadline". *)
+  | Slots of { at : int; count : int }
+      (** [count] empty blocks at the peer: the slot clock. Timelocked
+          scripts mature as the height advances. *)
+  | Partition of int list
+      (** Cut the listed peers off from the rest (in-flight traffic
+          crossing the cut is lost). *)
+  | Heal  (** Restore the full mesh and re-announce. *)
+  | Deliver  (** Drain the gossip queues once. *)
+  | Converge
+      (** Delivery rounds with re-announce backoff until in sync —
+          needed when the trace runs over a lossy {!Chain.Link_model}. *)
+
+val submit_of : t -> submit option
+val pp_dest : Format.formatter -> dest -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+type fund = Fund_party of string * int | Fund_script of Chain.Script.t * int
+type entry = { label : string option; step : Step.t }
+
+type t = {
+  peers : int;
+  funding : fund list;
+  entries : entry list;
+  observe : int;
+  faults : (unit -> Chain.Link_model.t) option;
+}
+
+let make ?(peers = 1) ?(observe = 0) ?faults ~funding entries =
+  if peers < 1 then invalid_arg "Trace.make: need at least one peer";
+  if observe < 0 || observe >= peers then
+    invalid_arg "Trace.make: observe out of range";
+  { peers; funding; entries; observe; faults }
+
+let step ?label step = { label; step }
+
+let submit ?label ?(at = 0) ~tag build =
+  { label; step = Step.Submit { Step.tag; at; build } }
+
+let pay ?label ?at ~tag ~from_ ~to_ ~amount ~fee () =
+  submit ?label ?at ~tag (Step.Pay { from_; dest = to_; amount; fee })
+
+let double_spend ?label ?at ~tag ~of_ ~by ~to_ ~fee () =
+  submit ?label ?at ~tag (Step.Double_spend { of_; by; dest = to_; fee })
+
+let bump ?label ?at ~tag ~of_ ~by ~add_fee () =
+  submit ?label ?at ~tag (Step.Bump { of_; by; add_fee })
+
+let cancel ?label ?at ~tag ~of_ ~by ~fee () =
+  submit ?label ?at ~tag (Step.Cancel { of_; by; fee })
+
+let multi_spend ?label ?at ~tag ~script ~source ~signers ~to_ ~fee () =
+  submit ?label ?at ~tag
+    (Step.Multi_spend { script; source; signers; dest = to_; fee })
+
+let mine ?label ?(at = 0) ?min_feerate () =
+  { label; step = Step.Mine { at; min_feerate } }
+
+let slots ?label ?(at = 0) count = { label; step = Step.Slots { at; count } }
+let partition ?label group = { label; step = Step.Partition group }
+let heal ?label () = { label; step = Step.Heal }
+let deliver ?label () = { label; step = Step.Deliver }
+let converge ?label () = { label; step = Step.Converge }
+
+let rejected e =
+  match e.step with
+  | Step.Submit s | Step.Attempt s | Step.Reject s ->
+      { e with step = Step.Reject s }
+  | _ -> invalid_arg "Trace.rejected: not a submission step"
+
+let attempted e =
+  match e.step with
+  | Step.Submit s | Step.Attempt s | Step.Reject s ->
+      { e with step = Step.Attempt s }
+  | _ -> invalid_arg "Trace.attempted: not a submission step"
+
+let find t label =
+  List.find_opt (fun e -> e.label = Some label) t.entries
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>trace (%d peer%s, observe peer%d)" t.peers
+    (if t.peers = 1 then "" else "s")
+    t.observe;
+  List.iter
+    (fun f ->
+      match f with
+      | Fund_party (p, amount) ->
+          Format.fprintf ppf "@,  fund %s %d" p amount
+      | Fund_script (s, amount) ->
+          Format.fprintf ppf "@,  fund %a %d" Chain.Script.pp s amount)
+    t.funding;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "@,  %a%s" Step.pp e.step
+        (match e.label with None -> "" | Some l -> "  (label " ^ l ^ ")"))
+    t.entries;
+  Format.fprintf ppf "@]"

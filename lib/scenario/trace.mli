@@ -1,0 +1,116 @@
+(** A scripted multi-party trace: the genesis coin distribution, the
+    network shape, and a list of (optionally labelled) steps. Labels
+    anchor {!Tweak} transformations; they are metadata, invisible to the
+    interpreter.
+
+    The combinators below are thin constructors — a trace is plain data
+    and can equally be built literally. *)
+
+type fund =
+  | Fund_party of string * int  (** Genesis coin to a party's address. *)
+  | Fund_script of Chain.Script.t * int
+      (** Genesis coin under an explicit script (timelocked escrow,
+          multisig treasury, ...). *)
+
+type entry = { label : string option; step : Step.t }
+
+type t = {
+  peers : int;  (** Gossip-mesh size (default 1). *)
+  funding : fund list;
+  entries : entry list;
+  observe : int;
+      (** Peer whose view compiles to the [(R, I, T)] instance. *)
+  faults : (unit -> Chain.Link_model.t) option;
+      (** Per-run link-fault model factory (the thunk re-seeds the PRNG
+          so replays are reproducible). [None]: reliable links. *)
+}
+
+val make :
+  ?peers:int ->
+  ?observe:int ->
+  ?faults:(unit -> Chain.Link_model.t) ->
+  funding:fund list ->
+  entry list ->
+  t
+
+(* {2 Step sugar}
+
+   Each returns an [entry]; pass [~label] to make it tweakable. *)
+
+val step : ?label:string -> Step.t -> entry
+
+val pay :
+  ?label:string ->
+  ?at:int ->
+  tag:string ->
+  from_:string ->
+  to_:Step.dest ->
+  amount:int ->
+  fee:int ->
+  unit ->
+  entry
+
+val double_spend :
+  ?label:string ->
+  ?at:int ->
+  tag:string ->
+  of_:string ->
+  by:string ->
+  to_:Step.dest ->
+  fee:int ->
+  unit ->
+  entry
+
+val bump :
+  ?label:string ->
+  ?at:int ->
+  tag:string ->
+  of_:string ->
+  by:string ->
+  add_fee:int ->
+  unit ->
+  entry
+
+val cancel :
+  ?label:string ->
+  ?at:int ->
+  tag:string ->
+  of_:string ->
+  by:string ->
+  fee:int ->
+  unit ->
+  entry
+
+val multi_spend :
+  ?label:string ->
+  ?at:int ->
+  tag:string ->
+  script:Chain.Script.t ->
+  source:Step.source ->
+  signers:string list ->
+  to_:Step.dest ->
+  fee:int ->
+  unit ->
+  entry
+
+val mine : ?label:string -> ?at:int -> ?min_feerate:float -> unit -> entry
+val slots : ?label:string -> ?at:int -> int -> entry
+val partition : ?label:string -> int list -> entry
+val heal : ?label:string -> unit -> entry
+val deliver : ?label:string -> unit -> entry
+val converge : ?label:string -> unit -> entry
+
+val rejected : entry -> entry
+(** Flip a submission entry to a must-reject assertion. Raises
+    [Invalid_argument] on a non-submission step. *)
+
+val attempted : entry -> entry
+(** Flip a submission entry to best-effort (outcome recorded either
+    way). Raises [Invalid_argument] on a non-submission step. *)
+
+val find : t -> string -> entry option
+(** Look an entry up by label. *)
+
+val pp : Format.formatter -> t -> unit
+(** Readable script, one step per line — the form minimized
+    counterexamples print in. *)

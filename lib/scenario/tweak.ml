@@ -1,0 +1,91 @@
+type t = { name : string; f : Trace.t -> Trace.t }
+
+let name t = t.name
+let apply t trace = t.f trace
+let apply_all ts trace = List.fold_left (fun tr t -> apply t tr) trace ts
+
+let anchored op label f =
+  {
+    name = Printf.sprintf "%s:%s" op label;
+    f =
+      (fun trace ->
+        if Trace.find trace label = None then
+          invalid_arg
+            (Printf.sprintf "Tweak.%s: no entry labelled %S" op label);
+        f trace);
+  }
+
+let at_label label ~before ~replacing trace =
+  let entries =
+    List.concat_map
+      (fun (e : Trace.entry) ->
+        if e.Trace.label = Some label then
+          if before then replacing e @ [ e ] else e :: replacing e
+        else [ e ])
+      trace.Trace.entries
+  in
+  { trace with Trace.entries }
+
+let insert_after label extra =
+  anchored "insert-after" label
+    (at_label label ~before:false ~replacing:(fun _ -> extra))
+
+let insert_before label extra =
+  anchored "insert-before" label
+    (at_label label ~before:true ~replacing:(fun _ -> extra))
+
+let append extra =
+  {
+    name = "append";
+    f = (fun trace -> { trace with Trace.entries = trace.Trace.entries @ extra });
+  }
+
+let remove label =
+  anchored "remove" label (fun trace ->
+      {
+        trace with
+        Trace.entries =
+          List.filter
+            (fun (e : Trace.entry) -> e.Trace.label <> Some label)
+            trace.Trace.entries;
+      })
+
+let rewrite op label g =
+  anchored op label (fun trace ->
+      {
+        trace with
+        Trace.entries =
+          List.map
+            (fun (e : Trace.entry) ->
+              if e.Trace.label = Some label then g e else e)
+            trace.Trace.entries;
+      })
+
+let replace label entry = rewrite "replace" label (fun _ -> entry)
+
+let swap l1 l2 =
+  {
+    name = Printf.sprintf "swap:%s<->%s" l1 l2;
+    f =
+      (fun trace ->
+        let e1 = Trace.find trace l1 and e2 = Trace.find trace l2 in
+        match (e1, e2) with
+        | Some e1, Some e2 ->
+            {
+              trace with
+              Trace.entries =
+                List.map
+                  (fun (e : Trace.entry) ->
+                    if e.Trace.label = Some l1 then e2
+                    else if e.Trace.label = Some l2 then e1
+                    else e)
+                  trace.Trace.entries;
+            }
+        | _ ->
+            invalid_arg
+              (Printf.sprintf "Tweak.swap: missing label %S or %S" l1 l2));
+  }
+
+let allow_reject label = rewrite "allow-reject" label Trace.attempted
+let must_reject label = rewrite "must-reject" label Trace.rejected
+let map_entry label ~name g = rewrite name label g

@@ -1,0 +1,38 @@
+(** Trace perturbations, cooked-validators style: a named, composable
+    transformation of a base trace into an attack variant. A scenario
+    ships one honest trace plus a list of tweaks, each paired with the
+    verdict the perturbed instance must produce — "inject a
+    double-spend and the constraint must flip to violated" is one tweak
+    plus one expectation.
+
+    Anchoring is by entry label ({!Trace.entry}); a tweak that names a
+    label the trace does not carry raises [Invalid_argument] when
+    applied — a scenario-authoring bug, not a runtime condition. *)
+
+type t
+
+val name : t -> string
+val apply : t -> Trace.t -> Trace.t
+val apply_all : t list -> Trace.t -> Trace.t
+(** Left to right. *)
+
+val insert_after : string -> Trace.entry list -> t
+val insert_before : string -> Trace.entry list -> t
+val append : Trace.entry list -> t
+val remove : string -> t
+val replace : string -> Trace.entry -> t
+
+val swap : string -> string -> t
+(** Exchange the positions of two labelled entries — the
+    order-perturbation behind RBF/race variants. *)
+
+val allow_reject : string -> t
+(** Downgrade the labelled submission to {!Step.Attempt}: after another
+    tweak changed the world, its acceptance is no longer guaranteed. *)
+
+val must_reject : string -> t
+(** Upgrade the labelled submission to {!Step.Reject}. *)
+
+val map_entry : string -> name:string -> (Trace.entry -> Trace.entry) -> t
+(** General labelled-entry rewrite, for tweaks the combinators above
+    don't cover. *)

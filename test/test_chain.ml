@@ -682,6 +682,192 @@ let test_reorg_invalidates_pending_check () =
   Alcotest.(check int) "possible worlds collapse to {R}" 1
     (Bccore.Poss.count post_store)
 
+(* Edge: a replacement whose victim has a confirmed descendant. The RBF
+   evicts the original *and* its in-pool child; when another peer then
+   confirms the original pair, connecting that block must evict the
+   replacement everywhere, and a fresh conflict against the now-confirmed
+   transaction must bounce with [Unknown_inputs]. *)
+let test_rbf_descendant_confirmed () =
+  let alice = C.Wallet.create ~seed:"alice" in
+  let bob = C.Wallet.create ~seed:"bob" in
+  let carol = C.Wallet.create ~seed:"carol" in
+  let net =
+    C.Network.create ~peers:2 ~initial:[ (C.Wallet.address alice, 100_000) ] ()
+  in
+  let peer0 = C.Network.peer net 0 in
+  let pay ~utxo ~to_ ~amount ~fee =
+    match C.Wallet.pay alice ~utxo ~to_ ~amount ~fee with
+    | Ok tx -> tx
+    | Error msg -> Alcotest.fail msg
+  in
+  let submit ~at tx =
+    match C.Network.submit net ~at tx with
+    | Ok () -> ()
+    | Error r -> Alcotest.failf "submit: %a" C.Mempool.pp_reject r
+  in
+  let tx_a =
+    pay ~utxo:(C.Node.utxo peer0) ~to_:(C.Wallet.address bob) ~amount:30_000
+      ~fee:300
+  in
+  submit ~at:0 tx_a;
+  (* The child spends A's change. *)
+  let view = C.Utxo.copy (C.Node.utxo peer0) in
+  (match C.Utxo.apply_tx view tx_a with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  let tx_b =
+    pay ~utxo:view ~to_:(C.Wallet.address carol) ~amount:20_000 ~fee:300
+  in
+  submit ~at:0 tx_b;
+  ignore (C.Network.deliver net ());
+  C.Network.partition net [ 1 ];
+  (* Replace A at peer 0: the descendant must go with it. *)
+  let tx_a' =
+    pay ~utxo:(C.Node.utxo peer0) ~to_:(C.Wallet.address bob) ~amount:30_000
+      ~fee:2_000
+  in
+  submit ~at:0 tx_a';
+  Alcotest.(check bool) "A evicted by RBF" false
+    (C.Mempool.mem (C.Node.mempool peer0) tx_a.C.Tx.txid);
+  Alcotest.(check bool) "descendant B evicted with A" false
+    (C.Mempool.mem (C.Node.mempool peer0) tx_b.C.Tx.txid);
+  Alcotest.(check (list string))
+    "only the replacement pends at peer 0"
+    [ tx_a'.C.Tx.txid ]
+    (C.Network.mempool_view net 0);
+  (* Peer 1 never saw the replacement and confirms the original pair. *)
+  (match
+     C.Network.mine_at net ~at:1 ~coinbase_script:(C.Script.Pay_to_key "PKm") ()
+   with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  C.Network.heal net;
+  ignore (C.Network.deliver net ());
+  Alcotest.(check (list string))
+    "confirming A evicted the conflicting replacement" []
+    (C.Network.mempool_view net 0);
+  Alcotest.(check (list string)) "peer 1 pool drained" []
+    (C.Network.mempool_view net 1);
+  Alcotest.(check bool) "network in sync" true (C.Network.in_sync net);
+  Alcotest.(check int) "bob paid exactly once" 30_000
+    (C.Wallet.balance bob (C.Node.utxo peer0));
+  Alcotest.(check int) "carol paid by the descendant" 20_000
+    (C.Wallet.balance carol (C.Node.utxo peer0));
+  (* RBF against the now-confirmed A: its inputs are gone from the UTXO
+     and from every pool, so the conflict is just an orphan spend. *)
+  let prevs =
+    List.map
+      (fun (i : C.Tx.input) ->
+        match C.Chain_state.find_output (C.Node.chain peer0) i.C.Tx.prev with
+        | Some o -> (i.C.Tx.prev, o)
+        | None -> Alcotest.fail "cannot resolve A's input")
+      tx_a.C.Tx.inputs
+  in
+  let total =
+    List.fold_left (fun acc (_, (o : C.Tx.output)) -> acc + o.C.Tx.amount) 0 prevs
+  in
+  let outputs =
+    [ { C.Tx.amount = total - 5_000; script = C.Wallet.address bob } ]
+  in
+  let inputs =
+    match C.Wallet.sign_inputs alice ~prevs ~outputs with
+    | Ok inputs -> inputs
+    | Error msg -> Alcotest.fail msg
+  in
+  match C.Network.submit net ~at:0 (C.Tx.create ~inputs ~outputs) with
+  | Error (C.Mempool.Unknown_inputs _) -> ()
+  | Ok () -> Alcotest.fail "conflict against a confirmed tx must be rejected"
+  | Error r -> Alcotest.failf "expected Unknown_inputs, got %a" C.Mempool.pp_reject r
+
+(* Edge: a block that is stashed (arrives before its parent), joins the
+   active chain when the parent shows up, and is orphaned again by a
+   later reorg. The payment it carried must return to the mempool and
+   stay spendable on the winning branch. *)
+let test_reorg_reorphans_stashed_block () =
+  let alice = C.Wallet.create ~seed:"alice" in
+  let bob = C.Wallet.create ~seed:"bob" in
+  let net =
+    C.Network.create ~peers:1 ~initial:[ (C.Wallet.address alice, 100_000) ] ()
+  in
+  let node = C.Network.peer net 0 in
+  let chain = C.Node.chain node in
+  let genesis_hash = C.Chain_state.tip_hash chain in
+  let tx =
+    match
+      C.Wallet.pay alice ~utxo:(C.Node.utxo node) ~to_:(C.Wallet.address bob)
+        ~amount:20_000 ~fee:300
+    with
+    | Ok tx -> tx
+    | Error msg -> Alcotest.fail msg
+  in
+  let mk_block ?(txs = []) ~fees height prev tag =
+    let coinbase =
+      C.Tx.coinbase
+        ~reward:(C.Miner.block_reward + fees)
+        ~script:(C.Script.Pay_to_key ("PKrival" ^ tag))
+        ~tag
+    in
+    match
+      C.Block.create ~height ~prev_hash:prev ~timestamp:99 ~txs:(coinbase :: txs)
+    with
+    | Ok b -> b
+    | Error msg -> Alcotest.fail msg
+  in
+  let y1 = mk_block ~fees:0 1 genesis_hash "y1" in
+  let y2 = mk_block ~txs:[ tx ] ~fees:300 2 (C.Block.hash y1) "y2" in
+  (* The tip of the rival branch arrives before its parent: stashed. *)
+  C.Network.inject_block net ~at:0 y2;
+  Alcotest.(check int) "stashed block leaves the tip alone" 0
+    (C.Chain_state.height chain);
+  (* The peer mines its own block meanwhile. *)
+  let x1 =
+    match
+      C.Network.mine_at net ~at:0 ~coinbase_script:(C.Wallet.address alice) ()
+    with
+    | Ok b -> b
+    | Error msg -> Alcotest.fail msg
+  in
+  Alcotest.(check int) "local branch first" 1 (C.Chain_state.height chain);
+  (* The missing parent arrives: the stashed tip follows it in and the
+     rival branch takes over. *)
+  C.Network.inject_block net ~at:0 y1;
+  Alcotest.(check int) "unstashed branch reorged in" 2
+    (C.Chain_state.height chain);
+  Alcotest.(check string) "tip is the once-stashed block"
+    (C.Block.hash y2)
+    (C.Chain_state.tip_hash chain);
+  Alcotest.(check int) "payment confirmed on the rival branch" 20_000
+    (C.Wallet.balance bob (C.Node.utxo node));
+  (* A longer branch now grows on the orphaned local block — its tip
+     again arriving out of order. *)
+  let x2 = mk_block ~fees:0 2 (C.Block.hash x1) "x2" in
+  let x3 = mk_block ~fees:0 3 (C.Block.hash x2) "x3" in
+  C.Network.inject_block net ~at:0 x3;
+  Alcotest.(check int) "second stash leaves the tip alone" 2
+    (C.Chain_state.height chain);
+  C.Network.inject_block net ~at:0 x2;
+  Alcotest.(check int) "longest branch wins the second reorg" 3
+    (C.Chain_state.height chain);
+  Alcotest.(check string) "tip is the second stashed block"
+    (C.Block.hash x3)
+    (C.Chain_state.tip_hash chain);
+  (* The once-stashed, once-active block is an orphan again; its payment
+     is back in the pool and still valid on the winning branch. *)
+  Alcotest.(check bool) "payment returned to the pool" true
+    (C.Mempool.mem (C.Node.mempool node) tx.C.Tx.txid);
+  Alcotest.(check int) "payment no longer confirmed" 0
+    (C.Wallet.balance bob (C.Node.utxo node));
+  Alcotest.(check bool) "single peer trivially in sync" true
+    (C.Network.in_sync net);
+  (match
+     C.Network.mine_at net ~at:0 ~coinbase_script:(C.Script.Pay_to_key "PKm") ()
+   with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.(check int) "returned payment mined again" 20_000
+    (C.Wallet.balance bob (C.Node.utxo node));
+  Alcotest.(check (list string)) "pool drained" [] (C.Network.mempool_view net 0)
+
 let () =
   Alcotest.run "chain"
     [
@@ -709,6 +895,10 @@ let () =
           Alcotest.test_case "validation" `Quick test_block_validation;
           Alcotest.test_case "reorg" `Quick test_reorg;
           Alcotest.test_case "network fork race" `Quick test_network_fork_race;
+          Alcotest.test_case "rbf vs confirmed descendant" `Quick
+            test_rbf_descendant_confirmed;
+          Alcotest.test_case "reorg re-orphans stashed block" `Quick
+            test_reorg_reorphans_stashed_block;
           QCheck_alcotest.to_alcotest conservation_prop;
         ] );
       ( "encoding",
