@@ -1,4 +1,4 @@
-.PHONY: all build test test-scenarios fmt check bench bench-smoke bench-data bench-eval clean
+.PHONY: all build test test-scenarios test-serve fmt check bench bench-smoke bench-data bench-eval bench-serve clean
 
 all: build
 
@@ -15,6 +15,13 @@ test-scenarios:
 	dune build test/test_scenario.exe bin/bcdb_cli.exe
 	dune exec test/test_scenario.exe
 	sh bin/scenario_contract.sh
+
+# Live service: one framed client session against `bcdb serve --paper`
+# covering every response status (SATISFIED/UNSATISFIED/UNKNOWN/OK/
+# ERROR) interleaved with evict/confirm/add mutations.
+test-serve:
+	dune build bin/bcdb_cli.exe
+	sh bin/serve_contract.sh
 
 fmt:
 	dune build @fmt --auto-promote
@@ -48,6 +55,12 @@ bench-data:
 # solves. Exits non-zero if the incremental side never engages.
 bench-eval:
 	dune exec bench/main.exe -- evalbench
+
+# Live serving benchmark: warm incremental checks, churn (add+evict per
+# request) and per-request session rebuild under a Poisson request
+# stream; exits non-zero if the warm path is not >= 5x the rebuild.
+bench-serve:
+	dune exec bench/main.exe -- serve
 
 clean:
 	dune clean

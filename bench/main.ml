@@ -1247,6 +1247,106 @@ let scenarios_section () =
   scenario_fuzz_round ()
 
 (* ------------------------------------------------------------------ *)
+(* Live serving (`serve`): the maintained solving context under a
+   Poisson-arrival request stream, against the naive per-request
+   alternative of rebuilding a fresh session (store, graphs, caches)
+   for every check. Three streams on qp3-unsat-50blk:
+
+   - warm incremental: the steady state of a validator re-checking the
+     same constraint — every structure is maintained, every world is a
+     cache replay;
+   - churn: each request is preceded by a transaction arrival and
+     followed by an RBF eviction, so the fd/ind graphs and components
+     are incrementally updated between checks;
+   - rebuild: [Session.create] + solve per request, the cost the live
+     layer exists to amortize.
+
+   Recorded rows (figure "serve", x = offered rate λ) reuse the schema
+   via a template measurement: mean service time per stream, plus the
+   client-visible p50/p99 latency and the seconds-per-check of the
+   incremental stream (label [serve-checks-per-sec]; its [x] is the
+   measured checks/sec). *)
+
+let servebench () =
+  let s = sim Sweep in
+  let pending_take = if !smoke_flag then 10 else 50 in
+  let requests = if !smoke_flag then 10 else 60 in
+  let db = W.Generator.dataset s ~pending_take ~contradictions:default_c () in
+  let q = Q.instantiate s (Q.Qp 3) Q.Unsatisfied in
+  let label = Printf.sprintf "qp3-unsat-%dblk" pending_take in
+  let live = Core.Live.create db in
+  let rate = 200.0 in
+  let check () =
+    match Core.Live.check live q with
+    | Ok _ -> ()
+    | Error e -> fail "serve/%s: live check: %s" label e
+  in
+  check () (* warm: plans compiled, graphs built, worlds cached *);
+  let inc = W.Poisson.run ~seed:0xD0C ~rate ~requests (fun _ -> check ()) in
+  let churn_rows = db.Core.Bcdb.pending.(0).Core.Pending.rows in
+  let churn =
+    W.Poisson.run ~seed:0xD0C ~rate ~requests (fun i ->
+        let lbl = Printf.sprintf "churn-%d" i in
+        Core.Live.add live ~label:lbl churn_rows;
+        check ();
+        match Core.Live.evict live lbl with
+        | Ok () -> ()
+        | Error e -> fail "serve/%s: evict: %s" label e)
+  in
+  let rebuild =
+    W.Poisson.run ~seed:0xD0C ~rate ~requests (fun _ ->
+        let sess = Core.Session.create db in
+        match Core.Solver.solve sess q with
+        | Ok _ -> ()
+        | Error e -> fail "serve/%s: batch solve: %s" label e)
+  in
+  (* The headline invariant: a warm incremental check must beat the
+     per-request rebuild by a wide margin — that is the live layer's
+     reason to exist. Smoke scale only insists on "faster at all". *)
+  let floor = if !smoke_flag then 1.0 else 5.0 in
+  if inc.W.Poisson.mean_service *. floor > rebuild.W.Poisson.mean_service then
+    fail
+      "serve/%s: warm incremental check (%.6fs) not %.0fx faster than \
+       per-request rebuild (%.6fs)"
+      label inc.W.Poisson.mean_service floor rebuild.W.Poisson.mean_service;
+  if inc.W.Poisson.p99 < inc.W.Poisson.p50 then
+    fail "serve/%s: p99 below p50" label;
+  let template =
+    E.run ~repeats:1 ~obs_sinks:(obs_sinks ())
+      ~session:(E.session_of db) ~label ~algo:E.Opt ~variant:Q.Unsatisfied q
+  in
+  let row lbl ~x seconds =
+    ignore (record ~figure:"serve" ~x { template with E.label = lbl; seconds })
+  in
+  row (label ^ "-inc-mean") ~x:rate inc.W.Poisson.mean_service;
+  row (label ^ "-churn-mean") ~x:rate churn.W.Poisson.mean_service;
+  row (label ^ "-rebuild-mean") ~x:rate rebuild.W.Poisson.mean_service;
+  row (label ^ "-inc-p50") ~x:rate inc.W.Poisson.p50;
+  row (label ^ "-inc-p99") ~x:rate inc.W.Poisson.p99;
+  row "serve-checks-per-sec" ~x:inc.W.Poisson.checks_per_sec
+    (1.0 /. Float.max 1e-9 inc.W.Poisson.checks_per_sec);
+  let fmt_summary (p : W.Poisson.summary) =
+    [
+      E.ms p.W.Poisson.mean_service;
+      Printf.sprintf "%.0f" p.W.Poisson.checks_per_sec;
+      E.ms p.W.Poisson.p50;
+      E.ms p.W.Poisson.p99;
+    ]
+  in
+  E.print_table
+    ~title:
+      (Printf.sprintf
+         "Live serving: %s, Poisson arrivals at %.0f req/s (%d requests)"
+         label rate requests)
+    ~columns:[ "stream"; "service"; "checks/s"; "p50"; "p99" ]
+    ~rows:
+      [
+        "incremental (warm)" :: fmt_summary inc;
+        "incremental (churn)" :: fmt_summary churn;
+        "rebuild per request" :: fmt_summary rebuild;
+      ]
+
+(* ------------------------------------------------------------------ *)
 (* Smoke mode (--smoke): a minutes-scale subset that exercises the full
    record → JSON → validate pipeline. It writes to a scratch path (the
    committed BENCH_dcsat.json only comes from full runs) but
@@ -1305,6 +1405,10 @@ let smoke () =
      expectation and keep its verdict across a binary snapshot
      round-trip; one fixed-seed differential fuzz round rides along. *)
   scenarios_section ();
+  (* The live serving layer at CI scale: warm incremental checks must
+     at least beat the per-request rebuild, and the serve rows must
+     round-trip the JSON schema. *)
+  servebench ();
   Printf.printf "[smoke] ran %d measurements\n%!" (List.length !recorded)
 
 let sections =
@@ -1322,6 +1426,7 @@ let sections =
     ("parallel", parallel);
     ("dense", dense);
     ("evalbench", evalbench);
+    ("serve", servebench);
     ("ablation", ablation);
     ("scenarios", scenarios_section);
     ("bechamel", bechamel);

@@ -657,6 +657,271 @@ let validate_trace_cmd =
     Term.(const run $ trace_file)
 
 (* ------------------------------------------------------------------ *)
+(* serve: the long-running DCSat service over a live context. *)
+
+(* Framing, both directions: ASCII decimal byte length, '\n', payload.
+   A request payload is a command line optionally followed by a body:
+
+     check [timeout=S] [max-worlds=N] [jobs=N] \n <query>
+     add LABEL \n Rel(v, ...) per line
+     evict LABEL | confirm LABEL | stats | quit
+
+   A response payload's first line is `STATUS CODE` where the code is
+   the check subcommand's exit contract (0 satisfied / 2 unsatisfied /
+   3 unknown; 1 for errors, 0 for mutations), detail lines follow. *)
+
+let max_frame = 16 * 1024 * 1024
+
+let read_frame ic =
+  match In_channel.input_line ic with
+  | None -> None
+  | Some line -> (
+      match int_of_string_opt (String.trim line) with
+      | None -> Some (Error "unparsable frame length")
+      | Some n when n < 0 || n > max_frame -> Some (Error "bad frame length")
+      | Some n -> (
+          let buf = Bytes.create n in
+          match In_channel.really_input ic buf 0 n with
+          | None -> Some (Error "truncated frame")
+          | Some () -> Some (Ok (Bytes.to_string buf))))
+
+let write_frame oc payload =
+  Out_channel.output_string oc (string_of_int (String.length payload));
+  Out_channel.output_char oc '\n';
+  Out_channel.output_string oc payload;
+  Out_channel.flush oc
+
+(* `key=value` directives of a request's command line, overriding the
+   server-wide admission defaults for this request only. *)
+let request_directives words =
+  List.fold_left
+    (fun acc w ->
+      match (acc, String.index_opt w '=') with
+      | Error _, _ -> acc
+      | Ok (t, mw, j), Some i -> (
+          let key = String.sub w 0 i in
+          let v = String.sub w (i + 1) (String.length w - i - 1) in
+          match key with
+          | "timeout" -> (
+              match float_of_string_opt v with
+              | Some f -> Ok (Some f, mw, j)
+              | None -> Error (Printf.sprintf "bad timeout %S" v))
+          | "max-worlds" -> (
+              match int_of_string_opt v with
+              | Some n -> Ok (t, Some n, j)
+              | None -> Error (Printf.sprintf "bad max-worlds %S" v))
+          | "jobs" -> (
+              match int_of_string_opt v with
+              | Some n -> Ok (t, mw, Some n)
+              | None -> Error (Printf.sprintf "bad jobs %S" v))
+          | _ -> Error (Printf.sprintf "unknown directive %S" key))
+      | Ok _, None -> Error (Printf.sprintf "unknown directive %S" w))
+    (Ok (None, None, None))
+    words
+
+let respond_outcome (o : Core.Dcsat.outcome) strategy =
+  let status, code =
+    match o.Core.Dcsat.verdict with
+    | Core.Dcsat.Satisfied -> ("SATISFIED", 0)
+    | Core.Dcsat.Violated _ -> ("UNSATISFIED", 2)
+    | Core.Dcsat.Unknown _ -> ("UNKNOWN", 3)
+  in
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "%s %d\n" status code);
+  (match o.Core.Dcsat.verdict with
+  | Core.Dcsat.Unknown reason ->
+      Buffer.add_string b
+        (Printf.sprintf "reason: budget exhausted (%s)\n"
+           (Core.Engine.Budget.reason_name reason))
+  | _ -> ());
+  Buffer.add_string b (Printf.sprintf "strategy: %s\n" strategy);
+  Buffer.add_string b
+    (Printf.sprintf "stats: worlds=%d cliques=%d components=%d/%d time=%.4fs\n"
+       o.Core.Dcsat.stats.Core.Dcsat.worlds_checked
+       o.Core.Dcsat.stats.Core.Dcsat.cliques_enumerated
+       o.Core.Dcsat.stats.Core.Dcsat.components_covered
+       o.Core.Dcsat.stats.Core.Dcsat.components_total
+       o.Core.Dcsat.stats.Core.Dcsat.runtime);
+  Buffer.contents b
+
+let respond_error msg = Printf.sprintf "ERROR 1\n%s\n" msg
+
+(* One request against the live context. Returns the response payload
+   and whether the session should keep going. *)
+let serve_request live ~jobs ~timeout ~max_worlds payload =
+  let command, body =
+    match String.index_opt payload '\n' with
+    | None -> (String.trim payload, "")
+    | Some i ->
+        ( String.trim (String.sub payload 0 i),
+          String.sub payload (i + 1) (String.length payload - i - 1) )
+  in
+  match String.split_on_char ' ' command |> List.filter (( <> ) "") with
+  | [] -> (respond_error "empty command", true)
+  | "quit" :: _ -> ("OK 0\nbye\n", false)
+  | "stats" :: _ ->
+      let db = Core.Live.db live in
+      ( Printf.sprintf "OK 0\npending=%d state_rows=%d conflicts=%d\n"
+          (Core.Live.pending_count live)
+          (R.Database.total_cardinality db.Core.Bcdb.state)
+          (Core.Fd_graph.conflict_count (Core.Live.fd_graph live)),
+        true )
+  | "evict" :: label :: _ -> (
+      match Core.Live.evict live label with
+      | Ok () -> (Printf.sprintf "OK 0\nevicted %s\n" label, true)
+      | Error msg -> (respond_error msg, true))
+  | "confirm" :: label :: _ -> (
+      match Core.Live.confirm live label with
+      | Ok () -> (Printf.sprintf "OK 0\nconfirmed %s\n" label, true)
+      | Error msg -> (respond_error msg, true))
+  | "add" :: label :: _ -> (
+      let catalog = Core.Bcdb.catalog (Core.Live.db live) in
+      let rows =
+        String.split_on_char '\n' body
+        |> List.filter_map (fun l ->
+               let l = String.trim l in
+               if l = "" then None else Some (Core.Bcdb_file.parse_row catalog l))
+      in
+      match
+        List.fold_left
+          (fun acc r ->
+            match (acc, r) with
+            | Error _, _ -> acc
+            | Ok rs, Ok r -> Ok (r :: rs)
+            | Ok _, Error msg -> Error msg)
+          (Ok []) rows
+      with
+      | Error msg -> (respond_error msg, true)
+      | Ok [] -> (respond_error "add: no rows", true)
+      | Ok rows ->
+          Core.Live.add live ~label (List.rev rows);
+          (Printf.sprintf "OK 0\nadded %s\n" label, true))
+  | "check" :: directives -> (
+      match request_directives directives with
+      | Error msg -> (respond_error msg, true)
+      | Ok (req_timeout, req_max_worlds, req_jobs) -> (
+          let q_text = String.trim body in
+          let catalog = Core.Bcdb.catalog (Core.Live.db live) in
+          match Q.Parser.parse ~catalog q_text with
+          | Error msg -> (respond_error msg, true)
+          | Ok q -> (
+              let timeout_s =
+                match req_timeout with Some _ -> req_timeout | None -> timeout
+              in
+              let max_worlds =
+                match req_max_worlds with
+                | Some _ -> req_max_worlds
+                | None -> max_worlds
+              in
+              let jobs = Option.value req_jobs ~default:jobs in
+              match
+                Core.Live.check ~jobs ?timeout_s ?max_worlds live q
+              with
+              | Ok (o, strategy) ->
+                  (respond_outcome o (Core.Solver.strategy_name strategy), true)
+              | Error msg -> (respond_error msg, true))))
+  | cmd :: _ -> (respond_error (Printf.sprintf "unknown command %S" cmd), true)
+
+let serve_channels live ~jobs ~timeout ~max_worlds ic oc =
+  let rec loop () =
+    match read_frame ic with
+    | None -> ()
+    | Some (Error msg) -> write_frame oc (respond_error msg)
+    | Some (Ok payload) ->
+        let response, continue =
+          try serve_request live ~jobs ~timeout ~max_worlds payload
+          with e -> (respond_error (Printexc.to_string e), true)
+        in
+        write_frame oc response;
+        if continue then loop ()
+  in
+  loop ()
+
+let serve_cmd =
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Listen on 127.0.0.1:$(docv) (TCP), one client at a time.")
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix domain socket at $(docv).")
+  in
+  let run file snapshot validate_snapshot paper preset contradictions seed jobs
+      timeout max_worlds port socket =
+    match
+      load_db ?file ?snapshot ~validate_snapshot ~paper ~preset ~contradictions
+        ~seed ()
+    with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok db -> (
+        (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+        | _ -> ()
+        | exception Invalid_argument _ -> ());
+        let live = Core.Live.create db in
+        let serve = serve_channels live ~jobs ~timeout ~max_worlds in
+        let accept_loop sock =
+          (* Sequential accept: the live context is single-writer. *)
+          let rec loop () =
+            let client, _ = Unix.accept sock in
+            let ic = Unix.in_channel_of_descr client in
+            let oc = Unix.out_channel_of_descr client in
+            (try serve ic oc with _ -> ());
+            (try Unix.close client with Unix.Unix_error _ -> ());
+            loop ()
+          in
+          loop ()
+        in
+        match (port, socket) with
+        | Some _, Some _ ->
+            Printf.eprintf "error: --port and --socket are exclusive\n";
+            1
+        | Some port, None ->
+            let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            Unix.setsockopt sock Unix.SO_REUSEADDR true;
+            Unix.bind sock
+              (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+            Unix.listen sock 8;
+            Printf.eprintf "serving on 127.0.0.1:%d (%d pending txs)\n%!" port
+              (Core.Live.pending_count live);
+            accept_loop sock
+        | None, Some path ->
+            if Sys.file_exists path then Sys.remove path;
+            let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.bind sock (Unix.ADDR_UNIX path);
+            Unix.listen sock 8;
+            Printf.eprintf "serving on %s (%d pending txs)\n%!" path
+              (Core.Live.pending_count live);
+            accept_loop sock
+        | None, None ->
+            (* stdio mode: one session over stdin/stdout — what scripted
+               clients and the CI drive. *)
+            serve In_channel.stdin Out_channel.stdout;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-lived DCSat service: load a database once, keep its \
+          solver inputs maintained incrementally as transactions are added, \
+          evicted and confirmed, and answer length-prefixed check requests \
+          with per-request --timeout/--max-worlds admission budgets. \
+          Response status codes mirror the check exit contract (0 \
+          satisfied, 2 unsatisfied, 3 unknown). Default transport is \
+          stdin/stdout; --port or --socket serve clients sequentially.")
+    Term.(
+      const run $ file $ snapshot_arg $ validate_snapshot_arg $ paper $ preset
+      $ contradictions $ seed $ jobs $ timeout_arg $ max_worlds_arg $ port_arg
+      $ socket_arg)
+
+(* ------------------------------------------------------------------ *)
 (* scenario: the named protocol-trace catalog. *)
 
 let expect_conv =
@@ -805,5 +1070,6 @@ let () =
             dump_cmd;
             snapshot_cmd;
             validate_trace_cmd;
+            serve_cmd;
             scenario_cmd;
           ]))

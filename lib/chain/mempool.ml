@@ -1,14 +1,29 @@
 type entry = { tx : Tx.t; fee : int; feerate : float; sequence : int }
 
+type removal_reason = Evicted | Confirmed | Conflicting
+
+type event =
+  | Tx_added of Tx.t
+  | Tx_removed of { tx : Tx.t; reason : removal_reason }
+
 type t = {
   by_txid : (Crypto.digest, entry) Hashtbl.t;
   spenders : (Tx.outpoint, Crypto.digest) Hashtbl.t;
       (** outpoint -> txid of the pool tx spending it. *)
   mutable next_seq : int;
+  mutable hooks : (event -> unit) list;  (* registration order *)
 }
 
 let create () =
-  { by_txid = Hashtbl.create 64; spenders = Hashtbl.create 64; next_seq = 0 }
+  {
+    by_txid = Hashtbl.create 64;
+    spenders = Hashtbl.create 64;
+    next_seq = 0;
+    hooks = [];
+  }
+
+let on_event t f = t.hooks <- t.hooks @ [ f ]
+let fire t ev = List.iter (fun f -> f ev) t.hooks
 
 let size t = Hashtbl.length t.by_txid
 
@@ -77,7 +92,7 @@ let descendants t txid =
   in
   collect [] txid
 
-let remove_one t txid =
+let remove_one ?(reason = Evicted) t txid =
   match Hashtbl.find_opt t.by_txid txid with
   | None -> ()
   | Some e ->
@@ -88,9 +103,11 @@ let remove_one t txid =
           | Some spender when String.equal spender txid ->
               Hashtbl.remove t.spenders i.Tx.prev
           | Some _ | None -> ())
-        e.tx.Tx.inputs
+        e.tx.Tx.inputs;
+      fire t (Tx_removed { tx = e.tx; reason })
 
-let remove t txid = List.iter (remove_one t) (descendants t txid)
+let remove ?reason t txid =
+  List.iter (remove_one ?reason t) (descendants t txid)
 
 let add t ~utxo ?(height = max_int) (tx : Tx.t) =
   if mem t tx.Tx.txid then Error Duplicate
@@ -135,6 +152,7 @@ let add t ~utxo ?(height = max_int) (tx : Tx.t) =
                   (fun (i : Tx.input) ->
                     Hashtbl.replace t.spenders i.Tx.prev tx.Tx.txid)
                   tx.Tx.inputs;
+                fire t (Tx_added tx);
                 Ok ()
               end)
   end
@@ -142,12 +160,12 @@ let add t ~utxo ?(height = max_int) (tx : Tx.t) =
 let confirm_block t (block : Block.t) =
   List.iter
     (fun (tx : Tx.t) ->
-      remove_one t tx.Tx.txid;
+      remove_one ~reason:Confirmed t tx.Tx.txid;
       (* Pool txs now conflicting with a confirmed tx are invalid. *)
       List.iter
         (fun (i : Tx.input) ->
           match Hashtbl.find_opt t.spenders i.Tx.prev with
-          | Some spender -> remove t spender
+          | Some spender -> remove ~reason:Conflicting t spender
           | None -> ())
         tx.Tx.inputs)
     block.Block.txs

@@ -15,6 +15,25 @@ type entry = private {
 
 type t
 
+type removal_reason =
+  | Evicted
+      (** Replaced by fee ({!add}) or explicitly removed ({!remove}),
+          including pool descendants of either. *)
+  | Confirmed  (** Included in a confirmed block ({!confirm_block}). *)
+  | Conflicting
+      (** Spends an outpoint that a just-confirmed transaction also
+          spent (double-spend made unwinnable by the block). *)
+
+type event =
+  | Tx_added of Tx.t  (** Admitted by {!add} (after any evictions). *)
+  | Tx_removed of { tx : Tx.t; reason : removal_reason }
+
+val on_event : t -> (event -> unit) -> unit
+(** Register a hook, fired synchronously on every pool mutation in
+    mutation order — evictions before the arrival that caused them.
+    Hooks run in registration order; what {!Live} consumes (through
+    {!Feed}) to maintain solver inputs incrementally. *)
+
 val create : unit -> t
 val size : t -> int
 val entries : t -> entry list
@@ -50,8 +69,9 @@ val descendants : t -> Crypto.digest -> Crypto.digest list
 (** Pool transactions depending (transitively) on the given txid,
     including it, in eviction-safe order. *)
 
-val remove : t -> Crypto.digest -> unit
-(** Remove a transaction and its pool descendants. *)
+val remove : ?reason:removal_reason -> t -> Crypto.digest -> unit
+(** Remove a transaction and its pool descendants. [reason] (default
+    [Evicted]) is reported to event hooks. *)
 
 val confirm_block : t -> Block.t -> unit
 (** Drop transactions included in the block and any pool transaction that

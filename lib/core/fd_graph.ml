@@ -9,6 +9,53 @@ type t = {
 
 let conflict_count t = List.length t.conflicts
 
+(* Assemble the graph from its two ingredients. The conflict relation is
+   closed over: edges connect exactly the valid pairs not listed, and
+   pairs involving an invalid node are dropped from the kept list (they
+   carry no information — invalid nodes are isolated regardless). *)
+let of_parts ~node_ok ~conflicts =
+  let k = Array.length node_ok in
+  let conflict = Hashtbl.create (max 16 (2 * List.length conflicts)) in
+  List.iter
+    (fun (i, j) ->
+      Hashtbl.replace conflict (if i < j then (i, j) else (j, i)) ())
+    conflicts;
+  let graph = Undirected.create k in
+  for i = 0 to k - 1 do
+    if node_ok.(i) then
+      for j = i + 1 to k - 1 do
+        if node_ok.(j) && not (Hashtbl.mem conflict (i, j)) then
+          Undirected.add_edge graph i j
+      done
+  done;
+  let conflicts =
+    Hashtbl.fold
+      (fun (i, j) () acc ->
+        if node_ok.(i) && node_ok.(j) then (i, j) :: acc else acc)
+      conflict []
+    |> List.sort compare
+  in
+  { graph; node_ok; conflicts }
+
+(* Drop one node and densely re-id the rest (ids above [j] shift down by
+   one, matching [Bcdb.create_unchecked] after an eviction). Node
+   validity and pairwise conflicts of the survivors are untouched — both
+   depend only on R and the transactions' own rows — so only the
+   edge bitsets are re-assembled, O(k²) bit sets and no row work. *)
+let remove g j =
+  let k = Array.length g.node_ok in
+  if j < 0 || j >= k then invalid_arg "Fd_graph.remove: no such node";
+  let node_ok =
+    Array.init (k - 1) (fun i -> if i < j then g.node_ok.(i) else g.node_ok.(i + 1))
+  in
+  let remap i = if i < j then i else i - 1 in
+  let conflicts =
+    List.filter_map
+      (fun (a, b) -> if a = j || b = j then None else Some (remap a, remap b))
+      g.conflicts
+  in
+  of_parts ~node_ok ~conflicts
+
 let node_valid store id =
   let db = Tagged_store.db store in
   let fd_constraints = List.map (fun f -> R.Constr.Fd f) (Bcdb.fds db) in

@@ -25,6 +25,26 @@ type t = private {
 val build : Tagged_store.t -> t
 val conflict_count : t -> int
 
+val node_valid : Tagged_store.t -> int -> bool
+(** [R ∪ T_id |= I_fd], checked through the store's indexes with the
+    base state alone visible. What {!build} computes for every node at
+    once; exposed for the live layer, which re-derives validity per
+    surviving transaction after a block confirmation changes [R]. *)
+
+val of_parts : node_ok:bool array -> conflicts:(int * int) list -> t
+(** Assemble a graph directly from node validity and the pairwise
+    conflict relation: edges connect exactly the valid pairs not listed
+    in [conflicts]. Pairs naming an invalid node are dropped from the
+    kept list. O(k²) bit operations, no row work — this is how the live
+    layer rebuilds after maintaining both ingredients incrementally. *)
+
+val remove : t -> int -> t
+(** [remove g j] drops node [j] and densely re-ids the survivors (ids
+    above [j] shift down by one, matching {!Bcdb.create_unchecked} after
+    an RBF eviction). Validity and conflicts of survivors are reused
+    unchanged — both depend only on [R] and the transactions' own
+    rows. *)
+
 val extend : t -> Tagged_store.t -> t
 (** [extend g store] incrementally adds the store's newest transaction
     (id = [tx_count - 1]) as one more node: its validity and its

@@ -126,6 +126,10 @@ type entry = {
 
 type state = {
   mutable for_db : Bcdb.t;  (* entries valid only against this database *)
+  mutable for_state_gen : int;
+      (* generation stamp of [for_db]'s state R when the entries were
+         cached; catches in-place mutation of R behind an unchanged
+         physical database value (the [serve] access pattern). *)
   mutable entries : entry list;  (* most recently used first, capped *)
   mutable worlds : (Bitset.t * Bitset.t) list;
       (* clique members -> its maximal world, both private copies; the
@@ -166,7 +170,14 @@ let state_for store plan =
   match List.find_opt (fun (p, _) -> p == plan) !states with
   | Some (_, st) -> st
   | None ->
-      let st = { for_db = Tagged_store.db store; entries = []; worlds = [] } in
+      let st =
+        {
+          for_db = Tagged_store.db store;
+          for_state_gen = Tagged_store.state_generation store;
+          entries = [];
+          worlds = [];
+        }
+      in
       states := (plan, st) :: !states;
       st
 
@@ -207,8 +218,10 @@ let state_of t store =
         t.cached <- Some (store, st);
         st
   in
-  if st.for_db != Tagged_store.db store then begin
+  let gen = Tagged_store.state_generation store in
+  if st.for_db != Tagged_store.db store || st.for_state_gen <> gen then begin
     st.for_db <- Tagged_store.db store;
+    st.for_state_gen <- gen;
     st.entries <- [];
     st.worlds <- []
   end;

@@ -1,0 +1,250 @@
+module R = Relational
+module Q = Bcquery
+
+type t = {
+  mutable db : Bcdb.t;
+  mutable session : Session.t;
+  mutable fd : Fd_graph.t;
+  mutable ind_base : (int * int) list;
+  mutable includable : bool array;
+  mutable comps : (Q.Query.t * int list list) list;
+      (* per tracked query; dropped wholesale on any removal event *)
+}
+
+(* Re-encode every relation of [state] into all-segment form (tails
+   empty). [to_segment] is zero-cost for relations already in that form,
+   so repeated compaction only pays for relations that actually grew.
+   All-segment states make [Tagged_store.create] O(pending): the store
+   adopts the segments as-is instead of re-encoding the whole state. *)
+let compact state =
+  let catalog = R.Database.catalog state in
+  R.Database.of_segments catalog
+    (List.map
+       (fun r -> (r.R.Schema.name, R.Database.to_segment state r.R.Schema.name))
+       (R.Schema.relations catalog))
+
+(* [state] plus extra rows, compacted. Duplicates of existing state rows
+   are dropped (relations are sets). *)
+let compact_with state rows =
+  let catalog = R.Database.catalog state in
+  let tmp =
+    R.Database.of_segments catalog
+      (List.map
+         (fun r -> (r.R.Schema.name, R.Database.to_segment state r.R.Schema.name))
+         (R.Schema.relations catalog))
+  in
+  R.Database.insert_all tmp rows;
+  compact tmp
+
+let rebuild_db state db pending =
+  Bcdb.create_unchecked ~state ~constraints:db.Bcdb.constraints
+    ~pending:(List.map (fun tx -> tx.Pending.rows) pending)
+    ~labels:(List.map (fun tx -> tx.Pending.label) pending)
+    ()
+
+let create ?(obs = Obs.null) db =
+  let state = compact db.Bcdb.state in
+  let db = rebuild_db state db (Array.to_list db.Bcdb.pending) in
+  let session = Session.create ~obs db in
+  Session.warm session;
+  {
+    db;
+    session;
+    fd = Session.fd_graph session;
+    ind_base = Session.ind_base_edges session;
+    includable = Session.includable session;
+    comps = [];
+  }
+
+let db t = t.db
+let session t = t.session
+let fd_graph t = t.fd
+let ind_base_edges t = t.ind_base
+let includable t = t.includable
+let pending_count t = Array.length t.db.Bcdb.pending
+
+let find t label =
+  let n = Array.length t.db.Bcdb.pending in
+  let rec go i =
+    if i >= n then None
+    else if String.equal t.db.Bcdb.pending.(i).Pending.label label then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let same_query q' q = q' == q || Stdlib.compare q' q = 0
+
+let grouped_rows tx =
+  List.map (fun rel -> (rel, Pending.rows_for tx rel)) (Pending.relations tx)
+
+(* Drop edges incident to [id] and re-pack ids above it — the edge-set
+   mirror of [Bcdb.create_unchecked]'s dense re-identification. *)
+let remap_edges id edges =
+  List.filter_map
+    (fun (a, b) ->
+      if a = id || b = id then None
+      else
+        let f x = if x > id then x - 1 else x in
+        Some (f a, f b))
+    edges
+
+let splice arr id =
+  Array.init
+    (Array.length arr - 1)
+    (fun i -> if i < id then arr.(i) else arr.(i + 1))
+
+(* --- tx add ------------------------------------------------------- *)
+
+let add t ?label rows =
+  let db' = Bcdb.with_pending t.db ?label rows in
+  let store = Session.store t.session in
+  (* A permanent extension: the journal is deliberately dropped — the
+     arrival is never rolled back (an eviction re-packs instead). *)
+  ignore (Tagged_store.append_tx store db' : Tagged_store.journal);
+  let session' = Session.extended t.session in
+  let id = Array.length db'.Bcdb.pending - 1 in
+  t.db <- db';
+  t.session <- session';
+  t.fd <- Session.fd_graph session';
+  t.ind_base <- Session.ind_base_edges session';
+  t.includable <- Session.includable session';
+  (* Θ edges only ever appear on insert, so each tracked query's
+     component partition is maintained by a union-find merge: the old
+     partition plus the new node's incident Θ = ΘI ∪ Θq edges. *)
+  t.comps <-
+    List.map
+      (fun (q, comps) ->
+        let thetas =
+          Q.Theta.of_inds (Bcdb.inds db')
+          @ Q.Theta.of_query (Q.Query.body q)
+        in
+        let incident = Ind_graph.edges_for_tx store thetas id in
+        let uf = Bcgraph.Union_find.create (id + 1) in
+        List.iter
+          (function
+            | first :: rest ->
+                List.iter (fun m -> Bcgraph.Union_find.union uf first m) rest
+            | [] -> ())
+          comps;
+        List.iter (fun (a, b) -> Bcgraph.Union_find.union uf a b) incident;
+        let comps' = Bcgraph.Union_find.groups uf in
+        Session.seed_components session' q comps';
+        (q, comps'))
+      t.comps
+
+(* --- removal events ------------------------------------------------ *)
+
+let survivors pending id =
+  Array.to_list pending |> List.filteri (fun i _ -> i <> id)
+
+(* Node validity and includability against a {e changed} state: one
+   indexed batch check per survivor, through the plain database source
+   (the state is all-segment, so lookups hit segment indexes). *)
+let install_after_state_change t db' ~conflicts ~ind_base =
+  let src = R.Database.source db'.Bcdb.state in
+  let fd_constraints =
+    List.map (fun f -> R.Constr.Fd f) (Bcdb.fds db')
+  in
+  let node_ok =
+    Array.map
+      (fun tx -> R.Check.batch_consistent src fd_constraints (grouped_rows tx))
+      db'.Bcdb.pending
+  in
+  let includable =
+    Array.map
+      (fun tx ->
+        R.Check.batch_consistent src db'.Bcdb.constraints (grouped_rows tx))
+      db'.Bcdb.pending
+  in
+  let fd = Fd_graph.of_parts ~node_ok ~conflicts in
+  let session' =
+    Session.reseed t.session ~fd_graph:fd ~ind_base_edges:ind_base ~includable
+      db'
+  in
+  t.db <- db';
+  t.session <- session';
+  t.fd <- fd;
+  t.ind_base <- ind_base;
+  t.includable <- includable
+
+let evict t label =
+  match find t label with
+  | None -> Error (Printf.sprintf "evict: no pending transaction %S" label)
+  | Some id ->
+      (* R is untouched: validity, surviving conflicts, ΘI edges and
+         includability all carry over — only ids re-pack. *)
+      let db' = rebuild_db t.db.Bcdb.state t.db (survivors t.db.Bcdb.pending id) in
+      let fd = Fd_graph.remove t.fd id in
+      let ind_base = remap_edges id t.ind_base in
+      let includable = splice t.includable id in
+      let session' =
+        Session.reseed t.session ~fd_graph:fd ~ind_base_edges:ind_base
+          ~includable db'
+      in
+      t.db <- db';
+      t.session <- session';
+      t.fd <- fd;
+      t.ind_base <- ind_base;
+      t.includable <- includable;
+      (* Removal can split a component: rebuild on next check. *)
+      t.comps <- [];
+      Ok ()
+
+let confirm t label =
+  match find t label with
+  | None -> Error (Printf.sprintf "confirm: no pending transaction %S" label)
+  | Some id ->
+      let tx = t.db.Bcdb.pending.(id) in
+      let state = compact_with t.db.Bcdb.state tx.Pending.rows in
+      let db' = rebuild_db state t.db (survivors t.db.Bcdb.pending id) in
+      (* Pairwise conflicts and Θ edges depend only on pending rows:
+         re-id them. Validity/includability consult R: recompute. *)
+      let conflicts = remap_edges id t.fd.Fd_graph.conflicts in
+      let ind_base = remap_edges id t.ind_base in
+      install_after_state_change t db' ~conflicts ~ind_base;
+      t.comps <- [];
+      Ok ()
+
+let append_state t rows =
+  let state = compact_with t.db.Bcdb.state rows in
+  let db' = rebuild_db state t.db (Array.to_list t.db.Bcdb.pending) in
+  let conflicts = t.fd.Fd_graph.conflicts in
+  let ind_base = t.ind_base in
+  install_after_state_change t db' ~conflicts ~ind_base;
+  (* Ids did not move and Θ edges ignore R: tracked components hold. *)
+  List.iter (fun (q, comps) -> Session.seed_components t.session q comps) t.comps
+
+let reset t db =
+  let state = compact db.Bcdb.state in
+  let db' = rebuild_db state db (Array.to_list db.Bcdb.pending) in
+  let session' = Session.reseed t.session db' in
+  Session.warm session';
+  t.db <- db';
+  t.session <- session';
+  t.fd <- Session.fd_graph session';
+  t.ind_base <- Session.ind_base_edges session';
+  t.includable <- Session.includable session';
+  t.comps <- []
+
+(* --- checks -------------------------------------------------------- *)
+
+let components t q =
+  match List.find_opt (fun (q', _) -> same_query q' q) t.comps with
+  | Some (_, comps) -> comps
+  | None ->
+      let comps = Session.ind_components t.session q in
+      t.comps <- (q, comps) :: t.comps;
+      comps
+
+let check ?(jobs = 1) ?timeout_s ?max_worlds ?(use_delta = true) ?use_native
+    ?use_steal t q =
+  if use_delta then
+    (* Seeds the session's component cache as a side effect, so the
+       solver's delta path answers from the maintained partition. *)
+    ignore (components t q : int list list);
+  let budget =
+    match (timeout_s, max_worlds) with
+    | None, None -> None
+    | _ -> Some (Engine.Budget.create ?timeout_s ?max_worlds ())
+  in
+  Solver.solve ~jobs ?budget ~use_delta ?use_native ?use_steal t.session q

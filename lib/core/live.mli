@@ -1,0 +1,101 @@
+(** The live DCSat layer: one long-lived solving context whose inputs are
+    {e maintained} under mempool churn instead of rebuilt per request.
+
+    A batch {!Session} amortizes the precomputed structures of Section
+    6.3 — the fd-transaction graph [G^fd_T], the ΘI edges of the
+    ind-transaction graph, per-transaction includability — across many
+    constraint checks over one frozen database. A serving system sees
+    the opposite access pattern: the database churns (transactions
+    arrive, are replaced by fee bumps, are confirmed into the state,
+    or vanish in a reorg) while the {e same} constraints are checked
+    over and over. This module keeps those structures current under each
+    of the four mempool events, paying per event only for what the event
+    actually changed:
+
+    - {b add} ({!add}): one new graph node; its fd conflicts and Θ edges
+      are found through the store's indexes ({!Fd_graph.extend},
+      {!Ind_graph.edges_for_tx}); tracked per-query components are
+      merged with a union-find pass; everything else is reused.
+    - {b evict} ({!evict}, RBF): the node and its edges are dropped and
+      ids re-packed ({!Fd_graph.remove}); node validity, surviving
+      conflicts, ΘI edges and includability are reused (none depends on
+      the evicted transaction). Components fall back to
+      rebuild-on-next-check — a removal can split them.
+    - {b confirm} ({!confirm}): the transaction's rows join [R], so node
+      validity and includability are recomputed per survivor (one
+      indexed probe each); the pairwise conflict relation and the ΘI
+      edges depend only on pending rows and are reused re-id'd.
+    - {b reorg} ({!reset}): full resync — the one event with no useful
+      delta. Compiled plans still carry over.
+
+    Checks run through the ordinary {!Solver} on the maintained session,
+    so PR 5's ephemeron-registry world/plan caches persist across
+    requests, and per-request budgets give admission control. *)
+
+type t
+
+val create : ?obs:Obs.t -> Bcdb.t -> t
+(** Take over the database: the state is compacted to all-segment form
+    (so every later store reload is O(pending), independent of state
+    size), the session is created and warmed. *)
+
+val db : t -> Bcdb.t
+val session : t -> Session.t
+
+val fd_graph : t -> Fd_graph.t
+(** The maintained [G^fd_T] — what {!Fd_graph.build} would return on the
+    current database (up to edge-list ordering). *)
+
+val ind_base_edges : t -> (int * int) list
+(** The maintained ΘI edge set. *)
+
+val includable : t -> bool array
+(** Maintained [R ∪ {T_i} |= I] per pending transaction. *)
+
+val components : t -> Bcquery.Query.t -> int list list
+(** The ind-q components for [q], maintained incrementally once [q] has
+    been seen (first call computes and starts tracking). *)
+
+val pending_count : t -> int
+
+val find : t -> string -> int option
+(** Pending id of the transaction with the given label, if any. *)
+
+val add : t -> ?label:string -> (string * Relational.Tuple.t) list -> unit
+(** A transaction arrives in the mempool. O(its rows) index probes plus
+    one union-find merge per tracked query. *)
+
+val evict : t -> string -> (unit, string) result
+(** The labeled transaction is replaced/evicted (RBF). [Error] if no
+    pending transaction carries the label. *)
+
+val confirm : t -> string -> (unit, string) result
+(** The labeled transaction is mined: its rows join the state, it leaves
+    the pending set. The state is re-compacted (O(|R|) — once per block,
+    keeping every subsequent store reload O(pending)). *)
+
+val append_state : t -> (string * Relational.Tuple.t) list -> unit
+(** Rows enter the state without ever having been pending (coinbase
+    transactions, blocks mined elsewhere). Same state-side maintenance
+    as {!confirm} with no pending removal. *)
+
+val reset : t -> Bcdb.t -> unit
+(** Reorg fallback: resynchronize to a freshly encoded database. All
+    structures are rebuilt; compiled plans and the recorder carry
+    over. *)
+
+val check :
+  ?jobs:int ->
+  ?timeout_s:float ->
+  ?max_worlds:int ->
+  ?use_delta:bool ->
+  ?use_native:bool ->
+  ?use_steal:bool ->
+  t ->
+  Bcquery.Query.t ->
+  (Dcsat.outcome * Solver.strategy, string) result
+(** One DCSat request against the current mempool: {!Solver.solve} over
+    the maintained session, with [timeout_s]/[max_worlds] forming the
+    per-request admission budget (an exhausted budget yields
+    [verdict = Unknown], never a wrong answer). The first check of a
+    query starts component tracking for it. *)

@@ -1,14 +1,25 @@
 module R = Relational
 
-type t = {
-  db : Bcdb.t;
-  store : Tagged_store.t;
-  obs : Obs.t ref;
-      (* a ref, not a value: lazies and pooled replicas must see the
-         recorder active when they run, not the one at session creation *)
+(* The lazily-built solver inputs, grouped so that a staleness rebuild
+   ([revalidate]) swaps them together with the store they were computed
+   against. *)
+type caches = {
   fd_graph : Fd_graph.t Lazy.t;
   ind_base_edges : (int * int) list Lazy.t;
   includable : bool array Lazy.t;
+}
+
+type t = {
+  db : Bcdb.t;
+  mutable store : Tagged_store.t;
+  mutable state_gen : int;
+      (* R's generation stamp when [store]/[caches] were (re)built;
+         mismatch means the state was mutated in place since. *)
+  obs : Obs.t ref;
+      (* a ref, not a value: lazies and pooled replicas must see the
+         recorder active when they run, not the one at session creation *)
+  mutable caches : caches;
+  valid_lock : Mutex.t;  (* guards the store/state_gen/caches swap *)
   pool : Tagged_store.t list ref;  (* idle full replicas, guarded by pool_lock *)
   pool_lock : Mutex.t;
   plans : (Bcquery.Query.t * Inc_eval.plan) list ref;
@@ -19,6 +30,31 @@ type t = {
   components_lock : Mutex.t;
 }
 
+let compute_includable store constraints =
+  let saved = Tagged_store.world store in
+  Tagged_store.base_only store;
+  let src = Tagged_store.source store in
+  let result =
+    Array.init (Tagged_store.tx_count store) (fun id ->
+        R.Check.batch_consistent src constraints (Tagged_store.tx_rows store id))
+  in
+  Tagged_store.set_world store saved;
+  result
+
+let build_caches obs db store =
+  {
+    fd_graph =
+      lazy (Obs.span !obs ~cat:"session" "fd_graph" (fun () -> Fd_graph.build store));
+    ind_base_edges =
+      lazy
+        (Obs.span !obs ~cat:"session" "ind_base_edges" (fun () ->
+             Ind_graph.base_edges store));
+    includable =
+      lazy
+        (Obs.span !obs ~cat:"session" "includable" (fun () ->
+             compute_includable store db.Bcdb.constraints));
+  }
+
 let create ?(obs = Obs.null) db =
   let store = Tagged_store.create db in
   let obs = ref obs in
@@ -26,33 +62,52 @@ let create ?(obs = Obs.null) db =
   {
     db;
     store;
+    state_gen = R.Database.generation db.Bcdb.state;
     obs;
+    caches = build_caches obs db store;
+    valid_lock = Mutex.create ();
     pool = ref [];
     pool_lock = Mutex.create ();
     plans = ref [];
     plans_lock = Mutex.create ();
     components = ref [];
     components_lock = Mutex.create ();
-    fd_graph = lazy (Obs.span !obs ~cat:"session" "fd_graph" (fun () -> Fd_graph.build store));
-    ind_base_edges =
-      lazy (Obs.span !obs ~cat:"session" "ind_base_edges" (fun () -> Ind_graph.base_edges store));
-    includable =
-      lazy
-        (Obs.span !obs ~cat:"session" "includable" (fun () ->
-             let saved = Tagged_store.world store in
-             Tagged_store.base_only store;
-             let src = Tagged_store.source store in
-             let result =
-               Array.init (Tagged_store.tx_count store) (fun id ->
-                   R.Check.batch_consistent src db.Bcdb.constraints
-                     (Tagged_store.tx_rows store id))
-             in
-             Tagged_store.set_world store saved;
-             result));
   }
 
+(* In-place churn guard (the [serve] access pattern): the store snapshots
+   R at creation, so a [Database.insert] on the session's own database
+   between two solves leaves every derived structure stale while the
+   physical database value — the old cache guard — is unchanged. The
+   generation stamp catches exactly that; on mismatch the store and every
+   R-dependent cache are rebuilt and pooled replicas dropped. Component
+   entries stay keyed by database value; they are cleared too because ΘI
+   edges consult R. *)
+let revalidate t =
+  if R.Database.generation t.db.Bcdb.state <> t.state_gen then begin
+    Mutex.lock t.valid_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.valid_lock) @@ fun () ->
+    let gen = R.Database.generation t.db.Bcdb.state in
+    if gen <> t.state_gen then begin
+      let store = Tagged_store.create t.db in
+      Tagged_store.set_obs store !(t.obs);
+      t.caches <- build_caches t.obs t.db store;
+      t.store <- store;
+      t.state_gen <- gen;
+      Mutex.lock t.pool_lock;
+      t.pool := [];
+      Mutex.unlock t.pool_lock;
+      Mutex.lock t.components_lock;
+      t.components := [];
+      Mutex.unlock t.components_lock
+    end
+  end
+
 let db t = t.db
-let store t = t.store
+
+let store t =
+  revalidate t;
+  t.store
+
 let obs t = !(t.obs)
 
 let set_obs t obs =
@@ -75,17 +130,24 @@ let plan t q =
       t.plans := (q, p) :: !(t.plans);
       p
 
-let fd_graph t = Lazy.force t.fd_graph
-let ind_base_edges t = Lazy.force t.ind_base_edges
+let fd_graph t =
+  revalidate t;
+  Lazy.force t.caches.fd_graph
+
+let ind_base_edges t =
+  revalidate t;
+  Lazy.force t.caches.ind_base_edges
 
 (* Connected components of the ind-q-transaction graph, cached per
-   query: the graph depends only on the pending set (Θq edges are found
-   by hashing pending rows with full projections, never through the
-   store's active world) and on the query body, so repeated solves of
-   one constraint reuse it. Entries are guarded by the database value
-   they were computed against — a dry-run append/undo replaces it, and
-   stale entries are pruned on the next insert. *)
+   query: the Θq edges are found by hashing pending rows with full
+   projections, never through the store's active world, so repeated
+   solves of one constraint reuse it. Entries are guarded by the
+   database value they were computed against — a dry-run append/undo
+   replaces it, and stale entries are pruned on the next insert —
+   while in-place state churn is caught by {!revalidate} (ΘI edges
+   consult R). *)
 let ind_components t q =
+  revalidate t;
   let db_now = Tagged_store.db t.store in
   Mutex.lock t.components_lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.components_lock) @@ fun () ->
@@ -97,14 +159,33 @@ let ind_components t q =
   with
   | Some (_, _, comps) -> comps
   | None ->
-      let graph = Ind_graph.build t.store q (ind_base_edges t) in
+      let graph = Ind_graph.build t.store q (Lazy.force t.caches.ind_base_edges) in
       let comps = Bcgraph.Components.of_graph graph in
       let live =
         List.filter (fun (db', _, _) -> db' == db_now) !(t.components)
       in
       t.components := (db_now, q, comps) :: live;
       comps
-let includable t = Lazy.force t.includable
+
+(* The live layer maintains per-query components itself (union-find merge
+   on transaction arrival); this installs its result where the solver's
+   delta path will find it, replacing any entry for the same query. *)
+let seed_components t q comps =
+  revalidate t;
+  let db_now = Tagged_store.db t.store in
+  Mutex.lock t.components_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.components_lock) @@ fun () ->
+  let rest =
+    List.filter
+      (fun (db', q', _) ->
+        db' == db_now && not (q' == q || Stdlib.compare q' q = 0))
+      !(t.components)
+  in
+  t.components := (db_now, q, comps) :: rest
+
+let includable t =
+  revalidate t;
+  Lazy.force t.caches.includable
 
 let warm t =
   ignore (fd_graph t);
@@ -116,8 +197,10 @@ let warm t =
    the store once per domain overall, not once per run. A pooled replica
    is only handed out while it still matches the session's database (a
    dry-run journal on the primary invalidates it — physical equality on
-   the Bcdb value catches that). *)
+   the Bcdb value catches that; in-place churn empties the pool in
+   [revalidate]). *)
 let borrow_replica t =
+  revalidate t;
   Mutex.lock t.pool_lock;
   let hit =
     match !(t.pool) with
@@ -144,6 +227,7 @@ let return_replica t r =
   end
 
 let replica t =
+  revalidate t;
   (* Already-forced caches are shared by value (they are immutable once
      built); unforced ones are rebound to the replica's own store so a
      worker can never force a computation against the parent's store. *)
@@ -151,10 +235,19 @@ let replica t =
   let share forced fresh =
     if Lazy.is_val forced then Lazy.from_val (Lazy.force forced) else fresh
   in
+  let fresh = build_caches t.obs t.db store in
   {
     db = t.db;
     store;
+    state_gen = t.state_gen;
     obs = t.obs;
+    caches =
+      {
+        fd_graph = share t.caches.fd_graph fresh.fd_graph;
+        ind_base_edges = share t.caches.ind_base_edges fresh.ind_base_edges;
+        includable = share t.caches.includable fresh.includable;
+      };
+    valid_lock = Mutex.create ();
     pool = ref [];
     pool_lock = Mutex.create ();
     (* Plans are immutable and query-keyed: share the parent's cache
@@ -165,21 +258,6 @@ let replica t =
     plans_lock = Mutex.create ();
     components = ref !(t.components);
     components_lock = Mutex.create ();
-    fd_graph = share t.fd_graph (lazy (Fd_graph.build store));
-    ind_base_edges = share t.ind_base_edges (lazy (Ind_graph.base_edges store));
-    includable =
-      share t.includable
-        (lazy
-          (let saved = Tagged_store.world store in
-           Tagged_store.base_only store;
-           let src = Tagged_store.source store in
-           let result =
-             Array.init (Tagged_store.tx_count store) (fun id ->
-                 R.Check.batch_consistent src t.db.Bcdb.constraints
-                   (Tagged_store.tx_rows store id))
-           in
-           Tagged_store.set_world store saved;
-           result));
   }
 
 let extended t =
@@ -189,21 +267,21 @@ let extended t =
   if Array.length db'.Bcdb.pending <> Array.length t.db.Bcdb.pending + 1 then
     invalid_arg "Session.extended: store is not one transaction ahead";
   let fd_graph =
-    if Lazy.is_val t.fd_graph then
-      Lazy.from_val (Fd_graph.extend (Lazy.force t.fd_graph) store)
+    if Lazy.is_val t.caches.fd_graph then
+      Lazy.from_val (Fd_graph.extend (Lazy.force t.caches.fd_graph) store)
     else lazy (Fd_graph.build store)
   in
   let ind_base_edges =
-    if Lazy.is_val t.ind_base_edges then
+    if Lazy.is_val t.caches.ind_base_edges then
       Lazy.from_val
-        (Lazy.force t.ind_base_edges
+        (Lazy.force t.caches.ind_base_edges
         @ Ind_graph.edges_for_tx store
             (Bcquery.Theta.of_inds (Bcdb.inds db'))
             id)
     else lazy (Ind_graph.base_edges store)
   in
   let includable =
-    if Lazy.is_val t.includable then
+    if Lazy.is_val t.caches.includable then
       Lazy.from_val
         (let saved = Tagged_store.world store in
          Tagged_store.base_only store;
@@ -213,24 +291,16 @@ let extended t =
              (Tagged_store.tx_rows store id)
          in
          Tagged_store.set_world store saved;
-         Array.append (Lazy.force t.includable) [| ok |])
-    else
-      lazy
-        (let saved = Tagged_store.world store in
-         Tagged_store.base_only store;
-         let src = Tagged_store.source store in
-         let result =
-           Array.init (Tagged_store.tx_count store) (fun i ->
-               R.Check.batch_consistent src db'.Bcdb.constraints
-                 (Tagged_store.tx_rows store i))
-         in
-         Tagged_store.set_world store saved;
-         result)
+         Array.append (Lazy.force t.caches.includable) [| ok |])
+    else lazy (compute_includable store db'.Bcdb.constraints)
   in
   {
     db = db';
     store;
+    state_gen = t.state_gen;
     obs = t.obs;
+    caches = { fd_graph; ind_base_edges; includable };
+    valid_lock = Mutex.create ();
     pool = ref [];
     pool_lock = Mutex.create ();
     plans = ref !(t.plans);
@@ -239,7 +309,36 @@ let extended t =
        empty (entries are keyed by the pre-extension database anyway). *)
     components = ref [];
     components_lock = Mutex.create ();
-    fd_graph;
-    ind_base_edges;
-    includable;
+  }
+
+(* The live layer maintains the fd graph, ΘI edges and includability
+   itself (lib/core/live.ml); [reseed] lets it hand a new database value
+   plus those pre-maintained structures to a fresh session without
+   rebuilding them — only the store is reloaded (O(pending) when the
+   state is all-segment) — while compiled plans carry over. *)
+let reseed t ?fd_graph ?ind_base_edges ?includable db =
+  let store = Tagged_store.create db in
+  Tagged_store.set_obs store !(t.obs);
+  let fresh = build_caches t.obs db store in
+  let seeded v fallback =
+    match v with Some x -> Lazy.from_val x | None -> fallback
+  in
+  {
+    db;
+    store;
+    state_gen = R.Database.generation db.Bcdb.state;
+    obs = t.obs;
+    caches =
+      {
+        fd_graph = seeded fd_graph fresh.fd_graph;
+        ind_base_edges = seeded ind_base_edges fresh.ind_base_edges;
+        includable = seeded includable fresh.includable;
+      };
+    valid_lock = Mutex.create ();
+    pool = ref [];
+    pool_lock = Mutex.create ();
+    plans = ref !(t.plans);
+    plans_lock = Mutex.create ();
+    components = ref [];
+    components_lock = Mutex.create ();
   }

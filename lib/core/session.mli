@@ -3,7 +3,14 @@
     state (Section 6.3) — the fd-transaction graph, the ΘI edges of the
     ind-transaction graph, and per-transaction includability
     ([R ∪ {T} |= I]). Multiple denial constraints can then be checked
-    against the same session cheaply. *)
+    against the same session cheaply.
+
+    The store snapshots the state [R] at creation, so every cached
+    structure is also guarded by [R]'s {!Relational.Database.generation}
+    stamp: if the same database value is mutated in place between two
+    solves (the long-running [serve] access pattern), the next accessor
+    call rebuilds the store and caches instead of answering from stale
+    ones. *)
 
 type t
 
@@ -44,6 +51,15 @@ val ind_components : t -> Bcquery.Query.t -> int list list
     when the store's database value changes (dry-run extensions).
     Thread-safe. *)
 
+val seed_components : t -> Bcquery.Query.t -> int list list -> unit
+(** Install externally-maintained ind-q components for [q] against the
+    current database value, replacing any cached entry for the same
+    query. {!Live} maintains components with a union-find merge per
+    arriving transaction and seeds them here so {!ind_components} (and
+    through it OptDCSat's delta path) answers without a rebuild. The
+    caller vouches that the partition is exactly what
+    {!ind_components} would compute. Thread-safe. *)
+
 val includable : t -> bool array
 (** [includable.(i)] iff [R ∪ {T_i} |= I] — the transaction could be
     appended right now. *)
@@ -75,4 +91,22 @@ val extended : t -> t
     one hypothetical transaction ({!Tagged_store.append_tx}): every
     already-computed structure is updated incrementally (one new graph
     node, its edges found via indexes) instead of rebuilt. Used by
-    {!Dry_run}; the extended session must not outlive the rollback. *)
+    {!Dry_run} and by {!Live} on transaction arrival; when the extension
+    is rolled back, the extended session must not outlive the rollback. *)
+
+val reseed :
+  t ->
+  ?fd_graph:Fd_graph.t ->
+  ?ind_base_edges:(int * int) list ->
+  ?includable:bool array ->
+  Bcdb.t ->
+  t
+(** [reseed t db] is a fresh session over [db] that inherits [t]'s
+    compiled-plan cache and recorder, with any supplied pre-maintained
+    structures installed as already-forced caches instead of being
+    rebuilt. This is the {!Live} layer's eviction/confirmation path: it
+    maintains the fd graph, ΘI edges and includability incrementally
+    itself and only needs the store reloaded — O(pending) when the state
+    is all-segment. Structures not supplied are rebuilt lazily. The
+    supplied structures must of course describe [db] exactly; nothing is
+    checked. *)

@@ -90,6 +90,7 @@ type t = {
   mutable k : int;
   mutable visible : Bitset.t;
   mutable epoch : int;
+  mutable pending_epoch : int;  (* bumped by append_tx/undo: pending-set shape *)
   mutable obs : Obs.t;
 }
 
@@ -209,6 +210,7 @@ let create (db : Bcdb.t) =
     k;
     visible = Bitset.create k;
     epoch = 0;
+    pending_epoch = 0;
     obs = Obs.null;
   }
 
@@ -276,6 +278,7 @@ let clone t =
     k = t.k;
     visible = Bitset.copy t.visible;
     epoch = t.epoch;
+    pending_epoch = t.pending_epoch;
     obs = t.obs;
   }
 
@@ -319,12 +322,15 @@ let restrict t members =
     k = t.k;
     visible = Bitset.create t.k;
     epoch = 0;
+    pending_epoch = t.pending_epoch;
     obs = t.obs;
   }
 
 let db t = t.db
 let uid t = t.uid
 let tx_count t = t.k
+let pending_epoch t = t.pending_epoch
+let state_generation t = R.Database.generation t.db.Bcdb.state
 let set_obs t obs = t.obs <- obs
 let world t = Bitset.copy t.visible
 
@@ -862,6 +868,7 @@ let append_tx t (db' : Bcdb.t) =
   in
   t.db <- db';
   t.k <- t.k + 1;
+  t.pending_epoch <- t.pending_epoch + 1;
   t.visible <- Bitset.of_list t.k (Bitset.to_list journal.prev_visible);
   journal
 
@@ -910,4 +917,5 @@ let undo t journal =
   t.db <- journal.prev_db;
   t.k <- Array.length journal.prev_db.Bcdb.pending;
   t.visible <- journal.prev_visible;
+  t.pending_epoch <- t.pending_epoch + 1;
   t.epoch <- t.epoch + 1

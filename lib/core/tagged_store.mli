@@ -59,6 +59,19 @@ val uid : t -> int
     physical store identity hash in O(1) instead of walking the deep
     mutable structure. *)
 
+val pending_epoch : t -> int
+(** Monotone stamp of the store's pending-set shape: bumped by every
+    {!append_tx} and {!undo}. Two reads returning the same value
+    bracket a window in which the loaded pending segment did not
+    change. Clones and scoped views start from the parent's value. *)
+
+val state_generation : t -> int
+(** The {!Relational.Database.generation} stamp of the database value's
+    current state [R]. The store loads [R] once at {!create}; if this
+    stamp has moved since, the state was mutated in place behind the
+    store's back and the store (and anything cached against it) is
+    stale — see {!Session} for the rebuild-on-churn guard. *)
+
 val set_obs : t -> Obs.t -> unit
 (** Attach a recorder; the store bumps visibility-cache hit/miss,
     world-epoch-switch and base-probe dictionary hit/miss

@@ -55,6 +55,12 @@ let total_cardinality t =
     (fun name r acc -> acc + Relation.cardinality r + seg_len t name)
     t.relations 0
 
+(* Tails are append-only sets, so their total cardinality is a faithful
+   mutation stamp — it moves on every in-place insert, through any code
+   path, and never repeats a value after a change. *)
+let generation t =
+  Smap.fold (fun _ r acc -> acc + Relation.cardinality r) t.relations 0
+
 let iter_tuples t name f =
   (match Smap.find_opt name t.segs with
   | Some seg -> Seq.iter f (Segment.tuple_seq seg)

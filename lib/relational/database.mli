@@ -47,6 +47,16 @@ val to_segment : t -> string -> Segment.t
 
 val total_cardinality : t -> int
 
+val generation : t -> int
+(** Monotone mutation stamp of the database value: the total row count
+    across every relation's mutable tail. Relations are append-only sets
+    (no update, no delete), so {e any} in-place change — whether through
+    {!insert}/{!insert_all} or a direct {!Relation.insert} on a tail
+    obtained from {!relation} — moves the stamp. Segments are immutable
+    and do not contribute. Caches that guard entries by physical equality
+    of the database value pair it with this stamp to detect in-place
+    churn (see {!Bccore.Session}). *)
+
 val copy : t -> t
 (** Copy sharing the immutable segments and deep-copying the tails. *)
 

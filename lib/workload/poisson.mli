@@ -1,0 +1,35 @@
+(** Poisson-arrival driver for the live DCSat service: replays an
+    open-loop request stream against a single-server check loop and
+    reports throughput and latency percentiles — the serving metrics a
+    single-solve seconds figure cannot express.
+
+    Requests arrive at exponentially distributed inter-arrival times
+    (rate λ, seeded and deterministic); the service time of request [i]
+    is the {e measured} wall-clock of running the supplied thunk. The
+    server is single-file, so request [i] starts at
+    [max(arrival_i, completion_{i-1})] and its {e latency} — what a
+    client would see — is queueing delay plus service time. Arrivals are
+    simulated (no real sleeping): the driver runs the thunks
+    back-to-back and does the queueing arithmetic on the virtual
+    clock, so a bench run costs only the sum of the service times. *)
+
+type summary = {
+  requests : int;
+  rate : float;  (** Offered arrival rate λ (requests/second). *)
+  duration : float;
+      (** Virtual makespan: last completion minus first arrival. *)
+  checks_per_sec : float;  (** [requests /. duration]. *)
+  mean_service : float;  (** Mean measured service time (seconds). *)
+  p50 : float;  (** Median client latency (seconds). *)
+  p90 : float;
+  p99 : float;
+}
+
+val run : seed:int -> rate:float -> requests:int -> (int -> unit) -> summary
+(** [run ~seed ~rate ~requests service] times [service i] for each
+    [i < requests] and folds the measurements through the queueing
+    model. [requests] must be positive. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,1]: nearest-rank percentile of the
+    (unsorted) array. Raises [Invalid_argument] on an empty array. *)

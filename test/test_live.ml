@@ -1,0 +1,469 @@
+(* The live layer's contract: after an arbitrary stream of mempool
+   events (add / evict / confirm / reorg), every incrementally
+   maintained structure — the fd-transaction graph, the ΘI edge set,
+   per-transaction includability, the ind-q components — and the DCSat
+   verdict itself must be identical to a from-scratch batch rebuild of
+   the same database. Plus regression pins for the cache-staleness
+   bugs: session caches guarded only by physical database equality
+   going stale under in-place state mutation, and memoized getMaximal
+   closures surviving an RBF eviction. *)
+
+module R = Relational
+module V = R.Value
+module Q = Bcquery
+module Core = Bccore
+module C = Chain
+
+(* Same mixed-constraint schema as the agreement suite: keys AND
+   inclusion dependencies, so event streams exercise both conflict
+   edges and Θ edges. *)
+let node = R.Schema.relation "Node" [ "id"; "colour" ]
+let edge = R.Schema.relation "Edge" [ "src"; "dst" ]
+let cat = R.Schema.of_list [ node; edge ]
+
+let constraints =
+  [
+    R.Constr.key node [ "id" ];
+    R.Constr.ind ~sub:edge [ "src" ] ~sup:node [ "id" ];
+    R.Constr.ind ~sub:edge [ "dst" ] ~sup:node [ "id" ];
+  ]
+
+let node_row id colour = ("Node", R.Tuple.make [ V.Int id; V.Str colour ])
+let edge_row s d = ("Edge", R.Tuple.make [ V.Int s; V.Int d ])
+let colours = [| "red"; "green"; "blue" |]
+let parse q = Q.Parser.parse_exn ~catalog:cat q
+
+let queries =
+  [
+    {| q() :- Node(i, "green"). |};
+    {| q() :- Edge(s, d), Node(s, "red"), Node(d, c). |};
+    {| q() :- Node(4, c). |};
+    {| q() :- Edge(s, d), Node(d, "blue"). |};
+  ]
+
+(* --- the reference model: a plain record of what the database should
+   contain, replayed into [Bcdb.create_unchecked] after every event --- *)
+
+type model = {
+  base : (string * R.Tuple.t) list;
+  mutable confirmed : (string * (string * R.Tuple.t) list) list;
+      (* newest first — a reorg pops the head back into the mempool *)
+  mutable pending : (string * (string * R.Tuple.t) list) list;
+      (* oldest first, mirroring pending ids *)
+}
+
+let model_db m =
+  let state = R.Database.create cat in
+  R.Database.insert_all state m.base;
+  List.iter
+    (fun (_, rows) -> R.Database.insert_all state rows)
+    (List.rev m.confirmed);
+  Core.Bcdb.create_unchecked ~state ~constraints
+    ~pending:(List.map snd m.pending)
+    ~labels:(List.map fst m.pending)
+    ()
+
+let fresh_model () =
+  {
+    base =
+      [ node_row 0 "red"; node_row 1 "red"; node_row 2 "red"; edge_row 0 1 ];
+    confirmed = [];
+    pending = [];
+  }
+
+(* --- structure comparison helpers --- *)
+
+let edge_list g =
+  let n = Bcgraph.Undirected.node_count g in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun j -> if j > i then acc := (i, j) :: !acc)
+      (Bcgraph.Undirected.neighbours g i)
+  done;
+  List.sort compare !acc
+
+let norm_pairs ps =
+  List.sort compare (List.map (fun (a, b) -> (min a b, max a b)) ps)
+
+let norm_comps comps =
+  List.sort compare (List.map (List.sort compare) comps)
+
+let fail_diff what step pp a b =
+  QCheck.Test.fail_reportf "step %d: %s differ:@.  live:  %s@.  fresh: %s"
+    step what (pp a) (pp b)
+
+let pp_pairs ps =
+  String.concat "; " (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) ps)
+
+let pp_bools bs =
+  String.concat "" (List.map (fun b -> if b then "1" else "0") (Array.to_list bs))
+
+let pp_comps cs =
+  String.concat "; "
+    (List.map (fun c -> "[" ^ String.concat "," (List.map string_of_int c) ^ "]") cs)
+
+(* Every maintained structure against a from-scratch session over the
+   model database; true verdict agreement through the solver at the
+   given parallelism. *)
+let assert_agrees ~step ~jobs live m q =
+  let db = model_db m in
+  let fresh = Core.Session.create db in
+  let lf = Core.Live.fd_graph live and ff = Core.Session.fd_graph fresh in
+  if Array.to_list lf.Core.Fd_graph.node_ok <> Array.to_list ff.Core.Fd_graph.node_ok
+  then
+    fail_diff "fd node validity" step pp_bools lf.Core.Fd_graph.node_ok
+      ff.Core.Fd_graph.node_ok;
+  let le = edge_list lf.Core.Fd_graph.graph
+  and fe = edge_list ff.Core.Fd_graph.graph in
+  if le <> fe then fail_diff "fd edges" step pp_pairs le fe;
+  let lc = norm_pairs lf.Core.Fd_graph.conflicts
+  and fc = norm_pairs ff.Core.Fd_graph.conflicts in
+  if lc <> fc then fail_diff "fd conflicts" step pp_pairs lc fc;
+  let li = norm_pairs (Core.Live.ind_base_edges live)
+  and fi = norm_pairs (Core.Session.ind_base_edges fresh) in
+  if li <> fi then fail_diff "ΘI edges" step pp_pairs li fi;
+  let linc = Core.Live.includable live
+  and finc = Core.Session.includable fresh in
+  if Array.to_list linc <> Array.to_list finc then
+    fail_diff "includable" step pp_bools linc finc;
+  let lcomp = norm_comps (Core.Live.components live q)
+  and fcomp = norm_comps (Core.Session.ind_components fresh q) in
+  if lcomp <> fcomp then fail_diff "ind-q components" step pp_comps lcomp fcomp;
+  let lsat =
+    match Core.Live.check ~jobs live q with
+    | Ok (o, _) -> o.Core.Dcsat.satisfied
+    | Error e -> QCheck.Test.fail_reportf "step %d: live check: %s" step e
+  in
+  let fsat =
+    match Core.Solver.solve ~jobs fresh q with
+    | Ok (o, _) -> o.Core.Dcsat.satisfied
+    | Error e -> QCheck.Test.fail_reportf "step %d: batch solve: %s" step e
+  in
+  if lsat <> fsat then
+    QCheck.Test.fail_reportf "step %d: verdict differs: live %b, batch %b" step
+      lsat fsat;
+  true
+
+(* --- random event streams --- *)
+
+let next_label =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "L%d" !n
+
+let random_rows rng =
+  let rows = 1 + Random.State.int rng 2 in
+  List.sort_uniq compare
+    (List.init rows (fun _ ->
+         if Random.State.bool rng then
+           node_row (3 + Random.State.int rng 4) colours.(Random.State.int rng 3)
+         else edge_row (Random.State.int rng 7) (Random.State.int rng 7)))
+
+let random_pending_label rng m = fst (List.nth m.pending (Random.State.int rng (List.length m.pending)))
+
+(* One event, applied to the model and the live layer in lockstep. *)
+let step_event rng live m =
+  let pick = Random.State.int rng 100 in
+  if pick < 45 || m.pending = [] then begin
+    let label = next_label () and rows = random_rows rng in
+    m.pending <- m.pending @ [ (label, rows) ];
+    Core.Live.add live ~label rows
+  end
+  else if pick < 65 then begin
+    let label = random_pending_label rng m in
+    m.pending <- List.filter (fun (l, _) -> l <> label) m.pending;
+    match Core.Live.evict live label with
+    | Ok () -> ()
+    | Error e -> QCheck.Test.fail_reportf "evict %s: %s" label e
+  end
+  else if pick < 85 then begin
+    let label = random_pending_label rng m in
+    let rows = List.assoc label m.pending in
+    m.pending <- List.filter (fun (l, _) -> l <> label) m.pending;
+    m.confirmed <- (label, rows) :: m.confirmed;
+    match Core.Live.confirm live label with
+    | Ok () -> ()
+    | Error e -> QCheck.Test.fail_reportf "confirm %s: %s" label e
+  end
+  else
+    match m.confirmed with
+    | [] ->
+        let label = next_label () and rows = random_rows rng in
+        m.pending <- m.pending @ [ (label, rows) ];
+        Core.Live.add live ~label rows
+    | (label, rows) :: rest ->
+        (* Reorg: the most recent confirmation is disconnected and its
+           transaction returns to the mempool; the live layer resyncs. *)
+        m.confirmed <- rest;
+        m.pending <- m.pending @ [ (label, rows) ];
+        Core.Live.reset live (model_db m)
+
+let differential ~jobs ~count =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "incremental maintenance = from-scratch rebuild (jobs %d)"
+         jobs)
+    ~count
+    QCheck.(pair (int_bound 1_000_000) (int_bound (List.length queries - 1)))
+    (fun (seed, qi) ->
+      let rng = Random.State.make [| seed; jobs |] in
+      let m = fresh_model () in
+      let live = Core.Live.create (model_db m) in
+      let q = parse (List.nth queries qi) in
+      let steps = 6 + Random.State.int rng 5 in
+      let ok = ref true in
+      for step = 1 to steps do
+        step_event rng live m;
+        ok := !ok && assert_agrees ~step ~jobs live m q
+      done;
+      !ok)
+
+(* --- satellite 1: session caches vs in-place state mutation ---------
+
+   The session's plan/graph/component caches used to be guarded only by
+   physical equality of the database value; mutating the *same*
+   database between two solves kept serving the stale structures. The
+   generation stamp must notice the mutation and revalidate. *)
+
+let test_session_state_mutation () =
+  let state = R.Database.create cat in
+  R.Database.insert_all state [ node_row 0 "red"; node_row 1 "red" ];
+  let db =
+    Core.Bcdb.create_exn ~state ~constraints
+      ~pending:[ [ node_row 3 "red" ] ]
+      ()
+  in
+  let session = Core.Session.create db in
+  let q = parse {| q() :- Node(4, "green"). |} in
+  let solve () =
+    match Core.Solver.solve session q with
+    | Ok (o, _) -> o.Core.Dcsat.satisfied
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "no green node 4 anywhere: satisfied" true (solve ());
+  (* Mutate the same database value in place between the two solves. *)
+  ignore (R.Database.insert state "Node" (R.Tuple.make [ V.Int 4; V.Str "green" ]) : bool);
+  Alcotest.(check bool)
+    "the in-place row violates q over R itself: second solve must see it"
+    false (solve ())
+
+(* The same staleness through the maximal-world path: a state row that
+   key-conflicts a pending transaction shrinks every world containing
+   it; a cached getMaximal closure would keep reporting the old
+   (now-impossible) world and the old verdict. *)
+let test_maximal_world_state_mutation () =
+  let state = R.Database.create cat in
+  R.Database.insert_all state [ node_row 0 "red" ];
+  let db =
+    Core.Bcdb.create_exn ~state ~constraints
+      ~pending:[ [ node_row 5 "green" ] ]
+      ()
+  in
+  let session = Core.Session.create db in
+  let q = parse {| q() :- Node(5, "green"). |} in
+  let solve () =
+    match Core.Solver.solve session q with
+    | Ok (o, _) -> (o.Core.Dcsat.satisfied, o.Core.Dcsat.witness_world)
+    | Error e -> Alcotest.fail e
+  in
+  let sat1, world1 = solve () in
+  Alcotest.(check bool) "world {T0} violates q" false sat1;
+  Alcotest.(check (option (list int))) "witnessed by T0" (Some [ 0 ]) world1;
+  (* Node id 5 is now taken in R: T0 turns fd-invalid, the only possible
+     world is {}, and the constraint holds. *)
+  ignore (R.Database.insert state "Node" (R.Tuple.make [ V.Int 5; V.Str "red" ]) : bool);
+  let sat2, world2 = solve () in
+  Alcotest.(check bool) "T0 can no longer join any world" true sat2;
+  Alcotest.(check (option (list int))) "no witness survives" None world2
+
+(* --- satellite 3: eviction must invalidate memoized getMaximal ------
+
+   Two key-rival transactions, the constraint violated only through the
+   rival's world. After the RBF eviction the cached maximal worlds of
+   the old graph must be unreachable — the verdict flips. *)
+
+let test_evict_invalidates_maximal_worlds () =
+  let state = R.Database.create cat in
+  R.Database.insert_all state [ node_row 0 "red" ];
+  let db =
+    Core.Bcdb.create_exn ~state ~constraints
+      ~pending:[ [ node_row 9 "green" ]; [ node_row 9 "blue" ] ]
+      ~labels:[ "T-green"; "T-blue" ]
+      ()
+  in
+  let live = Core.Live.create db in
+  let blue = parse {| q() :- Node(i, "blue"). |} in
+  let green = parse {| q() :- Node(i, "green"). |} in
+  let check q =
+    match Core.Live.check live q with
+    | Ok (o, _) -> o.Core.Dcsat.satisfied
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "blue reachable through T-blue's world" false
+    (check blue);
+  Alcotest.(check bool) "green reachable too" false (check green);
+  (match Core.Live.evict live "T-blue" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool)
+    "after eviction no world contains blue: a cached maximal world would lie"
+    true (check blue);
+  Alcotest.(check bool) "the survivor still violates green" false (check green);
+  Alcotest.(check int) "one pending left" 1 (Core.Live.pending_count live)
+
+(* --- the feed: live layer vs re-encoding the node from scratch ------ *)
+
+let sorted_state_rows db =
+  let state = db.Core.Bcdb.state in
+  List.map
+    (fun r ->
+      let acc = ref [] in
+      R.Database.iter_tuples state r.R.Schema.name (fun t -> acc := t :: !acc);
+      (r.R.Schema.name, List.sort compare !acc))
+    (R.Schema.relations (R.Database.catalog state))
+
+let pending_view db =
+  Array.to_list db.Core.Bcdb.pending
+  |> List.map (fun tx -> (tx.Core.Pending.label, List.sort compare tx.Core.Pending.rows))
+
+let assert_feed_consistent msg feed =
+  let node_db =
+    match C.Encode.bcdb_of_node (C.Feed.node feed) with
+    | Ok db -> db
+    | Error e -> Alcotest.fail e
+  in
+  let live = C.Feed.live feed in
+  let live_db = Core.Live.db live in
+  Alcotest.(check bool)
+    (msg ^ ": pending set matches a fresh encode")
+    true
+    (pending_view node_db = pending_view live_db);
+  Alcotest.(check bool)
+    (msg ^ ": state contents match a fresh encode")
+    true
+    (sorted_state_rows node_db = sorted_state_rows live_db);
+  (* And the maintained graphs match what a batch session would build
+     over the re-encoded database. *)
+  let fresh = Core.Session.create node_db in
+  let lf = Core.Live.fd_graph live and ff = Core.Session.fd_graph fresh in
+  Alcotest.(check bool)
+    (msg ^ ": fd graph matches a rebuild")
+    true
+    (Array.to_list lf.Core.Fd_graph.node_ok
+     = Array.to_list ff.Core.Fd_graph.node_ok
+    && edge_list lf.Core.Fd_graph.graph = edge_list ff.Core.Fd_graph.graph);
+  Alcotest.(check bool)
+    (msg ^ ": includability matches a rebuild")
+    true
+    (Array.to_list (Core.Live.includable live)
+    = Array.to_list (Core.Session.includable fresh))
+
+let feed_wallets () = Array.init 2 (fun i -> C.Wallet.create ~seed:(Printf.sprintf "live%d" i))
+
+let test_feed_tracks_node () =
+  let ws = feed_wallets () in
+  let initial =
+    Array.to_list ws
+    |> List.concat_map (fun w ->
+           List.init 3 (fun _ -> (C.Wallet.address w, 50_000)))
+  in
+  let node = C.Node.create ~initial in
+  let feed =
+    match C.Feed.create node with Ok f -> f | Error e -> Alcotest.fail e
+  in
+  assert_feed_consistent "fresh" feed;
+  let pay from to_ amount fee =
+    match
+      C.Wallet.pay ws.(from) ~utxo:(C.Node.utxo node)
+        ~to_:(C.Wallet.address ws.(to_)) ~amount ~fee
+    with
+    | Ok tx -> tx
+    | Error e -> Alcotest.fail e
+  in
+  let tx1 = pay 0 1 4_000 100 in
+  (match C.Feed.submit feed tx1 with
+  | Ok () -> ()
+  | Error r -> Alcotest.failf "submit: %a" C.Mempool.pp_reject r);
+  assert_feed_consistent "after submit" feed;
+  Alcotest.(check int) "one pending" 1
+    (Core.Live.pending_count (C.Feed.live feed));
+  (* An eviction observed through the mempool hook. *)
+  let tx2 = pay 1 0 3_000 100 in
+  (match C.Feed.submit feed tx2 with
+  | Ok () -> ()
+  | Error r -> Alcotest.failf "submit: %a" C.Mempool.pp_reject r);
+  C.Mempool.remove (C.Node.mempool node) tx2.C.Tx.txid;
+  (match C.Feed.sync feed with Ok () -> () | Error e -> Alcotest.fail e);
+  assert_feed_consistent "after evict" feed;
+  Alcotest.(check int) "back to one pending" 1
+    (Core.Live.pending_count (C.Feed.live feed));
+  (* Confirmation: tx1 moves into the state, the coinbase is appended
+     without ever having been pending. *)
+  (match C.Feed.mine feed ~coinbase_script:(C.Wallet.address ws.(0)) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  assert_feed_consistent "after mine" feed;
+  Alcotest.(check int) "mempool drained" 0
+    (Core.Live.pending_count (C.Feed.live feed))
+
+let test_feed_survives_reorg () =
+  let ws = feed_wallets () in
+  let initial =
+    Array.to_list ws
+    |> List.concat_map (fun w ->
+           List.init 3 (fun _ -> (C.Wallet.address w, 50_000)))
+  in
+  let net = C.Network.create ~peers:2 ~initial () in
+  let node = C.Network.peer net 0 in
+  let feed =
+    match C.Feed.create node with Ok f -> f | Error e -> Alcotest.fail e
+  in
+  (* Peer 0 mines one block locally; peer 1 (partitioned) builds the
+     longer branch. Healing forces a reorg at peer 0, which the feed
+     must absorb with a full resync. *)
+  C.Network.partition net [ 1 ];
+  (match C.Feed.mine feed ~coinbase_script:(C.Wallet.address ws.(0)) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  assert_feed_consistent "after local block" feed;
+  for _ = 1 to 2 do
+    match
+      C.Network.mine_at net ~at:1 ~coinbase_script:(C.Wallet.address ws.(1)) ()
+    with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e
+  done;
+  C.Network.heal net;
+  ignore (C.Network.deliver net ());
+  Alcotest.(check int) "peer 0 adopted the longer branch" 2
+    (C.Chain_state.height (C.Node.chain node));
+  (match C.Feed.sync feed with Ok () -> () | Error e -> Alcotest.fail e);
+  assert_feed_consistent "after reorg" feed
+
+let () =
+  Alcotest.run "live"
+    [
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest (differential ~jobs:1 ~count:60);
+          QCheck_alcotest.to_alcotest (differential ~jobs:4 ~count:40);
+        ] );
+      ( "staleness",
+        [
+          Alcotest.test_case "session caches vs in-place state mutation" `Quick
+            test_session_state_mutation;
+          Alcotest.test_case "maximal worlds vs in-place state mutation" `Quick
+            test_maximal_world_state_mutation;
+          Alcotest.test_case "eviction invalidates memoized maximal worlds"
+            `Quick test_evict_invalidates_maximal_worlds;
+        ] );
+      ( "feed",
+        [
+          Alcotest.test_case "feed tracks the node through add/evict/confirm"
+            `Quick test_feed_tracks_node;
+          Alcotest.test_case "feed absorbs a reorg" `Quick
+            test_feed_survives_reorg;
+        ] );
+    ]

@@ -292,6 +292,59 @@ let test_lossy_convergence_pinned () =
   Alcotest.(check bool) "pinned seed converges" true
     (lossy_schedule_converges fault_seed_base)
 
+(* Regression pin: [in_sync] must count delayed traffic as in flight.
+   Under a delay-only fault model, whenever [in_sync] reports true a
+   delivery round must find nothing to do — a true verdict with
+   messages still ticking down in the delay queue would let a caller
+   treat a transient view as converged (and a live feed snapshot it). *)
+let in_sync_never_hides_delayed_traffic seed =
+  let faults =
+    C.Link_model.create ~delay:0.5 ~max_delay:3 ~seed ()
+  in
+  let ws = wallets 3 in
+  let initial =
+    Array.to_list ws
+    |> List.concat_map (fun w ->
+           List.init 4 (fun _ -> (C.Wallet.address w, 100_000)))
+  in
+  let net = C.Network.create ~faults ~peers:3 ~initial () in
+  let rng = Random.State.make [| seed |] in
+  let quiesced_is_stable step =
+    if C.Network.in_sync net then begin
+      let processed = C.Network.deliver net () in
+      if processed <> 0 then
+        Alcotest.failf
+          "seed %d step %d: in_sync with %d delayed messages still in flight"
+          seed step processed
+    end
+    else ignore (C.Network.deliver net ())
+  in
+  for step = 1 to 8 do
+    let at = Random.State.int rng 3 in
+    (try ignore (pay net ws ~at ~from:at ~to_:((at + 1) mod 3) ~amount:(500 + Random.State.int rng 2_000) ~fee:100)
+     with _ -> () (* a drained wallet is fine; the traffic is the point *));
+    if step mod 3 = 0 then
+      ignore
+        (C.Network.mine_at net ~at ~coinbase_script:(C.Wallet.address ws.(at)) ());
+    quiesced_is_stable step
+  done;
+  (match C.Network.converge ~max_rounds:500 net with
+  | Some _ -> ()
+  | None -> Alcotest.failf "seed %d: delay-only schedule failed to converge" seed);
+  Alcotest.(check bool) "converged in sync" true (C.Network.in_sync net);
+  Alcotest.(check int) "no residual traffic after convergence" 0
+    (C.Network.deliver net ())
+
+let test_in_sync_vs_delayed_pinned () =
+  in_sync_never_hides_delayed_traffic 424242
+
+let test_in_sync_vs_delayed_qcheck =
+  QCheck.Test.make ~count:10 ~name:"in_sync counts delayed traffic"
+    QCheck.small_nat
+    (fun n ->
+      in_sync_never_hides_delayed_traffic (424242 + (n * 104729));
+      true)
+
 let () =
   Alcotest.run "network"
     [
@@ -320,5 +373,8 @@ let () =
           Alcotest.test_case "pinned fault seed converges" `Quick
             test_lossy_convergence_pinned;
           QCheck_alcotest.to_alcotest test_lossy_convergence_qcheck;
+          Alcotest.test_case "in_sync vs delayed traffic (pinned)" `Quick
+            test_in_sync_vs_delayed_pinned;
+          QCheck_alcotest.to_alcotest test_in_sync_vs_delayed_qcheck;
         ] );
     ]
