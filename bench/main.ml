@@ -149,6 +149,7 @@ let write_bench_json path =
                    \"cliques\": %d, \"components\": %d, \
                    \"components_covered\": %d, \"precheck\": %b, \
                    \"obs_worlds\": %d, \"cache_hit_ratio\": %.6f, \
+                   \"comp_cache_hit_ratio\": %.6f, \
                    \"worker_util\": %.6f, \"eval_full\": %d, \
                    \"eval_delta\": %d, \"eval_delta_tuples\": %d, \
                    \"eval_delta_ratio\": %.6f, \"base_bytes\": %d, \
@@ -163,7 +164,8 @@ let write_bench_json path =
                   m.E.stats.Core.Dcsat.components_total
                   m.E.stats.Core.Dcsat.components_covered
                   m.E.stats.Core.Dcsat.precheck_decided m.E.obs_worlds
-                  m.E.cache_hit_ratio m.E.worker_util m.E.eval_full
+                  m.E.cache_hit_ratio m.E.comp_cache_hit_ratio m.E.worker_util
+                  m.E.eval_full
                   m.E.eval_delta m.E.eval_delta_tuples m.E.eval_delta_ratio
                   m.E.base_bytes m.E.dict_hits m.E.bk_steals m.E.bk_subtrees
                   m.E.eval_native));
@@ -189,9 +191,9 @@ let required_keys =
     "\"components\":"; "\"components_covered\":"; "\"precheck\":";
     "\"obs_worlds\":"; "\"cache_hit_ratio\":"; "\"worker_util\":";
     "\"eval_delta_ratio\":";
-    (* base_bytes/dict_hits/bk_steals/bk_subtrees/eval_native are
-       written but deliberately NOT required: committed series predate
-       them and must keep validating. *)
+    (* base_bytes/dict_hits/bk_steals/bk_subtrees/eval_native and
+       comp_cache_hit_ratio are written but deliberately NOT required:
+       committed series predate them and must keep validating. *)
   ]
 
 let validate_bench_json path =
@@ -1311,18 +1313,89 @@ let servebench () =
       label inc.W.Poisson.mean_service floor rebuild.W.Poisson.mean_service;
   if inc.W.Poisson.p99 < inc.W.Poisson.p50 then
     fail "serve/%s: p99 below p50" label;
+  (* The per-(query, component) verdict cache, forced on vs off over the
+     same warm mempool. First the pointwise contract: the second check
+     of an unchanged mempool must hit the cache at least once. *)
+  let cached_check () =
+    match Core.Live.check ~use_cache:true live q with
+    | Ok _ -> ()
+    | Error e -> fail "serve/%s: cached check: %s" label e
+  in
+  let uncached_check () =
+    match Core.Live.check ~use_cache:false live q with
+    | Ok _ -> ()
+    | Error e -> fail "serve/%s: uncached check: %s" label e
+  in
+  cached_check () (* populate the verdict cache *);
+  let s1 = Core.Live.cache_stats live in
+  cached_check ();
+  let s2 = Core.Live.cache_stats live in
+  if s2.Core.Live.cache_hits - s1.Core.Live.cache_hits < 1 then
+    fail
+      "serve/%s: second check of an unchanged mempool recorded no \
+       comp-cache hit"
+      label;
+  (* Dirt scoping: one arriving transaction must leave the warm check
+     re-solving only the dirty components, not the whole partition. *)
+  let comps_total = List.length (Core.Live.components live q) in
+  Core.Live.add live ~label:"cache-probe" churn_rows;
+  let before = Core.Live.cache_stats live in
+  cached_check ();
+  let after = Core.Live.cache_stats live in
+  let dirty_delta = after.Core.Live.cache_dirty - before.Core.Live.cache_dirty in
+  if comps_total >= 2 && dirty_delta >= comps_total then
+    fail
+      "serve/%s: a single tx add dirtied every component (%d re-solved of %d)"
+      label dirty_delta comps_total;
+  (match Core.Live.evict live "cache-probe" with
+  | Ok () -> ()
+  | Error e -> fail "serve/%s: evict cache-probe: %s" label e);
+  (* The headline series: warm checks with the cache on vs off. *)
+  let c0 = Core.Live.cache_stats live in
+  let cache_on =
+    W.Poisson.run ~seed:0xCAC ~rate ~requests (fun _ -> cached_check ())
+  in
+  let c1 = Core.Live.cache_stats live in
+  let cache_off =
+    W.Poisson.run ~seed:0xCAC ~rate ~requests (fun _ -> uncached_check ())
+  in
+  let comp_ratio =
+    let h = c1.Core.Live.cache_hits - c0.Core.Live.cache_hits
+    and m = c1.Core.Live.cache_misses - c0.Core.Live.cache_misses in
+    if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
+  in
+  let cache_speedup =
+    cache_off.W.Poisson.mean_service
+    /. Float.max 1e-9 cache_on.W.Poisson.mean_service
+  in
+  if (not !smoke_flag) && cache_speedup < 3.0 then
+    fail
+      "serve/%s: cached warm check (%.6fs) not >=3x faster than \
+       BCDB_LIVE_CACHE=0 (%.6fs, %.1fx)"
+      label cache_on.W.Poisson.mean_service cache_off.W.Poisson.mean_service
+      cache_speedup;
   let template =
     E.run ~repeats:1 ~obs_sinks:(obs_sinks ())
       ~session:(E.session_of db) ~label ~algo:E.Opt ~variant:Q.Unsatisfied q
   in
-  let row lbl ~x seconds =
-    ignore (record ~figure:"serve" ~x { template with E.label = lbl; seconds })
+  let row ?(comp_ratio = 0.0) lbl ~x seconds =
+    ignore
+      (record ~figure:"serve" ~x
+         {
+           template with
+           E.label = lbl;
+           seconds;
+           comp_cache_hit_ratio = comp_ratio;
+         })
   in
   row (label ^ "-inc-mean") ~x:rate inc.W.Poisson.mean_service;
   row (label ^ "-churn-mean") ~x:rate churn.W.Poisson.mean_service;
   row (label ^ "-rebuild-mean") ~x:rate rebuild.W.Poisson.mean_service;
   row (label ^ "-inc-p50") ~x:rate inc.W.Poisson.p50;
   row (label ^ "-inc-p99") ~x:rate inc.W.Poisson.p99;
+  row ~comp_ratio (label ^ "-cached-mean") ~x:rate
+    cache_on.W.Poisson.mean_service;
+  row (label ^ "-uncached-mean") ~x:rate cache_off.W.Poisson.mean_service;
   row "serve-checks-per-sec" ~x:inc.W.Poisson.checks_per_sec
     (1.0 /. Float.max 1e-9 inc.W.Poisson.checks_per_sec);
   let fmt_summary (p : W.Poisson.summary) =
@@ -1344,7 +1417,14 @@ let servebench () =
         "incremental (warm)" :: fmt_summary inc;
         "incremental (churn)" :: fmt_summary churn;
         "rebuild per request" :: fmt_summary rebuild;
-      ]
+        "verdict cache on" :: fmt_summary cache_on;
+        "verdict cache off" :: fmt_summary cache_off;
+      ];
+  Printf.printf
+    "[serve] verdict cache: %.1fx per warm check (hit ratio %.2f, %d dirty \
+     of %d components after one add)\n\
+     %!"
+    cache_speedup comp_ratio dirty_delta comps_total
 
 (* ------------------------------------------------------------------ *)
 (* Smoke mode (--smoke): a minutes-scale subset that exercises the full

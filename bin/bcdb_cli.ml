@@ -761,10 +761,17 @@ let serve_request live ~jobs ~timeout ~max_worlds payload =
   | "quit" :: _ -> ("OK 0\nbye\n", false)
   | "stats" :: _ ->
       let db = Core.Live.db live in
-      ( Printf.sprintf "OK 0\npending=%d state_rows=%d conflicts=%d\n"
+      let cs = Core.Live.cache_stats live in
+      ( Printf.sprintf
+          "OK 0\n\
+           pending=%d state_rows=%d conflicts=%d\n\
+           comp_cache_hit=%d comp_cache_miss=%d comp_dirty=%d \
+           comp_cache_entries=%d\n"
           (Core.Live.pending_count live)
           (R.Database.total_cardinality db.Core.Bcdb.state)
-          (Core.Fd_graph.conflict_count (Core.Live.fd_graph live)),
+          (Core.Fd_graph.conflict_count (Core.Live.fd_graph live))
+          cs.Core.Live.cache_hits cs.Core.Live.cache_misses
+          cs.Core.Live.cache_dirty cs.Core.Live.cache_entries,
         true )
   | "evict" :: label :: _ -> (
       match Core.Live.evict live label with

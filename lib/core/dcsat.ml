@@ -38,6 +38,32 @@ type event =
   | Clique_found of int list
   | World_evaluated of int list * bool
 
+(* Per-component verdicts and the cache hooks of the scheduled OptDCSat
+   path. A component's verdict depends only on its member transactions'
+   rows, the confirmed state and the query — the factorization argument
+   of Proposition 2 — so a caller that can recognize an unchanged
+   component (Live's content signatures) may replay its last verdict. *)
+type comp_verdict =
+  | Comp_satisfied
+  | Comp_violated of {
+      world : int list;
+      witness : (string * R.Value.t) list option;
+    }
+  | Comp_unknown of Engine.Budget.reason
+
+type comp_hooks = {
+  comp_clean : index:int -> int list -> comp_verdict option;
+      (* [Some v]: verdict known for unchanged content — skip entirely,
+         [v] stands in for a fresh solve. Replaying [Comp_violated]
+         additionally requires un-re-packed ids (world/witness name
+         transaction ids). *)
+  comp_suspect : index:int -> int list -> bool;
+      (* Violated last check: schedule first. *)
+  comp_solved : index:int -> int list -> comp_verdict -> unit;
+      (* Fired once per solved dirty component, in ascending component
+         index, after the enumeration ends. *)
+}
+
 let pp_refusal ppf = function
   | `Not_monotone reason -> Format.fprintf ppf "not monotone: %s" reason
   | `Not_connected -> Format.pp_print_string ppf "not a connected conjunctive query"
@@ -306,6 +332,239 @@ let component_source ~use_covers ~budget ~on_event session q components =
   in
   (pull, covered)
 
+(* --- dirty-component scheduling (per-component verdict cache) ------- *)
+
+(* The cached OptDCSat path: with [hooks], the caller owns a
+   per-component verdict cache. Components whose [comp_clean] probe hits
+   are skipped wholesale (their cached verdict is Satisfied); the dirty
+   remainder is solved {e exhaustively} — no cross-component early exit,
+   so every dirty component's fresh verdict lands back in the cache —
+   scheduled suspects-first then largest-first: small components become
+   the work items of one drained claim-lock engine run
+   ([stop_on_hit:false], cross-component parallelism), big ones each get
+   a dedicated work-stealing run (intra-component parallelism).
+
+   Determinism: clean components are provably satisfied (equal content
+   signature ⇒ equal verdict), so the first violating component overall
+   is the first violating {e dirty} one; picking the lowest-component-
+   index violation — each component's own winner being the first in BK
+   emission order (claim-lock) or the path-minimum (steal), both equal
+   to the serial order — reproduces the serial early-exit verdict and
+   witness bit for bit. Budgets are enforced inside the per-component
+   evaluator at clique granularity (the engine claim path here counts
+   components, the wrong unit), at cumulative counts under one lock;
+   a budget-cut component reports [Comp_unknown] and is never cached. *)
+let run_scheduled ~jobs ~budget ~use_covers ~use_delta ~use_native ~use_steal
+    ~on_event ~hooks session q plan counters components =
+  let store = Session.store session in
+  let obs = Session.obs session in
+  let fd = Session.fd_graph session in
+  let comps = Array.of_list components in
+  let n = Array.length comps in
+  (* Per component index: verdict plus its clique/world work counts. *)
+  let results : (comp_verdict * int * int) option array = Array.make n None in
+  (* Cache hits land in [results] but must not re-fire [comp_solved]. *)
+  let from_cache = Array.make n false in
+  let dirty = ref [] in
+  for i = n - 1 downto 0 do
+    match hooks.comp_clean ~index:i comps.(i) with
+    | Some v ->
+        results.(i) <- Some (v, 0, 0);
+        from_cache.(i) <- true
+    | None -> dirty := (i, comps.(i)) :: !dirty
+  done;
+  (* Covers runs serially up front (it probes the primary store): a
+     component that cannot cover the query's constants is Satisfied
+     without enumeration — cacheably so. *)
+  let to_solve =
+    List.filter
+      (fun (i, c) ->
+        let covers =
+          (not use_covers)
+          || Obs.span obs ~cat:"dcsat" "covers" (fun () ->
+                 Covers.covers store c q)
+        in
+        if not covers then begin
+          on_event (Component_skipped c);
+          results.(i) <- Some (Comp_satisfied, 0, 0)
+        end;
+        covers)
+      !dirty
+  in
+  let ordered =
+    List.map
+      (fun (_, _, i, c) -> (i, c))
+      (List.sort
+         (fun (s1, n1, i1, _) (s2, n2, i2, _) ->
+           if s1 <> s2 then compare s2 s1 (* suspects first *)
+           else if n1 <> n2 then Int.compare n2 n1 (* then largest *)
+           else Int.compare i1 i2)
+         (List.map
+            (fun (i, c) ->
+              (hooks.comp_suspect ~index:i c, List.length c, i, c))
+            to_solve))
+  in
+  let big, small =
+    List.partition
+      (fun (_, c) -> steal_enabled ~use_steal ~jobs (List.length c))
+      ordered
+  in
+  let entered = ref 0 in
+  let lock = Mutex.create () in
+  let locked f =
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+  in
+  let cliques_acc = Atomic.make 0 and worlds_acc = Atomic.make 0 in
+  let cliques_base = counters.cliques and worlds_base = counters.worlds in
+  (* Work items reuse the component lists physically, so results are
+     attributed back by physical equality — the same convention the
+     engine's scoped-view cache relies on. *)
+  let index_of =
+    let assoc = List.map (fun (i, c) -> (c, i)) small in
+    fun members ->
+      let rec go = function
+        | (c, i) :: tl -> if c == members then i else go tl
+        | [] -> -1
+      in
+      go assoc
+  in
+  let eval_comp () =
+    let clique_eval = eval_clique_factory ~use_delta ~use_native obs plan () in
+    fun view members ->
+      let i = index_of members in
+      let sub, back = Undirected.induced fd.Fd_graph.graph members in
+      let cut = ref false in
+      let interrupt =
+        if Engine.Budget.is_unlimited budget then None
+        else
+          Some
+            (fun () ->
+              let stop = locked (fun () -> Engine.Budget.interrupt budget ()) in
+              if stop then cut := true;
+              stop)
+      in
+      let next = Bcgraph.Bron_kerbosch.generator ?interrupt sub in
+      let comp_cliques = ref 0 and comp_worlds = ref 0 in
+      let rec go () =
+        match next () with
+        | None -> (
+            if not !cut then Comp_satisfied
+            else
+              match locked (fun () -> Engine.Budget.tripped budget) with
+              | Some reason -> Comp_unknown reason
+              | None -> Comp_satisfied)
+        | Some clique -> (
+            let members' = List.map (fun j -> back.(j)) clique in
+            incr comp_cliques;
+            ignore (Atomic.fetch_and_add cliques_acc 1 : int);
+            let tripped =
+              locked (fun () ->
+                  Engine.Budget.check budget
+                    ~pulled:(cliques_base + Atomic.get cliques_acc)
+                    ~evaluated:(worlds_base + Atomic.get worlds_acc))
+            in
+            match tripped with
+            | Some reason -> Comp_unknown reason
+            | None -> (
+                locked (fun () -> on_event (Clique_found members'));
+                let ev = clique_eval view members' in
+                incr comp_worlds;
+                ignore (Atomic.fetch_and_add worlds_acc 1 : int);
+                locked (fun () ->
+                    on_event
+                      (World_evaluated
+                         (ev.Engine.world, ev.Engine.violation <> None)));
+                match ev.Engine.violation with
+                | Some v ->
+                    Comp_violated
+                      { world = v.Engine.world; witness = v.Engine.witness }
+                | None -> go ()))
+      in
+      let verdict = go () in
+      locked (fun () ->
+          if i >= 0 then
+            results.(i) <- Some (verdict, !comp_cliques, !comp_worlds));
+      {
+        Engine.world = members;
+        violation =
+          (match verdict with
+          | Comp_violated { world; witness } -> Some { Engine.world; witness }
+          | Comp_satisfied | Comp_unknown _ -> None);
+      }
+  in
+  if small <> [] then begin
+    let remaining = ref small in
+    let source () =
+      match !remaining with
+      | [] -> None
+      | (_, c) :: tl ->
+          remaining := tl;
+          Some { Engine.Work_source.members = c; scope = Some c }
+    in
+    (* The run's own budget stays unlimited: exhaustion is enforced per
+       clique inside [eval_comp] (components claimed after a trip settle
+       to [Comp_unknown] on their first pull, in O(1)). *)
+    ignore
+      (Engine.run ~obs ~jobs ~store ~stop_on_hit:false
+         ~replicate:(fun () -> Session.borrow_replica session)
+         ~release:(Session.return_replica session)
+         ~restrict:(Tagged_store.restrict store)
+         ~source ~eval:eval_comp
+         ~on_item:(fun members ->
+           locked (fun () ->
+               incr entered;
+               on_event (Component_entered members)))
+         ~on_evaluated:ignore ()
+        : Engine.report);
+    counters.cliques <- counters.cliques + Atomic.get cliques_acc;
+    counters.worlds <- counters.worlds + Atomic.get worlds_acc;
+    if Obs.enabled obs then begin
+      Obs.add obs "dcsat.cliques" (Atomic.get cliques_acc);
+      Obs.add obs "dcsat.worlds" (Atomic.get worlds_acc)
+    end
+  end;
+  let eval = eval_clique_factory ~use_delta ~use_native obs plan in
+  List.iter
+    (fun (i, c) ->
+      match Engine.Budget.tripped budget with
+      | Some _ -> () (* unsolved: never cached; verdict resolves Unknown *)
+      | None ->
+          on_event (Component_entered c);
+          incr entered;
+          let before_cl = counters.cliques and before_w = counters.worlds in
+          let violation, exhausted =
+            run_steal ~jobs ~budget ~on_event ~scope:c session counters ~eval c
+          in
+          let verdict =
+            match (violation, exhausted) with
+            | Some (world, witness), _ -> Comp_violated { world; witness }
+            | None, Some reason -> Comp_unknown reason
+            | None, None -> Comp_satisfied
+          in
+          results.(i) <-
+            Some
+              ( verdict,
+                counters.cliques - before_cl,
+                counters.worlds - before_w ))
+    big;
+  counters.covered <- counters.covered + !entered;
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Some (verdict, _, _) when not from_cache.(i) ->
+          hooks.comp_solved ~index:i comps.(i) verdict
+      | Some _ | None -> ())
+    results;
+  let rec first_violation i =
+    if i >= n then None
+    else
+      match results.(i) with
+      | Some (Comp_violated { world; witness }, _, _) -> Some (world, witness)
+      | _ -> first_violation (i + 1)
+  in
+  (first_violation 0, Engine.Budget.tripped budget)
+
 let brute_force ?(jobs = 1) ?(budget = Engine.Budget.unlimited)
     ?(use_delta = true) ?(use_native = true) session q =
   let t0 = Monotime.now () in
@@ -386,7 +645,7 @@ let naive ?(jobs = 1) ?(budget = Engine.Budget.unlimited) ?(use_precheck = true)
 
 let opt ?(jobs = 1) ?(budget = Engine.Budget.unlimited) ?(use_precheck = true)
     ?(use_covers = true) ?(use_delta = true) ?(use_native = true) ?use_steal
-    ?(on_event = ignore) session q =
+    ?(on_event = ignore) ?comp_hooks session q =
   require_monotone q @@ fun () ->
   match q with
   | Q.Query.Aggregate _ -> Error `Not_connected
@@ -422,6 +681,12 @@ let opt ?(jobs = 1) ?(budget = Engine.Budget.unlimited) ?(use_precheck = true)
               if Obs.enabled obs then
                 Obs.add obs "dcsat.components" (List.length components);
               on_event (Components_found (List.length components));
+              match comp_hooks with
+              | Some hooks ->
+                  run_scheduled ~jobs ~budget ~use_covers ~use_delta
+                    ~use_native ~use_steal ~on_event ~hooks session q plan
+                    counters components
+              | None ->
               let eval =
                 eval_clique_factory ~use_delta ~use_native
                   (Session.obs session) plan

@@ -88,6 +88,49 @@ type event =
 (** Trace events, in execution order; pass [on_event] to {!naive}/{!opt}
     to observe the solver's decisions (see {!Explain}). *)
 
+type comp_verdict =
+  | Comp_satisfied
+      (** Fully enumerated with no violation, or failed the Covers
+          test: no world of this component can violate [q]. *)
+  | Comp_violated of {
+      world : int list;
+      witness : (string * Relational.Value.t) list option;
+    }
+      (** The component's first violating maximal world in serial
+          enumeration order, with its witness. *)
+  | Comp_unknown of Engine.Budget.reason
+      (** The budget cut this component's enumeration short. *)
+
+type comp_hooks = {
+  comp_clean : index:int -> int list -> comp_verdict option;
+      (** [comp_clean ~index members] — [Some v] when the caller {e
+          knows} this component's verdict is [v] with unchanged content
+          (a verdict-cache hit): the component is skipped wholesale and
+          [v] stands in for a fresh solve. The claim must be sound — a
+          component's verdict depends only on its members' rows, the
+          confirmed state and the query (Proposition 2), so an unchanged
+          content signature suffices for [Comp_satisfied]; replaying a
+          [Comp_violated] additionally requires that the {e database}
+          has not changed at all since the verdict was solved — its
+          world and witness name transaction ids, and the witness is
+          canonical only relative to the whole database (plan choice
+          and row order are global, so even a mutation outside the
+          component can shift it). [None] marks the component dirty:
+          it is re-solved. *)
+  comp_suspect : index:int -> int list -> bool;
+      (** [true] schedules the component first (the last-violating
+          component is the likeliest to still violate). A heuristic:
+          answers may be wrong without affecting correctness. *)
+  comp_solved : index:int -> int list -> comp_verdict -> unit;
+      (** Fired once per freshly solved dirty component — in ascending
+          component index, after the enumeration ends — so the caller
+          can (re)fill its cache. Skipped components (clean hits, or
+          left unsolved after a budget trip) get no callback. *)
+}
+(** The per-component verdict-cache protocol of {!opt}'s scheduled path
+    (the live layer's warm-check fast path). See [?comp_hooks] in
+    {!opt}. *)
+
 val pp_refusal : Format.formatter -> refusal -> unit
 
 val verdict_name : verdict -> string
@@ -148,6 +191,7 @@ val opt :
   ?use_native:bool ->
   ?use_steal:bool ->
   ?on_event:(event -> unit) ->
+  ?comp_hooks:comp_hooks ->
   Session.t ->
   Bcquery.Query.t ->
   (outcome, refusal) result
@@ -156,6 +200,25 @@ val opt :
     [use_native] and [use_steal] as in {!naive}; with stealing enabled, big components
     each get a dedicated work-stealing run while runs of consecutive
     small components stay batched through one chained claim-lock source,
-    all under cumulative budget accounting. *)
+    all under cumulative budget accounting.
+
+    [comp_hooks] switches component processing to the {e scheduled}
+    path: components reported clean by [comp_clean] are skipped (their
+    cached verdict being [Satisfied]), and the dirty remainder is solved
+    {e exhaustively} — no cross-component early exit, so every dirty
+    component's verdict reaches [comp_solved] and the caller's cache —
+    ordered suspects-first then largest-first. Small dirty components
+    become the work items of one drained claim-lock engine run
+    (cross-component parallelism); big ones each get a dedicated
+    work-stealing run. The lowest-component-index violation wins, which
+    reproduces the serial early-exit verdict and witness bit for bit
+    (clean components cannot violate, each component's internal winner
+    is the serial-order first). Caveats under [comp_hooks]: reported
+    stats count only the work actually done (clean components are never
+    re-counted); budgets are enforced at clique granularity inside each
+    component with up to one in-flight world per worker of overshoot,
+    and budget-tripped runs may do more work than the serial order
+    (concurrent components finish); [on_event] callbacks remain
+    serialized but unordered across components. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

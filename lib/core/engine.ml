@@ -128,8 +128,8 @@ let eval_timed obs eval store members =
   end
   else eval store members
 
-let run_sequential ~obs ~budget ~counted:(pulled_base, evaluated_base) ~store
-    ~restrict ~source ~eval ~on_item ~on_evaluated =
+let run_sequential ~obs ~budget ~counted:(pulled_base, evaluated_base)
+    ~stop_on_hit ~store ~restrict ~source ~eval ~on_item ~on_evaluated =
   (* [eval] is a factory: one evaluator instance per worker, so stateful
      evaluators (incremental world caches) are never shared between
      domains. The sequential backend is its own single worker. *)
@@ -150,26 +150,35 @@ let run_sequential ~obs ~budget ~counted:(pulled_base, evaluated_base) ~store
             scoped := Some (comp, view);
             view)
   in
+  let hit = ref None in
   let rec go () =
     if
       Budget.check budget
         ~pulled:(pulled_base + !pulled)
         ~evaluated:(evaluated_base + !evaluated)
       <> None
-    then None
+    then ()
     else
       match source () with
-      | None -> None
+      | None -> ()
       | Some item ->
           incr pulled;
           on_item item.Work_source.members;
           let ev = eval_timed obs eval (store_for item) item.Work_source.members in
           incr evaluated;
           on_evaluated ev;
-          (match ev.violation with Some _ as hit -> hit | None -> go ())
+          (match ev.violation with
+          | Some _ when !hit = None -> hit := ev.violation
+          | _ -> ());
+          if !hit = None || not stop_on_hit then go ()
   in
-  let hit = go () in
-  { hit; pulled = !pulled; evaluated = !evaluated; exhausted = Budget.tripped budget }
+  go ();
+  {
+    hit = !hit;
+    pulled = !pulled;
+    evaluated = !evaluated;
+    exhausted = Budget.tripped budget;
+  }
 
 (* A pool of parked helper domains, reused across engine runs.
    [Domain.spawn] costs milliseconds — often more than an entire small
@@ -254,7 +263,8 @@ end
    counters to the winning index, the reported stats — deterministic and
    equal to the sequential backend's. *)
 let run_parallel ~obs ~jobs ~budget ~counted:(pulled_base, evaluated_base)
-    ~replicate ~release ~restrict ~source ~eval ~on_item ~on_evaluated =
+    ~stop_on_hit ~replicate ~release ~restrict ~source ~eval ~on_item
+    ~on_evaluated =
   let lock = Mutex.create () in
   let locked f =
     Mutex.lock lock;
@@ -295,7 +305,10 @@ let run_parallel ~obs ~jobs ~budget ~counted:(pulled_base, evaluated_base)
         (match !best with
         | Some (bi, _) when bi <= i -> ()
         | _ -> best := Some (i, v));
-        Atomic.set stop true)
+        (* [stop_on_hit:false] drains the source despite violations (the
+           dirty-component scheduler wants every item solved); the
+           lowest-claim-index violation still wins. *)
+        if stop_on_hit then Atomic.set stop true)
   in
   let worker () =
     let eval = eval () in
@@ -387,19 +400,24 @@ let run_parallel ~obs ~jobs ~budget ~counted:(pulled_base, evaluated_base)
   let win, hit =
     match !best with None -> (max_int, None) | Some (i, v) -> (i, Some v)
   in
-  let counted = List.length (List.filter (fun i -> i <= win) claimed) in
+  (* On an early stop, counts are clamped to the winning index (the
+     determinism contract); a drained run reports full counts. *)
+  let counted =
+    if stop_on_hit then List.length (List.filter (fun i -> i <= win) claimed)
+    else List.length claimed
+  in
   { hit; pulled = counted; evaluated = counted; exhausted = Budget.tripped budget }
 
 let run ?(obs = Obs.null) ?(budget = Budget.unlimited) ?(counted = (0, 0))
-    ~jobs ~store ~replicate ?(release = ignore) ?restrict ~source ~eval
-    ~on_item ~on_evaluated () =
+    ?(stop_on_hit = true) ~jobs ~store ~replicate ?(release = ignore) ?restrict
+    ~source ~eval ~on_item ~on_evaluated () =
   match backend_of_jobs jobs with
   | Sequential ->
-      run_sequential ~obs ~budget ~counted ~store ~restrict ~source ~eval
-        ~on_item ~on_evaluated
-  | Parallel jobs ->
-      run_parallel ~obs ~jobs ~budget ~counted ~replicate ~release ~restrict
+      run_sequential ~obs ~budget ~counted ~stop_on_hit ~store ~restrict
         ~source ~eval ~on_item ~on_evaluated
+  | Parallel jobs ->
+      run_parallel ~obs ~jobs ~budget ~counted ~stop_on_hit ~replicate ~release
+        ~restrict ~source ~eval ~on_item ~on_evaluated
 
 (* Work-stealing clique backend. Instead of one sequential enumerator
    behind the claim lock, every worker pulls cliques straight out of a

@@ -139,6 +139,7 @@ val run :
   ?obs:Obs.t ->
   ?budget:Budget.t ->
   ?counted:int * int ->
+  ?stop_on_hit:bool ->
   jobs:int ->
   store:Tagged_store.t ->
   replicate:(unit -> Tagged_store.t) ->
@@ -178,6 +179,14 @@ val run :
     budget check, so a caller that splits one logical enumeration over
     several consecutive engine runs (OptDCSat's per-component batches)
     keeps cumulative budget accounting.
+
+    [stop_on_hit] (default [true]) selects whether a recorded violation
+    stops further claiming. With [stop_on_hit:false] the run drains the
+    whole source regardless of violations — the dirty-component
+    scheduler uses this so every dirty component gets (re)solved and
+    cached in one pass — and the report carries the {e lowest-claim-index}
+    violation with unclamped full counts. Budget exhaustion still stops
+    claiming either way.
 
     {b Exception safety.} If [eval] (or [replicate]/[restrict]) raises in
     any backend, the exception propagates to the caller: the parallel

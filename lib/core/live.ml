@@ -1,15 +1,103 @@
 module R = Relational
 module Q = Bcquery
 
+(* --- per-(query, component) verdict cache -------------------------- *)
+
+(* BCDB_LIVE_CACHE=0 disables the verdict cache for every check that
+   does not pass an explicit [?use_cache]; anything else (including
+   unset) enables it. The CI matrix crosses both values. *)
+let cache_env = lazy (Sys.getenv_opt "BCDB_LIVE_CACHE")
+
+let cache_default () =
+  match Lazy.force cache_env with Some "0" -> false | _ -> true
+
+(* Cache entries unreferenced for this many cache-eligible checks of
+   their query are pruned — wide enough that an add-then-evict returning
+   the mempool to a recent partition still hits. *)
+let keep_window = 8
+
+type tracked = {
+  t_query : Q.Query.t;
+  t_thetas : Q.Theta.t list;
+      (* ΘI ∪ Θq — derived from the (fixed) constraint set and the query
+         text, never from R or the pending rows: computed once. *)
+  mutable t_comps : int list list;
+  t_sat : (string, int) Hashtbl.t;
+      (* signature → check stamp of the last hit/solve; presence means
+         the component's verdict is Satisfied at that content. Survives
+         id re-packing: a Satisfied verdict names no ids. *)
+  t_viol : (string, int * Dcsat.comp_verdict) Hashtbl.t;
+      (* signature + member ids → (stamp, violated verdict with
+         witness). The world and witness name transaction ids AND are
+         canonical only relative to the whole database, so this table
+         is emptied on every mutation event; between events
+         (back-to-back checks of an unchanged mempool) a violating
+         component replays its witness verbatim. Unlike [t_sat], keys
+         embed the member ids: two {e twin} components with identical
+         content share a signature, and replaying one twin's verdict
+         for the other would report the wrong ids. *)
+  mutable t_suspect : string option;
+      (* signature of the last violating component: scheduled first. *)
+  mutable t_checks : int;
+}
+
+type cache_stats = {
+  cache_hits : int;
+  cache_misses : int;
+  cache_dirty : int;
+  cache_checks : int;
+  cache_entries : int;
+}
+
 type t = {
   mutable db : Bcdb.t;
   mutable session : Session.t;
   mutable fd : Fd_graph.t;
   mutable ind_base : (int * int) list;
   mutable includable : bool array;
-  mutable comps : (Q.Query.t * int list list) list;
-      (* per tracked query; dropped wholesale on any removal event *)
+  mutable tracked : tracked list;
+  mutable digests : string array;
+      (* per pending transaction: content digest of its rows, computed
+         once at arrival and spliced under removals — never recomputed,
+         so one transaction's digest is stable across its lifetime. *)
+  mutable epoch : int;
+      (* Live's own monotone stamp of the confirmed state R, bumped on
+         every confirm/append_state/reorg. Deliberately not
+         [Database.generation]: that counts tail rows and resets when
+         compaction empties the tails, so it cannot key a cache. *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable dirty : int;
+  mutable checks : int;
 }
+
+(* Content digest of one pending transaction: its rows, sorted, so two
+   row orderings of the same content digest equally. Two physically
+   distinct but content-equal transactions may still digest differently
+   (Marshal sharing); that only costs a spurious miss, never soundness. *)
+let tx_digest tx =
+  Digest.string (Marshal.to_string (List.sort compare tx.Pending.rows) [])
+
+let all_digests pending = Array.map tx_digest pending
+
+(* Order-independent content signature of one component: the two 64-bit
+   halves of its members' digests, combined by wrapping addition —
+   addition is commutative (ids shift under dense re-packing, content
+   does not) and multiset-homomorphic (unlike xor, two content-equal
+   members do not cancel) — plus the state epoch. Equal signature ⇒
+   equal member-row multiset and equal R ⇒ equal per-component verdict
+   (the factorization argument of Proposition 2: a component's verdict
+   depends on nothing else). Probed every check for every component, so
+   it must stay far cheaper than the covers probe it short-circuits. *)
+let comp_signature t members =
+  let a = ref 0L and b = ref 0L in
+  List.iter
+    (fun i ->
+      let d = t.digests.(i) in
+      a := Int64.add !a (String.get_int64_le d 0);
+      b := Int64.add !b (String.get_int64_le d 8))
+    members;
+  Printf.sprintf "%Lx.%Lx.%d" !a !b t.epoch
 
 (* Re-encode every relation of [state] into all-segment form (tails
    empty). [to_segment] is zero-cost for relations already in that form,
@@ -53,7 +141,13 @@ let create ?(obs = Obs.null) db =
     fd = Session.fd_graph session;
     ind_base = Session.ind_base_edges session;
     includable = Session.includable session;
-    comps = [];
+    tracked = [];
+    digests = all_digests db.Bcdb.pending;
+    epoch = 0;
+    hits = 0;
+    misses = 0;
+    dirty = 0;
+    checks = 0;
   }
 
 let db t = t.db
@@ -62,6 +156,18 @@ let fd_graph t = t.fd
 let ind_base_edges t = t.ind_base
 let includable t = t.includable
 let pending_count t = Array.length t.db.Bcdb.pending
+
+let cache_stats t =
+  {
+    cache_hits = t.hits;
+    cache_misses = t.misses;
+    cache_dirty = t.dirty;
+    cache_checks = t.checks;
+    cache_entries =
+      List.fold_left
+        (fun acc tr -> acc + Hashtbl.length tr.t_sat + Hashtbl.length tr.t_viol)
+        0 t.tracked;
+  }
 
 let find t label =
   let n = Array.length t.db.Bcdb.pending in
@@ -108,34 +214,75 @@ let add t ?label rows =
   t.fd <- Session.fd_graph session';
   t.ind_base <- Session.ind_base_edges session';
   t.includable <- Session.includable session';
+  t.digests <- Array.append t.digests [| tx_digest db'.Bcdb.pending.(id) |];
   (* Θ edges only ever appear on insert, so each tracked query's
      component partition is maintained by a union-find merge: the old
-     partition plus the new node's incident Θ = ΘI ∪ Θq edges. *)
-  t.comps <-
-    List.map
-      (fun (q, comps) ->
-        let thetas =
-          Q.Theta.of_inds (Bcdb.inds db')
-          @ Q.Theta.of_query (Q.Query.body q)
-        in
-        let incident = Ind_graph.edges_for_tx store thetas id in
-        let uf = Bcgraph.Union_find.create (id + 1) in
-        List.iter
-          (function
-            | first :: rest ->
-                List.iter (fun m -> Bcgraph.Union_find.union uf first m) rest
-            | [] -> ())
-          comps;
-        List.iter (fun (a, b) -> Bcgraph.Union_find.union uf a b) incident;
-        let comps' = Bcgraph.Union_find.groups uf in
-        Session.seed_components session' q comps';
-        (q, comps'))
-      t.comps
+     partition plus the new node's incident Θ = ΘI ∪ Θq edges. Only the
+     (possibly merged) component containing the new node changes
+     content, so an add dirties exactly that one signature. *)
+  List.iter
+    (fun tr ->
+      let incident = Ind_graph.edges_for_tx store tr.t_thetas id in
+      let uf = Bcgraph.Union_find.create (id + 1) in
+      List.iter
+        (function
+          | first :: rest ->
+              List.iter (fun m -> Bcgraph.Union_find.union uf first m) rest
+          | [] -> ())
+        tr.t_comps;
+      List.iter (fun (a, b) -> Bcgraph.Union_find.union uf a b) incident;
+      let comps' = Bcgraph.Union_find.groups uf in
+      Session.seed_components session' tr.t_query comps';
+      tr.t_comps <- comps';
+      (* Violated verdicts never survive a mutation, even of other
+         components: a witness is canonical only relative to the whole
+         database (plan choice and row order are global), so replaying
+         one across any change would break bit-identity with a fresh
+         solve. Satisfied verdicts carry no witness and stay. *)
+      Hashtbl.reset tr.t_viol)
+    t.tracked
 
 (* --- removal events ------------------------------------------------ *)
 
 let survivors pending id =
   Array.to_list pending |> List.filteri (fun i _ -> i <> id)
+
+(* Scoped component rebuild after a removal: every part not containing
+   [id] survives re-id'd — its content, hence its verdict-cache
+   signature, is untouched — and only the part that lost the node is
+   re-split, with its survivors' edges rediscovered through the store's
+   indexes. A removal dirties exactly the component it leaves. *)
+let retrack_after_removal t id =
+  let store = Session.store t.session in
+  let n = Array.length t.db.Bcdb.pending in
+  List.iter
+    (fun tr ->
+      let rest, survivors = Bcgraph.Components.remove_node tr.t_comps id in
+      let parts =
+        match survivors with
+        | [] -> []
+        | _ ->
+            let member = Array.make n false in
+            List.iter (fun m -> member.(m) <- true) survivors;
+            let edges =
+              List.concat_map
+                (fun m ->
+                  List.filter
+                    (fun (a, b) -> member.(a) && member.(b))
+                    (Ind_graph.edges_for_tx store tr.t_thetas m))
+                survivors
+            in
+            Bcgraph.Components.split_members ~n survivors edges
+      in
+      let comps' = Bcgraph.Components.merge rest parts in
+      Session.seed_components t.session tr.t_query comps';
+      tr.t_comps <- comps';
+      (* Ids re-packed (and the database mutated): cached violated
+         verdicts name stale ids and a witness canonical for the old
+         database. The satisfied table survives — its verdicts name no
+         ids and its signatures are content-based. *)
+      Hashtbl.reset tr.t_viol)
+    t.tracked
 
 (* Node validity and includability against a {e changed} state: one
    indexed batch check per survivor, through the plain database source
@@ -186,8 +333,10 @@ let evict t label =
       t.fd <- fd;
       t.ind_base <- ind_base;
       t.includable <- includable;
-      (* Removal can split a component: rebuild on next check. *)
-      t.comps <- [];
+      t.digests <- splice t.digests id;
+      (* Removal can split only the component it leaves: re-split that
+         one, keep every other part (and its cached verdict). *)
+      retrack_after_removal t id;
       Ok ()
 
 let confirm t label =
@@ -202,7 +351,12 @@ let confirm t label =
       let conflicts = remap_edges id t.fd.Fd_graph.conflicts in
       let ind_base = remap_edges id t.ind_base in
       install_after_state_change t db' ~conflicts ~ind_base;
-      t.comps <- [];
+      t.digests <- splice t.digests id;
+      (* R changed: every signature embeds the epoch, so the whole
+         verdict cache is conservatively dirty — but the partition
+         itself is maintained like an evict's. *)
+      t.epoch <- t.epoch + 1;
+      retrack_after_removal t id;
       Ok ()
 
 let append_state t rows =
@@ -211,8 +365,11 @@ let append_state t rows =
   let conflicts = t.fd.Fd_graph.conflicts in
   let ind_base = t.ind_base in
   install_after_state_change t db' ~conflicts ~ind_base;
+  t.epoch <- t.epoch + 1;
   (* Ids did not move and Θ edges ignore R: tracked components hold. *)
-  List.iter (fun (q, comps) -> Session.seed_components t.session q comps) t.comps
+  List.iter
+    (fun tr -> Session.seed_components t.session tr.t_query tr.t_comps)
+    t.tracked
 
 let reset t db =
   let state = compact db.Bcdb.state in
@@ -224,27 +381,157 @@ let reset t db =
   t.fd <- Session.fd_graph session';
   t.ind_base <- Session.ind_base_edges session';
   t.includable <- Session.includable session';
-  t.comps <- []
+  t.digests <- all_digests db'.Bcdb.pending;
+  (* Reorg: conservatively dirty everything — tracking (and with it the
+     per-query verdict caches) restarts from scratch. *)
+  t.epoch <- t.epoch + 1;
+  t.tracked <- []
 
 (* --- checks -------------------------------------------------------- *)
 
-let components t q =
-  match List.find_opt (fun (q', _) -> same_query q' q) t.comps with
-  | Some (_, comps) -> comps
+let track t q =
+  match List.find_opt (fun tr -> same_query tr.t_query q) t.tracked with
+  | Some tr -> tr
   | None ->
       let comps = Session.ind_components t.session q in
-      t.comps <- (q, comps) :: t.comps;
-      comps
+      let thetas =
+        Q.Theta.of_inds (Bcdb.inds t.db) @ Q.Theta.of_query (Q.Query.body q)
+      in
+      let tr =
+        {
+          t_query = q;
+          t_thetas = thetas;
+          t_comps = comps;
+          t_sat = Hashtbl.create 64;
+          t_viol = Hashtbl.create 8;
+          t_suspect = None;
+          t_checks = 0;
+        }
+      in
+      t.tracked <- tr :: t.tracked;
+      tr
+
+let components t q = (track t q).t_comps
+
+(* Per-check hook closures over one tracked query. Signatures are
+   memoized per component index for the duration of the check — the
+   clean probe, the suspect probe and the solved callback all need
+   them. *)
+let make_hooks t tr =
+  let obs = Session.obs t.session in
+  tr.t_checks <- tr.t_checks + 1;
+  t.checks <- t.checks + 1;
+  let sigs : (int, string) Hashtbl.t = Hashtbl.create 32 in
+  let signature index members =
+    match Hashtbl.find_opt sigs index with
+    | Some s -> s
+    | None ->
+        let s = comp_signature t members in
+        Hashtbl.add sigs index s;
+        s
+  in
+  let hit () =
+    t.hits <- t.hits + 1;
+    if Obs.enabled obs then Obs.add obs "live.comp_cache_hit" 1
+  in
+  (* Violated entries are keyed by signature {e and} member ids: twin
+     components (identical content, distinct transactions) share a
+     signature, and a Satisfied verdict transfers between them — but a
+     Violated one names ids, so each twin must replay only its own. *)
+  let viol_key s members =
+    s ^ "#" ^ String.concat "," (List.map string_of_int members)
+  in
+  let comp_clean ~index members =
+    let s = signature index members in
+    if Hashtbl.mem tr.t_sat s then begin
+      Hashtbl.replace tr.t_sat s tr.t_checks;
+      hit ();
+      Some Dcsat.Comp_satisfied
+    end
+    else
+      let vk = viol_key s members in
+      match Hashtbl.find_opt tr.t_viol vk with
+      | Some (_, v) ->
+          Hashtbl.replace tr.t_viol vk (tr.t_checks, v);
+          hit ();
+          Some v
+      | None ->
+          t.misses <- t.misses + 1;
+          if Obs.enabled obs then Obs.add obs "live.comp_cache_miss" 1;
+          None
+  in
+  let comp_suspect ~index members =
+    match tr.t_suspect with
+    | Some s -> String.equal s (signature index members)
+    | None -> false
+  in
+  let comp_solved ~index members verdict =
+    let s = signature index members in
+    t.dirty <- t.dirty + 1;
+    if Obs.enabled obs then Obs.add obs "live.comp_dirty" 1;
+    match verdict with
+    | Dcsat.Comp_satisfied -> Hashtbl.replace tr.t_sat s tr.t_checks
+    | Dcsat.Comp_violated _ ->
+        Hashtbl.replace tr.t_viol (viol_key s members) (tr.t_checks, verdict);
+        tr.t_suspect <- Some s
+    | Dcsat.Comp_unknown _ -> ()
+  in
+  { Dcsat.comp_clean; comp_suspect; comp_solved }
+
+let prune tr =
+  if tr.t_checks mod keep_window = 0 then begin
+    Hashtbl.filter_map_inplace
+      (fun _ stamp ->
+        if tr.t_checks - stamp > keep_window then None else Some stamp)
+      tr.t_sat;
+    Hashtbl.filter_map_inplace
+      (fun _ ((stamp, _) as entry) ->
+        if tr.t_checks - stamp > keep_window then None else Some entry)
+      tr.t_viol
+  end
 
 let check ?(jobs = 1) ?timeout_s ?max_worlds ?(use_delta = true) ?use_native
-    ?use_steal t q =
-  if use_delta then
-    (* Seeds the session's component cache as a side effect, so the
-       solver's delta path answers from the maintained partition. *)
-    ignore (components t q : int list list);
+    ?use_steal ?use_cache t q =
   let budget =
     match (timeout_s, max_worlds) with
     | None, None -> None
     | _ -> Some (Engine.Budget.create ?timeout_s ?max_worlds ())
   in
-  Solver.solve ~jobs ?budget ~use_delta ?use_native ?use_steal t.session q
+  (* A tractable-decided query never reaches the component machinery:
+     skip both the seeding and the cache bookkeeping. *)
+  if Tractable.decides t.db q then
+    Solver.solve ~jobs ?budget ~use_delta ?use_native ?use_steal t.session q
+  else begin
+    let use_cache =
+      match use_cache with Some b -> b | None -> cache_default ()
+    in
+    (* The cache only applies where OptDCSat will actually run — the
+       component factorization is what makes per-component verdicts
+       reusable. Naive/brute fallbacks check without hooks. Budgeted
+       (admission-controlled) requests also bypass it: a cached verdict
+       would answer where the budget-tripped solve must return
+       [Unknown], breaking cache-on/off bit-identity. *)
+    let cacheable =
+      use_cache
+      && Option.is_none budget
+      &&
+      match q with
+      | Q.Query.Boolean body -> Q.Gaifman.is_connected body
+      | Q.Query.Aggregate _ -> false
+    in
+    let tr = if use_delta || cacheable then Some (track t q) else None in
+    (* Seeding the session's component cache is a [track] side effect,
+       so the solver's delta path answers from the maintained
+       partition. *)
+    let comp_hooks =
+      match tr with
+      | Some tr when cacheable -> Some (make_hooks t tr)
+      | _ -> None
+    in
+    let result =
+      Solver.solve ~jobs ?budget ~use_delta ?use_native ?use_steal ?comp_hooks
+        t.session q
+    in
+    (match tr with Some tr when cacheable -> prune tr | _ -> ());
+    result
+  end

@@ -19,20 +19,64 @@
     - {b evict} ({!evict}, RBF): the node and its edges are dropped and
       ids re-packed ({!Fd_graph.remove}); node validity, surviving
       conflicts, ΘI edges and includability are reused (none depends on
-      the evicted transaction). Components fall back to
-      rebuild-on-next-check — a removal can split them.
+      the evicted transaction). Tracked components are rebuilt {e only}
+      for the component the node leaves (a removal can split nothing
+      else); every other part is re-id'd and keeps its cached verdict.
     - {b confirm} ({!confirm}): the transaction's rows join [R], so node
       validity and includability are recomputed per survivor (one
       indexed probe each); the pairwise conflict relation and the ΘI
-      edges depend only on pending rows and are reused re-id'd.
+      edges depend only on pending rows and are reused re-id'd. The
+      component partition is maintained like an evict's, but the state
+      epoch bump conservatively dirties every cached verdict.
     - {b reorg} ({!reset}): full resync — the one event with no useful
-      delta. Compiled plans still carry over.
+      delta. Compiled plans still carry over; verdict caches do not.
 
     Checks run through the ordinary {!Solver} on the maintained session,
     so PR 5's ephemeron-registry world/plan caches persist across
-    requests, and per-request budgets give admission control. *)
+    requests, and per-request budgets give admission control.
+
+    {2 The per-(query, component) verdict cache}
+
+    On top of the maintained partition sits a content-addressed verdict
+    cache (the tentpole of PR 10). Each pending transaction gets a
+    content digest of its rows at arrival; each component's {e
+    signature} is an order-independent digest of its members' digests
+    plus Live's state epoch. By the factorization argument behind
+    OptDCSat (components are mutually independent), equal signature
+    implies equal per-component verdict — so a warm {!check} hands
+    {!Dcsat.opt} hooks that skip every component whose signature is
+    cached as [Satisfied] and re-solves only the dirty ones (the
+    scheduled path of {!Dcsat.opt}: largest-first, last-violator-first,
+    deterministic lowest-index violation). Verdicts and witnesses are
+    bit-identical with the cache on or off, at any job count.
+
+    [Satisfied] verdicts survive any event that leaves the component's
+    content (and R) unchanged — they name no ids and claim only a
+    semantic fact. [Violated] verdicts are cached {e with} their
+    witness, which names transaction ids and is canonical only
+    relative to the whole database (plan choice and row enumeration
+    order are global), so they are replayed only between back-to-back
+    checks of an unchanged mempool — {e every} mutation event empties
+    them — and their cache keys additionally embed the member ids:
+    {e twin} components with identical content share a signature, and
+    a twin may only replay its own witness, never its sibling's. The
+    last violator is also scheduled first as the {e suspect} when it
+    does go dirty. Budget-cut ([Unknown]) components
+    are never cached. The cache is enabled by default; set [BCDB_LIVE_CACHE=0] (or
+    pass [~use_cache:false]) to disable it. Hits, misses, and dirty
+    re-solves are surfaced as the [live.comp_cache_hit] /
+    [live.comp_cache_miss] / [live.comp_dirty] {!Obs} counters and via
+    {!cache_stats}. *)
 
 type t
+
+type cache_stats = {
+  cache_hits : int;  (** components skipped: signature cached Satisfied *)
+  cache_misses : int;  (** signature probes that missed (scheduled dirty) *)
+  cache_dirty : int;  (** components actually re-solved (includes covers) *)
+  cache_checks : int;  (** cache-eligible checks run *)
+  cache_entries : int;  (** live cached signatures across tracked queries *)
+}
 
 val create : ?obs:Obs.t -> Bcdb.t -> t
 (** Take over the database: the state is compacted to all-segment form
@@ -56,6 +100,9 @@ val components : t -> Bcquery.Query.t -> int list list
 (** The ind-q components for [q], maintained incrementally once [q] has
     been seen (first call computes and starts tracking). *)
 
+val cache_stats : t -> cache_stats
+(** Cumulative verdict-cache counters since {!create}. *)
+
 val pending_count : t -> int
 
 val find : t -> string -> int option
@@ -63,26 +110,29 @@ val find : t -> string -> int option
 
 val add : t -> ?label:string -> (string * Relational.Tuple.t) list -> unit
 (** A transaction arrives in the mempool. O(its rows) index probes plus
-    one union-find merge per tracked query. *)
+    one union-find merge per tracked query. Dirties only the (possibly
+    merged) component the new transaction lands in. *)
 
 val evict : t -> string -> (unit, string) result
 (** The labeled transaction is replaced/evicted (RBF). [Error] if no
-    pending transaction carries the label. *)
+    pending transaction carries the label. Dirties only the component
+    the transaction leaves; the re-split is scoped to that component. *)
 
 val confirm : t -> string -> (unit, string) result
 (** The labeled transaction is mined: its rows join the state, it leaves
     the pending set. The state is re-compacted (O(|R|) — once per block,
-    keeping every subsequent store reload O(pending)). *)
+    keeping every subsequent store reload O(pending)). Conservatively
+    dirties every cached verdict (the epoch bump). *)
 
 val append_state : t -> (string * Relational.Tuple.t) list -> unit
 (** Rows enter the state without ever having been pending (coinbase
     transactions, blocks mined elsewhere). Same state-side maintenance
-    as {!confirm} with no pending removal. *)
+    as {!confirm} with no pending removal; also bumps the epoch. *)
 
 val reset : t -> Bcdb.t -> unit
 (** Reorg fallback: resynchronize to a freshly encoded database. All
-    structures are rebuilt; compiled plans and the recorder carry
-    over. *)
+    structures are rebuilt; compiled plans and the recorder carry over;
+    component tracking and verdict caches restart from scratch. *)
 
 val check :
   ?jobs:int ->
@@ -91,6 +141,7 @@ val check :
   ?use_delta:bool ->
   ?use_native:bool ->
   ?use_steal:bool ->
+  ?use_cache:bool ->
   t ->
   Bcquery.Query.t ->
   (Dcsat.outcome * Solver.strategy, string) result
@@ -98,4 +149,11 @@ val check :
     the maintained session, with [timeout_s]/[max_worlds] forming the
     per-request admission budget (an exhausted budget yields
     [verdict = Unknown], never a wrong answer). The first check of a
-    query starts component tracking for it. *)
+    query starts component tracking for it. [use_cache] overrides the
+    [BCDB_LIVE_CACHE] environment default; when the cache is live and
+    the query will take the OptDCSat path, the check re-solves only
+    components whose signature is not cached (see the module preamble).
+    Tractable-decided queries bypass tracking and caching entirely, and
+    so do budgeted requests (any [timeout_s]/[max_worlds]): a cached
+    verdict could otherwise answer where the budget-tripped solve must
+    return [Unknown], breaking cache-on/off bit-identity. *)

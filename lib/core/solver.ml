@@ -23,14 +23,17 @@ let strategy_counter = function
   | Brute_force -> "solver.strategy.brute_force"
 
 let solve ?jobs ?budget ?use_delta ?use_native ?use_steal ?sum_args_nonnegative
-    session q =
+    ?comp_hooks session q =
   let obs = Session.obs session in
   let result =
     Obs.span obs ~cat:"solver" "solve" @@ fun () ->
     match Tractable.solve ?sum_args_nonnegative session q with
     | Some (outcome, case) -> Ok (outcome, Tractable case)
     | None -> (
-        match Dcsat.opt ?jobs ?budget ?use_delta ?use_native ?use_steal session q with
+        match
+          Dcsat.opt ?jobs ?budget ?use_delta ?use_native ?use_steal ?comp_hooks
+            session q
+        with
         | Ok outcome -> Ok (outcome, Opt)
         | Error `Not_connected -> (
             match
@@ -60,10 +63,10 @@ let solve ?jobs ?budget ?use_delta ?use_native ?use_steal ?sum_args_nonnegative
   result
 
 let solve_exn ?jobs ?budget ?use_delta ?use_native ?use_steal
-    ?sum_args_nonnegative session q =
+    ?sum_args_nonnegative ?comp_hooks session q =
   match
     solve ?jobs ?budget ?use_delta ?use_native ?use_steal ?sum_args_nonnegative
-      session q
+      ?comp_hooks session q
   with
   | Ok result -> result
   | Error msg -> invalid_arg ("Solver.solve: " ^ msg)

@@ -22,6 +22,7 @@ val solve :
   ?use_native:bool ->
   ?use_steal:bool ->
   ?sum_args_nonnegative:bool ->
+  ?comp_hooks:Dcsat.comp_hooks ->
   Session.t ->
   Bcquery.Query.t ->
   (Dcsat.outcome * strategy, string) result
@@ -39,7 +40,11 @@ val solve :
     (see {!Dcsat.naive}); it defaults to the [BCDB_BK_STEAL] environment
     variable, or to automatic when unset. [use_native] (default true)
     toggles the closure-compiled evaluation tier on the same paths (see
-    {!Dcsat.naive}); answers are identical either way. *)
+    {!Dcsat.naive}); answers are identical either way. [comp_hooks]
+    enables OptDCSat's per-component verdict-cache path (see
+    {!Dcsat.opt}); the tractable, naive and brute-force strategies
+    ignore it — only the component-factorized algorithm has cacheable
+    per-component verdicts. *)
 
 val solve_exn :
   ?jobs:int ->
@@ -48,6 +53,7 @@ val solve_exn :
   ?use_native:bool ->
   ?use_steal:bool ->
   ?sum_args_nonnegative:bool ->
+  ?comp_hooks:Dcsat.comp_hooks ->
   Session.t ->
   Bcquery.Query.t ->
   Dcsat.outcome * strategy

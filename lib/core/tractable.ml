@@ -303,6 +303,12 @@ let solve_ind_monotone_aggregate run q =
     outcome run false (Some (Bitset.to_list world)) None
   else outcome run true None None
 
+(* The live layer's dispatch guard: a tractable-decided query never
+   reaches the component machinery, so seeding ind-q components (or
+   probing a per-component verdict cache) for it would be pure waste. *)
+let decides ?sum_args_nonnegative db q =
+  applicable ?sum_args_nonnegative db q <> None
+
 let solve ?sum_args_nonnegative session q =
   match applicable ?sum_args_nonnegative (Session.db session) q with
   | None -> None

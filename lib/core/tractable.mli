@@ -36,6 +36,11 @@ val applicable :
 (** Which (if any) tractable procedure decides this query over this
     database's constraint profile. *)
 
+val decides : ?sum_args_nonnegative:bool -> Bcdb.t -> Bcquery.Query.t -> bool
+(** [applicable db q <> None] — the dispatch guard used by the live
+    layer to keep tractable-decided queries away from the component
+    tracking and verdict-cache machinery entirely. *)
+
 val solve :
   ?sum_args_nonnegative:bool ->
   Session.t ->

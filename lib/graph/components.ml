@@ -8,6 +8,52 @@ let of_graph g =
 
 let count g = List.length (of_graph g)
 
+(* --- partition surgery (single-node removal) ----------------------- *)
+
+(* Removing one node only ever touches the part that contains it: every
+   other part keeps its edges and merely re-identifies (dense re-packing
+   shifts ids above [node] down by one, mirroring the id re-packing of a
+   pending-set removal). The touched part's survivors are returned for
+   the caller to re-split against an edge oracle — the partition itself
+   has no edges to consult. *)
+let remove_node parts node =
+  let reid x = if x > node then x - 1 else x in
+  let touched, rest = List.partition (List.mem node) parts in
+  let rest = List.map (List.map reid) rest in
+  let survivors =
+    match touched with
+    | [] -> []
+    | part :: _ ->
+        List.filter_map
+          (fun x -> if x = node then None else Some (reid x))
+          part
+  in
+  (rest, survivors)
+
+(* Re-split [members] into connected sub-parts under [edges] (which must
+   join members only). Built on the same union-find as {!of_graph}, so
+   the sub-parts come out in canonical form: ascending node lists. *)
+let split_members ~n members edges =
+  let uf = Union_find.create n in
+  List.iter (fun (a, b) -> Union_find.union uf a b) edges;
+  let member = Array.make n false in
+  List.iter (fun m -> member.(m) <- true) members;
+  List.filter
+    (fun group -> match group with m :: _ -> member.(m) | [] -> false)
+    (Union_find.groups uf)
+
+(* Canonical partition order: parts ascending, sorted by smallest member
+   — the invariant {!of_graph} establishes and every incremental
+   maintainer must preserve. *)
+let merge a b =
+  List.sort
+    (fun p q ->
+      match (p, q) with
+      | x :: _, y :: _ -> Int.compare x y
+      | [], _ -> -1
+      | _, [] -> 1)
+    (List.filter (fun p -> p <> []) (a @ b))
+
 let component_of g start =
   let n = Undirected.node_count g in
   let seen = Array.make n false in

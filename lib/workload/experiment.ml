@@ -15,6 +15,7 @@ type measurement = {
   stats : Core.Dcsat.stats;
   obs_worlds : int;
   cache_hit_ratio : float;
+  comp_cache_hit_ratio : float;
   worker_util : float;
   eval_full : int;
   eval_delta : int;
@@ -97,6 +98,12 @@ let run ?(repeats = 3) ?(warmup = 0) ?(summary = `Mean) ?(jobs = 1)
     if hit + miss = 0 then 0.0
     else float_of_int hit /. float_of_int (hit + miss)
   in
+  let chit = Core.Obs.counter obs "live.comp_cache_hit" in
+  let cmiss = Core.Obs.counter obs "live.comp_cache_miss" in
+  let comp_cache_hit_ratio =
+    if chit + cmiss = 0 then 0.0
+    else float_of_int chit /. float_of_int (chit + cmiss)
+  in
   let busy =
     match Core.Obs.hist_of obs "engine.busy_s" with
     | Some h -> h.Core.Obs.sum
@@ -120,6 +127,7 @@ let run ?(repeats = 3) ?(warmup = 0) ?(summary = `Mean) ?(jobs = 1)
     stats = last.Core.Dcsat.stats;
     obs_worlds;
     cache_hit_ratio;
+    comp_cache_hit_ratio;
     worker_util;
     eval_full;
     eval_delta;

@@ -24,6 +24,11 @@ type measurement = {
   cache_hit_ratio : float;
       (** Visibility-cache hits / (hits + misses) in the tagged store;
           0 when the run never probed the cache. *)
+  comp_cache_hit_ratio : float;
+      (** Live verdict-cache hits / (hits + misses)
+          (["live.comp_cache_hit"] / ["live.comp_cache_miss"]); 0 on the
+          batch paths, which never consult the per-component cache —
+          populated by the serve benchmark's warm-check rows. *)
   worker_util : float;
       (** Σ per-item evaluation time / (jobs × runtime) of the
           instrumented run — the fraction of worker-domain capacity

@@ -163,42 +163,49 @@ let random_rows rng =
 
 let random_pending_label rng m = fst (List.nth m.pending (Random.State.int rng (List.length m.pending)))
 
-(* One event, applied to the model and the live layer in lockstep. *)
-let step_event rng live m =
+(* One event, applied to the model and each live layer in lockstep (the
+   cache differential drives two instances through the same stream). *)
+let step_event rng lives m =
   let pick = Random.State.int rng 100 in
   if pick < 45 || m.pending = [] then begin
     let label = next_label () and rows = random_rows rng in
     m.pending <- m.pending @ [ (label, rows) ];
-    Core.Live.add live ~label rows
+    List.iter (fun live -> Core.Live.add live ~label rows) lives
   end
   else if pick < 65 then begin
     let label = random_pending_label rng m in
     m.pending <- List.filter (fun (l, _) -> l <> label) m.pending;
-    match Core.Live.evict live label with
-    | Ok () -> ()
-    | Error e -> QCheck.Test.fail_reportf "evict %s: %s" label e
+    List.iter
+      (fun live ->
+        match Core.Live.evict live label with
+        | Ok () -> ()
+        | Error e -> QCheck.Test.fail_reportf "evict %s: %s" label e)
+      lives
   end
   else if pick < 85 then begin
     let label = random_pending_label rng m in
     let rows = List.assoc label m.pending in
     m.pending <- List.filter (fun (l, _) -> l <> label) m.pending;
     m.confirmed <- (label, rows) :: m.confirmed;
-    match Core.Live.confirm live label with
-    | Ok () -> ()
-    | Error e -> QCheck.Test.fail_reportf "confirm %s: %s" label e
+    List.iter
+      (fun live ->
+        match Core.Live.confirm live label with
+        | Ok () -> ()
+        | Error e -> QCheck.Test.fail_reportf "confirm %s: %s" label e)
+      lives
   end
   else
     match m.confirmed with
     | [] ->
         let label = next_label () and rows = random_rows rng in
         m.pending <- m.pending @ [ (label, rows) ];
-        Core.Live.add live ~label rows
+        List.iter (fun live -> Core.Live.add live ~label rows) lives
     | (label, rows) :: rest ->
         (* Reorg: the most recent confirmation is disconnected and its
            transaction returns to the mempool; the live layer resyncs. *)
         m.confirmed <- rest;
         m.pending <- m.pending @ [ (label, rows) ];
-        Core.Live.reset live (model_db m)
+        List.iter (fun live -> Core.Live.reset live (model_db m)) lives
 
 let differential ~jobs ~count =
   QCheck.Test.make
@@ -215,9 +222,79 @@ let differential ~jobs ~count =
       let steps = 6 + Random.State.int rng 5 in
       let ok = ref true in
       for step = 1 to steps do
-        step_event rng live m;
+        step_event rng [ live ] m;
         ok := !ok && assert_agrees ~step ~jobs live m q
       done;
+      !ok)
+
+(* --- satellite 3 (PR 10): the verdict cache must be invisible --------
+
+   Two live instances over the same initial database, driven by the
+   identical event stream; one checks with the per-(query, component)
+   verdict cache forced on, the other with it forced off. At every
+   interleaved check (every [k] events, so caches go warm, dirty and
+   warm again) the whole outcome — verdict constructor, satisfied bit,
+   witness world and witness assignment — must be bit-identical, at
+   jobs 1 and at jobs 4. *)
+
+let pp_world = function
+  | None -> "-"
+  | Some ws -> "[" ^ String.concat "," (List.map string_of_int ws) ^ "]"
+
+let pp_binding = function
+  | None -> "-"
+  | Some bs ->
+      String.concat ","
+        (List.map (fun (x, v) -> Printf.sprintf "%s=%s" x (V.to_string v)) bs)
+
+let outcome_sig (o : Core.Dcsat.outcome) =
+  let v =
+    match o.Core.Dcsat.verdict with
+    | Core.Dcsat.Satisfied -> "satisfied"
+    | Core.Dcsat.Violated _ -> "violated"
+    | Core.Dcsat.Unknown _ -> "unknown"
+  in
+  (v, o.Core.Dcsat.satisfied, o.Core.Dcsat.witness_world, o.Core.Dcsat.witness)
+
+let cache_differential ~jobs ~count =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "cached check = uncached check (jobs %d)" jobs)
+    ~count
+    QCheck.(pair (int_bound 1_000_000) (int_bound (List.length queries - 1)))
+    (fun (seed, qi) ->
+      let rng = Random.State.make [| seed; jobs; 0xCACE |] in
+      let m = fresh_model () in
+      let cached = Core.Live.create (model_db m) in
+      let uncached = Core.Live.create (model_db m) in
+      let q = parse (List.nth queries qi) in
+      let steps = 6 + Random.State.int rng 5 in
+      let k = 1 + Random.State.int rng 2 in
+      let agree step =
+        let solve ~use_cache live =
+          match Core.Live.check ~jobs ~use_cache live q with
+          | Ok (o, _) -> o
+          | Error e -> QCheck.Test.fail_reportf "step %d: check: %s" step e
+        in
+        let oc = solve ~use_cache:true cached
+        and ou = solve ~use_cache:false uncached in
+        let ((vc, sc, wc, bc) as c) = outcome_sig oc
+        and ((vu, su, wu, bu) as u) = outcome_sig ou in
+        if c <> u then
+          QCheck.Test.fail_reportf
+            "step %d: cache changes the answer:@.  cached:   %s sat=%b world \
+             %s witness %s@.  uncached: %s sat=%b world %s witness %s"
+            step vc sc (pp_world wc) (pp_binding bc) vu su (pp_world wu)
+            (pp_binding bu);
+        true
+      in
+      let ok = ref true in
+      for step = 1 to steps do
+        step_event rng [ cached; uncached ] m;
+        if step mod k = 0 then ok := !ok && agree step
+      done;
+      (* Two back-to-back checks of the final mempool: the second runs
+         against a fully warm cache (every component a hit). *)
+      ok := !ok && agree (steps + 1) && agree (steps + 2);
       !ok)
 
 (* --- satellite 1: session caches vs in-place state mutation ---------
@@ -449,6 +526,8 @@ let () =
         [
           QCheck_alcotest.to_alcotest (differential ~jobs:1 ~count:60);
           QCheck_alcotest.to_alcotest (differential ~jobs:4 ~count:40);
+          QCheck_alcotest.to_alcotest (cache_differential ~jobs:1 ~count:60);
+          QCheck_alcotest.to_alcotest (cache_differential ~jobs:4 ~count:40);
         ] );
       ( "staleness",
         [
